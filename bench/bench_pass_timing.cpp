@@ -1,0 +1,139 @@
+//===- bench/bench_pass_timing.cpp - Compile-time pass scaling ------------===//
+///
+/// google-benchmark microbenchmarks of the optimizer itself: how long each
+/// phase takes as the input function grows. Inputs are generated chains of
+/// loop nests so every pass has real work (phis, trees, redundancies).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "frontend/Lower.h"
+#include "gvn/ValueNumbering.h"
+#include "pipeline/Pipeline.h"
+#include "pre/PRE.h"
+#include "reassoc/ForwardProp.h"
+#include "reassoc/Ranks.h"
+#include "reassoc/Reassociate.h"
+#include "ssa/SSA.h"
+#include "support/StringUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace epre;
+
+namespace {
+
+/// Generates a routine with \p NumLoops sequential loop nests, each with
+/// array addressing and shared invariant subexpressions.
+std::string generateSource(unsigned NumLoops) {
+  std::string S = "function gen(a, b, n)\n  integer n\n  real w(64)\n";
+  S += "  s = 0.0\n";
+  for (unsigned L = 0; L < NumLoops; ++L) {
+    S += strprintf("  do i%u = 1, n\n", L);
+    S += strprintf("    w(i%u) = (a + b) * i%u + a * %u.0\n", L, L, L + 1);
+    S += strprintf("    s = s + w(i%u) + (a + b + %u.0)\n", L, L);
+    S += "  end do\n";
+  }
+  S += "  return s\nend\n";
+  return S;
+}
+
+std::unique_ptr<Module> compileGen(unsigned NumLoops, NamingMode NM) {
+  LowerResult LR = compileMiniFortran(generateSource(NumLoops), NM);
+  assert(LR.ok());
+  return std::move(LR.M);
+}
+
+void BM_Frontend(benchmark::State &State) {
+  std::string Src = generateSource(unsigned(State.range(0)));
+  for (auto _ : State) {
+    LowerResult LR = compileMiniFortran(Src, NamingMode::Naive);
+    benchmark::DoNotOptimize(LR.M);
+  }
+}
+BENCHMARK(BM_Frontend)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SSABuild(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+    State.ResumeTiming();
+    buildSSA(*M->Functions[0]);
+  }
+}
+BENCHMARK(BM_SSABuild)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ForwardProp(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+    Function &F = *M->Functions[0];
+    buildSSA(F);
+    CFG G = CFG::compute(F);
+    RankMap Ranks = RankMap::compute(F, G);
+    State.ResumeTiming();
+    propagateForward(F, Ranks);
+  }
+}
+BENCHMARK(BM_ForwardProp)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Reassociate(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+    Function &F = *M->Functions[0];
+    buildSSA(F);
+    CFG G = CFG::compute(F);
+    RankMap Ranks = RankMap::compute(F, G);
+    propagateForward(F, Ranks);
+    ReassociateOptions RO;
+    RO.Distribute = true;
+    normalizeNegation(F, Ranks, RO);
+    State.ResumeTiming();
+    reassociate(F, Ranks, RO);
+  }
+}
+BENCHMARK(BM_Reassociate)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GVN(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+    Function &F = *M->Functions[0];
+    buildSSA(F);
+    CFG G = CFG::compute(F);
+    RankMap Ranks = RankMap::compute(F, G);
+    propagateForward(F, Ranks);
+    State.ResumeTiming();
+    runGlobalValueNumbering(F);
+  }
+}
+BENCHMARK(BM_GVN)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PRE(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Hashed);
+    Function &F = *M->Functions[0];
+    State.ResumeTiming();
+    eliminatePartialRedundancies(*M->Functions[0]);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_PRE)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FullPipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+    State.ResumeTiming();
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    optimizeFunction(*M->Functions[0], PO);
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

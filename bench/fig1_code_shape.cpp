@@ -1,0 +1,138 @@
+//===- bench/fig1_code_shape.cpp - Figure 1: alternate code shapes --------===//
+///
+/// Figure 1 of the paper shows the three associations of x + y + z and
+/// argues that the front end's arbitrary choice decides what later
+/// optimizations can do:
+///
+///  - with x=3, z=2 constants, only the shape that adjoins the constants
+///    lets constant propagation fold them;
+///  - with x, z loop invariant and y varying, only the shape that adjoins
+///    x and z lets PRE hoist a subexpression.
+///
+/// This bench builds all three shapes explicitly through the IR builder,
+/// runs the relevant optimization, and shows that the reassociation
+/// pipeline produces the good shape regardless of the input shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace epre;
+
+namespace {
+
+/// Builds: func(v) { loop 100x { s += shape(3, v, 2) } } with the chosen
+/// association order for the three-operand sum.
+enum class Shape { LeftChain, Balanced, RightChain };
+
+const char *shapeName(Shape S) {
+  switch (S) {
+  case Shape::LeftChain:
+    return "((x + y) + z)";
+  case Shape::Balanced:
+    return "(x + z) + y";
+  case Shape::RightChain:
+    return "x + (y + z)";
+  }
+  return "?";
+}
+
+std::unique_ptr<Module> buildShape(Shape S) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("shape");
+  Reg V = F->addParam(Type::I64);
+  F->setReturnType(Type::I64);
+  IRBuilder B(*F);
+
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Loop = B.makeBlock("loop");
+  BasicBlock *Exit = B.makeBlock("exit");
+
+  B.setInsertPoint(Entry);
+  Reg SumVar = F->makeReg(Type::I64);
+  Reg IVar = F->makeReg(Type::I64);
+  Reg Zero = B.loadI(0);
+  B.copyTo(SumVar, Zero);
+  B.copyTo(IVar, Zero);
+  B.br(Loop);
+
+  B.setInsertPoint(Loop);
+  Reg X = B.loadI(3);
+  Reg Z = B.loadI(2);
+  Reg Term = NoReg;
+  switch (S) {
+  case Shape::LeftChain:
+    Term = B.add(B.add(X, V), Z);
+    break;
+  case Shape::Balanced:
+    Term = B.add(B.add(X, Z), V);
+    break;
+  case Shape::RightChain:
+    Term = B.add(X, B.add(V, Z));
+    break;
+  }
+  Reg NewSum = B.add(SumVar, Term);
+  B.copyTo(SumVar, NewSum);
+  Reg One = B.loadI(1);
+  Reg NewI = B.add(IVar, One);
+  B.copyTo(IVar, NewI);
+  Reg Hundred = B.loadI(100);
+  Reg Cont = B.binary(Opcode::CmpLt, IVar, Hundred);
+  B.cbr(Cont, Loop, Exit);
+
+  B.setInsertPoint(Exit);
+  B.ret(SumVar);
+  return M;
+}
+
+uint64_t measure(Shape S, OptLevel L) {
+  std::unique_ptr<Module> M = buildShape(S);
+  Function &F = *M->Functions[0];
+  PipelineOptions PO;
+  PO.Level = L;
+  optimizeFunction(F, PO);
+  MemoryImage Mem(0);
+  ExecResult R = interpret(F, {RtValue::ofI(7)}, Mem);
+  if (R.Trapped) {
+    std::printf("TRAP %s\n", R.TrapReason.c_str());
+    return 0;
+  }
+  return R.DynOps;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 1: three associations of x + y + z inside a loop,\n"
+              "with x = 3, z = 2 constant and y loop-varying.\n\n");
+  std::printf("%-18s %10s %10s %10s\n", "shape", "baseline", "partial",
+              "reassoc");
+  for (Shape S :
+       {Shape::LeftChain, Shape::Balanced, Shape::RightChain}) {
+    uint64_t Base = measure(S, OptLevel::Baseline);
+    uint64_t Part = measure(S, OptLevel::Partial);
+    uint64_t Rea = measure(S, OptLevel::Reassociation);
+    std::printf("%-18s %10llu %10llu %10llu\n", shapeName(S),
+                (unsigned long long)Base, (unsigned long long)Part,
+                (unsigned long long)Rea);
+  }
+  std::printf("\nOnly the (x + z) + y shape lets constant propagation fold\n"
+              "3 + 2; the baseline/partial columns therefore depend on the\n"
+              "front end's choice, while the reassociation column is the\n"
+              "same for all three shapes: the optimizer normalized the code\n"
+              "shape itself (the paper's central argument).\n");
+
+  uint64_t R0 = measure(Shape::LeftChain, OptLevel::Reassociation);
+  uint64_t R1 = measure(Shape::Balanced, OptLevel::Reassociation);
+  uint64_t R2 = measure(Shape::RightChain, OptLevel::Reassociation);
+  bool Uniform = R0 == R1 && R1 == R2;
+  std::printf("reassociation column uniform across shapes: %s\n",
+              Uniform ? "yes" : "NO (regression!)");
+  return Uniform ? 0 : 1;
+}

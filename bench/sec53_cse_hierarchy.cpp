@@ -1,0 +1,103 @@
+//===- bench/sec53_cse_hierarchy.cpp - §5.3: the redundancy hierarchy -----===//
+///
+/// §5.3 ranks three redundancy eliminators:
+///   1. dominator-based removal (AWZ): only redundancies with a dominating
+///      computation;
+///   2. available-expressions CSE: all full redundancies;
+///   3. PRE: full and partial redundancies (loop invariants included).
+///
+/// We run available-expressions CSE (PREStrategy::GlobalCSE) and full PRE
+/// on the two discriminating programs: the if-then-else join (caught by 2
+/// and 3, but no dominating computation exists for 1) and the loop
+/// invariant (caught only by 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "interp/Interpreter.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace epre;
+
+namespace {
+
+uint64_t measure(const char *Src, const char *Fn,
+                 const std::vector<RtValue> &Args, PREStrategy Strat,
+                 bool UsePRE) {
+  LowerResult LR = compileMiniFortran(Src, NamingMode::Hashed);
+  if (!LR.ok()) {
+    std::printf("compile error: %s\n", LR.Error.c_str());
+    return 0;
+  }
+  Function &F = *LR.M->find(Fn);
+  PipelineOptions PO;
+  PO.Level = UsePRE ? OptLevel::Partial : OptLevel::Baseline;
+  PO.Strategy = Strat;
+  optimizeFunction(F, PO);
+  MemoryImage M(LR.Routines[0].LocalMemBytes);
+  ExecResult R = interpret(F, Args, M);
+  return R.Trapped ? 0 : R.DynOps;
+}
+
+void row(const char *Name, const char *Src, const char *Fn,
+         const std::vector<RtValue> &Args) {
+  uint64_t None = measure(Src, Fn, Args, PREStrategy::GlobalCSE, false);
+  uint64_t CSE = measure(Src, Fn, Args, PREStrategy::GlobalCSE, true);
+  uint64_t PRE = measure(Src, Fn, Args, PREStrategy::LazyCodeMotion, true);
+  std::printf("%-28s %10llu %10llu %10llu\n", Name,
+              (unsigned long long)None, (unsigned long long)CSE,
+              (unsigned long long)PRE);
+}
+
+} // namespace
+
+int main() {
+  // x+y in both branches and again at the join: fully redundant at the
+  // join, but no single computation dominates it.
+  const char *Join = R"(
+function joinr(x, y, n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    if (mod(i, 2) .eq. 0) then
+      a = x + y
+    else
+      a = (x + y) * 2.0
+    end if
+    c = x + y
+    s = s + a + c
+  end do
+  return s
+end
+)";
+
+  // Loop-invariant x+y: only *partially* redundant (available along the
+  // back edge, not on loop entry); PRE alone hoists it.
+  const char *Inv = R"(
+function inv(x, y, n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    s = s + (x + y)
+  end do
+  return s
+end
+)";
+
+  std::printf("§5.3: dynamic counts under the redundancy-elimination "
+              "hierarchy\n\n");
+  std::printf("%-28s %10s %10s %10s\n", "program", "baseline", "avail-CSE",
+              "PRE");
+  std::vector<RtValue> Args = {RtValue::ofF(1.5), RtValue::ofF(2.5),
+                               RtValue::ofI(100)};
+  row("if/else join redundancy", Join, "joinr", Args);
+  row("loop invariant", Inv, "inv", Args);
+  std::printf(
+      "\nAvailable-expressions CSE removes the join redundancy (method 2\n"
+      "beats method 1, which finds no dominating computation); only PRE\n"
+      "also removes the loop invariant (method 3 beats method 2) — the\n"
+      "hierarchy of §5.3.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+//===- examples/array_addressing.cpp - The paper's motivating workload ----===//
+///
+/// Multi-dimensional array addressing is where the paper's transformations
+/// pay off: a column-major a(i,j) reference lowers to
+///
+///     base + ((j-1)*dim1 + (i-1)) * 8
+///
+/// whose loop-invariant part (j-1)*dim1*8 is trapped inside the multiply
+/// by 8 — plain PRE cannot hoist it. Distribution of the multiplication
+/// over the addition frees it ("this case ... arises routinely in
+/// multi-dimensional array addressing computations", §2.1).
+///
+/// This example compiles a transpose-multiply kernel from Mini-FORTRAN at
+/// every optimization level and prints the per-level dynamic counts and
+/// the inner-loop code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace epre;
+
+namespace {
+
+const char *Kernel = R"(
+function atax(n)
+  integer n
+  real a(24,24), x(24), y(24)
+  do j = 1, n
+    x(j) = 1.0 / j
+    do i = 1, n
+      a(i,j) = i + 0.01 * j
+    end do
+  end do
+  do i = 1, n
+    y(i) = 0.0
+  end do
+  do j = 1, n
+    do i = 1, n
+      y(i) = y(i) + a(i,j) * x(j)
+    end do
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + y(i)
+  end do
+  return s
+end
+)";
+
+} // namespace
+
+int main() {
+  std::printf("Kernel: dense matrix-vector product over a(24,24), the\n"
+              "column-major addressing pattern of §2.1.\n\n");
+  std::printf("%-15s %12s %10s\n", "level", "dynamic ops", "result");
+
+  uint64_t Baseline = 0;
+  for (OptLevel L : {OptLevel::None, OptLevel::Baseline, OptLevel::Partial,
+                     OptLevel::Reassociation, OptLevel::Distribution}) {
+    NamingMode NM =
+        L == OptLevel::Partial ? NamingMode::Hashed : NamingMode::Naive;
+    LowerResult LR = compileMiniFortran(Kernel, NM);
+    if (!LR.ok()) {
+      std::printf("compile error: %s\n", LR.Error.c_str());
+      return 1;
+    }
+    Function &F = *LR.M->find("atax");
+    PipelineOptions PO;
+    PO.Level = L;
+    optimizeFunction(F, PO);
+    MemoryImage Mem(LR.Routines[0].LocalMemBytes);
+    ExecResult R = interpret(F, {RtValue::ofI(24)}, Mem);
+    if (R.Trapped) {
+      std::printf("TRAP at %s: %s\n", optLevelName(L),
+                  R.TrapReason.c_str());
+      return 1;
+    }
+    std::printf("%-15s %12llu %10.4f\n", optLevelName(L),
+                (unsigned long long)R.DynOps, R.ReturnValue.F);
+    if (L == OptLevel::Baseline)
+      Baseline = R.DynOps;
+    if (L == OptLevel::Distribution) {
+      std::printf("\ndistribution removed %.0f%% of the baseline's dynamic "
+                  "operations.\n",
+                  100.0 * (double(Baseline) - double(R.DynOps)) /
+                      double(Baseline));
+      std::printf("\n--- final code at the distribution level ---\n%s",
+                  printFunction(F).c_str());
+    }
+  }
+  return 0;
+}

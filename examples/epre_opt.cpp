@@ -1,0 +1,208 @@
+//===- examples/epre_opt.cpp - Pass-by-pass ILOC filter -------------------===//
+///
+/// The paper structured its optimizer as "a sequence of passes, where each
+/// pass is a Unix filter that consumes and produces ILOC". This tool is
+/// that filter: textual IR on stdin (or a file), a pass list on the
+/// command line, textual IR on stdout.
+///
+///   epre_opt [FILE] -passes=ssa,ranks?,fwdprop,reassoc,gvn,pre,...
+///
+/// Passes: ssa destroyssa fwdprop negnorm reassoc distribute gvn pre
+///         pre-mr cse constprop peephole dce coalesce simplifycfg verify
+///
+/// Example:
+///   ./build/examples/epre_opt in.iloc -passes=fwdprop,reassoc,gvn,pre
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "gvn/DVNT.h"
+#include "gvn/ValueNumbering.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "opt/ConstantPropagation.h"
+#include "opt/CopyCoalescing.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/Peephole.h"
+#include "opt/SimplifyCFG.h"
+#include "opt/StrengthReduction.h"
+#include "pre/PRE.h"
+#include "reassoc/ForwardProp.h"
+#include "reassoc/Ranks.h"
+#include "reassoc/Reassociate.h"
+#include "ssa/SSA.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+std::vector<std::string> splitPasses(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+/// Runs one named pass. The reassociation family needs ranks, which must
+/// be computed in SSA form; this driver recomputes them on demand and
+/// keeps them alive across fwdprop/negnorm/reassoc/distribute.
+struct PassDriver {
+  Function &F;
+  RankMap Ranks;
+  bool HaveRanks = false;
+
+  explicit PassDriver(Function &F) : F(F) {}
+
+  bool run(const std::string &Name) {
+    if (Name == "ssa") {
+      buildSSA(F);
+      CFG G = CFG::compute(F);
+      Ranks = RankMap::compute(F, G);
+      HaveRanks = true;
+      return true;
+    }
+    if (Name == "destroyssa") {
+      destroySSA(F);
+      return true;
+    }
+    if (Name == "fwdprop") {
+      if (!ensureRanks())
+        return false;
+      ForwardPropStats S = propagateForward(F, Ranks);
+      std::fprintf(stderr, "fwdprop: %u -> %u static ops (x%.3f)\n",
+                   S.OpsBefore, S.OpsAfter, S.expansion());
+      return true;
+    }
+    if (Name == "negnorm" || Name == "reassoc" || Name == "distribute") {
+      if (!ensureRanks())
+        return false;
+      ReassociateOptions RO;
+      RO.Distribute = Name == "distribute";
+      if (Name == "negnorm")
+        normalizeNegation(F, Ranks, RO);
+      else
+        reassociate(F, Ranks, RO);
+      return true;
+    }
+    if (Name == "osr") {
+      SRStats S = strengthReduce(F);
+      std::fprintf(stderr, "osr: %u loops, %u basic IVs, %u reduced\n",
+                   S.LoopsVisited, S.BasicIVs, S.Reduced);
+      return true;
+    }
+    if (Name == "dvnt") {
+      DVNTStats S = runDominatorValueNumbering(F);
+      std::fprintf(stderr, "dvnt: %u redundant, %u meaningless phis, "
+                   "%u duplicate phis\n",
+                   S.Redundant, S.MeaninglessPhis, S.RedundantPhis);
+      return true;
+    }
+    if (Name == "gvn") {
+      GVNStats S = runGlobalValueNumbering(F);
+      std::fprintf(stderr, "gvn: %u regs in %u classes, %u merged\n",
+                   S.Registers, S.Classes, S.MergedDefs);
+      return true;
+    }
+    if (Name == "pre" || Name == "pre-mr" || Name == "cse") {
+      PREStrategy Strat = Name == "pre" ? PREStrategy::LazyCodeMotion
+                          : Name == "pre-mr" ? PREStrategy::MorelRenvoise
+                                             : PREStrategy::GlobalCSE;
+      PREStats S = eliminatePartialRedundancies(F, Strat);
+      std::fprintf(stderr, "%s: universe %u, +%u/-%u\n", Name.c_str(),
+                   S.UniverseSize, S.Inserted, S.Deleted);
+      return true;
+    }
+    if (Name == "constprop")
+      return (void)propagateConstants(F), true;
+    if (Name == "peephole")
+      return (void)runPeephole(F), true;
+    if (Name == "dce")
+      return (void)eliminateDeadCode(F), true;
+    if (Name == "coalesce") {
+      unsigned N = coalesceCopies(F);
+      std::fprintf(stderr, "coalesce: removed %u copies\n", N);
+      return true;
+    }
+    if (Name == "simplifycfg")
+      return (void)simplifyCFG(F), true;
+    if (Name == "verify") {
+      std::vector<std::string> E = verifyFunction(F, SSAMode::Relaxed);
+      for (const std::string &Msg : E)
+        std::fprintf(stderr, "verify: %s\n", Msg.c_str());
+      return E.empty();
+    }
+    std::fprintf(stderr, "error: unknown pass '%s'\n", Name.c_str());
+    return false;
+  }
+
+  bool ensureRanks() {
+    if (HaveRanks)
+      return true;
+    std::fprintf(stderr,
+                 "error: this pass needs ranks; run 'ssa' first\n");
+    return false;
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string File;
+  std::string PassList;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("-passes=", 0) == 0)
+      PassList = A.substr(8);
+    else if (!A.empty() && A[0] != '-')
+      File = A;
+    else {
+      std::fprintf(stderr, "usage: %s [FILE] -passes=p1,p2,...\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::stringstream Buf;
+  if (File.empty()) {
+    Buf << std::cin.rdbuf();
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
+      return 1;
+    }
+    Buf << In.rdbuf();
+  }
+
+  ParseResult R = parseModule(Buf.str());
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  for (auto &F : R.M->Functions) {
+    PassDriver Driver(*F);
+    for (const std::string &P : splitPasses(PassList))
+      if (!Driver.run(P))
+        return 1;
+  }
+  std::printf("%s", printModule(*R.M).c_str());
+  return 0;
+}

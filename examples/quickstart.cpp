@@ -1,0 +1,104 @@
+//===- examples/quickstart.cpp - Build IR, optimize, run ------------------===//
+///
+/// The five-minute tour of the library's public API:
+///
+///   1. construct a function with IRBuilder (or parse textual IR);
+///   2. run one of the paper's optimization levels;
+///   3. execute it with the counting interpreter;
+///   4. inspect the before/after code and dynamic costs.
+///
+/// Build and run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace epre;
+
+int main() {
+  // --- 1. Build sum(a, b, n) = Σ_{i<n} (a + b) * i --------------------------
+  Module M;
+  Function &F = *M.addFunction("sum");
+  Reg A = F.addParam(Type::F64);
+  Reg B = F.addParam(Type::F64);
+  Reg N = F.addParam(Type::I64);
+  F.setReturnType(Type::F64);
+
+  IRBuilder Build(F);
+  BasicBlock *Entry = Build.makeBlock("entry");
+  BasicBlock *Loop = Build.makeBlock("loop");
+  BasicBlock *Exit = Build.makeBlock("exit");
+
+  Reg SumVar = F.makeReg(Type::F64); // multiply-assigned "variables"
+  Reg IVar = F.makeReg(Type::I64);
+
+  Build.setInsertPoint(Entry);
+  Reg FZero = Build.loadF(0.0);
+  Build.copyTo(SumVar, FZero);
+  Reg IZero = Build.loadI(0);
+  Build.copyTo(IVar, IZero);
+  Build.br(Loop);
+
+  Build.setInsertPoint(Loop);
+  // The loop-invariant a+b is recomputed every iteration — on purpose.
+  Reg Inv = Build.add(A, B);
+  Reg IF64 = Build.i2f(IVar);
+  Reg Term = Build.mul(Inv, IF64);
+  Reg NewSum = Build.add(SumVar, Term);
+  Build.copyTo(SumVar, NewSum);
+  Reg One = Build.loadI(1);
+  Reg NewI = Build.add(IVar, One);
+  Build.copyTo(IVar, NewI);
+  Reg Cont = Build.binary(Opcode::CmpLt, IVar, N);
+  Build.cbr(Cont, Loop, Exit);
+
+  Build.setInsertPoint(Exit);
+  Build.ret(SumVar);
+
+  verifyOrDie(F, SSAMode::NoSSA, "construction");
+  std::printf("--- input ---\n%s\n", printFunction(F).c_str());
+
+  // --- 2. Run it unoptimized ------------------------------------------------
+  auto Run = [&](const char *What) {
+    MemoryImage Mem(0);
+    ExecResult R = interpret(
+        F, {RtValue::ofF(1.5), RtValue::ofF(2.5), RtValue::ofI(100)}, Mem);
+    if (R.Trapped) {
+      std::printf("%s: TRAP %s\n", What, R.TrapReason.c_str());
+      return uint64_t(0);
+    }
+    std::printf("%s: sum(1.5, 2.5, 100) = %g using %llu dynamic ILOC "
+                "operations\n",
+                What, R.ReturnValue.F, (unsigned long long)R.DynOps);
+    return R.DynOps;
+  };
+  uint64_t Before = Run("unoptimized");
+
+  // --- 3. Optimize with the paper's strongest level --------------------------
+  PipelineOptions Opts;
+  Opts.Level = OptLevel::Distribution; // reassociation + GVN + PRE + baseline
+  PipelineStats Stats = optimizeFunction(F, Opts);
+
+  std::printf("\n--- optimized (%s) ---\n%s\n", optLevelName(Opts.Level),
+              printFunction(F).c_str());
+  std::printf("pipeline: %u phis removed, %u trees cloned (x%.2f code), "
+              "%u congruence classes, PRE inserted %u / deleted %u, "
+              "%u copies coalesced\n\n",
+              Stats.ForwardProp.PhisRemoved, Stats.ForwardProp.TreesCloned,
+              Stats.ForwardProp.expansion(), Stats.GVN.Classes,
+              Stats.PRE.Inserted, Stats.PRE.Deleted, Stats.CopiesCoalesced);
+
+  // --- 4. Run it again -------------------------------------------------------
+  uint64_t After = Run("optimized  ");
+  if (Before && After)
+    std::printf("\nspeedup: %.2fx fewer dynamic operations — the invariant "
+                "a+b (and the constants) left the loop.\n",
+                double(Before) / double(After));
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- examples/suite_explorer.cpp - Browse the benchmark corpus ----------===//
+///
+/// Interactive view of the 50-routine suite:
+///
+///   suite_explorer                 # list all routines with their counts
+///   suite_explorer NAME            # show NAME's source and level counts
+///   suite_explorer NAME -print     # additionally print the IR per level
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "ir/IRPrinter.h"
+#include "suite/Harness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace epre;
+
+namespace {
+
+void showRoutine(const Routine &R, bool Print) {
+  std::printf("=== %s ===\n%s\n", R.Name.c_str(), R.Source.c_str());
+  std::printf("%-15s %12s %14s %10s\n", "level", "dynamic ops",
+              "weighted cost", "static");
+  for (OptLevel L : {OptLevel::None, OptLevel::Baseline, OptLevel::Partial,
+                     OptLevel::Reassociation, OptLevel::Distribution}) {
+    Measurement M = measureRoutine(R, L);
+    if (!M.ok()) {
+      std::printf("%-15s ERROR: %s\n", optLevelName(L),
+                  M.CompileOk ? M.TrapReason.c_str()
+                              : M.CompileError.c_str());
+      continue;
+    }
+    std::printf("%-15s %12llu %14llu %10u\n", optLevelName(L),
+                (unsigned long long)M.DynOps,
+                (unsigned long long)M.WeightedCost, M.StaticOpsAfter);
+    if (Print && L == OptLevel::Distribution) {
+      LowerResult LR = compileMiniFortran(R.Source, NamingMode::Naive);
+      if (LR.ok()) {
+        Function &F = *LR.M->find(R.Name);
+        PipelineOptions PO;
+        PO.Level = L;
+        optimizeFunction(F, PO);
+        std::printf("\n--- IR at %s ---\n%s\n", optLevelName(L),
+                    printFunction(F).c_str());
+      }
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Name;
+  bool Print = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "-print") == 0)
+      Print = true;
+    else
+      Name = argv[I];
+  }
+
+  if (!Name.empty()) {
+    for (const Routine &R : benchmarkSuite())
+      if (R.Name == Name) {
+        showRoutine(R, Print);
+        return 0;
+      }
+    std::fprintf(stderr, "unknown routine '%s'\n", Name.c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %12s %12s %8s\n", "routine", "baseline", "distrib",
+              "improve");
+  for (const Routine &R : benchmarkSuite()) {
+    Measurement Base = measureRoutine(R, OptLevel::Baseline);
+    Measurement Dist = measureRoutine(R, OptLevel::Distribution);
+    if (!Base.ok() || !Dist.ok()) {
+      std::printf("%-10s ERROR\n", R.Name.c_str());
+      continue;
+    }
+    std::printf("%-10s %12llu %12llu %7.0f%%\n", R.Name.c_str(),
+                (unsigned long long)Base.DynOps,
+                (unsigned long long)Dist.DynOps,
+                100.0 * (double(Base.DynOps) - double(Dist.DynOps)) /
+                    double(Base.DynOps));
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- analysis/CFG.h - Control-flow graph view ------------------*- C++ -*-===//
+///
+/// \file
+/// A derived view of a function's control flow: predecessor/successor lists
+/// and a reverse-postorder numbering of the reachable blocks. Recompute after
+/// any pass that changes control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_ANALYSIS_CFG_H
+#define EPRE_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace epre {
+
+/// Predecessors, successors, and orderings of the reachable CFG.
+class CFG {
+public:
+  static CFG compute(const Function &F);
+
+  const std::vector<BlockId> &preds(BlockId B) const { return Preds[B]; }
+  const std::vector<BlockId> &succs(BlockId B) const { return Succs[B]; }
+
+  /// Reachable blocks in reverse postorder (entry first).
+  const std::vector<BlockId> &rpo() const { return RPO; }
+
+  /// Reachable blocks in postorder.
+  std::vector<BlockId> postorder() const {
+    return std::vector<BlockId>(RPO.rbegin(), RPO.rend());
+  }
+
+  /// RPO index of \p B; blocks unreachable from entry report ~0u.
+  unsigned rpoNumber(BlockId B) const { return RPONumber[B]; }
+
+  bool isReachable(BlockId B) const { return RPONumber[B] != ~0u; }
+
+  unsigned numBlockSlots() const { return unsigned(Preds.size()); }
+
+private:
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<std::vector<BlockId>> Succs;
+  std::vector<BlockId> RPO;
+  std::vector<unsigned> RPONumber;
+};
+
+} // namespace epre
+
+#endif // EPRE_ANALYSIS_CFG_H

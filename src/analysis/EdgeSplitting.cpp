@@ -1,0 +1,60 @@
+//===- analysis/EdgeSplitting.cpp -----------------------------------------===//
+
+#include "analysis/EdgeSplitting.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace epre;
+
+BasicBlock *epre::splitEdge(Function &F, BlockId From, BlockId To) {
+  BasicBlock *FromB = F.block(From);
+  BasicBlock *ToB = F.block(To);
+  assert(FromB && ToB && "splitting edge between dead blocks");
+
+  BasicBlock *Mid = F.addBlock(FromB->label() + "_" + ToB->label());
+  Mid->Insts.push_back(Instruction::makeBr(To));
+
+  // Retarget exactly one matching successor slot (parallel edges are split
+  // one at a time).
+  bool Rewired = false;
+  for (BlockId &S : FromB->terminator().Succs) {
+    if (S == To && !Rewired) {
+      S = Mid->id();
+      Rewired = true;
+    }
+  }
+  assert(Rewired && "no edge From->To to split");
+
+  // Phis in To now receive the value via Mid.
+  for (Instruction &I : ToB->Insts) {
+    if (!I.isPhi())
+      break;
+    bool Patched = false;
+    for (BlockId &P : I.PhiBlocks) {
+      if (P == From && !Patched) {
+        P = Mid->id();
+        Patched = true;
+      }
+    }
+  }
+  return Mid;
+}
+
+unsigned epre::splitCriticalEdges(Function &F) {
+  // Collect the critical edges first: splitting invalidates the CFG view.
+  CFG G = CFG::compute(F);
+  std::vector<std::pair<BlockId, BlockId>> Critical;
+  for (BlockId B : G.rpo()) {
+    if (G.succs(B).size() < 2)
+      continue;
+    for (BlockId S : G.succs(B))
+      if (G.preds(S).size() > 1)
+        Critical.push_back({B, S});
+  }
+  for (auto [From, To] : Critical)
+    splitEdge(F, From, To);
+  return unsigned(Critical.size());
+}

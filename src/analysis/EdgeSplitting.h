@@ -1,0 +1,27 @@
+//===- analysis/EdgeSplitting.h - Critical edge splitting --------*- C++ -*-===//
+///
+/// \file
+/// Splits critical edges (from a block with multiple successors to a block
+/// with multiple predecessors) by inserting empty forwarding blocks. PRE's
+/// edge placement and SSA destruction both require split edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_ANALYSIS_EDGESPLITTING_H
+#define EPRE_ANALYSIS_EDGESPLITTING_H
+
+#include "ir/Function.h"
+
+namespace epre {
+
+/// Splits the edge \p From -> \p To by inserting a block that branches to
+/// \p To; rewrites the terminator of \p From and any phis in \p To.
+/// Returns the new block.
+BasicBlock *splitEdge(Function &F, BlockId From, BlockId To);
+
+/// Splits every critical edge in \p F. Returns the number of edges split.
+unsigned splitCriticalEdges(Function &F);
+
+} // namespace epre
+
+#endif // EPRE_ANALYSIS_EDGESPLITTING_H

@@ -1,0 +1,56 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace epre;
+
+Liveness Liveness::compute(const Function &F, const CFG &G) {
+  Liveness L;
+  unsigned NB = F.numBlocks();
+  unsigned NR = F.numRegs();
+  L.LiveIn.assign(NB, BitVector(NR));
+  L.LiveOut.assign(NB, BitVector(NR));
+  L.UEVar.assign(NB, BitVector(NR));
+  L.Kill.assign(NB, BitVector(NR));
+
+  // PhiUse[p] = registers used by successors' phis along the edge from p.
+  std::vector<BitVector> PhiUse(NB, BitVector(NR));
+
+  F.forEachBlock([&](const BasicBlock &B) {
+    BitVector &UE = L.UEVar[B.id()];
+    BitVector &K = L.Kill[B.id()];
+    for (const Instruction &I : B.Insts) {
+      if (I.isPhi()) {
+        for (unsigned J = 0; J < I.Operands.size(); ++J)
+          PhiUse[I.PhiBlocks[J]].set(I.Operands[J]);
+      } else {
+        for (Reg R : I.Operands)
+          if (!K.test(R))
+            UE.set(R);
+      }
+      if (I.hasDst())
+        K.set(I.Dst);
+    }
+  });
+
+  // Backward round-robin over postorder until stable.
+  std::vector<BlockId> Post = G.postorder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Post) {
+      BitVector Out = PhiUse[B];
+      for (BlockId S : G.succs(B))
+        Out |= L.LiveIn[S];
+      BitVector In = Out;
+      In.andNot(L.Kill[B]);
+      In |= L.UEVar[B];
+      if (Out != L.LiveOut[B] || In != L.LiveIn[B]) {
+        L.LiveOut[B] = std::move(Out);
+        L.LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return L;
+}

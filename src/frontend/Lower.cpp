@@ -1,0 +1,639 @@
+//===- frontend/Lower.cpp -------------------------------------------------===//
+
+#include "frontend/Lower.h"
+
+#include "frontend/Parser.h"
+#include "ir/ExprKey.h"
+#include "ir/IRBuilder.h"
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace epre;
+using namespace epre::ast;
+
+namespace {
+
+Type irType(SrcType T) {
+  return T == SrcType::Integer ? Type::I64 : Type::F64;
+}
+
+struct Symbol {
+  enum class Kind { Scalar, Array } K = Kind::Scalar;
+  SrcType Ty = SrcType::Real;
+  Reg R = NoReg;        // scalar register, or array base-address register
+  ArrayInfo Array;      // for arrays
+};
+
+class Lowerer {
+public:
+  Lowerer(const FunctionDecl &FD, Module &M, NamingMode Mode)
+      : FD(FD), Mode(Mode), F(*M.addFunction(FD.Name)), B(F) {}
+
+  /// Lowers the function; returns an error message or "".
+  std::string run(RoutineInfo &Info) {
+    buildSymbols();
+    if (!Err.empty())
+      return Err;
+
+    B.setInsertPoint(B.makeBlock("entry"));
+    lowerBody(FD.Body);
+    if (!Err.empty())
+      return Err;
+
+    // Implicit return of the function-name variable.
+    if (!B.insertBlock()->hasTerminator())
+      B.ret(Symbols.at(FD.Name).R);
+
+    Info.Name = FD.Name;
+    Info.F = &F;
+    Info.LocalMemBytes = LocalMemBytes;
+    Info.ParamNames = FD.Params;
+    for (const auto &[Name, S] : Symbols)
+      if (S.K == Symbol::Kind::Array)
+        Info.Arrays[Name] = S.Array;
+    return "";
+  }
+
+private:
+  void fail(unsigned Line, const std::string &Msg) {
+    if (Err.empty())
+      Err = strprintf("@%s line %u: %s", FD.Name.c_str(), Line, Msg.c_str());
+  }
+
+  const Decl *findDecl(const std::string &Name) const {
+    for (const Decl &D : FD.Decls)
+      if (D.Name == Name)
+        return &D;
+    return nullptr;
+  }
+
+  void buildSymbols() {
+    // Parameters first, in order.
+    for (const std::string &P : FD.Params) {
+      const Decl *D = findDecl(P);
+      Symbol S;
+      if (D && !D->Dims.empty()) {
+        S.K = Symbol::Kind::Array;
+        S.Ty = D->Ty;
+        S.Array.ElemTy = D->Ty;
+        S.Array.Dims = D->Dims;
+        S.Array.IsParam = true;
+        S.R = F.addParam(Type::I64); // base address
+      } else {
+        S.Ty = D ? D->Ty : implicitType(P);
+        S.R = F.addParam(irType(S.Ty));
+      }
+      Symbols[P] = S;
+    }
+    // Local declarations.
+    for (const Decl &D : FD.Decls) {
+      if (Symbols.count(D.Name)) {
+        if (!Symbols[D.Name].Array.IsParam && !D.Dims.empty())
+          fail(D.Line, "duplicate declaration of '" + D.Name + "'");
+        continue; // parameter declarations already handled
+      }
+      Symbol S;
+      S.Ty = D.Ty;
+      if (!D.Dims.empty()) {
+        S.K = Symbol::Kind::Array;
+        S.Array.ElemTy = D.Ty;
+        S.Array.Dims = D.Dims;
+        S.Array.IsParam = false;
+        S.Array.BaseOffset = int64_t(LocalMemBytes);
+        size_t Elems = 1;
+        for (long long Dim : D.Dims) {
+          if (Dim <= 0) {
+            fail(D.Line, "array dimensions must be positive");
+            return;
+          }
+          Elems *= size_t(Dim);
+        }
+        LocalMemBytes += Elems * 8;
+      } else {
+        S.R = F.makeReg(irType(D.Ty));
+      }
+      Symbols[D.Name] = S;
+    }
+    // The function name acts as the result variable and fixes the return
+    // type (FORTRAN convention).
+    if (!Symbols.count(FD.Name)) {
+      Symbol S;
+      const Decl *D = findDecl(FD.Name);
+      S.Ty = D ? D->Ty : implicitType(FD.Name);
+      S.R = F.makeReg(irType(S.Ty));
+      Symbols[FD.Name] = S;
+    }
+    F.setReturnType(F.regType(Symbols[FD.Name].R));
+  }
+
+  // --- Expression emission under the two naming disciplines ---------------
+
+  /// Emits \p I (Dst unset) and returns the destination register chosen by
+  /// the active naming mode.
+  Reg emitExpr(Instruction I, Type DstTy) {
+    if (Mode == NamingMode::Hashed) {
+      // The §2.2 discipline: lexically identical expressions share a name.
+      I.Dst = NoReg;
+      ExprKey Key = makeExprKey(I, /*NormalizeCommutative=*/true);
+      auto It = ExprNames.find(Key);
+      Reg Dst;
+      if (It != ExprNames.end()) {
+        Dst = It->second;
+      } else {
+        Dst = F.makeReg(DstTy);
+        ExprNames.emplace(std::move(Key), Dst);
+      }
+      I.Dst = Dst;
+      B.emit(std::move(I));
+      return Dst;
+    }
+    I.Dst = F.makeReg(DstTy);
+    Reg Dst = I.Dst;
+    B.emit(std::move(I));
+    return Dst;
+  }
+
+  Reg emitConstI(int64_t V) {
+    return emitExpr(Instruction::makeLoadI(NoReg, V), Type::I64);
+  }
+  Reg emitConstF(double V) {
+    return emitExpr(Instruction::makeLoadF(NoReg, V), Type::F64);
+  }
+
+  Reg emitBinary(Opcode Op, Type Ty, Reg L, Reg R) {
+    Type DstTy = isComparison(Op) ? Type::I64 : Ty;
+    return emitExpr(Instruction::makeBinary(Op, Ty, NoReg, L, R), DstTy);
+  }
+
+  Reg emitUnary(Opcode Op, Type Ty, Reg S) {
+    Type DstTy = Ty;
+    if (Op == Opcode::I2F)
+      DstTy = Type::F64;
+    if (Op == Opcode::F2I)
+      DstTy = Type::I64;
+    return emitExpr(Instruction::makeUnary(Op, Ty, NoReg, S), DstTy);
+  }
+
+  /// Converts \p R to \p Want if needed.
+  Reg coerce(Reg R, Type Want) {
+    Type Have = F.regType(R);
+    if (Have == Want)
+      return R;
+    return Have == Type::I64 ? emitUnary(Opcode::I2F, Type::I64, R)
+                             : emitUnary(Opcode::F2I, Type::F64, R);
+  }
+
+  // --- Expression lowering -------------------------------------------------
+
+  Reg lowerExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return emitConstI(E.IntValue);
+    case Expr::Kind::RealLit:
+      return emitConstF(E.RealValue);
+    case Expr::Kind::Var: {
+      auto It = Symbols.find(E.Name);
+      if (It == Symbols.end()) {
+        // Implicit declaration on first use.
+        Symbol S;
+        S.Ty = implicitType(E.Name);
+        S.R = F.makeReg(irType(S.Ty));
+        It = Symbols.emplace(E.Name, S).first;
+      }
+      if (It->second.K == Symbol::Kind::Array) {
+        fail(E.Line, "array '" + E.Name + "' used without subscripts");
+        return emitConstI(0);
+      }
+      return It->second.R;
+    }
+    case Expr::Kind::Unary: {
+      Reg S = lowerExpr(*E.Children[0]);
+      if (!Err.empty())
+        return S;
+      if (E.UOp == UnOp::Not) {
+        Reg L = logical(S, E.Line);
+        // Logical negation of a 0/1 value: xor with 1.
+        Reg One = emitConstI(1);
+        return emitBinary(Opcode::Xor, Type::I64, L, One);
+      }
+      return emitUnary(Opcode::Neg, F.regType(S), S);
+    }
+    case Expr::Kind::Binary:
+      return lowerBinary(E);
+    case Expr::Kind::Call:
+      return lowerCallOrArray(E);
+    case Expr::Kind::ArrayRef: {
+      Reg Addr = arrayAddress(E);
+      const Symbol &S = Symbols.at(E.Name);
+      // Loads always get fresh names: memory values are not expressions.
+      Reg Dst = F.makeReg(irType(S.Array.ElemTy));
+      B.emit(Instruction::makeLoad(irType(S.Array.ElemTy), Dst, Addr));
+      return Dst;
+    }
+    }
+    fail(E.Line, "internal: unhandled expression kind");
+    return emitConstI(0);
+  }
+
+  /// Coerces a value to a 0/1 logical in I64.
+  Reg logical(Reg R, unsigned Line) {
+    (void)Line;
+    if (F.regType(R) == Type::I64)
+      return R;
+    Reg Zero = emitConstF(0.0);
+    return emitBinary(Opcode::CmpNe, Type::F64, R, Zero);
+  }
+
+  Reg lowerBinary(const Expr &E) {
+    Reg L = lowerExpr(*E.Children[0]);
+    Reg R = lowerExpr(*E.Children[1]);
+    if (!Err.empty())
+      return L;
+
+    switch (E.BOp) {
+    case BinOp::And:
+    case BinOp::Or: {
+      Reg LL = logical(L, E.Line), RL = logical(R, E.Line);
+      return emitBinary(E.BOp == BinOp::And ? Opcode::And : Opcode::Or,
+                        Type::I64, LL, RL);
+    }
+    case BinOp::Pow: {
+      // FORTRAN **: real result via the pow intrinsic.
+      Reg LF = coerce(L, Type::F64), RF = coerce(R, Type::F64);
+      return emitExpr(
+          Instruction::makeCall(Intrinsic::Pow, Type::F64, NoReg, {LF, RF}),
+          Type::F64);
+    }
+    default:
+      break;
+    }
+
+    // Usual arithmetic conversions: promote to F64 if either side is F64.
+    Type Common = (F.regType(L) == Type::F64 || F.regType(R) == Type::F64)
+                      ? Type::F64
+                      : Type::I64;
+    L = coerce(L, Common);
+    R = coerce(R, Common);
+
+    Opcode Op;
+    switch (E.BOp) {
+    case BinOp::Add: Op = Opcode::Add; break;
+    case BinOp::Sub: Op = Opcode::Sub; break;
+    case BinOp::Mul: Op = Opcode::Mul; break;
+    case BinOp::Div: Op = Opcode::Div; break;
+    case BinOp::Lt:  Op = Opcode::CmpLt; break;
+    case BinOp::Le:  Op = Opcode::CmpLe; break;
+    case BinOp::Gt:  Op = Opcode::CmpGt; break;
+    case BinOp::Ge:  Op = Opcode::CmpGe; break;
+    case BinOp::Eq:  Op = Opcode::CmpEq; break;
+    case BinOp::Ne:  Op = Opcode::CmpNe; break;
+    default:
+      fail(E.Line, "internal: unhandled binary operator");
+      return L;
+    }
+    return emitBinary(Op, Common, L, R);
+  }
+
+  /// `name(args)`: an array load or an intrinsic call.
+  Reg lowerCallOrArray(const Expr &E) {
+    auto It = Symbols.find(E.Name);
+    if (It != Symbols.end() && It->second.K == Symbol::Kind::Array) {
+      Expr Ref;
+      // Re-use lowerExpr's ArrayRef path without copying children.
+      Reg Addr = arrayAddress(E);
+      const Symbol &S = It->second;
+      Reg Dst = F.makeReg(irType(S.Array.ElemTy));
+      B.emit(Instruction::makeLoad(irType(S.Array.ElemTy), Dst, Addr));
+      (void)Ref;
+      return Dst;
+    }
+
+    std::vector<Reg> Args;
+    for (const ExprPtr &C : E.Children)
+      Args.push_back(lowerExpr(*C));
+    if (!Err.empty())
+      return emitConstI(0);
+
+    auto needArgs = [&](unsigned N) {
+      if (Args.size() != N)
+        fail(E.Line, strprintf("intrinsic '%s' expects %u argument(s)",
+                               E.Name.c_str(), N));
+      return Args.size() == N;
+    };
+
+    const std::string &N = E.Name;
+    if (N == "min" || N == "max" || N == "amin1" || N == "amax1" ||
+        N == "min0" || N == "max0") {
+      if (!needArgs(2))
+        return emitConstI(0);
+      Type Common =
+          (F.regType(Args[0]) == Type::F64 || F.regType(Args[1]) == Type::F64)
+              ? Type::F64
+              : Type::I64;
+      return emitBinary(N[0] == 'm' && (N == "min" || N == "amin1" ||
+                                        N == "min0")
+                            ? Opcode::Min
+                            : Opcode::Max,
+                        Common, coerce(Args[0], Common),
+                        coerce(Args[1], Common));
+    }
+    if (N == "mod") {
+      if (!needArgs(2))
+        return emitConstI(0);
+      if (F.regType(Args[0]) != Type::I64 || F.regType(Args[1]) != Type::I64) {
+        fail(E.Line, "mod requires integer arguments");
+        return emitConstI(0);
+      }
+      return emitBinary(Opcode::Mod, Type::I64, Args[0], Args[1]);
+    }
+    if (N == "int" || N == "ifix" || N == "idint") {
+      if (!needArgs(1))
+        return emitConstI(0);
+      return coerce(Args[0], Type::I64);
+    }
+    if (N == "real" || N == "float" || N == "dble") {
+      if (!needArgs(1))
+        return emitConstI(0);
+      return coerce(Args[0], Type::F64);
+    }
+    if (N == "abs" || N == "iabs" || N == "dabs") {
+      if (!needArgs(1))
+        return emitConstI(0);
+      Type Ty = F.regType(Args[0]);
+      return emitExpr(
+          Instruction::makeCall(Intrinsic::Abs, Ty, NoReg, {Args[0]}), Ty);
+    }
+
+    Intrinsic Intr;
+    if (N == "sqrt" || N == "dsqrt") Intr = Intrinsic::Sqrt;
+    else if (N == "sin") Intr = Intrinsic::Sin;
+    else if (N == "cos") Intr = Intrinsic::Cos;
+    else if (N == "exp") Intr = Intrinsic::Exp;
+    else if (N == "log" || N == "alog") Intr = Intrinsic::Log;
+    else if (N == "floor" || N == "aint") Intr = Intrinsic::Floor;
+    else if (N == "sign") Intr = Intrinsic::Sign;
+    else {
+      fail(E.Line, "unknown array or intrinsic '" + N + "'");
+      return emitConstI(0);
+    }
+    if (!needArgs(intrinsicArity(Intr)))
+      return emitConstI(0);
+    for (Reg &A : Args)
+      A = coerce(A, Type::F64);
+    return emitExpr(
+        Instruction::makeCall(Intr, Type::F64, NoReg, std::move(Args)),
+        Type::F64);
+  }
+
+  /// Computes the byte address of an array element, column-major with
+  /// 8-byte elements: base + ((j-1)*dim1 + (i-1)) * 8.
+  Reg arrayAddress(const Expr &E) {
+    const Symbol &S = Symbols.at(E.Name);
+    const ArrayInfo &A = S.Array;
+    if (E.Children.size() != A.Dims.size()) {
+      fail(E.Line, strprintf("array '%s' expects %zu subscript(s)",
+                             E.Name.c_str(), A.Dims.size()));
+      return emitConstI(0);
+    }
+    Reg I = coerce(lowerExpr(*E.Children[0]), Type::I64);
+    Reg One = emitConstI(1);
+    Reg Linear = emitBinary(Opcode::Sub, Type::I64, I, One);
+    if (E.Children.size() == 2) {
+      Reg J = coerce(lowerExpr(*E.Children[1]), Type::I64);
+      Reg JOff = emitBinary(Opcode::Sub, Type::I64, J, One);
+      Reg Dim1 = emitConstI(A.Dims[0]);
+      Reg Scaled = emitBinary(Opcode::Mul, Type::I64, JOff, Dim1);
+      Linear = emitBinary(Opcode::Add, Type::I64, Scaled, Linear);
+    }
+    Reg Eight = emitConstI(8);
+    Reg ByteOff = emitBinary(Opcode::Mul, Type::I64, Linear, Eight);
+    Reg Base = A.IsParam ? S.R : emitConstI(A.BaseOffset);
+    return emitBinary(Opcode::Add, Type::I64, Base, ByteOff);
+  }
+
+  // --- Statement lowering ---------------------------------------------------
+
+  void lowerBody(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &S : Body) {
+      if (!Err.empty())
+        return;
+      // Code after a return in the same list is unreachable; park it in a
+      // fresh block (cleaned up by the optimizer).
+      if (B.insertBlock()->hasTerminator())
+        B.setInsertPoint(B.makeBlock());
+      lowerStmt(*S);
+    }
+  }
+
+  void lowerStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Assign:
+      lowerAssign(S);
+      return;
+    case Stmt::Kind::Return: {
+      Reg V;
+      if (S.Rhs)
+        V = coerce(lowerExpr(*S.Rhs), *F.returnType());
+      else
+        V = Symbols.at(FD.Name).R;
+      if (Err.empty())
+        B.ret(V);
+      return;
+    }
+    case Stmt::Kind::If:
+      lowerIf(S);
+      return;
+    case Stmt::Kind::While:
+      lowerWhile(S);
+      return;
+    case Stmt::Kind::Do:
+      lowerDo(S);
+      return;
+    }
+  }
+
+  /// Assigns \p Src (already coerced) to scalar register \p Var. In naive
+  /// mode, when the value was just produced by a computation, the
+  /// computation targets the variable directly (paper Figure 3's shape);
+  /// in hashed mode variables only ever receive copies.
+  void assignScalar(Reg Var, Reg Src) {
+    if (Mode == NamingMode::Naive && Src != Var) {
+      BasicBlock *BB = B.insertBlock();
+      if (!BB->Insts.empty() && BB->Insts.back().Dst == Src &&
+          !BB->Insts.back().isCopy() && BB->Insts.back().Op != Opcode::Load) {
+        BB->Insts.back().Dst = Var;
+        return;
+      }
+    }
+    if (Src != Var)
+      B.copyTo(Var, Src);
+  }
+
+  void lowerAssign(const Stmt &S) {
+    if (S.Lhs->K == Expr::Kind::Var) {
+      auto It = Symbols.find(S.Lhs->Name);
+      if (It == Symbols.end()) {
+        Symbol Sym;
+        Sym.Ty = implicitType(S.Lhs->Name);
+        Sym.R = F.makeReg(irType(Sym.Ty));
+        It = Symbols.emplace(S.Lhs->Name, Sym).first;
+      }
+      if (It->second.K == Symbol::Kind::Array) {
+        fail(S.Line, "cannot assign to array '" + S.Lhs->Name +
+                         "' without subscripts");
+        return;
+      }
+      Reg RHS = lowerExpr(*S.Rhs);
+      if (!Err.empty())
+        return;
+      RHS = coerce(RHS, F.regType(It->second.R));
+      assignScalar(It->second.R, RHS);
+      return;
+    }
+    // Array element store.
+    auto It = Symbols.find(S.Lhs->Name);
+    if (It == Symbols.end() || It->second.K != Symbol::Kind::Array) {
+      fail(S.Line, "'" + S.Lhs->Name + "' is not an array");
+      return;
+    }
+    Reg RHS = lowerExpr(*S.Rhs);
+    if (!Err.empty())
+      return;
+    RHS = coerce(RHS, irType(It->second.Array.ElemTy));
+    Reg Addr = arrayAddress(*S.Lhs);
+    if (!Err.empty())
+      return;
+    B.store(RHS, Addr);
+  }
+
+  void lowerIf(const Stmt &S) {
+    Reg C = logical(lowerExpr(*S.Cond), S.Line);
+    if (!Err.empty())
+      return;
+    BasicBlock *ThenB = B.makeBlock();
+    BasicBlock *Join = B.makeBlock();
+    BasicBlock *ElseB = S.Else.empty() ? Join : B.makeBlock();
+    B.cbr(C, ThenB, ElseB);
+
+    B.setInsertPoint(ThenB);
+    lowerBody(S.Then);
+    if (!B.insertBlock()->hasTerminator())
+      B.br(Join);
+
+    if (!S.Else.empty()) {
+      B.setInsertPoint(ElseB);
+      lowerBody(S.Else);
+      if (!B.insertBlock()->hasTerminator())
+        B.br(Join);
+    }
+    B.setInsertPoint(Join);
+  }
+
+  void lowerWhile(const Stmt &S) {
+    BasicBlock *Head = B.makeBlock();
+    B.br(Head);
+    B.setInsertPoint(Head);
+    Reg C = logical(lowerExpr(*S.Cond), S.Line);
+    if (!Err.empty())
+      return;
+    BasicBlock *Body = B.makeBlock();
+    BasicBlock *Exit = B.makeBlock();
+    B.cbr(C, Body, Exit);
+    B.setInsertPoint(Body);
+    lowerBody(S.Then);
+    if (!B.insertBlock()->hasTerminator())
+      B.br(Head);
+    B.setInsertPoint(Exit);
+  }
+
+  /// DO loops are lowered rotated, as the paper's front end does (Figure 3):
+  /// an entry guard `if i > hi goto exit`, then a bottom-tested body.
+  void lowerDo(const Stmt &S) {
+    auto It = Symbols.find(S.DoVar);
+    if (It == Symbols.end()) {
+      Symbol Sym;
+      Sym.Ty = implicitType(S.DoVar);
+      Sym.R = F.makeReg(irType(Sym.Ty));
+      It = Symbols.emplace(S.DoVar, Sym).first;
+    }
+    if (It->second.K == Symbol::Kind::Array) {
+      fail(S.Line, "DO variable cannot be an array");
+      return;
+    }
+    Reg Var = It->second.R;
+    Type VarTy = F.regType(Var);
+
+    Reg Lo = coerce(lowerExpr(*S.DoLo), VarTy);
+    if (!Err.empty())
+      return;
+    assignScalar(Var, Lo);
+
+    // The bound is evaluated once, before the loop.
+    Reg Hi = coerce(lowerExpr(*S.DoHi), VarTy);
+    if (!Err.empty())
+      return;
+
+    bool Up = S.DoStep > 0;
+    Reg Guard = emitBinary(Up ? Opcode::CmpGt : Opcode::CmpLt, VarTy, Var, Hi);
+    BasicBlock *Body = B.makeBlock();
+    BasicBlock *Exit = B.makeBlock();
+    B.cbr(Guard, Exit, Body);
+
+    B.setInsertPoint(Body);
+    lowerBody(S.Then);
+    if (!Err.empty())
+      return;
+    if (!B.insertBlock()->hasTerminator()) {
+      Reg Step = VarTy == Type::I64
+                     ? emitConstI(S.DoStep)
+                     : emitConstF(double(S.DoStep));
+      Reg Next = emitBinary(Opcode::Add, VarTy, Var, Step);
+      assignScalar(Var, Next);
+      Reg Again =
+          emitBinary(Up ? Opcode::CmpLe : Opcode::CmpGe, VarTy, Var, Hi);
+      B.cbr(Again, Body, Exit);
+    }
+    B.setInsertPoint(Exit);
+  }
+
+  const FunctionDecl &FD;
+  NamingMode Mode;
+  Function &F;
+  IRBuilder B;
+  std::string Err;
+  std::map<std::string, Symbol> Symbols;
+  size_t LocalMemBytes = 0;
+  std::unordered_map<ExprKey, Reg, ExprKeyHash> ExprNames;
+};
+
+} // namespace
+
+LowerResult epre::lowerProgram(const Program &P, NamingMode Mode) {
+  LowerResult R;
+  R.M = std::make_unique<Module>();
+  for (const FunctionDecl &FD : P.Functions) {
+    RoutineInfo Info;
+    Lowerer L(FD, *R.M, Mode);
+    R.Error = L.run(Info);
+    if (!R.Error.empty()) {
+      R.M.reset();
+      R.Routines.clear();
+      return R;
+    }
+    R.Routines.push_back(std::move(Info));
+  }
+  return R;
+}
+
+LowerResult epre::compileMiniFortran(const std::string &Source,
+                                     NamingMode Mode) {
+  FrontendParseResult P = parseMiniFortran(Source);
+  if (!P.ok()) {
+    LowerResult R;
+    R.Error = P.Error;
+    return R;
+  }
+  return lowerProgram(P.Prog, Mode);
+}

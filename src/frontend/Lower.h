@@ -1,0 +1,71 @@
+//===- frontend/Lower.h - AST to ILOC lowering -------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers Mini-FORTRAN to the ILOC-like IR, in one of two naming modes:
+///
+///  - \c Naive: every expression node gets a fresh register, operations
+///    assign straight into variable registers where possible. This mimics a
+///    straightforward front end (paper Figure 3) and is what the
+///    reassociation+GVN pipeline must cope with.
+///
+///  - \c Hashed: the front end maintains a hash table of expressions and
+///    gives every lexically identical expression the same *expression name*;
+///    variables receive values only through copies (paper §2.2). This is the
+///    name space classic PRE requires, and is used by the "partial" level.
+///
+/// Arrays are lowered to explicit byte-address arithmetic (column-major,
+/// 8-byte elements), producing exactly the multi-dimensional addressing
+/// expressions whose reassociation the paper targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_FRONTEND_LOWER_H
+#define EPRE_FRONTEND_LOWER_H
+
+#include "frontend/AST.h"
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace epre {
+
+enum class NamingMode { Naive, Hashed };
+
+/// Compile-time layout info for one array.
+struct ArrayInfo {
+  ast::SrcType ElemTy = ast::SrcType::Real;
+  std::vector<long long> Dims;
+  bool IsParam = false;    ///< base address arrives as an i64 parameter
+  int64_t BaseOffset = 0;  ///< static byte offset for local arrays
+};
+
+/// Everything a driver needs to set up and call one compiled routine.
+struct RoutineInfo {
+  std::string Name;
+  Function *F = nullptr;
+  /// Bytes of statically allocated local array storage (offsets start at 0).
+  size_t LocalMemBytes = 0;
+  std::map<std::string, ArrayInfo> Arrays;
+  /// Parameter names in order (arrays appear as their base-address param).
+  std::vector<std::string> ParamNames;
+};
+
+struct LowerResult {
+  std::unique_ptr<Module> M;
+  std::vector<RoutineInfo> Routines;
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+};
+
+/// Lowers the whole program.
+LowerResult lowerProgram(const ast::Program &P, NamingMode Mode);
+
+/// Convenience: parse + lower.
+LowerResult compileMiniFortran(const std::string &Source, NamingMode Mode);
+
+} // namespace epre
+
+#endif // EPRE_FRONTEND_LOWER_H

@@ -1,0 +1,51 @@
+//===- frontend/Parser.h - Mini-FORTRAN parser -------------------*- C++ -*-===//
+///
+/// \file
+/// Line-oriented recursive-descent parser for Mini-FORTRAN.
+///
+/// Grammar sketch (case-insensitive keywords, `!` comments, one statement
+/// per line):
+/// \code
+///   function foo(a, b)
+///     real x, w(100), m(10,10)
+///     integer n
+///     x = a + b * 2.0
+///     do i = 1, 100, 2
+///       w(i) = w(i) + x
+///     end do
+///     while (x .lt. 10.0)
+///       x = x * 2.0
+///     end while
+///     if (x .ge. 5.0) then
+///       x = x - 1.0
+///     else
+///       x = x + 1.0
+///     end if
+///     return x
+///   end
+/// \endcode
+/// Comparison operators may be written `.lt.` style or `<` style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_FRONTEND_PARSER_H
+#define EPRE_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace epre {
+
+struct FrontendParseResult {
+  ast::Program Prog;
+  std::string Error; ///< empty on success
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses Mini-FORTRAN source text into an AST.
+FrontendParseResult parseMiniFortran(const std::string &Source);
+
+} // namespace epre
+
+#endif // EPRE_FRONTEND_PARSER_H

@@ -1,0 +1,167 @@
+//===- gvn/DVNT.cpp -------------------------------------------------------===//
+
+#include "gvn/DVNT.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "ir/ExprKey.h"
+#include "pre/LocalizeNames.h"
+#include "ssa/SSA.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+class DVNT {
+public:
+  explicit DVNT(Function &F) : F(F) {}
+
+  DVNTStats run() {
+    G = CFG::compute(F);
+    DT = DominatorTree::compute(F, G);
+    walk(G.rpo().front());
+    return Stats;
+  }
+
+private:
+  Reg vnOf(Reg R) {
+    auto It = VN.find(R);
+    return It == VN.end() ? R : It->second;
+  }
+
+  /// Looks the key up through the scope stack (innermost first).
+  Reg lookup(const ExprKey &K) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Hit = It->find(K);
+      if (Hit != It->end())
+        return Hit->second;
+    }
+    return NoReg;
+  }
+
+  void walk(BlockId B) {
+    Scopes.emplace_back();
+    BasicBlock *BB = F.block(B);
+
+    std::vector<Instruction> Kept;
+    Kept.reserve(BB->Insts.size());
+
+    // Phis of this block, hashed by their (pred-sorted) input VNs so
+    // duplicate phis collapse; meaningless phis (all inputs share one VN)
+    // take that VN.
+    std::map<std::vector<Reg>, Reg> PhiTable;
+    for (Instruction &I : BB->Insts) {
+      if (!I.isPhi())
+        break;
+      std::vector<std::pair<BlockId, Reg>> Inputs;
+      for (unsigned J = 0; J < I.Operands.size(); ++J)
+        Inputs.push_back({I.PhiBlocks[J], vnOf(I.Operands[J])});
+      std::sort(Inputs.begin(), Inputs.end());
+      std::vector<Reg> Sig;
+      bool AllSame = !Inputs.empty();
+      for (auto &[P, V] : Inputs) {
+        Sig.push_back(V);
+        AllSame &= V == Inputs.front().second;
+      }
+      // A phi input that is the phi itself does not break "meaningless".
+      if (!Inputs.empty()) {
+        Reg Other = NoReg;
+        bool Meaningless = true;
+        for (auto &[P, V] : Inputs) {
+          if (V == I.Dst)
+            continue;
+          if (Other == NoReg)
+            Other = V;
+          else if (Other != V)
+            Meaningless = false;
+        }
+        if (Meaningless && Other != NoReg) {
+          VN[I.Dst] = Other;
+          ++Stats.MeaninglessPhis;
+          continue; // drop the phi
+        }
+        (void)AllSame;
+      }
+      auto It = PhiTable.find(Sig);
+      if (It != PhiTable.end()) {
+        VN[I.Dst] = It->second;
+        ++Stats.RedundantPhis;
+        continue; // drop the duplicate phi
+      }
+      PhiTable.emplace(std::move(Sig), I.Dst);
+      Kept.push_back(std::move(I));
+    }
+
+    for (Instruction &I : BB->Insts) {
+      if (I.isPhi())
+        continue;
+      // Rewrite operands to their value numbers.
+      for (Reg &Op : I.Operands)
+        Op = vnOf(Op);
+      // Copies define variable names: they are barriers, not expressions
+      // (the §2.2 discipline — variables keep their own numbers).
+      if (!I.isExpression() || !I.hasDst()) {
+        Kept.push_back(std::move(I));
+        continue;
+      }
+      ExprKey K = makeExprKey(I, /*NormalizeCommutative=*/true);
+      Reg Existing = lookup(K);
+      if (Existing != NoReg) {
+        VN[I.Dst] = Existing;
+        ++Stats.Redundant;
+        continue; // dominated redundancy: delete
+      }
+      Scopes.back().emplace(std::move(K), I.Dst);
+      Kept.push_back(std::move(I));
+    }
+    BB->Insts = std::move(Kept);
+
+    // Adjust successor phi inputs for the edges leaving this block: the
+    // value numbers of everything flowing out of B are final here, and a
+    // deleted definition must not remain referenced.
+    for (BlockId S : G.succs(B)) {
+      BasicBlock *SB = F.block(S);
+      for (Instruction &Phi : SB->Insts) {
+        if (!Phi.isPhi())
+          break;
+        for (unsigned J = 0; J < Phi.Operands.size(); ++J)
+          if (Phi.PhiBlocks[J] == B)
+            Phi.Operands[J] = vnOf(Phi.Operands[J]);
+      }
+    }
+
+    for (BlockId C : DT.children(B))
+      walk(C);
+    Scopes.pop_back();
+  }
+
+  Function &F;
+  CFG G;
+  DominatorTree DT;
+  DVNTStats Stats;
+  std::map<Reg, Reg> VN;
+  std::vector<std::unordered_map<ExprKey, Reg, ExprKeyHash>> Scopes;
+};
+
+} // namespace
+
+DVNTStats epre::valueNumberDominatorTreeSSA(Function &F) {
+  return DVNT(F).run();
+}
+
+DVNTStats epre::runDominatorValueNumbering(Function &F) {
+  SSAOptions Opts;
+  Opts.Pruned = true;
+  Opts.FoldCopies = false; // copies are the variable-name definers
+  buildSSA(F, Opts);
+  DVNTStats Stats = valueNumberDominatorTreeSSA(F);
+  destroySSA(F);
+  // Deleting dominated redundancies can leave an expression name live
+  // across a block boundary; restore the §5.1 discipline for PRE.
+  localizeExpressionNames(F);
+  return Stats;
+}

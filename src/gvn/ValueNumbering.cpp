@@ -1,0 +1,224 @@
+//===- gvn/ValueNumbering.cpp ---------------------------------------------===//
+
+#include "gvn/ValueNumbering.h"
+
+#include "analysis/CFG.h"
+#include "analysis/EdgeSplitting.h"
+#include "ir/ExprKey.h"
+#include "ssa/SSA.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+/// The fixed part of a register's congruence signature: everything except
+/// the operand classes.
+struct BaseKey {
+  // Encoded as a string for easy hashing/comparison; built once.
+  std::string S;
+  bool operator==(const BaseKey &O) const { return S == O.S; }
+  bool operator<(const BaseKey &O) const { return S < O.S; }
+};
+
+class AWZ {
+public:
+  explicit AWZ(Function &F) : F(F) {}
+
+  GVNStats run() {
+    collect();
+    refine();
+    return rename();
+  }
+
+private:
+  /// Builds base keys and the operand lists used for refinement.
+  void collect() {
+    F.forEachBlock([&](const BasicBlock &B) {
+      for (const Instruction &I : B.Insts) {
+        if (!I.hasDst())
+          continue;
+        assert(!Defs.count(I.Dst) && "valueNumberSSA requires SSA form");
+        Defs[I.Dst] = &I;
+        BaseKey K;
+        std::vector<Reg> Ops;
+        switch (I.Op) {
+        case Opcode::LoadI:
+          K.S = strprintf("ci:%lld", (long long)I.IImm);
+          break;
+        case Opcode::LoadF: {
+          uint64_t Bits;
+          std::memcpy(&Bits, &I.FImm, sizeof(double));
+          K.S = strprintf("cf:%llu", (unsigned long long)Bits);
+          break;
+        }
+        case Opcode::Load:
+          // Memory values are never congruent to anything (no alias info).
+          K.S = strprintf("load:%u", I.Dst);
+          Ops = I.Operands;
+          break;
+        case Opcode::Phi: {
+          // Phis are congruent only within one block; operands compared in
+          // predecessor order so positional refinement is meaningful.
+          K.S = strprintf("phi:%u:%u", B.id(), unsigned(I.Ty));
+          std::vector<std::pair<BlockId, Reg>> Inputs;
+          for (unsigned J = 0; J < I.Operands.size(); ++J)
+            Inputs.push_back({I.PhiBlocks[J], I.Operands[J]});
+          std::sort(Inputs.begin(), Inputs.end());
+          for (auto &[P, R] : Inputs)
+            Ops.push_back(R);
+          break;
+        }
+        case Opcode::Copy:
+          // SSA construction folds copies; a remaining one is equivalent to
+          // its source, which refinement discovers if we class it with the
+          // identity operator.
+          K.S = "copy";
+          Ops = I.Operands;
+          break;
+        case Opcode::Call:
+          K.S = strprintf("call:%u:%u", unsigned(I.Intr), unsigned(I.Ty));
+          Ops = I.Operands;
+          break;
+        default:
+          K.S = strprintf("op:%u:%u", unsigned(I.Op), unsigned(I.Ty));
+          Ops = I.Operands;
+          break;
+        }
+        Keys[I.Dst] = std::move(K);
+        Operands[I.Dst] = std::move(Ops);
+      }
+    });
+    for (Reg P : F.params()) {
+      Keys[P].S = strprintf("param:%u", P);
+      Operands[P] = {};
+      Defs[P] = nullptr;
+    }
+
+    // Initial (optimistic) partition: by base key alone.
+    std::map<BaseKey, unsigned> ClassByKey;
+    for (auto &[R, K] : Keys) {
+      auto It = ClassByKey.find(K);
+      if (It == ClassByKey.end())
+        It = ClassByKey.emplace(K, unsigned(ClassByKey.size())).first;
+      ClassOf[R] = It->second;
+    }
+  }
+
+  /// Iteratively re-partitions by (base key, operand classes) until stable.
+  void refine() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      std::map<std::string, unsigned> NewClassBySig;
+      std::map<Reg, unsigned> NewClassOf;
+      for (auto &[R, K] : Keys) {
+        std::string Sig = K.S;
+        for (Reg Op : Operands[R]) {
+          auto It = ClassOf.find(Op);
+          // Operands must be defined (SSA); tolerate stray registers by
+          // giving them a unique class.
+          unsigned C = It != ClassOf.end() ? It->second : ~Op;
+          Sig += strprintf("|%u", C);
+        }
+        auto It = NewClassBySig.find(Sig);
+        if (It == NewClassBySig.end())
+          It = NewClassBySig.emplace(Sig, unsigned(NewClassBySig.size()))
+                   .first;
+        NewClassOf[R] = It->second;
+      }
+      // Stable iff the new partition has the same number of classes (the
+      // signature map can only refine the previous round's partition).
+      if (countClasses(ClassOf) != countClasses(NewClassOf))
+        Changed = true;
+      ClassOf = std::move(NewClassOf);
+    }
+  }
+
+  static unsigned countClasses(const std::map<Reg, unsigned> &M) {
+    std::map<unsigned, unsigned> Seen;
+    for (auto &[R, C] : M)
+      Seen[C] = 1;
+    return unsigned(Seen.size());
+  }
+
+  GVNStats rename() {
+    GVNStats Stats;
+    Stats.Registers = unsigned(Keys.size());
+
+    // Representative per class: the smallest register, except parameters
+    // always represent their class (their name is part of the signature
+    // anyway, so a class holds at most one parameter).
+    std::map<unsigned, Reg> Rep;
+    for (auto &[R, C] : ClassOf) {
+      auto It = Rep.find(C);
+      if (It == Rep.end() || R < It->second)
+        Rep[C] = R;
+    }
+    for (Reg P : F.params())
+      Rep[ClassOf[P]] = P;
+    Stats.Classes = unsigned(Rep.size());
+
+    auto repOf = [&](Reg R) {
+      auto It = ClassOf.find(R);
+      return It == ClassOf.end() ? R : Rep[It->second];
+    };
+
+    F.forEachBlock([&](BasicBlock &B) {
+      std::vector<Instruction> Out;
+      Out.reserve(B.Insts.size());
+      std::vector<Reg> PhiSeen;
+      for (Instruction &I : B.Insts) {
+        if (I.hasDst()) {
+          Reg NewDst = repOf(I.Dst);
+          if (NewDst != I.Dst)
+            ++Stats.MergedDefs;
+          I.Dst = NewDst;
+        }
+        for (Reg &Op : I.Operands)
+          Op = repOf(Op);
+        // Congruent phis in one block collapse to a single phi.
+        if (I.isPhi()) {
+          if (std::find(PhiSeen.begin(), PhiSeen.end(), I.Dst) !=
+              PhiSeen.end())
+            continue;
+          PhiSeen.push_back(I.Dst);
+        }
+        Out.push_back(std::move(I));
+      }
+      B.Insts = std::move(Out);
+    });
+    return Stats;
+  }
+
+  Function &F;
+  std::map<Reg, const Instruction *> Defs;
+  std::map<Reg, BaseKey> Keys;
+  std::map<Reg, std::vector<Reg>> Operands;
+  std::map<Reg, unsigned> ClassOf;
+};
+
+} // namespace
+
+GVNStats epre::valueNumberSSA(Function &F) { return AWZ(F).run(); }
+
+GVNStats epre::runGlobalValueNumbering(Function &F) {
+  // Keep copies as instructions: they are the definitions of "variable
+  // names" (§2.2), and folding them away would let phi inputs reference
+  // expression names across block boundaries — undoing the locality that
+  // forward propagation established for PRE (§5.1).
+  SSAOptions Opts;
+  Opts.Pruned = true;
+  Opts.FoldCopies = false;
+  buildSSA(F, Opts);
+  GVNStats Stats = valueNumberSSA(F);
+  destroySSA(F);
+  return Stats;
+}

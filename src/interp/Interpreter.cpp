@@ -1,0 +1,168 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace epre;
+
+void MemoryImage::storeF64(int64_t Addr, double V) {
+  assert(inBounds(Addr, 8));
+  std::memcpy(Bytes.data() + Addr, &V, 8);
+}
+
+void MemoryImage::storeI64(int64_t Addr, int64_t V) {
+  assert(inBounds(Addr, 8));
+  std::memcpy(Bytes.data() + Addr, &V, 8);
+}
+
+double MemoryImage::loadF64(int64_t Addr) const {
+  assert(inBounds(Addr, 8));
+  double V;
+  std::memcpy(&V, Bytes.data() + Addr, 8);
+  return V;
+}
+
+int64_t MemoryImage::loadI64(int64_t Addr) const {
+  assert(inBounds(Addr, 8));
+  int64_t V;
+  std::memcpy(&V, Bytes.data() + Addr, 8);
+  return V;
+}
+
+unsigned epre::opcodeCost(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mul:
+    return 3;
+  case Opcode::Div:
+  case Opcode::Mod:
+    return 12;
+  case Opcode::Call:
+    return 20;
+  case Opcode::Load:
+  case Opcode::Store:
+    return 2;
+  case Opcode::Phi:
+    return 0;
+  default:
+    return 1;
+  }
+}
+
+ExecResult epre::interpret(const Function &F,
+                           const std::vector<RtValue> &Args, MemoryImage &Mem,
+                           const ExecLimits &Limits) {
+  ExecResult R;
+  R.OpCounts.assign(unsigned(Opcode::Phi) + 1, 0);
+
+  auto trap = [&](std::string Why) {
+    R.Trapped = true;
+    R.TrapReason = std::move(Why);
+    return R;
+  };
+
+  if (Args.size() != F.params().size())
+    return trap("argument count mismatch");
+
+  // Register file, zero-initialized with each register's declared type.
+  std::vector<RtValue> Regs(F.numRegs());
+  for (Reg RG = 1; RG < F.numRegs(); ++RG)
+    Regs[RG].Ty = F.regType(RG);
+  for (unsigned I = 0; I < Args.size(); ++I) {
+    if (Args[I].Ty != F.regType(F.params()[I]))
+      return trap("argument type mismatch");
+    Regs[F.params()[I]] = Args[I];
+  }
+
+  std::vector<RtValue> Ops;
+  BlockId Cur = 0;
+  BlockId Prev = InvalidBlock;
+  while (true) {
+    const BasicBlock *B = F.block(Cur);
+    if (!B)
+      return trap("branch to erased block");
+
+    // Phis read their inputs in parallel at block entry.
+    unsigned FirstNonPhi = B->firstNonPhi();
+    if (FirstNonPhi != 0) {
+      std::vector<std::pair<Reg, RtValue>> PhiVals;
+      PhiVals.reserve(FirstNonPhi);
+      for (unsigned I = 0; I < FirstNonPhi; ++I) {
+        const Instruction &Phi = B->Insts[I];
+        bool Found = false;
+        for (unsigned J = 0; J < Phi.Operands.size(); ++J) {
+          if (Phi.PhiBlocks[J] == Prev) {
+            PhiVals.push_back({Phi.Dst, Regs[Phi.Operands[J]]});
+            Found = true;
+            break;
+          }
+        }
+        if (!Found)
+          return trap("phi has no entry for predecessor");
+      }
+      for (auto &[Dst, V] : PhiVals)
+        Regs[Dst] = V;
+    }
+
+    for (unsigned Idx = FirstNonPhi; Idx < B->Insts.size(); ++Idx) {
+      const Instruction &I = B->Insts[Idx];
+      if (++R.DynOps > Limits.MaxOps)
+        return trap("operation limit exceeded");
+      R.WeightedCost += opcodeCost(I.Op);
+      ++R.OpCounts[unsigned(I.Op)];
+
+      switch (I.Op) {
+      case Opcode::Br:
+        Prev = Cur;
+        Cur = I.Succs[0];
+        break;
+      case Opcode::Cbr: {
+        Prev = Cur;
+        Cur = Regs[I.Operands[0]].I != 0 ? I.Succs[0] : I.Succs[1];
+        break;
+      }
+      case Opcode::Ret:
+        if (!I.Operands.empty()) {
+          R.HasReturn = true;
+          R.ReturnValue = Regs[I.Operands[0]];
+        }
+        return R;
+      case Opcode::Load: {
+        int64_t Addr = Regs[I.Operands[0]].I;
+        if (!Mem.inBounds(Addr, 8))
+          return trap(strprintf("load out of bounds at %lld",
+                                (long long)Addr));
+        Regs[I.Dst] = I.Ty == Type::F64 ? RtValue::ofF(Mem.loadF64(Addr))
+                                        : RtValue::ofI(Mem.loadI64(Addr));
+        break;
+      }
+      case Opcode::Store: {
+        int64_t Addr = Regs[I.Operands[0]].I;
+        if (!Mem.inBounds(Addr, 8))
+          return trap(strprintf("store out of bounds at %lld",
+                                (long long)Addr));
+        const RtValue &V = Regs[I.Operands[1]];
+        if (V.Ty == Type::F64)
+          Mem.storeF64(Addr, V.F);
+        else
+          Mem.storeI64(Addr, V.I);
+        break;
+      }
+      default: {
+        Ops.clear();
+        for (Reg Op : I.Operands)
+          Ops.push_back(Regs[Op]);
+        RtValue Out;
+        if (!evalPure(I, Ops, Out))
+          return trap(std::string("arithmetic trap in ") +
+                      opcodeName(I.Op));
+        Regs[I.Dst] = Out;
+        break;
+      }
+      }
+      if (I.isTerminator())
+        break;
+    }
+  }
+}

@@ -1,0 +1,201 @@
+//===- ir/Eval.cpp --------------------------------------------------------===//
+
+#include "ir/Eval.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace epre;
+
+bool RtValue::identical(const RtValue &O) const {
+  if (Ty != O.Ty)
+    return false;
+  if (Ty == Type::I64)
+    return I == O.I;
+  uint64_t A, B;
+  std::memcpy(&A, &F, sizeof(double));
+  std::memcpy(&B, &O.F, sizeof(double));
+  return A == B;
+}
+
+namespace {
+
+bool evalCall(const Instruction &I, const std::vector<RtValue> &Ops,
+              RtValue &Out) {
+  // Integer ABS is the only intrinsic with an integer variant.
+  if (I.Intr == Intrinsic::Abs && I.Ty == Type::I64) {
+    int64_t V = Ops[0].I;
+    if (V == std::numeric_limits<int64_t>::min())
+      return false;
+    Out = RtValue::ofI(V < 0 ? -V : V);
+    return true;
+  }
+  double A = Ops[0].F;
+  double B = Ops.size() > 1 ? Ops[1].F : 0.0;
+  double R = 0.0;
+  switch (I.Intr) {
+  case Intrinsic::Sqrt:
+    R = std::sqrt(A);
+    break;
+  case Intrinsic::Abs:
+    R = std::fabs(A);
+    break;
+  case Intrinsic::Sin:
+    R = std::sin(A);
+    break;
+  case Intrinsic::Cos:
+    R = std::cos(A);
+    break;
+  case Intrinsic::Exp:
+    R = std::exp(A);
+    break;
+  case Intrinsic::Log:
+    R = std::log(A);
+    break;
+  case Intrinsic::Pow:
+    R = std::pow(A, B);
+    break;
+  case Intrinsic::Floor:
+    R = std::floor(A);
+    break;
+  case Intrinsic::Sign:
+    R = std::copysign(std::fabs(A), B == 0.0 ? 1.0 : B);
+    break;
+  }
+  Out = RtValue::ofF(R);
+  return true;
+}
+
+} // namespace
+
+bool epre::evalPure(const Instruction &I, const std::vector<RtValue> &Ops,
+                    RtValue &Out) {
+  const int64_t Min64 = std::numeric_limits<int64_t>::min();
+  switch (I.Op) {
+  case Opcode::LoadI:
+    Out = RtValue::ofI(I.IImm);
+    return true;
+  case Opcode::LoadF:
+    Out = RtValue::ofF(I.FImm);
+    return true;
+  case Opcode::Copy:
+    Out = Ops[0];
+    return true;
+  case Opcode::Call:
+    return evalCall(I, Ops, Out);
+  case Opcode::I2F:
+    Out = RtValue::ofF(double(Ops[0].I));
+    return true;
+  case Opcode::F2I: {
+    double V = Ops[0].F;
+    if (!(V >= -9.2233720368547758e18 && V <= 9.2233720368547758e18))
+      return false; // out of range or NaN
+    Out = RtValue::ofI(int64_t(V));
+    return true;
+  }
+  default:
+    break;
+  }
+
+  if (isComparison(I.Op)) {
+    bool R;
+    if (I.Ty == Type::I64) {
+      int64_t A = Ops[0].I, B = Ops[1].I;
+      switch (I.Op) {
+      case Opcode::CmpEq: R = A == B; break;
+      case Opcode::CmpNe: R = A != B; break;
+      case Opcode::CmpLt: R = A < B; break;
+      case Opcode::CmpLe: R = A <= B; break;
+      case Opcode::CmpGt: R = A > B; break;
+      default:            R = A >= B; break;
+      }
+    } else {
+      double A = Ops[0].F, B = Ops[1].F;
+      switch (I.Op) {
+      case Opcode::CmpEq: R = A == B; break;
+      case Opcode::CmpNe: R = A != B; break;
+      case Opcode::CmpLt: R = A < B; break;
+      case Opcode::CmpLe: R = A <= B; break;
+      case Opcode::CmpGt: R = A > B; break;
+      default:            R = A >= B; break;
+      }
+    }
+    Out = RtValue::ofI(R ? 1 : 0);
+    return true;
+  }
+
+  if (I.Ty == Type::F64) {
+    double A = Ops.empty() ? 0.0 : Ops[0].F;
+    double B = Ops.size() > 1 ? Ops[1].F : 0.0;
+    double R;
+    switch (I.Op) {
+    case Opcode::Add: R = A + B; break;
+    case Opcode::Sub: R = A - B; break;
+    case Opcode::Mul: R = A * B; break;
+    case Opcode::Div: R = A / B; break;
+    case Opcode::Min: R = std::fmin(A, B); break;
+    case Opcode::Max: R = std::fmax(A, B); break;
+    case Opcode::Neg: R = -A; break;
+    default:
+      return false;
+    }
+    Out = RtValue::ofF(R);
+    return true;
+  }
+
+  // I64 arithmetic. Use unsigned wrapping to keep overflow well defined.
+  uint64_t UA = Ops.empty() ? 0 : uint64_t(Ops[0].I);
+  uint64_t UB = Ops.size() > 1 ? uint64_t(Ops[1].I) : 0;
+  int64_t A = int64_t(UA), B = int64_t(UB);
+  switch (I.Op) {
+  case Opcode::Add:
+    Out = RtValue::ofI(int64_t(UA + UB));
+    return true;
+  case Opcode::Sub:
+    Out = RtValue::ofI(int64_t(UA - UB));
+    return true;
+  case Opcode::Mul:
+    Out = RtValue::ofI(int64_t(UA * UB));
+    return true;
+  case Opcode::Div:
+    if (B == 0 || (A == Min64 && B == -1))
+      return false;
+    Out = RtValue::ofI(A / B);
+    return true;
+  case Opcode::Mod:
+    if (B == 0 || (A == Min64 && B == -1))
+      return false;
+    Out = RtValue::ofI(A % B);
+    return true;
+  case Opcode::Min:
+    Out = RtValue::ofI(A < B ? A : B);
+    return true;
+  case Opcode::Max:
+    Out = RtValue::ofI(A > B ? A : B);
+    return true;
+  case Opcode::Neg:
+    Out = RtValue::ofI(int64_t(0 - UA));
+    return true;
+  case Opcode::And:
+    Out = RtValue::ofI(A & B);
+    return true;
+  case Opcode::Or:
+    Out = RtValue::ofI(A | B);
+    return true;
+  case Opcode::Xor:
+    Out = RtValue::ofI(A ^ B);
+    return true;
+  case Opcode::Not:
+    Out = RtValue::ofI(~A);
+    return true;
+  case Opcode::Shl:
+    Out = RtValue::ofI(int64_t(UA << (UB & 63)));
+    return true;
+  case Opcode::Shr:
+    Out = RtValue::ofI(A >> (UB & 63));
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,50 @@
+//===- ir/Eval.h - Single source of truth for operation semantics -*- C++ -*-===//
+///
+/// \file
+/// Evaluates pure operations over runtime values. Both the interpreter and
+/// the constant folders call this, so "fold at compile time" and "execute at
+/// run time" can never disagree.
+///
+/// Semantics notes:
+///  - shift amounts are masked to 0..63;
+///  - integer division/modulus by zero and INT64_MIN / -1 do not evaluate
+///    (evalPure returns false; the interpreter traps, folders give up);
+///  - floating point follows IEEE-754 double semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_IR_EVAL_H
+#define EPRE_IR_EVAL_H
+
+#include "ir/Instruction.h"
+
+#include <vector>
+
+namespace epre {
+
+/// A runtime value: a typed 64-bit scalar.
+struct RtValue {
+  Type Ty = Type::I64;
+  int64_t I = 0;
+  double F = 0.0;
+
+  static RtValue ofI(int64_t V) { return {Type::I64, V, 0.0}; }
+  static RtValue ofF(double V) { return {Type::F64, 0, V}; }
+
+  bool isI() const { return Ty == Type::I64; }
+  bool isF() const { return Ty == Type::F64; }
+
+  /// Bit-exact equality (used by lattice meets; NaN == NaN here).
+  bool identical(const RtValue &O) const;
+};
+
+/// Evaluates the pure operation \p I over operand values \p Ops (one per
+/// instruction operand, types must match). On success writes \p Out and
+/// returns true; returns false when the operation traps (integer division
+/// by zero, etc.) or is not a pure expression.
+bool evalPure(const Instruction &I, const std::vector<RtValue> &Ops,
+              RtValue &Out);
+
+} // namespace epre
+
+#endif // EPRE_IR_EVAL_H

@@ -1,0 +1,78 @@
+//===- ir/ExprKey.h - Lexical identity of expressions -----------*- C++ -*-===//
+///
+/// \file
+/// ExprKey captures the *lexical* identity of an expression: opcode, type,
+/// immediate payload, and operand names. Two instructions with equal keys
+/// are "lexically identical" in the sense of Briggs & Cooper §2.2 and must
+/// receive the same expression name under the naming discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_IR_EXPRKEY_H
+#define EPRE_IR_EXPRKEY_H
+
+#include "ir/Instruction.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace epre {
+
+/// A hashable, comparable summary of an expression instruction.
+struct ExprKey {
+  Opcode Op = Opcode::LoadI;
+  Type Ty = Type::I64;
+  Intrinsic Intr = Intrinsic::Sqrt;
+  int64_t IImm = 0;
+  uint64_t FBits = 0;
+  std::vector<Reg> Operands;
+
+  bool operator==(const ExprKey &RHS) const {
+    return Op == RHS.Op && Ty == RHS.Ty && Intr == RHS.Intr &&
+           IImm == RHS.IImm && FBits == RHS.FBits &&
+           Operands == RHS.Operands;
+  }
+
+  uint64_t hash() const {
+    uint64_t H = hashCombine(uint64_t(Op), uint64_t(Ty));
+    H = hashCombine(H, uint64_t(Intr));
+    H = hashCombine(H, uint64_t(IImm));
+    H = hashCombine(H, FBits);
+    for (Reg R : Operands)
+      H = hashCombine(H, R);
+    return H;
+  }
+};
+
+struct ExprKeyHash {
+  size_t operator()(const ExprKey &K) const { return size_t(K.hash()); }
+};
+
+/// Builds the key for \p I, which must satisfy isExpression().
+///
+/// When \p NormalizeCommutative is set, operands of commutative operations
+/// are sorted so that `a + b` and `b + a` share a key. The front end's hash
+/// discipline and value numbering use normalized keys; a strictly lexical
+/// PRE universe may use unnormalized ones.
+inline ExprKey makeExprKey(const Instruction &I,
+                           bool NormalizeCommutative = true) {
+  assert(I.isExpression() && "not an expression");
+  ExprKey K;
+  K.Op = I.Op;
+  K.Ty = I.Ty;
+  if (I.Op == Opcode::Call)
+    K.Intr = I.Intr;
+  if (I.Op == Opcode::LoadI)
+    K.IImm = I.IImm;
+  if (I.Op == Opcode::LoadF)
+    std::memcpy(&K.FBits, &I.FImm, sizeof(double));
+  K.Operands = I.Operands;
+  if (NormalizeCommutative && isCommutative(I.Op))
+    std::sort(K.Operands.begin(), K.Operands.end());
+  return K;
+}
+
+} // namespace epre
+
+#endif // EPRE_IR_EXPRKEY_H

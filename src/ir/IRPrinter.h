@@ -1,0 +1,29 @@
+//===- ir/IRPrinter.h - Textual IR output ------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders modules, functions, and instructions in the textual ILOC-like
+/// syntax accepted by IRParser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_IR_IRPRINTER_H
+#define EPRE_IR_IRPRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace epre {
+
+/// Renders one instruction (no trailing newline). \p F supplies labels.
+std::string printInstruction(const Function &F, const Instruction &I);
+
+/// Renders a whole function.
+std::string printFunction(const Function &F);
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+} // namespace epre
+
+#endif // EPRE_IR_IRPRINTER_H

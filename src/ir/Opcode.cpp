@@ -1,0 +1,269 @@
+//===- ir/Opcode.cpp ------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace epre;
+
+const char *epre::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::I64:
+    return "i64";
+  case Type::F64:
+    return "f64";
+  }
+  assert(false && "unknown type");
+  return "?";
+}
+
+const char *epre::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadI:
+    return "loadi";
+  case Opcode::LoadF:
+    return "loadf";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::I2F:
+    return "i2f";
+  case Opcode::F2I:
+    return "f2i";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Cbr:
+    return "cbr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Phi:
+    return "phi";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+const char *epre::intrinsicName(Intrinsic Intr) {
+  switch (Intr) {
+  case Intrinsic::Sqrt:
+    return "sqrt";
+  case Intrinsic::Abs:
+    return "abs";
+  case Intrinsic::Sin:
+    return "sin";
+  case Intrinsic::Cos:
+    return "cos";
+  case Intrinsic::Exp:
+    return "exp";
+  case Intrinsic::Log:
+    return "log";
+  case Intrinsic::Pow:
+    return "pow";
+  case Intrinsic::Floor:
+    return "floor";
+  case Intrinsic::Sign:
+    return "sign";
+  }
+  assert(false && "unknown intrinsic");
+  return "?";
+}
+
+int epre::fixedOperandCount(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadI:
+  case Opcode::LoadF:
+  case Opcode::Br:
+    return 0;
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::I2F:
+  case Opcode::F2I:
+  case Opcode::Copy:
+  case Opcode::Load:
+  case Opcode::Cbr:
+    return 1;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::Store:
+    return 2;
+  case Opcode::Call:
+  case Opcode::Phi:
+  case Opcode::Ret:
+    return -1;
+  }
+  assert(false && "unknown opcode");
+  return -1;
+}
+
+unsigned epre::intrinsicArity(Intrinsic Intr) {
+  switch (Intr) {
+  case Intrinsic::Pow:
+  case Intrinsic::Sign:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
+bool epre::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::Cbr || Op == Opcode::Ret;
+}
+
+bool epre::hasSideEffects(Opcode Op) {
+  return Op == Opcode::Store || isTerminator(Op);
+}
+
+bool epre::isExpression(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadI:
+  case Opcode::LoadF:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Neg:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Not:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::I2F:
+  case Opcode::F2I:
+  case Opcode::Call:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool epre::isCommutative(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool epre::isAssociative(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool epre::isIntegerOnly(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Not:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool epre::isComparison(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return true;
+  default:
+    return false;
+  }
+}

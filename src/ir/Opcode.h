@@ -1,0 +1,133 @@
+//===- ir/Opcode.h - ILOC-like opcode set and traits ------------*- C++ -*-===//
+///
+/// \file
+/// The operation set of our low-level three-address intermediate language.
+///
+/// The design follows the ILOC language used by Briggs & Cooper (PLDI 1994):
+/// most operations name two source registers and one target register; control
+/// flow is explicit branches between basic blocks; memory is reached only
+/// through load/store with computed byte addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_IR_OPCODE_H
+#define EPRE_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace epre {
+
+/// Register value types. Address arithmetic is I64; numeric data is F64.
+enum class Type : uint8_t { I64, F64 };
+
+const char *typeName(Type Ty);
+
+/// The ILOC-like operation set.
+enum class Opcode : uint8_t {
+  // Constants.
+  LoadI, ///< dst = signed 64-bit immediate
+  LoadF, ///< dst = double immediate
+
+  // Arithmetic on two same-typed operands (I64 or F64).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Min,
+  Max,
+  Neg, ///< unary negation
+
+  // Integer-only operations.
+  Mod,
+  And,
+  Or,
+  Xor,
+  Not, ///< bitwise complement
+  Shl,
+  Shr, ///< arithmetic shift right
+
+  // Comparisons; operands share a type, result is I64 (0 or 1).
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+
+  // Conversions.
+  I2F, ///< I64 -> F64
+  F2I, ///< F64 -> I64 (truncation toward zero)
+
+  // Register copy. In the naming discipline of the paper, a copy target is a
+  // "variable name"; every other computation target is an "expression name".
+  Copy,
+
+  // Memory. Addresses are I64 byte offsets into the function's memory image.
+  Load,  ///< dst = mem[addr] with the instruction's type
+  Store, ///< mem[addr] = value
+
+  // Pure intrinsic call (FORTRAN-style intrinsics: sqrt, abs, ...).
+  Call,
+
+  // Control flow.
+  Br,  ///< unconditional branch
+  Cbr, ///< conditional branch: nonzero -> first successor
+  Ret, ///< return, with optional value
+
+  // SSA merge. Only present while a function is in SSA form.
+  Phi,
+};
+
+/// Pure intrinsic functions callable via Opcode::Call.
+enum class Intrinsic : uint8_t {
+  Sqrt,
+  Abs,  ///< absolute value (type follows the instruction type)
+  Sin,
+  Cos,
+  Exp,
+  Log,
+  Pow,   ///< two arguments
+  Floor,
+  Sign,  ///< FORTRAN SIGN(a,b): |a| with the sign of b; two arguments
+};
+
+const char *opcodeName(Opcode Op);
+const char *intrinsicName(Intrinsic Intr);
+
+/// Returns the fixed operand count of \p Op, or -1 for variadic operations
+/// (Call, Phi) and for Ret (0 or 1 operands).
+int fixedOperandCount(Opcode Op);
+
+/// Returns the fixed argument count of intrinsic \p Intr.
+unsigned intrinsicArity(Intrinsic Intr);
+
+/// True for operations that end a basic block.
+bool isTerminator(Opcode Op);
+
+/// True if the operation writes memory or transfers control; such operations
+/// can never be deleted as dead and are never treated as expressions.
+bool hasSideEffects(Opcode Op);
+
+/// True for pure computations that produce a value from register operands
+/// and immediates only. These are the "expressions" of partial redundancy
+/// elimination: they may be named, moved, and re-evaluated freely.
+/// Loads are excluded (memory state), as are copies (variable names).
+bool isExpression(Opcode Op);
+
+/// True if the operation is commutative (a op b == b op a).
+bool isCommutative(Opcode Op);
+
+/// True if the operation is associative over exact arithmetic. Whether
+/// associativity may be *exploited* for F64 operands is a pass-level policy
+/// decision (FORTRAN permits it; see ReassociateOptions::AllowFPReassoc).
+bool isAssociative(Opcode Op);
+
+/// True if the operation only accepts I64 operands.
+bool isIntegerOnly(Opcode Op);
+
+/// True for comparison operations (result is I64 regardless of operands).
+bool isComparison(Opcode Op);
+
+} // namespace epre
+
+#endif // EPRE_IR_OPCODE_H

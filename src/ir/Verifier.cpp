@@ -1,0 +1,207 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace epre;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Function &F, SSAMode Mode) : F(F), Mode(Mode) {}
+
+  std::vector<std::string> run() {
+    if (F.numBlocks() == 0 || !F.block(0)) {
+      error("function has no entry block");
+      return Errors;
+    }
+    computePreds();
+    std::map<Reg, unsigned> DefCount;
+    F.forEachBlock([&](const BasicBlock &B) { checkBlock(B, DefCount); });
+    if (Mode == SSAMode::SSA) {
+      for (const auto &[R, N] : DefCount)
+        if (N > 1)
+          error(strprintf("register %%r%u has %u definitions in SSA mode",
+                          R, N));
+    }
+    return Errors;
+  }
+
+private:
+  void error(const std::string &Msg) { Errors.push_back(Msg); }
+
+  void computePreds() {
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!B.hasTerminator())
+        return;
+      for (BlockId S : B.terminator().Succs)
+        if (S < F.numBlocks() && F.block(S))
+          Preds[S].insert(B.id());
+    });
+  }
+
+  void checkReg(const BasicBlock &B, Reg R, const char *What) {
+    if (R == NoReg || R >= F.numRegs())
+      error(strprintf("block ^%s: %s register %%r%u out of range",
+                      B.label().c_str(), What, R));
+  }
+
+  void checkBlock(const BasicBlock &B, std::map<Reg, unsigned> &DefCount) {
+    if (B.Insts.empty()) {
+      error(strprintf("block ^%s is empty", B.label().c_str()));
+      return;
+    }
+    if (!B.Insts.back().isTerminator())
+      error(strprintf("block ^%s does not end in a terminator",
+                      B.label().c_str()));
+    bool SeenNonPhi = false;
+    for (unsigned Idx = 0; Idx < B.Insts.size(); ++Idx) {
+      const Instruction &I = B.Insts[Idx];
+      if (I.isTerminator() && Idx + 1 != B.Insts.size())
+        error(strprintf("block ^%s: terminator not at end",
+                        B.label().c_str()));
+      if (I.isPhi()) {
+        if (Mode == SSAMode::NoSSA)
+          error(strprintf("block ^%s: phi present in NoSSA mode",
+                          B.label().c_str()));
+        if (SeenNonPhi)
+          error(strprintf("block ^%s: phi after non-phi", B.label().c_str()));
+      } else {
+        SeenNonPhi = true;
+      }
+      checkInstruction(B, I, DefCount);
+    }
+  }
+
+  void checkInstruction(const BasicBlock &B, const Instruction &I,
+                        std::map<Reg, unsigned> &DefCount) {
+    // Destination.
+    if (I.hasDst()) {
+      checkReg(B, I.Dst, "destination");
+      if (I.Dst < F.numRegs() && I.Dst != NoReg)
+        ++DefCount[I.Dst];
+    }
+    // Operands exist.
+    for (Reg R : I.Operands)
+      checkReg(B, R, "operand");
+
+    // Operand-count discipline. Skip the type checks below on a mismatch:
+    // they index operands positionally.
+    int N = fixedOperandCount(I.Op);
+    if (N >= 0 && int(I.Operands.size()) != N) {
+      error(strprintf("block ^%s: %s expects %d operands, has %zu",
+                      B.label().c_str(), opcodeName(I.Op), N,
+                      I.Operands.size()));
+      return;
+    }
+    if (I.Op == Opcode::Call && I.Operands.size() != intrinsicArity(I.Intr))
+      error(strprintf("block ^%s: intrinsic %s expects %u arguments",
+                      B.label().c_str(), intrinsicName(I.Intr),
+                      intrinsicArity(I.Intr)));
+    if (I.Op == Opcode::Ret && I.Operands.size() > 1)
+      error(strprintf("block ^%s: ret has more than one operand",
+                      B.label().c_str()));
+
+    // Type discipline (only checkable when operands are valid).
+    auto regTyOk = [&](Reg R) { return R != NoReg && R < F.numRegs(); };
+    auto opTy = [&](unsigned J) { return F.regType(I.Operands[J]); };
+    switch (I.Op) {
+    case Opcode::LoadI:
+      if (regTyOk(I.Dst) && F.regType(I.Dst) != Type::I64)
+        error("loadi destination must be i64");
+      break;
+    case Opcode::LoadF:
+      if (regTyOk(I.Dst) && F.regType(I.Dst) != Type::F64)
+        error("loadf destination must be f64");
+      break;
+    case Opcode::Load:
+    case Opcode::Store:
+      if (regTyOk(I.Operands[0]) && opTy(0) != Type::I64)
+        error(strprintf("block ^%s: memory address must be i64",
+                        B.label().c_str()));
+      break;
+    case Opcode::Cbr:
+      if (regTyOk(I.Operands[0]) && opTy(0) != Type::I64)
+        error("cbr condition must be i64");
+      break;
+    case Opcode::I2F:
+      if (regTyOk(I.Operands[0]) && opTy(0) != Type::I64)
+        error("i2f operand must be i64");
+      if (regTyOk(I.Dst) && F.regType(I.Dst) != Type::F64)
+        error("i2f destination must be f64");
+      break;
+    case Opcode::F2I:
+      if (regTyOk(I.Operands[0]) && opTy(0) != Type::F64)
+        error("f2i operand must be f64");
+      if (regTyOk(I.Dst) && F.regType(I.Dst) != Type::I64)
+        error("f2i destination must be i64");
+      break;
+    default:
+      if (isIntegerOnly(I.Op)) {
+        for (unsigned J = 0; J < I.Operands.size(); ++J)
+          if (regTyOk(I.Operands[J]) && opTy(J) != Type::I64)
+            error(strprintf("block ^%s: %s requires i64 operands",
+                            B.label().c_str(), opcodeName(I.Op)));
+      }
+      if (isComparison(I.Op) && regTyOk(I.Dst) &&
+          F.regType(I.Dst) != Type::I64)
+        error("comparison destination must be i64");
+      break;
+    }
+
+    // Successor references.
+    for (BlockId S : I.Succs)
+      if (S >= F.numBlocks() || !F.block(S))
+        error(strprintf("block ^%s: branch to dead block %u",
+                        B.label().c_str(), S));
+
+    // Phi shape.
+    if (I.isPhi()) {
+      if (I.Operands.size() != I.PhiBlocks.size())
+        error(strprintf("block ^%s: phi operand/block count mismatch",
+                        B.label().c_str()));
+      if (Mode != SSAMode::NoSSA) {
+        std::multiset<BlockId> Incoming(I.PhiBlocks.begin(),
+                                        I.PhiBlocks.end());
+        std::multiset<BlockId> Expected(Preds[B.id()].begin(),
+                                        Preds[B.id()].end());
+        if (Incoming != Expected)
+          error(strprintf(
+              "block ^%s: phi incoming blocks do not match predecessors",
+              B.label().c_str()));
+      }
+    }
+  }
+
+  const Function &F;
+  SSAMode Mode;
+  std::vector<std::string> Errors;
+  std::map<BlockId, std::set<BlockId>> Preds;
+};
+
+} // namespace
+
+std::vector<std::string> epre::verifyFunction(const Function &F,
+                                              SSAMode Mode) {
+  return VerifierImpl(F, Mode).run();
+}
+
+void epre::verifyOrDie(const Function &F, SSAMode Mode, const char *When) {
+  std::vector<std::string> Errors = verifyFunction(F, Mode);
+  if (Errors.empty())
+    return;
+  std::fprintf(stderr, "verifier failed after %s in @%s:\n", When,
+               F.name().c_str());
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "  %s\n", E.c_str());
+  std::fprintf(stderr, "%s", printFunction(F).c_str());
+  std::abort();
+}

@@ -1,0 +1,46 @@
+//===- ir/Verifier.h - Structural IR checking --------------------*- C++ -*-===//
+///
+/// \file
+/// Checks the structural invariants of a function. Run after every pass in
+/// debug pipelines; any violation indicates a compiler bug, not bad input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_IR_VERIFIER_H
+#define EPRE_IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace epre {
+
+/// Verifier strictness regarding SSA properties.
+enum class SSAMode {
+  /// No phi instructions may appear; registers may be multiply assigned.
+  NoSSA,
+  /// Phis allowed; every register has exactly one definition, and phi
+  /// incoming blocks must exactly match the block's CFG predecessors.
+  SSA,
+  /// Phis allowed and checked against predecessors, but multiple
+  /// assignments are tolerated (used mid-construction).
+  Relaxed,
+};
+
+/// Returns a list of violations (empty means the function is well formed).
+///
+/// Checks: entry block exists; every reachable block ends in exactly one
+/// terminator with no terminator mid-block; phis only at block start;
+/// operands/destinations are allocated registers with types consistent with
+/// the opcode; successors reference live blocks; SSA properties per \p Mode.
+std::vector<std::string> verifyFunction(const Function &F,
+                                        SSAMode Mode = SSAMode::Relaxed);
+
+/// Aborts with a diagnostic if verification fails. \p When names the pass
+/// that just ran, for the error message.
+void verifyOrDie(const Function &F, SSAMode Mode, const char *When);
+
+} // namespace epre
+
+#endif // EPRE_IR_VERIFIER_H

@@ -1,0 +1,246 @@
+//===- opt/ConstantPropagation.cpp ----------------------------------------===//
+///
+/// Conditional constant propagation over per-block register lattices.
+/// The lattice per register is Top (no evidence yet) > Const(c) > Bottom.
+/// Block inputs are the pointwise meet of the outputs of *executable*
+/// predecessors, so branches already known to go one way do not pollute the
+/// analysis (Wegman–Zadeck style conditional propagation, formulated without
+/// requiring SSA form).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/ConstantPropagation.h"
+
+#include "analysis/CFG.h"
+#include "ir/Eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+struct LatVal {
+  enum Kind : uint8_t { Top, Const, Bottom } K = Top;
+  RtValue V;
+
+  static LatVal top() { return {}; }
+  static LatVal bottom() {
+    LatVal L;
+    L.K = Bottom;
+    return L;
+  }
+  static LatVal constant(RtValue V) {
+    LatVal L;
+    L.K = Const;
+    L.V = V;
+    return L;
+  }
+
+  /// Meet; returns true if *this changed (lowered).
+  bool meet(const LatVal &O) {
+    if (O.K == Top || K == Bottom)
+      return false;
+    if (K == Top) {
+      *this = O;
+      return O.K != Top;
+    }
+    // K == Const
+    if (O.K == Const && V.identical(O.V))
+      return false;
+    K = Bottom;
+    return true;
+  }
+};
+
+using LatticeRow = std::vector<LatVal>;
+
+class SCCP {
+public:
+  explicit SCCP(Function &F) : F(F), G(CFG::compute(F)) {}
+
+  bool run() {
+    unsigned NB = F.numBlocks();
+    unsigned NR = F.numRegs();
+    In.assign(NB, LatticeRow(NR));
+    BlockExec.assign(NB, false);
+
+    // Entry: parameters are runtime inputs.
+    for (Reg P : F.params())
+      In[0][P] = LatVal::bottom();
+
+    BlockExec[0] = true;
+    Worklist.push_back(0);
+    while (!Worklist.empty()) {
+      BlockId B = Worklist.front();
+      Worklist.pop_front();
+      InWorklist.erase(B);
+      processBlock(B);
+    }
+    return rewrite();
+  }
+
+private:
+  void enqueue(BlockId B) {
+    if (InWorklist.insert(B).second)
+      Worklist.push_back(B);
+  }
+
+  /// Evaluates one instruction given the running value map; returns the
+  /// value produced for its destination (if any).
+  LatVal evalInst(const Instruction &I, const LatticeRow &Vals) const {
+    if (I.Op == Opcode::Load)
+      return LatVal::bottom();
+    if (I.isPhi()) {
+      // Conservative: meet over all operands (edge-precision is recovered
+      // by the executable-edge handling feeding this block's In row).
+      LatVal L = LatVal::top();
+      for (Reg Op : I.Operands)
+        L.meet(Vals[Op]);
+      return L;
+    }
+    if (I.isCopy())
+      return Vals[I.Operands[0]];
+    if (!I.isExpression())
+      return LatVal::bottom();
+    std::vector<RtValue> Ops;
+    Ops.reserve(I.Operands.size());
+    for (Reg R : I.Operands) {
+      const LatVal &L = Vals[R];
+      if (L.K == LatVal::Top)
+        return LatVal::top();
+      if (L.K == LatVal::Bottom)
+        return LatVal::bottom();
+      Ops.push_back(L.V);
+    }
+    RtValue Out;
+    if (!evalPure(I, Ops, Out))
+      return LatVal::bottom();
+    return LatVal::constant(Out);
+  }
+
+  /// Applies the block's instructions to a copy of its In row. Phis are
+  /// evaluated against the entry values simultaneously (they read their
+  /// inputs in parallel); everything else is sequential.
+  LatticeRow transfer(const BasicBlock &BB) const {
+    const LatticeRow &Entry = In[BB.id()];
+    LatticeRow Vals = Entry;
+    unsigned Idx = 0;
+    for (; Idx < BB.Insts.size() && BB.Insts[Idx].isPhi(); ++Idx)
+      Vals[BB.Insts[Idx].Dst] = evalInst(BB.Insts[Idx], Entry);
+    for (; Idx < BB.Insts.size(); ++Idx)
+      if (BB.Insts[Idx].hasDst())
+        Vals[BB.Insts[Idx].Dst] = evalInst(BB.Insts[Idx], Vals);
+    return Vals;
+  }
+
+  void processBlock(BlockId B) {
+    const BasicBlock *BB = F.block(B);
+    LatticeRow Vals = transfer(*BB);
+
+    // Determine executable out-edges.
+    const Instruction &T = BB->terminator();
+    std::vector<BlockId> ExecSuccs;
+    if (T.Op == Opcode::Br) {
+      ExecSuccs.push_back(T.Succs[0]);
+    } else if (T.Op == Opcode::Cbr) {
+      const LatVal &C = Vals[T.Operands[0]];
+      if (C.K == LatVal::Const)
+        ExecSuccs.push_back(C.V.I != 0 ? T.Succs[0] : T.Succs[1]);
+      else if (C.K == LatVal::Bottom)
+        ExecSuccs = {T.Succs[0], T.Succs[1]};
+      // Top: no successor known executable yet.
+    }
+
+    for (BlockId S : ExecSuccs) {
+      bool Changed = !BlockExec[S];
+      BlockExec[S] = true;
+      LatticeRow &SIn = In[S];
+      for (unsigned R = 1; R < SIn.size(); ++R)
+        if (SIn[R].meet(Vals[R]))
+          Changed = true;
+      if (Changed)
+        enqueue(S);
+    }
+  }
+
+  /// Removes one phi input arriving from \p Pred in each phi of \p B
+  /// (called when the edge Pred -> B is deleted by branch folding).
+  static void removePhiEntriesFrom(BasicBlock &B, BlockId Pred) {
+    for (Instruction &I : B.Insts) {
+      if (!I.isPhi())
+        break;
+      for (unsigned J = 0; J < I.Operands.size(); ++J) {
+        if (I.PhiBlocks[J] == Pred) {
+          I.Operands.erase(I.Operands.begin() + J);
+          I.PhiBlocks.erase(I.PhiBlocks.begin() + J);
+          break;
+        }
+      }
+    }
+  }
+
+  bool rewrite() {
+    bool Changed = false;
+    F.forEachBlock([&](BasicBlock &B) {
+      if (!BlockExec[B.id()])
+        return; // unreachable under the analysis; SimplifyCFG will erase
+      const LatticeRow &Entry = In[B.id()];
+      LatticeRow Vals = Entry;
+      bool RewrotePhi = false;
+      unsigned NumPhis = B.firstNonPhi();
+      for (unsigned Idx = 0; Idx < B.Insts.size(); ++Idx) {
+        Instruction &I = B.Insts[Idx];
+        bool IsPhi = I.isPhi();
+        LatVal L = I.hasDst() ? evalInst(I, IsPhi && Idx < NumPhis ? Entry
+                                                                   : Vals)
+                              : LatVal::bottom();
+        if (I.hasDst())
+          Vals[I.Dst] = L;
+        bool AlreadyImm = I.Op == Opcode::LoadI || I.Op == Opcode::LoadF;
+        if (I.hasDst() && L.K == LatVal::Const && !AlreadyImm &&
+            (I.isExpression() || I.isCopy() || IsPhi)) {
+          Reg Dst = I.Dst;
+          I = L.V.isI() ? Instruction::makeLoadI(Dst, L.V.I)
+                        : Instruction::makeLoadF(Dst, L.V.F);
+          RewrotePhi |= IsPhi;
+          Changed = true;
+        }
+        if (I.Op == Opcode::Cbr) {
+          const LatVal &C = Vals[I.Operands[0]];
+          if (C.K == LatVal::Const) {
+            BlockId Taken = C.V.I != 0 ? I.Succs[0] : I.Succs[1];
+            BlockId NotTaken = C.V.I != 0 ? I.Succs[1] : I.Succs[0];
+            if (Taken != NotTaken)
+              removePhiEntriesFrom(*F.block(NotTaken), B.id());
+            I = Instruction::makeBr(Taken);
+            Changed = true;
+          }
+        }
+      }
+      // Rewriting a phi to an immediate load may have broken the
+      // "phis first" layout; restore it. The load is independent of block
+      // position, so moving it after the remaining phis is safe.
+      if (RewrotePhi)
+        std::stable_partition(B.Insts.begin(),
+                              B.Insts.begin() + NumPhis,
+                              [](const Instruction &I) { return I.isPhi(); });
+    });
+    return Changed;
+  }
+
+  Function &F;
+  CFG G;
+  std::vector<LatticeRow> In;
+  std::vector<bool> BlockExec;
+  std::deque<BlockId> Worklist;
+  std::set<BlockId> InWorklist;
+};
+
+} // namespace
+
+bool epre::propagateConstants(Function &F) { return SCCP(F).run(); }

@@ -1,0 +1,27 @@
+//===- opt/ConstantPropagation.h - Global constant propagation ---*- C++ -*-===//
+///
+/// \file
+/// Conditional constant propagation in the style of Wegman & Zadeck,
+/// formulated over per-block register lattices so it runs on code in or out
+/// of SSA form. Branches on discovered constants prune infeasible edges
+/// during the analysis, and are folded to unconditional branches in the
+/// rewrite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_OPT_CONSTANTPROPAGATION_H
+#define EPRE_OPT_CONSTANTPROPAGATION_H
+
+#include "ir/Function.h"
+
+namespace epre {
+
+/// Runs constant propagation; returns true if the function changed.
+/// Instructions computing constants are rewritten to immediate loads, and
+/// conditional branches on constants become unconditional. Dead code and
+/// unreachable blocks are left for DCE / SimplifyCFG.
+bool propagateConstants(Function &F);
+
+} // namespace epre
+
+#endif // EPRE_OPT_CONSTANTPROPAGATION_H

@@ -1,0 +1,135 @@
+//===- opt/CopyCoalescing.cpp ---------------------------------------------===//
+
+#include "opt/CopyCoalescing.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+
+#include <cassert>
+#include <functional>
+#include <set>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+/// Builds the interference graph: a definition of `d` interferes with every
+/// register live immediately after it — except, for a copy `d <- s`, with
+/// `s` itself (Chaitin's refinement: they hold the same value there).
+std::vector<std::set<Reg>> buildInterference(const Function &F, const CFG &G,
+                                             const Liveness &Live) {
+  std::vector<std::set<Reg>> IG(F.numRegs());
+  auto addEdge = [&](Reg A, Reg B) {
+    if (A == B)
+      return;
+    IG[A].insert(B);
+    IG[B].insert(A);
+  };
+  F.forEachBlock([&](const BasicBlock &B) {
+    if (!G.isReachable(B.id()))
+      return;
+    BitVector LiveNow = Live.liveOut(B.id());
+    for (auto It = B.Insts.rbegin(); It != B.Insts.rend(); ++It) {
+      const Instruction &I = *It;
+      if (I.hasDst()) {
+        Reg D = I.Dst;
+        Reg CopySrc = I.isCopy() ? I.Operands[0] : NoReg;
+        for (int R = LiveNow.findFirst(); R != -1;
+             R = LiveNow.findNext(unsigned(R)))
+          if (Reg(R) != D && Reg(R) != CopySrc)
+            addEdge(D, Reg(R));
+        LiveNow.reset(D);
+      }
+      for (Reg R : I.Operands)
+        LiveNow.set(R);
+    }
+    // Parameters are live at function entry simultaneously.
+    if (B.id() == 0)
+      for (Reg P1 : F.params())
+        for (Reg P2 : F.params())
+          addEdge(P1, P2);
+  });
+  return IG;
+}
+
+} // namespace
+
+unsigned epre::coalesceCopies(Function &F) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    CFG G = CFG::compute(F);
+    Liveness Live = Liveness::compute(F, G);
+    std::vector<std::set<Reg>> IG = buildInterference(F, G, Live);
+
+    // Union-find over registers; representatives prefer parameters so the
+    // function signature never changes.
+    std::vector<Reg> Parent(F.numRegs());
+    for (Reg R = 0; R < F.numRegs(); ++R)
+      Parent[R] = R;
+    std::function<Reg(Reg)> find = [&](Reg R) {
+      while (Parent[R] != R) {
+        Parent[R] = Parent[Parent[R]];
+        R = Parent[R];
+      }
+      return R;
+    };
+
+    bool Merged = false;
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      for (const Instruction &I : B.Insts) {
+        if (!I.isCopy())
+          continue;
+        Reg D = find(I.Dst), S = find(I.Operands[0]);
+        if (D == S)
+          continue;
+        if (F.regType(D) != F.regType(S))
+          continue;
+        if (IG[D].count(S))
+          continue;
+        // Two parameters cannot merge (both fixed names).
+        bool DParam = F.isParam(D), SParam = F.isParam(S);
+        if (DParam && SParam)
+          continue;
+        Reg Rep = SParam ? S : (DParam ? D : S);
+        Reg Other = Rep == S ? D : S;
+        // Merge interference sets into the representative.
+        for (Reg N : IG[Other]) {
+          IG[N].erase(Other);
+          IG[N].insert(Rep);
+          IG[Rep].insert(N);
+        }
+        IG[Other].clear();
+        Parent[Other] = Rep;
+        Merged = true;
+      }
+    });
+
+    if (!Merged)
+      break;
+
+    // Rewrite every register to its representative; self-copies vanish.
+    F.forEachBlock([&](BasicBlock &B) {
+      std::vector<Instruction> Kept;
+      Kept.reserve(B.Insts.size());
+      for (Instruction &I : B.Insts) {
+        if (I.hasDst())
+          I.Dst = find(I.Dst);
+        for (Reg &R : I.Operands)
+          R = find(R);
+        if (I.isCopy() && I.Dst == I.Operands[0]) {
+          ++Removed;
+          Changed = true;
+          continue;
+        }
+        Kept.push_back(std::move(I));
+      }
+      B.Insts = std::move(Kept);
+    });
+  }
+  return Removed;
+}

@@ -1,0 +1,26 @@
+//===- opt/CopyCoalescing.h - Chaitin-style copy coalescing ------*- C++ -*-===//
+///
+/// \file
+/// The coalescing phase of a Chaitin-style register allocator, as a
+/// standalone pass over virtual registers: a copy `x <- y` is removed by
+/// merging x and y into one register when their live ranges do not
+/// interfere. The paper relies on this to clean up the copies inserted by
+/// SSA destruction / forward propagation (Figures 9 -> 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_OPT_COPYCOALESCING_H
+#define EPRE_OPT_COPYCOALESCING_H
+
+#include "ir/Function.h"
+
+namespace epre {
+
+/// Coalesces non-interfering copy-related registers and deletes the copies.
+/// Runs in rounds until no copy can be removed. Returns the number of copy
+/// instructions eliminated. Must run on phi-free (non-SSA) code.
+unsigned coalesceCopies(Function &F);
+
+} // namespace epre
+
+#endif // EPRE_OPT_COPYCOALESCING_H

@@ -1,0 +1,97 @@
+//===- opt/DeadCodeElim.cpp -----------------------------------------------===//
+
+#include "opt/DeadCodeElim.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+#include "support/BitVector.h"
+
+#include <set>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+/// Removes definitions of registers that never (transitively) reach an
+/// observable effect — a store, branch condition, call-with-effect, or
+/// return. Liveness alone cannot remove self-sustaining dead cycles like a
+/// loop accumulator whose sum is never read (`s = s + i`), because the
+/// cycle keeps itself live; this register-level mark phase can.
+bool sweepUnobservableRegisters(Function &F) {
+  std::set<Reg> Observable;
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    F.forEachBlock([&](const BasicBlock &B) {
+      for (const Instruction &I : B.Insts) {
+        bool Effect = I.hasSideEffects() || I.Op == Opcode::Load ||
+                      !I.hasDst();
+        if (!Effect && !Observable.count(I.Dst))
+          continue;
+        for (Reg R : I.Operands)
+          if (Observable.insert(R).second)
+            Grew = true;
+      }
+    });
+  }
+  // Loads are kept (their addresses are observable above) but their
+  // results may still be dead; the liveness pass below handles that.
+  bool Changed = false;
+  F.forEachBlock([&](BasicBlock &B) {
+    std::vector<Instruction> Kept;
+    Kept.reserve(B.Insts.size());
+    for (Instruction &I : B.Insts) {
+      bool Removable = I.hasDst() && !I.hasSideEffects() &&
+                       I.Op != Opcode::Load && !Observable.count(I.Dst);
+      if (Removable) {
+        Changed = true;
+        continue;
+      }
+      Kept.push_back(std::move(I));
+    }
+    B.Insts = std::move(Kept);
+  });
+  return Changed;
+}
+
+} // namespace
+
+bool epre::eliminateDeadCode(Function &F) {
+  bool EverChanged = sweepUnobservableRegisters(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    CFG G = CFG::compute(F);
+    Liveness Live = Liveness::compute(F, G);
+
+    F.forEachBlock([&](BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      // Walk backwards with a running live set. A phi's operands are uses
+      // in the *predecessors*, not here, but adding them to the local live
+      // set is merely conservative; the next liveness round is exact.
+      BitVector LiveNow = Live.liveOut(B.id());
+      std::vector<Instruction> Kept;
+      for (auto It = B.Insts.rbegin(); It != B.Insts.rend(); ++It) {
+        Instruction &I = *It;
+        bool Needed = I.hasSideEffects() || !I.hasDst() ||
+                      LiveNow.test(I.Dst);
+        if (!Needed) {
+          Changed = true;
+          continue;
+        }
+        if (I.hasDst())
+          LiveNow.reset(I.Dst);
+        for (Reg R : I.Operands)
+          LiveNow.set(R);
+        Kept.push_back(std::move(I));
+      }
+      // Instructions were moved into Kept; always write them back.
+      B.Insts.assign(std::make_move_iterator(Kept.rbegin()),
+                     std::make_move_iterator(Kept.rend()));
+    });
+    EverChanged |= Changed;
+  }
+  return EverChanged;
+}

@@ -1,0 +1,24 @@
+//===- opt/DeadCodeElim.h - Dead code elimination ----------------*- C++ -*-===//
+///
+/// \file
+/// Liveness-driven dead code elimination: deletes pure instructions whose
+/// results are never used, iterating with liveness recomputation until no
+/// instruction can be removed (deleting one use chain exposes the next).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_OPT_DEADCODEELIM_H
+#define EPRE_OPT_DEADCODEELIM_H
+
+#include "ir/Function.h"
+
+namespace epre {
+
+/// Removes dead pure instructions. Returns true if anything was deleted.
+/// Stores, calls are pure (intrinsics) and thus deletable; branches,
+/// returns, and stores are always kept.
+bool eliminateDeadCode(Function &F);
+
+} // namespace epre
+
+#endif // EPRE_OPT_DEADCODEELIM_H

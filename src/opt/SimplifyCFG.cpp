@@ -1,0 +1,263 @@
+//===- opt/SimplifyCFG.cpp ------------------------------------------------===//
+
+#include "opt/SimplifyCFG.h"
+
+#include "analysis/CFG.h"
+#include "ssa/ParallelCopy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace epre;
+
+bool epre::removeUnreachableBlocks(Function &F) {
+  CFG G = CFG::compute(F);
+  std::vector<BlockId> Dead;
+  F.forEachBlock([&](BasicBlock &B) {
+    if (!G.isReachable(B.id()))
+      Dead.push_back(B.id());
+  });
+  if (Dead.empty())
+    return false;
+  for (BlockId D : Dead)
+    F.eraseBlock(D);
+  // Drop phi inputs that arrived from erased blocks.
+  F.forEachBlock([&](BasicBlock &B) {
+    for (Instruction &I : B.Insts) {
+      if (!I.isPhi())
+        break;
+      for (int J = int(I.Operands.size()) - 1; J >= 0; --J) {
+        if (G.isReachable(I.PhiBlocks[J]))
+          continue;
+        I.Operands.erase(I.Operands.begin() + J);
+        I.PhiBlocks.erase(I.PhiBlocks.begin() + J);
+      }
+    }
+  });
+  return true;
+}
+
+namespace {
+
+/// Rewrites `cbr` with equal targets or a locally-constant condition to
+/// `br`. Returns true on change.
+bool foldBranches(Function &F) {
+  bool Changed = false;
+  F.forEachBlock([&](BasicBlock &B) {
+    if (!B.hasTerminator() || B.terminator().Op != Opcode::Cbr)
+      return;
+    Instruction &T = B.terminator();
+
+    // Identical targets: safe only if every phi in the target sees equal
+    // values along both parallel edges.
+    if (T.Succs[0] == T.Succs[1]) {
+      BasicBlock *S = F.block(T.Succs[0]);
+      if (!S)
+        return; // dangling branch in a not-yet-erased unreachable block
+      bool PhisAgree = true;
+      for (const Instruction &I : S->Insts) {
+        if (!I.isPhi())
+          break;
+        Reg Seen = NoReg;
+        unsigned Count = 0;
+        for (unsigned J = 0; J < I.Operands.size(); ++J) {
+          if (I.PhiBlocks[J] != B.id())
+            continue;
+          if (Count++ && I.Operands[J] != Seen)
+            PhisAgree = false;
+          Seen = I.Operands[J];
+        }
+      }
+      if (PhisAgree) {
+        BlockId Target = T.Succs[0];
+        // Collapse duplicate phi entries from this block down to one.
+        for (Instruction &I : S->Insts) {
+          if (!I.isPhi())
+            break;
+          bool Kept = false;
+          for (int J = int(I.Operands.size()) - 1; J >= 0; --J) {
+            if (I.PhiBlocks[J] != B.id())
+              continue;
+            if (!Kept) {
+              Kept = true;
+              continue;
+            }
+            I.Operands.erase(I.Operands.begin() + J);
+            I.PhiBlocks.erase(I.PhiBlocks.begin() + J);
+          }
+        }
+        T = Instruction::makeBr(Target);
+        Changed = true;
+        return;
+      }
+    }
+
+    // Constant condition defined by a loadi in the same block.
+    Reg Cond = T.Operands[0];
+    for (auto It = B.Insts.rbegin() + 1; It != B.Insts.rend(); ++It) {
+      if (It->Dst != Cond)
+        continue;
+      if (It->Op == Opcode::LoadI) {
+        BlockId Taken = It->IImm != 0 ? T.Succs[0] : T.Succs[1];
+        BlockId NotTaken = It->IImm != 0 ? T.Succs[1] : T.Succs[0];
+        // Remove the dead phi inputs along the discarded edge.
+        if (Taken != NotTaken) {
+          BasicBlock *Dead = F.block(NotTaken);
+          for (Instruction &I : Dead->Insts) {
+            if (!I.isPhi())
+              break;
+            for (int J = int(I.Operands.size()) - 1; J >= 0; --J) {
+              if (I.PhiBlocks[J] == B.id()) {
+                I.Operands.erase(I.Operands.begin() + J);
+                I.PhiBlocks.erase(I.PhiBlocks.begin() + J);
+                break;
+              }
+            }
+          }
+        }
+        T = Instruction::makeBr(Taken);
+        Changed = true;
+      }
+      break;
+    }
+  });
+  return Changed;
+}
+
+/// Converts phis with a single incoming value into copies (sequenced as a
+/// parallel copy group, since phis read their inputs simultaneously).
+bool collapseSingleInputPhis(Function &F) {
+  bool Changed = false;
+  F.forEachBlock([&](BasicBlock &B) {
+    unsigned NumPhis = B.firstNonPhi();
+    if (NumPhis == 0)
+      return;
+    bool AllSingle = true;
+    for (unsigned I = 0; I < NumPhis; ++I)
+      if (B.Insts[I].Operands.size() != 1)
+        AllSingle = false;
+    if (!AllSingle)
+      return;
+    std::vector<PendingCopy> Copies;
+    for (unsigned I = 0; I < NumPhis; ++I)
+      Copies.push_back({B.Insts[I].Dst, B.Insts[I].Operands[0]});
+    std::vector<Instruction> Seq = sequenceParallelCopies(F, std::move(Copies));
+    B.Insts.erase(B.Insts.begin(), B.Insts.begin() + NumPhis);
+    B.Insts.insert(B.Insts.begin(), std::make_move_iterator(Seq.begin()),
+                   std::make_move_iterator(Seq.end()));
+    Changed = true;
+  });
+  return Changed;
+}
+
+/// Bypasses blocks that contain only `br ^t`.
+bool threadForwardingBlocks(Function &F) {
+  CFG G = CFG::compute(F);
+  bool Changed = false;
+  F.forEachBlock([&](BasicBlock &B) {
+    if (B.id() == 0 || B.Insts.size() != 1 ||
+        B.terminator().Op != Opcode::Br)
+      return;
+    BlockId T = B.terminator().Succs[0];
+    if (T == B.id())
+      return; // self loop
+    BasicBlock *TB = F.block(T);
+    bool TargetHasPhis = TB->firstNonPhi() != 0;
+    const std::vector<BlockId> &Preds = G.preds(B.id());
+    if (Preds.empty())
+      return; // unreachable; another rule removes it
+    // With phis in the target, avoid creating parallel edges whose phi
+    // entries we cannot attribute.
+    if (TargetHasPhis) {
+      for (BlockId P : Preds)
+        for (BlockId S : G.succs(P))
+          if (S == T)
+            return;
+    }
+    // Retarget each predecessor.
+    for (BlockId P : Preds) {
+      for (BlockId &S : F.block(P)->terminator().Succs)
+        if (S == B.id())
+          S = T;
+    }
+    // Re-attribute phi entries from B to the predecessors.
+    for (Instruction &I : TB->Insts) {
+      if (!I.isPhi())
+        break;
+      for (int J = int(I.Operands.size()) - 1; J >= 0; --J) {
+        if (I.PhiBlocks[J] != B.id())
+          continue;
+        Reg V = I.Operands[J];
+        I.Operands.erase(I.Operands.begin() + J);
+        I.PhiBlocks.erase(I.PhiBlocks.begin() + J);
+        for (BlockId P : Preds) {
+          I.Operands.push_back(V);
+          I.PhiBlocks.push_back(P);
+        }
+      }
+    }
+    Changed = true;
+  });
+  if (Changed)
+    removeUnreachableBlocks(F);
+  return Changed;
+}
+
+/// Merges a block into its unique successor when it is that successor's
+/// unique predecessor.
+bool mergeStraightLine(Function &F) {
+  CFG G = CFG::compute(F);
+  bool Changed = false;
+  F.forEachBlock([&](BasicBlock &B) {
+    if (Changed)
+      return; // one merge per round; CFG view is stale after a merge
+    if (!F.block(B.id()) || B.terminator().Op != Opcode::Br)
+      return;
+    BlockId S = B.terminator().Succs[0];
+    if (S == 0 || S == B.id())
+      return;
+    if (G.preds(S).size() != 1)
+      return;
+    BasicBlock *SB = F.block(S);
+    if (SB->firstNonPhi() != 0)
+      return; // collapseSingleInputPhis handles these first
+    B.Insts.pop_back(); // drop the br
+    for (Instruction &I : SB->Insts)
+      B.Insts.push_back(std::move(I));
+    // Successors of S now see B as the predecessor.
+    for (BlockId NS : B.successors()) {
+      for (Instruction &I : F.block(NS)->Insts) {
+        if (!I.isPhi())
+          break;
+        for (BlockId &P : I.PhiBlocks)
+          if (P == S)
+            P = B.id();
+      }
+    }
+    F.eraseBlock(S);
+    Changed = true;
+  });
+  return Changed;
+}
+
+} // namespace
+
+bool epre::simplifyCFG(Function &F) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Unreachable blocks go first: they may hold branches to blocks that a
+    // previous pass or iteration erased.
+    Changed |= removeUnreachableBlocks(F);
+    Changed |= foldBranches(F);
+    Changed |= removeUnreachableBlocks(F);
+    Changed |= collapseSingleInputPhis(F);
+    Changed |= threadForwardingBlocks(F);
+    while (mergeStraightLine(F))
+      Changed = true;
+    EverChanged |= Changed;
+  }
+  return EverChanged;
+}

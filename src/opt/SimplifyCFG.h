@@ -1,0 +1,36 @@
+//===- opt/SimplifyCFG.h - CFG cleanup ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Control-flow cleanups: dead block removal, branch canonicalization,
+/// forwarding-block threading, straight-line block merging. This implements
+/// the paper's "final pass to eliminate empty basic blocks" (plus the usual
+/// companions that make the other passes' output tidy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_OPT_SIMPLIFYCFG_H
+#define EPRE_OPT_SIMPLIFYCFG_H
+
+#include "ir/Function.h"
+
+namespace epre {
+
+/// Runs CFG simplification to a fixpoint. Returns true if anything changed.
+///
+/// Rules applied:
+///  - cbr with identical targets, or with a constant condition defined by a
+///    loadi in the same block, becomes br;
+///  - blocks unreachable from entry are erased (phi inputs cleaned up);
+///  - single-predecessor phis become copies;
+///  - a block containing only `br ^t` is bypassed when target phis permit;
+///  - a block whose single successor has it as its single predecessor is
+///    merged with that successor.
+bool simplifyCFG(Function &F);
+
+/// Erases unreachable blocks only; used by passes that need a clean CFG
+/// without wanting full simplification. Returns true if blocks were erased.
+bool removeUnreachableBlocks(Function &F);
+
+} // namespace epre
+
+#endif // EPRE_OPT_SIMPLIFYCFG_H

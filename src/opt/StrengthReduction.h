@@ -1,0 +1,53 @@
+//===- opt/StrengthReduction.h - Loop strength reduction ---------*- C++ -*-===//
+///
+/// \file
+/// The second pass the paper's optimizer was "currently missing" (§4.1):
+/// strength reduction of induction-variable multiplications. §5.2 predicts
+/// it composes with reassociation ("reassociation should let strength
+/// reduction introduce fewer distinct induction variables, particularly in
+/// code with complex subscripts"), and §6 discusses the Markstein et al.
+/// loop-by-loop alternative. This implementation:
+///
+///  - works loop by loop on SSA form (innermost first);
+///  - recognizes basic induction variables i = phi(i0, i ± c) with a
+///    loop-invariant step;
+///  - replaces loop multiplications j = i * k (k loop-invariant, integer)
+///    by a new induction variable j' = phi(i0 * k, j' ± c*k), turning a
+///    multiply per iteration into an add per iteration;
+///  - leaves cleanup (dead original multiplies, copies) to DCE/coalescing.
+///
+/// Only integer candidates are reduced — the motivating case is the array
+/// address arithmetic of §2.1, which is integer.
+///
+/// Note on the paper's metric: dynamic operation counts weigh a multiply
+/// and an add equally, so this pass is roughly count-neutral there (its
+/// benefit is per-operation cost). Making it count-positive would require
+/// linear-function test replacement to retire the original induction
+/// variable, which is unsafe under wrapping arithmetic without range
+/// information — left, as in the paper, to future work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_OPT_STRENGTHREDUCTION_H
+#define EPRE_OPT_STRENGTHREDUCTION_H
+
+#include "ir/Function.h"
+
+namespace epre {
+
+struct SRStats {
+  unsigned LoopsVisited = 0;
+  unsigned BasicIVs = 0;
+  unsigned Reduced = 0; ///< multiplications rewritten to additions
+};
+
+/// The SSA core: reduces candidates in a function already in SSA form.
+SRStats strengthReduceSSA(Function &F);
+
+/// The full phase on phi-free code: builds SSA (copies kept), reduces,
+/// leaves SSA, and re-localizes expression names for PRE (§5.1).
+SRStats strengthReduce(Function &F);
+
+} // namespace epre
+
+#endif // EPRE_OPT_STRENGTHREDUCTION_H

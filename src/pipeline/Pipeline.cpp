@@ -1,0 +1,178 @@
+//===- pipeline/Pipeline.cpp ----------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "analysis/CFG.h"
+#include "analysis/EdgeSplitting.h"
+#include "ir/Verifier.h"
+#include "opt/ConstantPropagation.h"
+#include "opt/CopyCoalescing.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/Peephole.h"
+#include "opt/SimplifyCFG.h"
+#include "opt/StrengthReduction.h"
+#include "gvn/DVNT.h"
+#include "pre/LocalizeNames.h"
+#include "reassoc/Reassociate.h"
+#include "ssa/SSA.h"
+
+using namespace epre;
+
+const char *epre::optLevelName(OptLevel L) {
+  switch (L) {
+  case OptLevel::None:
+    return "none";
+  case OptLevel::Baseline:
+    return "baseline";
+  case OptLevel::Partial:
+    return "partial";
+  case OptLevel::Reassociation:
+    return "reassociation";
+  case OptLevel::Distribution:
+    return "distribution";
+  }
+  return "?";
+}
+
+namespace {
+
+void verifyStage(const Function &F, const PipelineOptions &Opts,
+                 SSAMode Mode, const char *Stage) {
+  if (Opts.Verify)
+    verifyOrDie(F, Mode, Stage);
+}
+
+/// The paper's baseline sequence; every level ends with it.
+void runBaselineTail(Function &F, const PipelineOptions &Opts,
+                     PipelineStats &Stats) {
+  propagateConstants(F);
+  verifyStage(F, Opts, SSAMode::Relaxed, "constant propagation");
+  simplifyCFG(F);
+  verifyStage(F, Opts, SSAMode::Relaxed, "cfg simplification");
+
+  PeepholeOptions PO;
+  PO.StrengthReduceMul = Opts.StrengthReduceMul;
+  runPeephole(F, PO);
+  verifyStage(F, Opts, SSAMode::Relaxed, "peephole");
+
+  // Peephole can expose more constants (and vice versa); one more round
+  // matches the paper's "sequence of passes" spirit without iterating to
+  // an unbounded fixpoint.
+  propagateConstants(F);
+  simplifyCFG(F);
+  runPeephole(F, PO);
+  verifyStage(F, Opts, SSAMode::Relaxed, "second peephole");
+
+  eliminateDeadCode(F);
+  verifyStage(F, Opts, SSAMode::Relaxed, "dead code elimination");
+
+  Stats.CopiesCoalesced = coalesceCopies(F);
+  verifyStage(F, Opts, SSAMode::Relaxed, "coalescing");
+
+  eliminateDeadCode(F);
+  simplifyCFG(F);
+  verifyStage(F, Opts, SSAMode::Relaxed, "final cleanup");
+}
+
+void runReassociationPhase(Function &F, const PipelineOptions &Opts,
+                           PipelineStats &Stats) {
+  buildSSA(F);
+  verifyStage(F, Opts, SSAMode::SSA, "SSA construction");
+
+  CFG G = CFG::compute(F);
+  RankMap Ranks = RankMap::compute(F, G);
+
+  Stats.ForwardProp = propagateForward(F, Ranks);
+  verifyStage(F, Opts, SSAMode::NoSSA, "forward propagation");
+
+  ReassociateOptions RO;
+  RO.AllowFPReassoc = Opts.AllowFPReassoc;
+  RO.Distribute = Opts.Level == OptLevel::Distribution;
+
+  Stats.SubsNormalized = normalizeNegation(F, Ranks, RO);
+  verifyStage(F, Opts, SSAMode::NoSSA, "negation normalization");
+
+  reassociate(F, Ranks, RO);
+  verifyStage(F, Opts, SSAMode::NoSSA, "reassociation");
+
+  if (Opts.Engine == GVNEngine::AWZ) {
+    Stats.GVN = runGlobalValueNumbering(F);
+  } else {
+    DVNTStats DS = runDominatorValueNumbering(F);
+    Stats.GVN.MergedDefs = DS.Redundant;
+  }
+  verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
+}
+
+/// PRE handles one nesting level of redundancy per run: deleting the
+/// computation of an inner subexpression un-kills its parents. Iterate to
+/// a fixpoint (bounded by expression-tree depth).
+void runPREToFixpoint(Function &F, const PipelineOptions &Opts,
+                      PipelineStats &Stats) {
+  for (unsigned Round = 0; Round < 16; ++Round) {
+    PREStats S = eliminatePartialRedundancies(F, Opts.Strategy);
+    verifyStage(F, Opts, SSAMode::NoSSA, "PRE");
+    if (Round == 0) {
+      Stats.PRE = S;
+    } else {
+      Stats.PRE.Inserted += S.Inserted;
+      Stats.PRE.Deleted += S.Deleted;
+      Stats.PRE.EdgesSplit += S.EdgesSplit;
+    }
+    if (S.Inserted == 0 && S.Deleted == 0)
+      break;
+  }
+}
+
+} // namespace
+
+PipelineStats epre::optimizeFunction(Function &F,
+                                     const PipelineOptions &Opts) {
+  PipelineStats Stats;
+  Stats.OpsBefore = F.staticOperationCount();
+  if (Opts.Level == OptLevel::None) {
+    Stats.OpsAfter = Stats.OpsBefore;
+    return Stats;
+  }
+
+  removeUnreachableBlocks(F);
+
+  switch (Opts.Level) {
+  case OptLevel::None:
+    break;
+  case OptLevel::Baseline:
+    break;
+  case OptLevel::Partial:
+    // §5.1's "alternative approach": shadow-copy any expression name the
+    // front end left live across a block boundary, so PRE's universe never
+    // has to drop an expression.
+    localizeExpressionNames(F);
+    verifyStage(F, Opts, SSAMode::NoSSA, "name localization");
+    runPREToFixpoint(F, Opts, Stats);
+    break;
+  case OptLevel::Reassociation:
+  case OptLevel::Distribution:
+    runReassociationPhase(F, Opts, Stats);
+    runPREToFixpoint(F, Opts, Stats);
+    break;
+  }
+
+  if (Opts.EnableStrengthReduction) {
+    strengthReduce(F);
+    verifyStage(F, Opts, SSAMode::NoSSA, "strength reduction");
+    if (Opts.Level != OptLevel::Baseline)
+      runPREToFixpoint(F, Opts, Stats);
+  }
+
+  runBaselineTail(F, Opts, Stats);
+  Stats.OpsAfter = F.staticOperationCount();
+  return Stats;
+}
+
+std::vector<PipelineStats> epre::optimizeModule(Module &M,
+                                                const PipelineOptions &Opts) {
+  std::vector<PipelineStats> All;
+  for (auto &F : M.Functions)
+    All.push_back(optimizeFunction(*F, Opts));
+  return All;
+}

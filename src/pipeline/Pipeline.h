@@ -1,0 +1,80 @@
+//===- pipeline/Pipeline.h - The paper's optimization levels -----*- C++ -*-===//
+///
+/// \file
+/// Assembles the passes into the four optimization levels measured in
+/// Table 1 of the paper:
+///
+///  - \c Baseline: constant propagation, global peephole, dead code
+///    elimination, coalescing, empty-block elimination;
+///  - \c Partial: PRE first (requires the front end's hashed naming
+///    discipline), then the baseline tail;
+///  - \c Reassociation: pruned SSA + ranks, forward propagation, negation
+///    normalization, rank-sorted reassociation, global value numbering with
+///    renaming, PRE, then the baseline tail;
+///  - \c Distribution: Reassociation plus distribution of multiplication
+///    over addition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_PIPELINE_PIPELINE_H
+#define EPRE_PIPELINE_PIPELINE_H
+
+#include "gvn/ValueNumbering.h"
+#include "pre/PRE.h"
+#include "reassoc/ForwardProp.h"
+
+namespace epre {
+
+enum class OptLevel {
+  None,          ///< leave the code as the front end produced it
+  Baseline,      ///< the paper's "baseline" column
+  Partial,       ///< + PRE (front end must use hashed naming)
+  Reassociation, ///< + reassociation & GVN before PRE (naive naming ok)
+  Distribution,  ///< + distribution of multiplication over addition
+};
+
+const char *optLevelName(OptLevel L);
+
+/// Which value-numbering engine establishes the §3.2 name space.
+enum class GVNEngine {
+  AWZ,  ///< Alpern-Wegman-Zadeck optimistic partitioning (the paper's)
+  DVNT, ///< dominator-tree hash-based numbering (the paper's "missing pass")
+};
+
+struct PipelineOptions {
+  OptLevel Level = OptLevel::Baseline;
+  PREStrategy Strategy = PREStrategy::LazyCodeMotion;
+  GVNEngine Engine = GVNEngine::AWZ;
+  /// Exploit F64 associativity (FORTRAN semantics). Off = bit-exact only.
+  bool AllowFPReassoc = true;
+  /// Let peephole turn integer multiplies by powers of two into shifts
+  /// (safe here: it runs after reassociation; see paper §5.2).
+  bool StrengthReduceMul = true;
+  /// Run loop strength reduction (the paper's other "missing pass") after
+  /// PRE, before the baseline tail.
+  bool EnableStrengthReduction = false;
+  /// Run the IR verifier after every pass (aborts on breakage).
+  bool Verify = true;
+};
+
+struct PipelineStats {
+  ForwardPropStats ForwardProp;
+  GVNStats GVN;
+  PREStats PRE;
+  unsigned CopiesCoalesced = 0;
+  unsigned SubsNormalized = 0;
+  unsigned OpsBefore = 0;
+  unsigned OpsAfter = 0;
+};
+
+/// Runs the configured pipeline on \p F in place.
+PipelineStats optimizeFunction(Function &F, const PipelineOptions &Opts);
+
+/// Runs the configured pipeline on every function of \p M; returns the
+/// per-function stats in module order.
+std::vector<PipelineStats> optimizeModule(Module &M,
+                                          const PipelineOptions &Opts);
+
+} // namespace epre
+
+#endif // EPRE_PIPELINE_PIPELINE_H

@@ -1,0 +1,615 @@
+//===- pre/PRE.cpp --------------------------------------------------------===//
+
+#include "pre/PRE.h"
+
+#include "analysis/CFG.h"
+#include "analysis/EdgeSplitting.h"
+#include "ir/ExprKey.h"
+#include "support/BitVector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+/// One expression of the universe: a name and its defining shape.
+struct ExprInfo {
+  Reg Name = NoReg;
+  Instruction Proto; ///< a representative definition (all are identical)
+};
+
+class PREImpl {
+public:
+  PREImpl(Function &F, PREStrategy Strategy)
+      : F(F), Strategy(Strategy) {}
+
+  PREStats run() {
+    G = CFG::compute(F);
+    buildUniverse();
+    if (Universe.empty()) {
+      Stats.UniverseSize = 0;
+      return Stats;
+    }
+    Stats.UniverseSize = unsigned(Universe.size());
+    computeLocal();
+    solveAvailability();
+    solveAnticipability();
+    collectEdges();
+    switch (Strategy) {
+    case PREStrategy::LazyCodeMotion:
+      placeLazyCodeMotion();
+      break;
+    case PREStrategy::MorelRenvoise:
+      placeMorelRenvoise();
+      break;
+    case PREStrategy::GlobalCSE:
+      placeGlobalCSE();
+      break;
+    }
+    applyDeletions();
+    applyInsertions();
+    return Stats;
+  }
+
+private:
+  unsigned numExprs() const { return unsigned(Universe.size()); }
+
+  // --- Universe -------------------------------------------------------------
+
+  void buildUniverse() {
+    // Candidate: every def is the same lexical expression.
+    std::map<Reg, ExprKey> KeyOf;
+    std::map<Reg, Instruction> ProtoOf;
+    std::set<Reg> Bad;
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      for (const Instruction &I : B.Insts) {
+        if (!I.hasDst())
+          continue;
+        if (I.isPhi()) {
+          Bad.insert(I.Dst);
+          continue;
+        }
+        if (!I.isExpression()) {
+          Bad.insert(I.Dst); // variables (copies) and loads
+          continue;
+        }
+        // Self-referential names can never be moved.
+        for (Reg Op : I.Operands)
+          if (Op == I.Dst)
+            Bad.insert(I.Dst);
+        ExprKey K = makeExprKey(I, /*NormalizeCommutative=*/true);
+        auto It = KeyOf.find(I.Dst);
+        if (It == KeyOf.end()) {
+          KeyOf.emplace(I.Dst, std::move(K));
+          ProtoOf.emplace(I.Dst, I);
+        } else if (!(It->second == K)) {
+          Bad.insert(I.Dst); // one name, two different expressions
+        }
+      }
+    });
+    for (Reg P : F.params())
+      Bad.insert(P);
+
+    // §5.1 rule: an expression name may not be live across a basic block
+    // boundary — every use must follow a local definition. Names violating
+    // this are conservatively dropped from the universe.
+    std::set<Reg> DefinedHere;
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      DefinedHere.clear();
+      for (const Instruction &I : B.Insts) {
+        for (Reg Op : I.Operands)
+          if (KeyOf.count(Op) && !DefinedHere.count(Op) && Bad.insert(Op).second)
+            ++Stats.DroppedUnsafe;
+        if (I.hasDst())
+          DefinedHere.insert(I.Dst);
+      }
+    });
+
+    for (auto &[R, Proto] : ProtoOf) {
+      if (Bad.count(R))
+        continue;
+      ExprIndex[R] = unsigned(Universe.size());
+      Universe.push_back({R, Proto});
+    }
+    // Reverse map: operand register -> expressions it occurs in.
+    RegToExprs.assign(F.numRegs(), {});
+    for (unsigned E = 0; E < Universe.size(); ++E)
+      for (Reg Op : Universe[E].Proto.Operands)
+        RegToExprs[Op].push_back(E);
+  }
+
+  /// True if \p I is the (unique) computation of universe expression \p E.
+  bool computes(const Instruction &I, unsigned E) const {
+    return I.hasDst() && I.Dst == Universe[E].Name && I.isExpression();
+  }
+
+  // --- Local properties -----------------------------------------------------
+
+  void computeLocal() {
+    unsigned NB = F.numBlocks();
+    unsigned NE = numExprs();
+    ANTLOC.assign(NB, BitVector(NE));
+    COMP.assign(NB, BitVector(NE));
+    TRANSP.assign(NB, BitVector(NE, true));
+
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      BitVector Killed(NE);        // some operand redefined so far
+      BitVector CompClean(NE);     // computed, no operand killed since
+      for (const Instruction &I : B.Insts) {
+        if (I.hasDst()) {
+          auto It = ExprIndex.find(I.Dst);
+          if (It != ExprIndex.end() && computes(I, It->second)) {
+            unsigned E = It->second;
+            if (!Killed.test(E))
+              ANTLOC[B.id()].set(E);
+            CompClean.set(E);
+          }
+        }
+        if (I.hasDst()) {
+          for (unsigned E : RegToExprs[I.Dst]) {
+            Killed.set(E);
+            CompClean.reset(E);
+            TRANSP[B.id()].reset(E);
+          }
+        }
+      }
+      COMP[B.id()] = CompClean;
+    });
+  }
+
+  // --- Global dataflow ------------------------------------------------------
+
+  void solveAvailability() {
+    unsigned NB = F.numBlocks();
+    unsigned NE = numExprs();
+    AVIN.assign(NB, BitVector(NE, true));
+    AVOUT.assign(NB, BitVector(NE, true));
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : G.rpo()) {
+        BitVector In(NE, true);
+        if (B == G.rpo().front()) {
+          In.resetAll();
+        } else {
+          for (BlockId P : G.preds(B))
+            In &= AVOUT[P];
+        }
+        BitVector Out = In;
+        Out &= TRANSP[B];
+        Out |= COMP[B];
+        if (In != AVIN[B] || Out != AVOUT[B]) {
+          AVIN[B] = std::move(In);
+          AVOUT[B] = std::move(Out);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void solveAnticipability() {
+    unsigned NB = F.numBlocks();
+    unsigned NE = numExprs();
+    ANTIN.assign(NB, BitVector(NE, true));
+    ANTOUT.assign(NB, BitVector(NE, true));
+
+    // Blocks that cannot reach an exit get empty ANTOUT: hoisting into or
+    // above an infinite loop is never down-safe.
+    std::vector<bool> ReachExit(NB, false);
+    {
+      std::vector<BlockId> Work;
+      F.forEachBlock([&](const BasicBlock &B) {
+        if (G.isReachable(B.id()) && B.terminator().Op == Opcode::Ret) {
+          ReachExit[B.id()] = true;
+          Work.push_back(B.id());
+        }
+      });
+      while (!Work.empty()) {
+        BlockId B = Work.back();
+        Work.pop_back();
+        for (BlockId P : G.preds(B))
+          if (!ReachExit[P]) {
+            ReachExit[P] = true;
+            Work.push_back(P);
+          }
+      }
+    }
+
+    std::vector<BlockId> Post = G.postorder();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : Post) {
+        BitVector Out(NE, true);
+        if (G.succs(B).empty() || !ReachExit[B]) {
+          Out.resetAll();
+        } else {
+          for (BlockId S : G.succs(B))
+            Out &= ANTIN[S];
+        }
+        BitVector In = Out;
+        In &= TRANSP[B];
+        In |= ANTLOC[B];
+        if (In != ANTIN[B] || Out != ANTOUT[B]) {
+          ANTIN[B] = std::move(In);
+          ANTOUT[B] = std::move(Out);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // --- Edge set -------------------------------------------------------------
+
+  struct Edge {
+    BlockId From = InvalidBlock; ///< InvalidBlock marks the virtual entry edge
+    BlockId To = 0;
+    BitVector Insert;
+  };
+
+  void collectEdges() {
+    Edges.push_back({InvalidBlock, G.rpo().front(), BitVector(numExprs())});
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      for (BlockId S : B.successors())
+        Edges.push_back({B.id(), S, BitVector(numExprs())});
+    });
+    // In-edge index per block.
+    InEdges.assign(F.numBlocks(), {});
+    for (unsigned E = 0; E < Edges.size(); ++E)
+      InEdges[Edges[E].To].push_back(E);
+  }
+
+  BitVector earliest(const Edge &E) const {
+    unsigned NE = numExprs();
+    if (E.From == InvalidBlock)
+      return ANTIN[E.To];
+    BitVector R = ANTIN[E.To];
+    BitVector NotAvout = AVOUT[E.From];
+    NotAvout.flip();
+    R &= NotAvout;
+    BitVector Guard = TRANSP[E.From]; // ~TRANSP | ~ANTOUT
+    Guard &= ANTOUT[E.From];
+    Guard.flip();
+    R &= Guard;
+    (void)NE;
+    return R;
+  }
+
+  // --- Placement: Drechsler–Stadel lazy code motion -------------------------
+
+  void placeLazyCodeMotion() {
+    unsigned NB = F.numBlocks();
+    unsigned NE = numExprs();
+
+    std::vector<BitVector> Earliest;
+    Earliest.reserve(Edges.size());
+    for (const Edge &E : Edges)
+      Earliest.push_back(earliest(E));
+
+    // LATERIN as greatest fixpoint.
+    LATERIN.assign(NB, BitVector(NE, true));
+    std::vector<BitVector> Later(Edges.size(), BitVector(NE, true));
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned EI = 0; EI < Edges.size(); ++EI) {
+        const Edge &E = Edges[EI];
+        BitVector L = Earliest[EI];
+        if (E.From != InvalidBlock) {
+          BitVector Prop = LATERIN[E.From];
+          BitVector NotAntloc = ANTLOC[E.From];
+          NotAntloc.flip();
+          Prop &= NotAntloc;
+          L |= Prop;
+        }
+        if (L != Later[EI]) {
+          Later[EI] = std::move(L);
+          Changed = true;
+        }
+      }
+      for (BlockId B : G.rpo()) {
+        if (InEdges[B].empty())
+          continue;
+        BitVector In(NE, true);
+        for (unsigned EI : InEdges[B])
+          In &= Later[EI];
+        if (In != LATERIN[B]) {
+          LATERIN[B] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+
+    for (unsigned EI = 0; EI < Edges.size(); ++EI) {
+      BitVector Ins = Later[EI];
+      BitVector NotLaterIn = LATERIN[Edges[EI].To];
+      NotLaterIn.flip();
+      Ins &= NotLaterIn;
+      Edges[EI].Insert = std::move(Ins);
+    }
+
+    DELETE.assign(NB, BitVector(NE));
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      BitVector D = ANTLOC[B.id()];
+      BitVector NotLaterIn = LATERIN[B.id()];
+      NotLaterIn.flip();
+      D &= NotLaterIn;
+      DELETE[B.id()] = std::move(D);
+    });
+  }
+
+  // --- Placement: Morel–Renvoise with D-S'88 edge correction ----------------
+
+  void placeMorelRenvoise() {
+    unsigned NB = F.numBlocks();
+    unsigned NE = numExprs();
+    std::vector<BitVector> PPIN(NB, BitVector(NE, true));
+    std::vector<BitVector> PPOUT(NB, BitVector(NE, true));
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : G.rpo()) {
+        // PPOUT = product of successors' PPIN (empty at exits).
+        BitVector Out(NE, true);
+        if (G.succs(B).empty()) {
+          Out.resetAll();
+        } else {
+          for (BlockId S : G.succs(B))
+            Out &= PPIN[S];
+        }
+        // PPIN = ANTIN * (ANTLOC + TRANSP*PPOUT)
+        //        * prod_preds (PPOUT(p) + AVOUT(p)); empty at entry.
+        BitVector In(NE);
+        if (B != G.rpo().front()) {
+          BitVector Mid = TRANSP[B];
+          Mid &= Out;
+          Mid |= ANTLOC[B];
+          In = ANTIN[B];
+          In &= Mid;
+          for (BlockId P : G.preds(B)) {
+            BitVector Avail = PPOUT[P];
+            Avail |= AVOUT[P];
+            In &= Avail;
+          }
+        }
+        if (In != PPIN[B] || Out != PPOUT[B]) {
+          PPIN[B] = std::move(In);
+          PPOUT[B] = std::move(Out);
+          Changed = true;
+        }
+      }
+    }
+
+    // Edge insertions (the Drechsler–Stadel 1988 correction):
+    // INSERT(p,b) = PPIN(b) * ~AVOUT(p) * ~PPOUT(p).
+    for (Edge &E : Edges) {
+      if (E.From == InvalidBlock) {
+        E.Insert = BitVector(NE);
+        continue;
+      }
+      BitVector Ins = PPIN[E.To];
+      BitVector NotAv = AVOUT[E.From];
+      NotAv.flip();
+      Ins &= NotAv;
+      BitVector NotPP = PPOUT[E.From];
+      NotPP.flip();
+      Ins &= NotPP;
+      E.Insert = std::move(Ins);
+    }
+
+    // Morel–Renvoise block insertions (at the end of b) remain:
+    // INSERT(b) = PPOUT(b) * ~AVOUT(b) * (~PPIN(b) + ~TRANSP(b)).
+    BlockInsert.assign(NB, BitVector(NE));
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      BlockId Id = B.id();
+      BitVector Ins = PPOUT[Id];
+      BitVector NotAv = AVOUT[Id];
+      NotAv.flip();
+      Ins &= NotAv;
+      BitVector Guard = PPIN[Id];
+      Guard &= TRANSP[Id];
+      Guard.flip();
+      Ins &= Guard;
+      BlockInsert[Id] = std::move(Ins);
+    });
+
+    DELETE.assign(NB, BitVector(NE));
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      BitVector D = ANTLOC[B.id()];
+      D &= PPIN[B.id()];
+      DELETE[B.id()] = std::move(D);
+    });
+  }
+
+  // --- Placement: available-expressions CSE (delete-only) -------------------
+
+  void placeGlobalCSE() {
+    unsigned NB = F.numBlocks();
+    unsigned NE = numExprs();
+    for (Edge &E : Edges)
+      E.Insert = BitVector(NE);
+    DELETE.assign(NB, BitVector(NE));
+    F.forEachBlock([&](const BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      BitVector D = ANTLOC[B.id()];
+      D &= AVIN[B.id()];
+      DELETE[B.id()] = std::move(D);
+    });
+  }
+
+  // --- Rewrite --------------------------------------------------------------
+
+  void applyDeletions() {
+    F.forEachBlock([&](BasicBlock &B) {
+      if (!G.isReachable(B.id()))
+        return;
+      // Killed: some operand redefined since block entry (the globally
+      // deletable occurrences are the ones before the first kill).
+      // CompClean: e was computed and no operand changed since — any
+      // further computation is locally redundant (classic local CSE, which
+      // Morel–Renvoise assume as a preprocessing step).
+      BitVector Killed(numExprs());
+      BitVector CompClean(numExprs());
+      std::vector<Instruction> Kept;
+      Kept.reserve(B.Insts.size());
+      for (Instruction &I : B.Insts) {
+        bool Drop = false;
+        if (I.hasDst()) {
+          auto It = ExprIndex.find(I.Dst);
+          if (It != ExprIndex.end() && computes(I, It->second)) {
+            unsigned E = It->second;
+            if (CompClean.test(E))
+              Drop = true; // locally redundant recomputation
+            else if (DELETE[B.id()].test(E) && !Killed.test(E))
+              Drop = true; // globally (partially) redundant
+            CompClean.set(E);
+          }
+        }
+        if (I.hasDst()) {
+          for (unsigned E : RegToExprs[I.Dst]) {
+            Killed.set(E);
+            CompClean.reset(E);
+          }
+        }
+        if (Drop) {
+          ++Stats.Deleted;
+          continue;
+        }
+        Kept.push_back(std::move(I));
+      }
+      B.Insts = std::move(Kept);
+    });
+  }
+
+  /// Orders the expressions inserted on one edge so operands defined by
+  /// sibling insertions come first.
+  std::vector<unsigned> orderInsertions(const BitVector &Ins) {
+    std::vector<unsigned> List;
+    for (int E = Ins.findFirst(); E != -1; E = Ins.findNext(unsigned(E)))
+      List.push_back(unsigned(E));
+    std::vector<unsigned> Ordered;
+    std::set<unsigned> Placed;
+    // Simple repeated sweep; dependency chains are short.
+    while (Ordered.size() < List.size()) {
+      bool Progress = false;
+      for (unsigned E : List) {
+        if (Placed.count(E))
+          continue;
+        bool Ready = true;
+        for (Reg Op : Universe[E].Proto.Operands) {
+          auto It = ExprIndex.find(Op);
+          if (It != ExprIndex.end() && Ins.test(It->second) &&
+              !Placed.count(It->second))
+            Ready = false;
+        }
+        if (!Ready)
+          continue;
+        Ordered.push_back(E);
+        Placed.insert(E);
+        Progress = true;
+      }
+      if (!Progress) {
+        // Operand cycle between inserted expressions cannot happen with
+        // acyclic lexical nesting, but fall back gracefully.
+        for (unsigned E : List)
+          if (!Placed.count(E)) {
+            Ordered.push_back(E);
+            Placed.insert(E);
+          }
+      }
+    }
+    return Ordered;
+  }
+
+  void applyInsertions() {
+    // Morel–Renvoise block insertions: computations placed at block ends.
+    if (!BlockInsert.empty()) {
+      F.forEachBlock([&](BasicBlock &B) {
+        if (!G.isReachable(B.id()) || BlockInsert[B.id()].none())
+          return;
+        std::vector<unsigned> Ordered = orderInsertions(BlockInsert[B.id()]);
+        for (unsigned Ex : Ordered) {
+          B.insertBeforeTerminator(Universe[Ex].Proto);
+          ++Stats.Inserted;
+        }
+      });
+    }
+    for (Edge &E : Edges) {
+      if (E.Insert.none())
+        continue;
+      std::vector<unsigned> Ordered = orderInsertions(E.Insert);
+      std::vector<Instruction> News;
+      for (unsigned Ex : Ordered) {
+        News.push_back(Universe[Ex].Proto);
+        ++Stats.Inserted;
+      }
+      if (E.From == InvalidBlock) {
+        BasicBlock *Entry = F.block(E.To);
+        Entry->Insts.insert(Entry->Insts.begin(),
+                            std::make_move_iterator(News.begin()),
+                            std::make_move_iterator(News.end()));
+        continue;
+      }
+      BasicBlock *To = F.block(E.To);
+      BasicBlock *From = F.block(E.From);
+      if (G.preds(E.To).size() == 1) {
+        To->Insts.insert(To->Insts.begin() + To->firstNonPhi(),
+                         std::make_move_iterator(News.begin()),
+                         std::make_move_iterator(News.end()));
+      } else if (G.succs(E.From).size() == 1) {
+        From->Insts.insert(From->Insts.end() - 1,
+                           std::make_move_iterator(News.begin()),
+                           std::make_move_iterator(News.end()));
+      } else {
+        BasicBlock *Mid = splitEdge(F, E.From, E.To);
+        ++Stats.EdgesSplit;
+        Mid->Insts.insert(Mid->Insts.begin(),
+                          std::make_move_iterator(News.begin()),
+                          std::make_move_iterator(News.end()));
+      }
+    }
+  }
+
+  Function &F;
+  PREStrategy Strategy;
+  PREStats Stats;
+  CFG G;
+  std::vector<ExprInfo> Universe;
+  std::map<Reg, unsigned> ExprIndex;
+  std::vector<std::vector<unsigned>> RegToExprs;
+  std::vector<BitVector> ANTLOC, COMP, TRANSP;
+  std::vector<BitVector> AVIN, AVOUT, ANTIN, ANTOUT;
+  std::vector<BitVector> LATERIN, DELETE;
+  /// Block-end insertions (Morel–Renvoise strategy only).
+  std::vector<BitVector> BlockInsert;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> InEdges;
+};
+
+} // namespace
+
+PREStats epre::eliminatePartialRedundancies(Function &F,
+                                            PREStrategy Strategy) {
+  return PREImpl(F, Strategy).run();
+}

@@ -1,0 +1,55 @@
+//===- pre/PRE.h - Partial redundancy elimination ----------------*- C++ -*-===//
+///
+/// \file
+/// Partial redundancy elimination over lexically named expressions, in the
+/// Drechsler–Stadel formulation (edge placement, unidirectional equations —
+/// the variation the paper's implementation uses [14]).
+///
+/// The expression universe is built from the naming discipline of §2.2:
+/// every computation of expression e targets the same register d_e, so an
+/// expression is identified by its destination name. Requirements checked
+/// (not assumed): every definition of d_e is the same lexical expression,
+/// and d_e is never used in a block without a preceding local definition
+/// (the §5.1 rule — forward propagation and the hashed front end establish
+/// it; expressions violating it are conservatively dropped).
+///
+/// A Morel–Renvoise-style bidirectional variant is provided for ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_PRE_PRE_H
+#define EPRE_PRE_PRE_H
+
+#include "ir/Function.h"
+
+namespace epre {
+
+enum class PREStrategy {
+  /// Drechsler–Stadel lazy code motion (computationally optimal placement,
+  /// unidirectional dataflow, edge insertion).
+  LazyCodeMotion,
+  /// The original Morel–Renvoise bidirectional system with the
+  /// Drechsler–Stadel 1988 edge-placement correction.
+  MorelRenvoise,
+  /// Classic global common-subexpression elimination: remove fully
+  /// redundant computations (available on every path), insert nothing.
+  /// The middle rung of the §5.3 hierarchy; used for the ablation bench.
+  GlobalCSE,
+};
+
+struct PREStats {
+  unsigned UniverseSize = 0;   ///< expressions considered
+  unsigned DroppedUnsafe = 0;  ///< expressions dropped by the §5.1 filter
+  unsigned Inserted = 0;       ///< computations inserted on edges
+  unsigned Deleted = 0;        ///< redundant computations removed
+  unsigned EdgesSplit = 0;     ///< critical edges split for insertion
+};
+
+/// Runs PRE on phi-free code whose names obey the §2.2 discipline.
+/// Never lengthens any execution path.
+PREStats eliminatePartialRedundancies(
+    Function &F, PREStrategy Strategy = PREStrategy::LazyCodeMotion);
+
+} // namespace epre
+
+#endif // EPRE_PRE_PRE_H

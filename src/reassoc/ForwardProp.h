@@ -1,0 +1,49 @@
+//===- reassoc/ForwardProp.h - Forward propagation (§3.1) --------*- C++ -*-===//
+///
+/// \file
+/// Copies expressions forward to their uses, building per-use expression
+/// trees, and eliminates phi nodes by inserting copies at predecessors.
+///
+/// After this pass:
+///  - the function is out of SSA form;
+///  - "variable names" (former phi targets) are defined only by copies;
+///  - every expression is computed in the block that uses it, immediately
+///    before the using instruction (store, load address, branch condition,
+///    return value, or phi-input copy) — the property PRE's correctness
+///    requires (paper §5.1);
+///  - loads and their results stay in place (no alias analysis; the load's
+///    result is a rank-bearing leaf, like the paper's procedure-modified
+///    variables).
+///
+/// Forward propagation duplicates code (paper Table 2 measures the factor)
+/// and may move expressions into loops (§4.2); PRE is expected to undo the
+/// damage and more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_REASSOC_FORWARDPROP_H
+#define EPRE_REASSOC_FORWARDPROP_H
+
+#include "ir/Function.h"
+#include "reassoc/Ranks.h"
+
+namespace epre {
+
+struct ForwardPropStats {
+  unsigned OpsBefore = 0;
+  unsigned OpsAfter = 0;
+  unsigned PhisRemoved = 0;
+  unsigned TreesCloned = 0;
+
+  double expansion() const {
+    return OpsBefore ? double(OpsAfter) / double(OpsBefore) : 1.0;
+  }
+};
+
+/// Runs forward propagation on \p F (must be in SSA form with critical
+/// edges split). Extends \p Ranks with the ranks of cloned registers.
+ForwardPropStats propagateForward(Function &F, RankMap &Ranks);
+
+} // namespace epre
+
+#endif // EPRE_REASSOC_FORWARDPROP_H

@@ -1,0 +1,56 @@
+//===- reassoc/Ranks.cpp --------------------------------------------------===//
+
+#include "reassoc/Ranks.h"
+
+#include "analysis/CFG.h"
+
+using namespace epre;
+
+RankMap RankMap::compute(const Function &F, const CFG &G) {
+  RankMap M;
+  M.BlockRanks.assign(F.numBlocks(), 0);
+  M.Ranks.assign(F.numRegs(), 0);
+
+  // Blocks are ranked in reverse-postorder visit order, starting at 1.
+  unsigned NextRank = 1;
+  for (BlockId B : G.rpo())
+    M.BlockRanks[B] = NextRank++;
+
+  // Parameters are defined at function entry.
+  for (Reg P : F.params())
+    M.Ranks[P] = M.BlockRanks[G.rpo().front()];
+
+  // One RPO sweep suffices in SSA form: every non-phi operand is defined
+  // before it is referenced in this order, and phi/load/call-free results
+  // take their rank from the block, not from operands.
+  for (BlockId B : G.rpo()) {
+    unsigned BR = M.BlockRanks[B];
+    for (const Instruction &I : F.block(B)->Insts) {
+      if (!I.hasDst())
+        continue;
+      switch (I.Op) {
+      case Opcode::LoadI:
+      case Opcode::LoadF:
+        M.Ranks[I.Dst] = 0;
+        break;
+      case Opcode::Phi:
+      case Opcode::Load:
+        M.Ranks[I.Dst] = BR;
+        break;
+      case Opcode::Copy: {
+        M.Ranks[I.Dst] = M.Ranks[I.Operands[0]];
+        break;
+      }
+      default: {
+        // Expressions (intrinsic calls included — they are pure).
+        unsigned R = 0;
+        for (Reg Op : I.Operands)
+          R = std::max(R, M.Ranks[Op]);
+        M.Ranks[I.Dst] = R;
+        break;
+      }
+      }
+    }
+  }
+  return M;
+}

@@ -1,0 +1,63 @@
+//===- reassoc/Ranks.h - Rank analysis (Briggs & Cooper §3.1) ----*- C++ -*-===//
+///
+/// \file
+/// Computes the rank of every register of a function in pruned SSA form:
+///
+///   1. a constant has rank zero;
+///   2. the result of a phi node, of a load, or of anything else whose value
+///      is pinned to a program point (parameters) has the rank of its
+///      defining block — blocks are ranked 1, 2, ... in reverse postorder;
+///   3. any other expression has the rank of its highest-ranked operand.
+///
+/// Ranks order operands so that loop-invariant (low-rank) subexpressions
+/// cluster together under reassociation, maximizing what PRE can hoist and
+/// how far it can hoist it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_REASSOC_RANKS_H
+#define EPRE_REASSOC_RANKS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace epre {
+
+class CFG;
+
+/// Per-register ranks; extendable as passes clone expressions.
+class RankMap {
+public:
+  unsigned rank(Reg R) const {
+    assert(R < Ranks.size() && "register has no rank");
+    return Ranks[R];
+  }
+
+  /// True if a rank has been recorded for \p R.
+  bool hasRank(Reg R) const { return R < Ranks.size(); }
+
+  void setRank(Reg R, unsigned Rank) {
+    if (R >= Ranks.size())
+      Ranks.resize(R + 1, 0);
+    Ranks[R] = Rank;
+  }
+
+  unsigned blockRank(BlockId B) const {
+    assert(B < BlockRanks.size());
+    return BlockRanks[B];
+  }
+
+  /// Computes ranks for \p F, which must be in SSA form (each register has
+  /// at most one definition; intrinsic calls count as expressions since
+  /// they are pure).
+  static RankMap compute(const Function &F, const CFG &G);
+
+private:
+  std::vector<unsigned> Ranks;
+  std::vector<unsigned> BlockRanks;
+};
+
+} // namespace epre
+
+#endif // EPRE_REASSOC_RANKS_H

@@ -1,0 +1,71 @@
+//===- ssa/ParallelCopy.cpp -----------------------------------------------===//
+
+#include "ssa/ParallelCopy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace epre;
+
+std::vector<Instruction>
+epre::sequenceParallelCopies(Function &F, std::vector<PendingCopy> Copies) {
+  std::vector<Instruction> Out;
+
+  // Self copies are no-ops under parallel semantics.
+  Copies.erase(std::remove_if(Copies.begin(), Copies.end(),
+                              [](const PendingCopy &C) {
+                                return C.Dst == C.Src;
+                              }),
+               Copies.end());
+
+#ifndef NDEBUG
+  for (unsigned I = 0; I < Copies.size(); ++I)
+    for (unsigned J = I + 1; J < Copies.size(); ++J)
+      assert(Copies[I].Dst != Copies[J].Dst && "duplicate destination");
+#endif
+
+  // Loc[R]: the register currently holding the original value of R.
+  std::map<Reg, Reg> Loc;
+  for (const PendingCopy &C : Copies)
+    Loc.emplace(C.Src, C.Src);
+
+  auto emitCopy = [&](Reg Dst, Reg Src) {
+    Out.push_back(Instruction::makeCopy(F.regType(Src), Dst, Src));
+  };
+
+  std::vector<PendingCopy> Pending = std::move(Copies);
+  while (!Pending.empty()) {
+    bool Progress = false;
+    for (auto It = Pending.begin(); It != Pending.end();) {
+      Reg D = It->Dst;
+      // Safe to write D if no other pending copy still reads from D's
+      // current content.
+      bool Needed = false;
+      for (const PendingCopy &Other : Pending) {
+        if (&Other != &*It && Loc[Other.Src] == D) {
+          Needed = true;
+          break;
+        }
+      }
+      if (Needed) {
+        ++It;
+        continue;
+      }
+      emitCopy(D, Loc[It->Src]);
+      It = Pending.erase(It);
+      Progress = true;
+    }
+    if (Progress)
+      continue;
+    // Every pending destination is still needed as a source: a cycle.
+    // Evacuate one destination to a temporary to break it.
+    PendingCopy &C = Pending.front();
+    Reg Tmp = F.makeReg(F.regType(C.Dst));
+    emitCopy(Tmp, C.Dst);
+    for (auto &[Orig, Where] : Loc)
+      if (Where == C.Dst)
+        Where = Tmp;
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- ssa/ParallelCopy.h - Sequencing parallel copies -----------*- C++ -*-===//
+///
+/// \file
+/// Turns a set of semantically-parallel register copies (as arise at a CFG
+/// edge when eliminating phi nodes) into an equivalent *sequence* of copy
+/// instructions, inserting temporaries to break cycles (the classic "swap
+/// problem") and ordering to avoid overwrites (the "lost copy problem").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_SSA_PARALLELCOPY_H
+#define EPRE_SSA_PARALLELCOPY_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace epre {
+
+/// One pending parallel copy Dst <- Src.
+struct PendingCopy {
+  Reg Dst;
+  Reg Src;
+};
+
+/// Returns an instruction sequence equivalent to executing all \p Copies
+/// simultaneously. Destinations must be pairwise distinct. May allocate
+/// temporary registers in \p F.
+std::vector<Instruction> sequenceParallelCopies(Function &F,
+                                                std::vector<PendingCopy> Copies);
+
+} // namespace epre
+
+#endif // EPRE_SSA_PARALLELCOPY_H

@@ -1,0 +1,70 @@
+//===- suite/Harness.cpp --------------------------------------------------===//
+
+#include "suite/Harness.h"
+
+#include "analysis/CFG.h"
+#include "frontend/Lower.h"
+#include "reassoc/Ranks.h"
+#include "ssa/SSA.h"
+
+using namespace epre;
+
+NamingMode epre::namingForLevel(OptLevel L) {
+  return L == OptLevel::Partial ? NamingMode::Hashed : NamingMode::Naive;
+}
+
+Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
+                                 const PipelineOptions *Overrides) {
+  Measurement M;
+  LowerResult LR = compileMiniFortran(R.Source, namingForLevel(Level));
+  if (!LR.ok()) {
+    M.CompileError = LR.Error;
+    return M;
+  }
+  M.CompileOk = true;
+  Function *F = LR.M->find(R.Name);
+  if (!F) {
+    M.CompileOk = false;
+    M.CompileError = "routine '" + R.Name + "' not found after lowering";
+    return M;
+  }
+  M.StaticOpsBefore = F->staticOperationCount();
+
+  PipelineOptions PO;
+  if (Overrides)
+    PO = *Overrides;
+  PO.Level = Level;
+  M.Stats = optimizeFunction(*F, PO);
+  M.StaticOpsAfter = F->staticOperationCount();
+
+  size_t LocalBytes = 0;
+  for (const RoutineInfo &RI : LR.Routines)
+    if (RI.Name == R.Name)
+      LocalBytes = RI.LocalMemBytes;
+  MemoryImage Mem(LocalBytes);
+  std::vector<RtValue> Args = R.MakeArgs ? R.MakeArgs(Mem)
+                                         : std::vector<RtValue>{};
+  ExecResult E = interpret(*F, Args, Mem);
+  M.Trapped = E.Trapped;
+  M.TrapReason = E.TrapReason;
+  M.DynOps = E.DynOps;
+  M.WeightedCost = E.WeightedCost;
+  M.HasReturn = E.HasReturn;
+  M.ReturnValue = E.ReturnValue;
+  M.MemHash = Mem.hash();
+  return M;
+}
+
+ForwardPropStats epre::measureForwardPropExpansion(const Routine &R) {
+  ForwardPropStats S;
+  LowerResult LR = compileMiniFortran(R.Source, NamingMode::Naive);
+  if (!LR.ok())
+    return S;
+  Function *F = LR.M->find(R.Name);
+  if (!F)
+    return S;
+  buildSSA(*F);
+  CFG G = CFG::compute(*F);
+  RankMap Ranks = RankMap::compute(*F, G);
+  return propagateForward(*F, Ranks);
+}

@@ -1,0 +1,53 @@
+//===- suite/Harness.h - Compile/optimize/measure one routine ----*- C++ -*-===//
+///
+/// \file
+/// The measurement harness reproducing the paper's methodology: compile a
+/// routine with the front-end naming discipline appropriate for the
+/// optimization level, run the level's pass pipeline, execute on the
+/// deterministic driver inputs, and report dynamic ILOC operation counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_SUITE_HARNESS_H
+#define EPRE_SUITE_HARNESS_H
+
+#include "frontend/Lower.h"
+#include "pipeline/Pipeline.h"
+#include "suite/Suite.h"
+
+namespace epre {
+
+/// Result of one measured execution.
+struct Measurement {
+  bool CompileOk = false;
+  std::string CompileError;
+  bool Trapped = false;
+  std::string TrapReason;
+  uint64_t DynOps = 0;
+  uint64_t WeightedCost = 0;
+  uint64_t MemHash = 0;
+  bool HasReturn = false;
+  RtValue ReturnValue;
+  PipelineStats Stats;
+  unsigned StaticOpsBefore = 0;
+  unsigned StaticOpsAfter = 0;
+
+  bool ok() const { return CompileOk && !Trapped; }
+};
+
+/// The front-end naming mode each level is measured with: PRE alone needs
+/// the §2.2 hash discipline; the reassociation levels construct their own
+/// naming and take naive input; the baselines take naive input.
+NamingMode namingForLevel(OptLevel L);
+
+/// Compiles, optimizes and runs \p R at \p Level.
+Measurement measureRoutine(const Routine &R, OptLevel Level,
+                           const PipelineOptions *Overrides = nullptr);
+
+/// Measures only the forward-propagation static code expansion (Table 2):
+/// static op counts immediately before and after forward propagation.
+ForwardPropStats measureForwardPropExpansion(const Routine &R);
+
+} // namespace epre
+
+#endif // EPRE_SUITE_HARNESS_H

@@ -1,0 +1,386 @@
+//===- suite/RoutinesFMM.cpp - FMM-style numerical routines ---------------===//
+///
+/// Routines named after the Forsythe/Malcolm/Moler programs the paper used,
+/// implementing the corresponding textbook algorithms (self-contained: the
+/// integrands/objective functions are inlined since the language has no
+/// user calls).
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace epre;
+
+namespace epre::suite_detail {
+
+std::vector<Routine> fmmRoutines() {
+  std::vector<Routine> R;
+  auto noArgs = [](MemoryImage &) { return std::vector<RtValue>{}; };
+
+  // Golden-section minimization of (x-2)^2 + 1 on [a, b].
+  R.push_back({"fmin", R"(
+function fmin(a, b)
+  real a, b
+  c = 0.3819660112501051
+  xa = a
+  xb = b
+  x1 = xa + c * (xb - xa)
+  x2 = xb - c * (xb - xa)
+  f1 = (x1 - 2.0) * (x1 - 2.0) + 1.0
+  f2 = (x2 - 2.0) * (x2 - 2.0) + 1.0
+  do k = 1, 40
+    if (f1 .lt. f2) then
+      xb = x2
+      x2 = x1
+      f2 = f1
+      x1 = xa + c * (xb - xa)
+      f1 = (x1 - 2.0) * (x1 - 2.0) + 1.0
+    else
+      xa = x1
+      x1 = x2
+      f1 = f2
+      x2 = xb - c * (xb - xa)
+      f2 = (x2 - 2.0) * (x2 - 2.0) + 1.0
+    end if
+  end do
+  return (xa + xb) / 2.0
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(0.0),
+                                             RtValue::ofF(5.0)};
+               }});
+
+  // Bisection root finding for x^3 - 2x - 5 on [a, b].
+  R.push_back({"zeroin", R"(
+function zeroin(a, b)
+  real a, b
+  xa = a
+  xb = b
+  fa = xa * xa * xa - 2.0 * xa - 5.0
+  do k = 1, 60
+    xm = 0.5 * (xa + xb)
+    fm = xm * xm * xm - 2.0 * xm - 5.0
+    if (sign(1.0, fm) .eq. sign(1.0, fa)) then
+      xa = xm
+      fa = fm
+    else
+      xb = xm
+    end if
+  end do
+  return 0.5 * (xa + xb)
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(2.0),
+                                             RtValue::ofF(3.0)};
+               }});
+
+  // Natural cubic spline coefficient computation (tridiagonal sweep).
+  R.push_back({"spline", R"(
+function spline(n)
+  integer n, nm1
+  real x(64), y(64), b(64), c(64), d(64)
+  do i = 1, n
+    x(i) = i * 0.5
+    y(i) = sin(x(i))
+  end do
+  nm1 = n - 1
+  do i = 1, nm1
+    d(i) = x(i + 1) - x(i)
+    b(i) = (y(i + 1) - y(i)) / d(i)
+  end do
+  c(1) = 0.0
+  c(n) = 0.0
+  do i = 2, nm1
+    c(i) = 3.0 * (b(i) - b(i - 1)) / (d(i) + d(i - 1))
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + c(i) + b(i) * 0.25
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(48)};
+               }});
+
+  // Spline evaluation: locate the segment, evaluate the cubic (Horner).
+  R.push_back({"seval", R"(
+function seval(u, n)
+  real u
+  integer n, i
+  real x(32), y(32), b(32), c(32), d(32)
+  do i = 1, n
+    x(i) = i * 1.0
+    y(i) = x(i) * x(i)
+    b(i) = 2.0 * x(i)
+    c(i) = 1.0
+    d(i) = 0.0
+  end do
+  i = 1
+  while (i .lt. n .and. x(i + 1) .lt. u)
+    i = i + 1
+  end while
+  dx = u - x(i)
+  return y(i) + dx * (b(i) + dx * (c(i) + dx * d(i)))
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(17.3),
+                                             RtValue::ofI(32)};
+               }});
+
+  // LU decomposition without pivoting on a diagonally dominant matrix.
+  R.push_back({"decomp", R"(
+function decomp(n)
+  integer n, nm1
+  real a(16,16)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = 1.0 / (i + j - 1)
+    end do
+    a(j,j) = a(j,j) + 4.0
+  end do
+  nm1 = n - 1
+  do k = 1, nm1
+    do i = k + 1, n
+      a(i,k) = a(i,k) / a(k,k)
+      do j = k + 1, n
+        a(i,j) = a(i,j) - a(i,k) * a(k,j)
+      end do
+    end do
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + a(i,i)
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(16)};
+               }});
+
+  // Back substitution on an upper-triangular system.
+  R.push_back({"solve", R"(
+function solve(n)
+  integer n
+  real u(12,12), b(12), x(12)
+  do j = 1, n
+    do i = 1, n
+      u(i,j) = 1.0 / (i + j)
+    end do
+    u(j,j) = 2.0 + 0.5 * j
+    b(j) = j
+  end do
+  do i = n, 1, -1
+    s = b(i)
+    do j = i + 1, n
+      s = s - u(i,j) * x(j)
+    end do
+    x(i) = s / u(i,i)
+  end do
+  return x(1) + x(n)
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(12)};
+               }});
+
+  // Dominant singular value by power iteration on A^T A.
+  R.push_back({"svd", R"(
+function svd(n)
+  integer n
+  real a(10,10), x(10), y(10), z(10)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = sin(0.5 * i) * cos(0.3 * j) + 1.0 / (i + j)
+    end do
+  end do
+  do i = 1, n
+    x(i) = 1.0
+  end do
+  vnorm = 1.0
+  do it = 1, 8
+    do i = 1, n
+      y(i) = 0.0
+    end do
+    do j = 1, n
+      do i = 1, n
+        y(i) = y(i) + a(i,j) * x(j)
+      end do
+    end do
+    do i = 1, n
+      z(i) = 0.0
+    end do
+    do j = 1, n
+      do i = 1, n
+        z(i) = z(i) + a(j,i) * y(j)
+      end do
+    end do
+    vnorm = 0.0
+    do i = 1, n
+      vnorm = vnorm + z(i) * z(i)
+    end do
+    vnorm = sqrt(vnorm)
+    do i = 1, n
+      x(i) = z(i) / vnorm
+    end do
+  end do
+  return sqrt(vnorm)
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(10)};
+               }});
+
+  // Linear congruential uniform random numbers, averaged.
+  R.push_back({"urand", R"(
+function urand(n)
+  integer n, ix
+  ix = 12345
+  s = 0.0
+  do i = 1, n
+    ix = mod(ix * 1103515245 + 12345, 2147483648)
+    s = s + real(ix) / 2147483648.0
+  end do
+  return s / real(n)
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(400)};
+               }});
+
+  // Runge-Kutta-Fehlberg driver: repeated RKF4(5) steps on y' = -y + t.
+  R.push_back({"rkf45", R"(
+function rkf45(y0, nsteps)
+  real y0
+  integer nsteps
+  y = y0
+  t = 0.0
+  h = 0.05
+  do i = 1, nsteps
+    f1 = t - y
+    f2 = (t + 0.25 * h) - (y + 0.25 * h * f1)
+    f3 = (t + 0.375 * h) - (y + h * (0.09375 * f1 + 0.28125 * f2))
+    f4 = (t + 0.9230769230769231 * h) - (y + h * (0.8793809740555303 * f1 - 3.277196176604461 * f2 + 3.3208921256258535 * f3))
+    f5 = (t + h) - (y + h * (2.0324074074074074 * f1 - 8.0 * f2 + 7.173489278752436 * f3 - 0.20589668615984405 * f4))
+    y = y + h * (0.11574074074074074 * f1 + 0.5489278752436647 * f3 + 0.5353313840155945 * f4 - 0.2 * f5)
+    t = t + h
+  end do
+  return y
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(1.0),
+                                             RtValue::ofI(60)};
+               }});
+
+  // One Fehlberg stage evaluation batch over an array of states.
+  R.push_back({"fehl", R"(
+function fehl(h, n)
+  real h
+  integer n
+  real y(40), yp(40)
+  do i = 1, n
+    y(i) = 0.1 * i
+  end do
+  do i = 1, n
+    f1 = -y(i)
+    f2 = -(y(i) + 0.25 * h * f1)
+    f3 = -(y(i) + h * (0.09375 * f1 + 0.28125 * f2))
+    f4 = -(y(i) + h * (0.8793809740555303 * f1 - 3.277196176604461 * f2 + 3.3208921256258535 * f3))
+    yp(i) = y(i) + h * (0.11574074074074074 * f1 + 0.5489278752436647 * f3 + 0.5353313840155945 * f4)
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + yp(i)
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(0.1),
+                                             RtValue::ofI(40)};
+               }});
+
+  // Step-size control logic of the RKF integrator.
+  R.push_back({"rkfs", R"(
+function rkfs(tol, nsteps)
+  real tol
+  integer nsteps
+  h = 0.5
+  t = 0.0
+  y = 1.0
+  do i = 1, nsteps
+    est = abs(h * h * h * 0.01 * y)
+    if (est .gt. tol) then
+      h = 0.5 * h
+    else
+      if (est .lt. 0.01 * tol) then
+        h = 2.0 * h
+      end if
+      y = y + h * (t - y)
+      t = t + h
+    end if
+    if (h .gt. 0.5) then
+      h = 0.5
+    end if
+  end do
+  return y + t
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(1.0e-4),
+                                             RtValue::ofI(50)};
+               }});
+
+  // Composite trapezoid integration of x * exp(-x) on [0, 3].
+  R.push_back({"integr", R"(
+function integr(n)
+  integer n
+  real s
+  h = 3.0 / real(n)
+  s = 0.0
+  do i = 1, n
+    x0 = (i - 1) * h
+    x1 = i * h
+    s = s + 0.5 * h * (x0 * exp(0.0 - x0) + x1 * exp(0.0 - x1))
+  end do
+  integr = int(s * 1000000.0)
+  return
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(64)};
+               }});
+
+  // Sine-integral-style alternating series with factorial recurrence.
+  R.push_back({"si", R"(
+function si(x, nterms)
+  real x, term
+  integer nterms, k2
+  s = x
+  term = x
+  sgn = -1.0
+  do k = 1, nterms
+    k2 = 2 * k
+    term = term * x * x / (k2 * (k2 + 1))
+    s = s + sgn * term / (k2 + 1)
+    sgn = 0.0 - sgn
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(1.2),
+                                             RtValue::ofI(10)};
+               }});
+
+  (void)noArgs;
+  return R;
+}
+
+} // namespace epre::suite_detail

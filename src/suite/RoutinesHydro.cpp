@@ -1,0 +1,299 @@
+//===- suite/RoutinesHydro.cpp - Reactor/hydraulics-flavored routines -----===//
+///
+/// Kernels named after the French hydraulics code routines in the paper's
+/// suite. Each is a distinct numerical pattern: correlations with
+/// transcendentals, conditional accumulations, table interpolation,
+/// piecewise models, digit manipulation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace epre;
+
+namespace epre::suite_detail {
+
+std::vector<Routine> hydroRoutines() {
+  std::vector<Routine> R;
+  auto argsI = [](long long N) {
+    return [N](MemoryImage &) {
+      return std::vector<RtValue>{RtValue::ofI(N)};
+    };
+  };
+
+  // Flow "debit" computation: sqrt-dominated correlation per channel.
+  R.push_back({"debico", R"(
+function debico(n)
+  integer n
+  real q(48)
+  do i = 1, n
+    dp = 0.5 + 0.01 * i
+    rho = 800.0 - 2.0 * i
+    q(i) = 0.61 * sqrt(2.0 * dp * 100000.0 / rho)
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + q(i) * q(i)
+  end do
+  return s
+end
+)",
+               argsI(48)});
+
+  // Startup flow: Newton iteration for q with friction q^2 term.
+  R.push_back({"cardeb", R"(
+function cardeb(n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    dp = 1.0 + 0.1 * i
+    q = 1.0
+    do k = 1, 6
+      f = 0.02 * q * q + 0.3 * q - dp
+      fp = 0.04 * q + 0.3
+      q = q - f / fp
+    end do
+    s = s + q
+  end do
+  return s
+end
+)",
+               argsI(24)});
+
+  // Organize parameters: clamping, min/max scans, range normalization.
+  R.push_back({"orgpar", R"(
+function orgpar(n)
+  integer n
+  real p(40)
+  do i = 1, n
+    p(i) = sin(0.7 * i) * 10.0
+  end do
+  pmin = p(1)
+  pmax = p(1)
+  do i = 2, n
+    pmin = min(pmin, p(i))
+    pmax = max(pmax, p(i))
+  end do
+  range = pmax - pmin
+  s = 0.0
+  do i = 1, n
+    p(i) = (p(i) - pmin) / range
+    s = s + p(i)
+  end do
+  return s + range
+end
+)",
+               argsI(40)});
+
+  // Fill/drain cycles with level-dependent rates.
+  R.push_back({"repvid", R"(
+function repvid(ncycles)
+  integer ncycles
+  level = 0.0
+  s = 0.0
+  do k = 1, ncycles
+    do i = 1, 20
+      rate = 2.0 - 0.05 * level
+      level = level + rate * 0.1
+      s = s + rate
+    end do
+    do i = 1, 15
+      rate = 0.8 * sqrt(level + 1.0)
+      level = level - rate * 0.1
+      s = s - rate * 0.5
+    end do
+  end do
+  return s + level
+end
+)",
+               argsI(12)});
+
+  // Derivative of the fill/drain model: finite differences of rates.
+  R.push_back({"drepvi", R"(
+function drepvi(n)
+  integer n
+  real lev(64), dr(64)
+  do i = 1, n
+    lev(i) = 0.25 * i + sin(0.2 * i)
+  end do
+  h = 0.25
+  do i = 2, n - 1
+    dr(i) = (lev(i+1) - lev(i-1)) / (2.0 * h)
+  end do
+  dr(1) = (lev(2) - lev(1)) / h
+  dr(n) = (lev(n) - lev(n-1)) / h
+  s = 0.0
+  do i = 1, n
+    s = s + dr(i) * dr(i)
+  end do
+  return s
+end
+)",
+               argsI(64)});
+
+  // Initialization of the flow network with conditional defaults.
+  R.push_back({"inideb", R"(
+function inideb(n)
+  integer n
+  real q(40), a(40)
+  do i = 1, n
+    a(i) = 0.1 * i - 1.5
+    if (a(i) .lt. 0.0) then
+      q(i) = 0.5
+    else
+      q(i) = 0.5 + a(i) * a(i)
+    end if
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + q(i) / (1.0 + a(i) * a(i))
+  end do
+  return s
+end
+)",
+               argsI(40)});
+
+  // Time-step selection: nested stability limits.
+  R.push_back({"pastem", R"(
+function pastem(n)
+  integer n
+  dt = 1.0
+  s = 0.0
+  do i = 1, n
+    u = 0.5 + 0.1 * abs(sin(0.3 * i))
+    dx = 0.1 + 0.001 * i
+    dtc = dx / u
+    dtd = 0.5 * dx * dx / 0.01
+    dt = min(1.2 * dt, min(dtc, dtd))
+    dt = max(dt, 1.0e-4)
+    s = s + dt
+  end do
+  return s
+end
+)",
+               argsI(60)});
+
+  // Secondary-circuit balance: rational expressions with shared parts.
+  R.push_back({"deseco", R"(
+function deseco(n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    t = 280.0 + 0.5 * i
+    p = 60.0 + 0.02 * i
+    h1 = 1200.0 + 4.2 * t + 0.001 * t * t
+    h2 = 2800.0 - 1.5 * (t - 300.0) * (t - 300.0) / (p + 1.0)
+    x = (h2 - h1) / (h2 - h1 + 500.0)
+    s = s + x * h2 + (1.0 - x) * h1
+  end do
+  return s
+end
+)",
+               argsI(80)});
+
+  // Digit manipulation: build format codes out of decimal digits.
+  R.push_back({"fmtgen", R"(
+function fmtgen(n)
+  integer n, v, d, code
+  ksum = 0
+  do i = 1, n
+    v = i * 37 + 11
+    code = 0
+    do k = 1, 4
+      d = mod(v, 10)
+      code = code * 10 + d
+      v = v / 10
+    end do
+    ksum = ksum + code
+  end do
+  return ksum
+end
+)",
+               argsI(32)});
+
+  // Format table setup: width/precision bookkeeping.
+  R.push_back({"fmtset", R"(
+function fmtset(n)
+  integer n, w, p
+  integer tab(24)
+  do i = 1, n
+    w = 6 + mod(i * 3, 9)
+    p = mod(i, w - 2) + 1
+    tab(i) = w * 100 + p
+  end do
+  ksum = 0
+  do i = 1, n
+    ksum = ksum + tab(i)
+  end do
+  return ksum
+end
+)",
+               argsI(24)});
+
+  // Branch-heavy absolute/threshold logic.
+  R.push_back({"yeh", R"(
+function yeh(n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    x = sin(0.9 * i) * 3.0
+    if (abs(x) .gt. 2.0) then
+      x = sign(2.0, x)
+    end if
+    if (x .gt. 0.0) then
+      s = s + x * x
+    else
+      s = s - 0.5 * x
+    end if
+  end do
+  return s
+end
+)",
+               argsI(64)});
+
+  // Wall ("paroi") friction: Colebrook-style fixed-point iteration.
+  R.push_back({"paroi", R"(
+function paroi(n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    re = 10000.0 + 1000.0 * i
+    f = 0.02
+    do k = 1, 5
+      f = 1.0 / (1.8 * log(re / 6.9) / 2.302585093 + 2.0 * f) ** 2
+    end do
+    s = s + f
+  end do
+  return s
+end
+)",
+               argsI(24)});
+
+  // Flux differences over a staggered grid with donor-cell switches.
+  R.push_back({"debflu", R"(
+function debflu(n)
+  integer n
+  real u(66), q(66)
+  do i = 1, n
+    u(i) = sin(0.15 * i)
+  end do
+  do i = 2, n - 1
+    if (u(i) .gt. 0.0) then
+      q(i) = u(i) * (u(i) - u(i-1))
+    else
+      q(i) = u(i) * (u(i+1) - u(i))
+    end if
+  end do
+  s = 0.0
+  do i = 2, n - 1
+    s = s + q(i)
+  end do
+  return s
+end
+)",
+               argsI(64)});
+
+  return R;
+}
+
+} // namespace epre::suite_detail

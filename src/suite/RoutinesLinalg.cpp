@@ -1,0 +1,349 @@
+//===- suite/RoutinesLinalg.cpp - BLAS/SPEC-flavored kernels --------------===//
+///
+/// Dense linear algebra and SPEC-style kernels: heavy multi-dimensional
+/// array addressing (the prime target of distribution) and deep loop nests
+/// (the prime target of rank-based hoisting). tomcatv and tvldrv are scaled
+/// down, as the paper scaled matrix300/tomcatv.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace epre;
+
+namespace epre::suite_detail {
+
+std::vector<Routine> linalgRoutines() {
+  std::vector<Routine> R;
+  auto argsI = [](long long N) {
+    return [N](MemoryImage &) {
+      return std::vector<RtValue>{RtValue::ofI(N)};
+    };
+  };
+
+  // y <- y + a*x over parameter arrays.
+  R.push_back({"saxpy", R"(
+function saxpy(n, a, x, y)
+  integer n
+  real a, x(256), y(256)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + y(i)
+  end do
+  return s
+end
+)",
+               [](MemoryImage &Mem) {
+                 int64_t X = makeArrayF64(Mem, 256, -1.0, 1.0, 11);
+                 int64_t Y = makeArrayF64(Mem, 256, -2.0, 2.0, 12);
+                 return std::vector<RtValue>{RtValue::ofI(256),
+                                             RtValue::ofF(2.5),
+                                             RtValue::ofI(X),
+                                             RtValue::ofI(Y)};
+               }});
+
+  // Dense matrix-vector product.
+  R.push_back({"sgemv", R"(
+function sgemv(m, n)
+  integer m, n
+  real a(24,24), x(24), y(24)
+  do j = 1, n
+    x(j) = 1.0 / j
+    do i = 1, m
+      a(i,j) = i + 0.01 * j
+    end do
+  end do
+  do i = 1, m
+    y(i) = 0.0
+  end do
+  do j = 1, n
+    do i = 1, m
+      y(i) = y(i) + a(i,j) * x(j)
+    end do
+  end do
+  s = 0.0
+  do i = 1, m
+    s = s + y(i)
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(24),
+                                             RtValue::ofI(24)};
+               }});
+
+  // Dense matrix-matrix product (triply nested; ikj order).
+  R.push_back({"sgemm", R"(
+function sgemm(n)
+  integer n
+  real a(12,12), b(12,12), c(12,12)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = 1.0 / (i + j)
+      b(i,j) = i - 0.5 * j
+      c(i,j) = 0.0
+    end do
+  end do
+  do j = 1, n
+    do k = 1, n
+      do i = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+  s = 0.0
+  do j = 1, n
+    do i = 1, n
+      s = s + c(i,j)
+    end do
+  end do
+  return s
+end
+)",
+               argsI(12)});
+
+  // Vectorized mesh relaxation (tomcatv-like stencil sweeps).
+  R.push_back({"tomcatv", R"(
+function tomcatv(n, niter)
+  integer n, niter
+  real x(18,18), y(18,18), rx(18,18), ry(18,18)
+  do j = 1, n
+    do i = 1, n
+      x(i,j) = i + 0.1 * sin(0.5 * j)
+      y(i,j) = j + 0.1 * cos(0.5 * i)
+    end do
+  end do
+  do it = 1, niter
+    do j = 2, n - 1
+      do i = 2, n - 1
+        xx = x(i+1,j) - x(i-1,j)
+        yx = y(i+1,j) - y(i-1,j)
+        xy = x(i,j+1) - x(i,j-1)
+        yy = y(i,j+1) - y(i,j-1)
+        a = 0.25 * (xy * xy + yy * yy)
+        b = 0.25 * (xx * xx + yx * yx)
+        c = 0.125 * (xx * xy + yx * yy)
+        rx(i,j) = a * (x(i+1,j) + x(i-1,j)) + b * (x(i,j+1) + x(i,j-1)) - c * (x(i+1,j+1) - x(i+1,j-1) - x(i-1,j+1) + x(i-1,j-1))
+        ry(i,j) = a * (y(i+1,j) + y(i-1,j)) + b * (y(i,j+1) + y(i,j-1)) - c * (y(i+1,j+1) - y(i+1,j-1) - y(i-1,j+1) + y(i-1,j-1))
+      end do
+    end do
+    do j = 2, n - 1
+      do i = 2, n - 1
+        d = 2.0 * (0.25 * ((x(i,j+1)-x(i,j-1)) * (x(i,j+1)-x(i,j-1)) + (y(i,j+1)-y(i,j-1)) * (y(i,j+1)-y(i,j-1))) + 0.25 * ((x(i+1,j)-x(i-1,j)) * (x(i+1,j)-x(i-1,j)) + (y(i+1,j)-y(i-1,j)) * (y(i+1,j)-y(i-1,j)))) + 1.0e-8
+        x(i,j) = x(i,j) + 0.9 * (rx(i,j) / d - x(i,j) * 0.0)
+        y(i,j) = y(i,j) + 0.9 * (ry(i,j) / d - y(i,j) * 0.0)
+      end do
+    end do
+  end do
+  s = 0.0
+  do j = 1, n
+    do i = 1, n
+      s = s + x(i,j) - y(i,j)
+    end do
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(18),
+                                             RtValue::ofI(4)};
+               }});
+
+  // Explicit 1-D heat equation time stepping.
+  R.push_back({"heat", R"(
+function heat(n, nsteps)
+  integer n, nsteps
+  real u(66), v(66)
+  do i = 1, n
+    u(i) = sin(3.14159265 * (i - 1) / (n - 1))
+  end do
+  r = 0.25
+  do it = 1, nsteps
+    do i = 2, n - 1
+      v(i) = u(i) + r * (u(i+1) - 2.0 * u(i) + u(i-1))
+    end do
+    do i = 2, n - 1
+      u(i) = v(i)
+    end do
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + u(i)
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(48),
+                                             RtValue::ofI(10)};
+               }});
+
+  // Table initialization sweeps (integer-heavy addressing).
+  R.push_back({"iniset", R"(
+function iniset(n)
+  integer n, k
+  real w(40,40)
+  do j = 1, n
+    do i = 1, n
+      k = mod(i * 13 + j * 7, 11)
+      w(i,j) = k + 0.5
+    end do
+  end do
+  s = 0.0
+  do j = 1, n
+    do i = 1, n
+      s = s + w(i,j)
+    end do
+  end do
+  iniset = int(s)
+  return
+end
+)",
+               argsI(40)});
+
+  // Hexadecimal-ish table setup: strided integer fills with shifts.
+  R.push_back({"inithx", R"(
+function inithx(n)
+  integer n, k, m
+  integer itab(128)
+  do i = 1, n
+    k = i * 3 + 1
+    m = mod(k * k, 97)
+    itab(i) = m * 2 + 1
+  end do
+  ksum = 0
+  do i = 1, n
+    ksum = ksum + itab(i)
+  end do
+  return ksum
+end
+)",
+               argsI(128)});
+
+  // Polynomial surface evaluation x^2+y^2-ish over a grid.
+  R.push_back({"x21y21", R"(
+function x21y21(n)
+  integer n
+  s = 0.0
+  do j = 1, n
+    do i = 1, n
+      x = 0.1 * i
+      y = 0.1 * j
+      s = s + (x * x + 2.0 * x * y + y * y) / (1.0 + x * x + y * y)
+    end do
+  end do
+  return s
+end
+)",
+               argsI(10)});
+
+  // Weighted running mean (hmoy = "moyenne").
+  R.push_back({"hmoy", R"(
+function hmoy(n)
+  integer n
+  real w(32)
+  do i = 1, n
+    w(i) = 1.0 / i
+  end do
+  s = 0.0
+  t = 0.0
+  do i = 1, n
+    s = s + w(i) * i
+    t = t + w(i)
+  end do
+  return s / t
+end
+)",
+               argsI(32)});
+
+  // Gamma-function table generation via Stirling series and recurrence.
+  R.push_back({"gamgen", R"(
+function gamgen(n)
+  integer n
+  real g(48)
+  do i = 1, n
+    x = 1.0 + 0.25 * i
+    xs = x + 5.5
+    t = (x + 0.5) * log(xs) - xs
+    ser = 1.000000000190015 + 76.18009172947146 / (x + 1.0) - 86.50532032941677 / (x + 2.0) + 24.01409824083091 / (x + 3.0) - 1.231739572450155 / (x + 4.0)
+    g(i) = t + log(2.5066282746310005 * ser / x)
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + g(i)
+  end do
+  return s
+end
+)",
+               argsI(48)});
+
+  // Large straight-line floating-point blocks (fpppp's character).
+  R.push_back({"fpppp", R"(
+function fpppp(a, b, c)
+  real a, b, c
+  s = 0.0
+  do k = 1, 12
+    t = 0.1 * k
+    q1 = a * b + c * t
+    q2 = a * c + b * t
+    q3 = b * c + a * t
+    q4 = q1 * q2 + q3 * t
+    q5 = q1 * q3 + q2 * t
+    q6 = q2 * q3 + q1 * t
+    q7 = q4 * q5 - q6 * q6
+    q8 = q4 * q6 - q5 * q5
+    q9 = q5 * q6 - q4 * q4
+    r1 = q7 * a + q8 * b + q9 * c
+    r2 = q7 * b + q8 * c + q9 * a
+    r3 = q7 * c + q8 * a + q9 * b
+    s = s + r1 * 0.001 + r2 * 0.002 + r3 * 0.003
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofF(0.3),
+                                             RtValue::ofF(0.7),
+                                             RtValue::ofF(1.1)};
+               }});
+
+  // Time-stepped driver over a small PDE-ish field (tvldrv's shape).
+  R.push_back({"tvldrv", R"(
+function tvldrv(n, nsteps)
+  integer n, nsteps
+  real u(20,20), f(20,20)
+  do j = 1, n
+    do i = 1, n
+      u(i,j) = 0.0
+      f(i,j) = 1.0 / (i + j)
+    end do
+  end do
+  do it = 1, nsteps
+    do j = 2, n - 1
+      do i = 2, n - 1
+        u(i,j) = 0.25 * (u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1) + f(i,j))
+      end do
+    end do
+  end do
+  s = 0.0
+  do j = 1, n
+    do i = 1, n
+      s = s + u(i,j)
+    end do
+  end do
+  return s
+end
+)",
+               [](MemoryImage &) {
+                 return std::vector<RtValue>{RtValue::ofI(20),
+                                             RtValue::ofI(12)};
+               }});
+
+  return R;
+}
+
+} // namespace epre::suite_detail

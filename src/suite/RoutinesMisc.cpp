@@ -1,0 +1,293 @@
+//===- suite/RoutinesMisc.cpp - Remaining suite routines ------------------===//
+
+#include "suite/Suite.h"
+
+using namespace epre;
+
+namespace epre::suite_detail {
+
+std::vector<Routine> miscRoutines() {
+  std::vector<Routine> R;
+  auto argsI = [](long long N) {
+    return [N](MemoryImage &) {
+      return std::vector<RtValue>{RtValue::ofI(N)};
+    };
+  };
+
+  // Colburn heat-transfer correlation: Nu = 0.023 Re^0.8 Pr^(1/3).
+  R.push_back({"colbur", R"(
+function colbur(n)
+  integer n
+  s = 0.0
+  pr = 0.71
+  do i = 1, n
+    re = 5000.0 + 400.0 * i
+    xnu = 0.023 * re ** 0.8 * pr ** 0.3333333333
+    s = s + xnu
+  end do
+  return s
+end
+)",
+               argsI(32)});
+
+  // Ray coefficients: trigonometric direction cosines.
+  R.push_back({"coeray", R"(
+function coeray(n)
+  integer n
+  real cx(36), cy(36), cz(36)
+  do i = 1, n
+    th = 0.17 * i
+    ph = 0.23 * i
+    cx(i) = sin(th) * cos(ph)
+    cy(i) = sin(th) * sin(ph)
+    cz(i) = cos(th)
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + cx(i) * cx(i) + cy(i) * cy(i) + cz(i) * cz(i)
+  end do
+  return s
+end
+)",
+               argsI(36)});
+
+  // Lower-bound envelope: piecewise-linear table interpolation.
+  R.push_back({"subb", R"(
+function subb(n)
+  integer n, k
+  real xt(16), yt(16)
+  do i = 1, 16
+    xt(i) = i * 1.0
+    yt(i) = i * i * 0.5
+  end do
+  s = 0.0
+  do i = 1, n
+    u = 1.0 + 14.0 * i / n
+    k = int(u)
+    if (k .gt. 15) then
+      k = 15
+    end if
+    frac = u - xt(k)
+    s = s + yt(k) + frac * (yt(k+1) - yt(k))
+  end do
+  return s
+end
+)",
+               argsI(48)});
+
+  // Upper-bound envelope: same table walked with saturation.
+  R.push_back({"supp", R"(
+function supp(n)
+  integer n, k
+  real xt(16), yt(16)
+  do i = 1, 16
+    xt(i) = i * 1.0
+    yt(i) = 20.0 - i
+  end do
+  s = 0.0
+  do i = 1, n
+    u = 0.5 + 15.5 * i / n
+    k = int(u)
+    if (k .lt. 1) then
+      k = 1
+    end if
+    if (k .gt. 15) then
+      k = 15
+    end if
+    w = (u - xt(k)) / (xt(k+1) - xt(k))
+    if (w .gt. 1.0) then
+      w = 1.0
+    end if
+    s = s + (1.0 - w) * yt(k) + w * yt(k+1)
+  end do
+  return s
+end
+)",
+               argsI(48)});
+
+  // Integer histogram binning with saturation.
+  R.push_back({"ihbtr", R"(
+function ihbtr(n)
+  integer n, b
+  integer hist(12)
+  do i = 1, 12
+    hist(i) = 0
+  end do
+  do i = 1, n
+    b = mod(i * i * 7 + i * 3, 12) + 1
+    hist(b) = hist(b) + 1
+  end do
+  ksum = 0
+  do i = 1, 12
+    ksum = ksum + hist(i) * i
+  end do
+  return ksum
+end
+)",
+               argsI(96)});
+
+  // Saturation curve: fixed-point solve of Antoine-style relation.
+  R.push_back({"saturr", R"(
+function saturr(n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    p = 1.0 + 0.5 * i
+    t = 100.0
+    do k = 1, 6
+      t = 1730.63 / (8.07131 - log(p * 750.06) / 2.302585093) - 233.426
+    end do
+    s = s + t
+  end do
+  return s / n
+end
+)",
+               argsI(40)});
+
+  // Small rigid transform chains: 3x3 rotations applied to points.
+  R.push_back({"drigl", R"(
+function drigl(n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    a = 0.1 * i
+    c = cos(a)
+    sn = sin(a)
+    x = 1.0
+    y = 2.0
+    z = 3.0
+    x1 = c * x - sn * y
+    y1 = sn * x + c * y
+    z1 = z
+    x2 = c * x1 - sn * z1
+    z2 = sn * x1 + c * z1
+    y2 = y1
+    s = s + x2 * x2 + y2 * y2 + z2 * z2
+  end do
+  return s
+end
+)",
+               argsI(50)});
+
+  // Material property polynomials (Horner) at staged temperatures.
+  R.push_back({"prophy", R"(
+function prophy(n)
+  integer n
+  real cp(64), mu(64)
+  do i = 1, n
+    t = 250.0 + 2.0 * i
+    cp(i) = 1000.0 + t * (0.4 + t * (0.0002 + t * 0.0000001))
+    mu(i) = 0.001 / (1.0 + 0.01 * (t - 250.0) + 0.0001 * (t - 250.0) * (t - 250.0))
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + cp(i) * mu(i)
+  end do
+  return s
+end
+)",
+               argsI(64)});
+
+  // Element fill: scatter into a 2-D table with computed indices.
+  R.push_back({"efill", R"(
+function efill(n)
+  integer n, r, c
+  real e(16,16)
+  do j = 1, 16
+    do i = 1, 16
+      e(i,j) = 0.0
+    end do
+  end do
+  do k = 1, n
+    r = mod(k * 5, 16) + 1
+    c = mod(k * 11, 16) + 1
+    e(r,c) = e(r,c) + 1.0 / k
+  end do
+  s = 0.0
+  do j = 1, 16
+    do i = 1, 16
+      s = s + e(i,j)
+    end do
+  end do
+  return s
+end
+)",
+               argsI(80)});
+
+  // Global balance: multiple simultaneous accumulators over one sweep.
+  R.push_back({"bilan", R"(
+function bilan(n)
+  integer n
+  real m(48), h(48), u(48)
+  do i = 1, n
+    m(i) = 1.0 + 0.1 * i
+    h(i) = 2000.0 + 5.0 * i
+    u(i) = sin(0.2 * i)
+  end do
+  sm = 0.0
+  sh = 0.0
+  se = 0.0
+  do i = 1, n
+    sm = sm + m(i)
+    sh = sh + m(i) * h(i)
+    se = se + 0.5 * m(i) * u(i) * u(i)
+  end do
+  return sh / sm + se
+end
+)",
+               argsI(48)});
+
+  // Derivatives of the ray coefficients (finite differences of coeray).
+  R.push_back({"dcoera", R"(
+function dcoera(n)
+  integer n
+  real cx(40), dx(40)
+  do i = 1, n
+    cx(i) = sin(0.17 * i) * cos(0.23 * i)
+  end do
+  do i = 2, n - 1
+    dx(i) = (cx(i+1) - cx(i-1)) * 0.5
+  end do
+  dx(1) = cx(2) - cx(1)
+  dx(n) = cx(n) - cx(n-1)
+  s = 0.0
+  do i = 1, n
+    s = s + abs(dx(i))
+  end do
+  return s
+end
+)",
+               argsI(40)});
+
+  // Flux Jacobian-ish: derivative of the donor-cell flux model.
+  R.push_back({"ddeflu", R"(
+function ddeflu(n)
+  integer n
+  real u(66), dq(66)
+  do i = 1, n
+    u(i) = cos(0.12 * i)
+  end do
+  eps = 0.0001
+  do i = 2, n - 1
+    if (u(i) .gt. 0.0) then
+      q1 = (u(i) + eps) * (u(i) + eps - u(i-1))
+      q0 = u(i) * (u(i) - u(i-1))
+    else
+      q1 = (u(i) + eps) * (u(i+1) - u(i) - eps)
+      q0 = u(i) * (u(i+1) - u(i))
+    end if
+    dq(i) = (q1 - q0) / eps
+  end do
+  s = 0.0
+  do i = 2, n - 1
+    s = s + dq(i)
+  end do
+  return s
+end
+)",
+               argsI(64)});
+
+  return R;
+}
+
+} // namespace epre::suite_detail

@@ -1,0 +1,50 @@
+//===- suite/Suite.cpp ----------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+
+using namespace epre;
+
+namespace epre::suite_detail {
+std::vector<Routine> fmmRoutines();
+std::vector<Routine> linalgRoutines();
+std::vector<Routine> hydroRoutines();
+std::vector<Routine> miscRoutines();
+} // namespace epre::suite_detail
+
+void epre::fillArrayF64(MemoryImage &Mem, int64_t Base, unsigned N,
+                        double Lo, double Hi, uint64_t Seed) {
+  uint64_t State = Seed * 2654435761u + 1;
+  for (unsigned I = 0; I < N; ++I) {
+    State = hashCombine(State, I + 1);
+    double U = double(State >> 11) / double(1ull << 53);
+    Mem.storeF64(Base + int64_t(I) * 8, Lo + U * (Hi - Lo));
+  }
+}
+
+int64_t epre::makeArrayF64(MemoryImage &Mem, unsigned N, double Lo,
+                           double Hi, uint64_t Seed) {
+  int64_t Base = Mem.allocate(N * 8);
+  fillArrayF64(Mem, Base, N, Lo, Hi, Seed);
+  return Base;
+}
+
+const std::vector<Routine> &epre::benchmarkSuite() {
+  static const std::vector<Routine> Suite = [] {
+    std::vector<Routine> All;
+    for (auto *Part : {&suite_detail::fmmRoutines,
+                       &suite_detail::linalgRoutines,
+                       &suite_detail::hydroRoutines,
+                       &suite_detail::miscRoutines}) {
+      std::vector<Routine> Rs = (*Part)();
+      for (Routine &R : Rs)
+        All.push_back(std::move(R));
+    }
+    assert(All.size() == 50 && "the paper's suite has 50 routines");
+    return All;
+  }();
+  return Suite;
+}

@@ -1,0 +1,50 @@
+//===- suite/Suite.h - The 50-routine benchmark corpus -----------*- C++ -*-===//
+///
+/// \file
+/// The benchmark suite standing in for the paper's 50 test routines (drawn
+/// there from SPEC and from Forsythe, Malcolm & Moler). We do not have the
+/// original FORTRAN sources, so each routine here is a synthetic-but-real
+/// numerical kernel with the same name and character: the FMM routines
+/// implement the actual textbook algorithms (golden-section minimization,
+/// cubic splines, LU decomposition, Runge–Kutta–Fehlberg steps, ...), the
+/// SPEC-flavored ones are loop nests over 1-D/2-D arrays with the address
+/// arithmetic the paper's transformations target. See DESIGN.md §3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_SUITE_SUITE_H
+#define EPRE_SUITE_SUITE_H
+
+#include "interp/Interpreter.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace epre {
+
+/// One benchmark routine: source text plus a driver that fabricates its
+/// arguments (allocating and filling parameter arrays in the run's memory
+/// image; local arrays are already allocated at offsets 0..LocalMemBytes).
+struct Routine {
+  std::string Name;
+  std::string Source;
+  std::function<std::vector<RtValue>(MemoryImage &Mem)> MakeArgs;
+};
+
+/// Returns the full suite in the paper's Table 1 row order (alphabetic
+/// within our grouping; 50 routines).
+const std::vector<Routine> &benchmarkSuite();
+
+/// Fills [Base, Base+N*8) with a deterministic pseudo-random pattern of
+/// doubles in (Lo, Hi); used by the drivers.
+void fillArrayF64(MemoryImage &Mem, int64_t Base, unsigned N, double Lo,
+                  double Hi, uint64_t Seed);
+
+/// Allocates an N-element double array and fills it.
+int64_t makeArrayF64(MemoryImage &Mem, unsigned N, double Lo, double Hi,
+                     uint64_t Seed);
+
+} // namespace epre
+
+#endif // EPRE_SUITE_SUITE_H

@@ -1,0 +1,121 @@
+//===- tests/TestUtil.h - Shared test helpers --------------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the test suite: compile Mini-FORTRAN, run pipelines,
+/// interpret, and compare observable behaviour across optimization levels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_TESTS_TESTUTIL_H
+#define EPRE_TESTS_TESTUTIL_H
+
+#include "frontend/Lower.h"
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace epre::test {
+
+/// The front-end naming mode each optimization level is measured with in
+/// the paper's experiment: PRE-only needs the hashed discipline; the
+/// reassociation levels build their own naming and take naive input.
+inline NamingMode namingFor(OptLevel L) {
+  return L == OptLevel::Partial ? NamingMode::Hashed : NamingMode::Naive;
+}
+
+/// Observable outcome of one run.
+struct Outcome {
+  ExecResult Exec;
+  uint64_t MemHash = 0;
+};
+
+/// Compiles \p Source, optimizes \p FnName at \p Level, and interprets it
+/// on \p Args with a fresh memory image sized for the routine's local
+/// arrays (plus \p ExtraMem bytes). Fails the current test on any error.
+inline Outcome compileOptimizeRun(const std::string &Source,
+                                  const std::string &FnName,
+                                  const std::vector<RtValue> &Args,
+                                  OptLevel Level, size_t ExtraMem = 0,
+                                  PipelineStats *StatsOut = nullptr) {
+  Outcome O;
+  LowerResult LR = compileMiniFortran(Source, namingFor(Level));
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  if (!LR.ok())
+    return O;
+  Function *F = LR.M->find(FnName);
+  EXPECT_NE(F, nullptr) << "no function " << FnName;
+  if (!F)
+    return O;
+
+  std::vector<std::string> Errors = verifyFunction(*F, SSAMode::NoSSA);
+  EXPECT_TRUE(Errors.empty()) << "frontend produced invalid IR: "
+                              << Errors.front() << "\n" << printFunction(*F);
+
+  PipelineOptions PO;
+  PO.Level = Level;
+  PipelineStats Stats = optimizeFunction(*F, PO);
+  if (StatsOut)
+    *StatsOut = Stats;
+
+  size_t LocalBytes = 0;
+  for (const RoutineInfo &RI : LR.Routines)
+    if (RI.Name == FnName)
+      LocalBytes = RI.LocalMemBytes;
+  MemoryImage Mem(LocalBytes + ExtraMem);
+  O.Exec = interpret(*F, Args, Mem);
+  EXPECT_TRUE(O.Exec.ok()) << "trap: " << O.Exec.TrapReason << "\n"
+                           << printFunction(*F);
+  O.MemHash = Mem.hash();
+  return O;
+}
+
+/// Asserts that every optimization level computes the same result as the
+/// unoptimized program (bit-exact except for the reassociating levels on
+/// F64 results, which are compared with a relative tolerance — FORTRAN
+/// permits the reordering).
+inline void expectAllLevelsAgree(const std::string &Source,
+                                 const std::string &FnName,
+                                 const std::vector<RtValue> &Args,
+                                 size_t ExtraMem = 0) {
+  Outcome Ref = compileOptimizeRun(Source, FnName, Args, OptLevel::None,
+                                   ExtraMem);
+  for (OptLevel L : {OptLevel::Baseline, OptLevel::Partial,
+                     OptLevel::Reassociation, OptLevel::Distribution}) {
+    Outcome Got = compileOptimizeRun(Source, FnName, Args, L, ExtraMem);
+    if (!Ref.Exec.ok() || !Got.Exec.ok())
+      return;
+    bool Reassoc =
+        L == OptLevel::Reassociation || L == OptLevel::Distribution;
+    ASSERT_EQ(Ref.Exec.HasReturn, Got.Exec.HasReturn) << optLevelName(L);
+    if (Ref.Exec.HasReturn) {
+      ASSERT_EQ(Ref.Exec.ReturnValue.Ty, Got.Exec.ReturnValue.Ty)
+          << optLevelName(L);
+      if (Ref.Exec.ReturnValue.isI()) {
+        EXPECT_EQ(Ref.Exec.ReturnValue.I, Got.Exec.ReturnValue.I)
+            << optLevelName(L);
+      } else if (Reassoc) {
+        EXPECT_NEAR(Ref.Exec.ReturnValue.F, Got.Exec.ReturnValue.F,
+                    1e-9 * (1.0 + std::abs(Ref.Exec.ReturnValue.F)))
+            << optLevelName(L);
+      } else {
+        EXPECT_EQ(Ref.Exec.ReturnValue.F, Got.Exec.ReturnValue.F)
+            << optLevelName(L);
+      }
+    }
+    if (!Reassoc) {
+      EXPECT_EQ(Ref.MemHash, Got.MemHash) << optLevelName(L);
+    }
+    // An optimization level must never slow the program down on these
+    // deterministic runs... but the paper documents occasional degradation
+    // (§4.2), so only check that the dynamic count stayed in the ballpark.
+    EXPECT_LE(Got.Exec.DynOps, Ref.Exec.DynOps * 2 + 64) << optLevelName(L);
+  }
+}
+
+} // namespace epre::test
+
+#endif // EPRE_TESTS_TESTUTIL_H

@@ -1,0 +1,217 @@
+//===- tests/dvnt_test.cpp - Dominator-tree value numbering ---------------===//
+
+#include "frontend/Lower.h"
+#include "gvn/DVNT.h"
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pipeline/Pipeline.h"
+#include "ssa/SSA.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace epre;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  ParseResult R = parseModule(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+unsigned countOp(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts)
+      N += I.Op == Op;
+  });
+  return N;
+}
+
+TEST(DVNT, DeletesDominatedRedundancy) {
+  auto M = parse(R"(
+func @f(%a:i64, %b:i64, %p:i64) -> i64 {
+^e:
+  %t1:i64 = add %a, %b
+  cbr %p, ^x, ^y
+^x:
+  %t2:i64 = add %a, %b
+  %r1:i64 = mul %t2, %t2
+  ret %r1
+^y:
+  %t3:i64 = add %b, %a
+  %r2:i64 = mul %t3, %t1
+  ret %r2
+}
+)");
+  Function &F = *M->Functions[0];
+  DVNTStats S = valueNumberDominatorTreeSSA(F);
+  // Both the positional duplicate and the commuted one die (hash-based
+  // numbering exploits commutativity, unlike the "simplest" AWZ).
+  EXPECT_EQ(S.Redundant, 2u);
+  EXPECT_EQ(countOp(F, Opcode::Add), 1u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(3), RtValue::ofI(4), RtValue::ofI(1)},
+                      Mem)
+                .ReturnValue.I,
+            49);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(3), RtValue::ofI(4), RtValue::ofI(0)},
+                      Mem)
+                .ReturnValue.I,
+            49);
+}
+
+TEST(DVNT, DoesNotMergeAcrossSiblingBranches) {
+  auto M = parse(R"(
+func @f(%a:i64, %b:i64, %p:i64) -> i64 {
+^e:
+  cbr %p, ^x, ^y
+^x:
+  %t1:i64 = add %a, %b
+  %u:i64 = copy %t1
+  br ^j
+^y:
+  %t2:i64 = add %a, %b
+  %u:i64 = copy %t2
+  br ^j
+^j:
+  ret %u
+}
+)");
+  Function &F = *M->Functions[0];
+  DVNTStats S = valueNumberDominatorTreeSSA(F);
+  // Neither arm dominates the other: the scoped table must not leak.
+  EXPECT_EQ(S.Redundant, 0u);
+  EXPECT_EQ(countOp(F, Opcode::Add), 2u);
+}
+
+TEST(DVNT, MeaninglessAndDuplicatePhis) {
+  auto M = parse(R"(
+func @f(%a:i64, %p:i64) -> i64 {
+^e:
+  cbr %p, ^x, ^y
+^x:
+  br ^j
+^y:
+  br ^j
+^j:
+  %m:i64 = phi [%a, ^x], [%a, ^y]
+  %d1:i64 = phi [%a, ^x], [%m, ^y]
+  %r:i64 = add %m, %d1
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  DVNTStats S = valueNumberDominatorTreeSSA(F);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::SSA).empty()) << printFunction(F);
+  // %m is meaningless (both inputs %a); then %d1 becomes [%a, %a]:
+  // meaningless too.
+  EXPECT_EQ(S.MeaninglessPhis, 2u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(5), RtValue::ofI(1)}, Mem)
+                .ReturnValue.I,
+            10);
+}
+
+TEST(DVNT, PessimisticAboutLoopPhis) {
+  // Two identical induction chains: AWZ proves them congruent, DVNT (a
+  // pessimistic hash-based method) must not — documenting the difference.
+  auto M = parse(R"(
+func @f(%n:i64) -> i64 {
+^e:
+  %z1:i64 = loadi 0
+  br ^l
+^l:
+  %i:i64 = phi [%z1, ^e], [%i2, ^l]
+  %j:i64 = phi [%z1, ^e], [%j2, ^l]
+  %one:i64 = loadi 1
+  %i2:i64 = add %i, %one
+  %j2:i64 = add %j, %one
+  %c:i64 = cmplt %i2, %n
+  cbr %c, ^l, ^x
+^x:
+  %r:i64 = add %i2, %j2
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  DVNTStats S = valueNumberDominatorTreeSSA(F);
+  EXPECT_EQ(S.Redundant, 0u);
+  EXPECT_EQ(S.RedundantPhis, 0u); // inputs differ until proven otherwise
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(5)}, Mem).ReturnValue.I, 10);
+}
+
+TEST(DVNT, FullPhasePreservesBehaviour) {
+  const char *Src = R"(
+func @f(%a:i64, %n:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %s:i64 = copy %z
+  %i:i64 = copy %z
+  br ^l
+^l:
+  %t1:i64 = add %a, %i
+  %t2:i64 = add %i, %a
+  %prod:i64 = mul %t1, %t2
+  %s:i64 = add %s, %prod
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^x
+^x:
+  ret %s
+}
+)";
+  for (int64_t N : {1, 3, 9}) {
+    auto M = parse(Src);
+    Function &F = *M->Functions[0];
+    MemoryImage Mem(0);
+    int64_t Before =
+        interpret(F, {RtValue::ofI(2), RtValue::ofI(N)}, Mem).ReturnValue.I;
+    DVNTStats S = runDominatorValueNumbering(F);
+    EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
+        << printFunction(F);
+    EXPECT_GT(S.Redundant, 0u); // t2 commutes into t1
+    int64_t After =
+        interpret(F, {RtValue::ofI(2), RtValue::ofI(N)}, Mem).ReturnValue.I;
+    EXPECT_EQ(Before, After) << "N=" << N;
+  }
+}
+
+TEST(DVNT, PipelineEngineOption) {
+  const char *Src = R"(
+function eng(a, b, n)
+  integer n
+  s = 0.0
+  do i = 1, n
+    s = s + (a + b) * (b + a)
+  end do
+  return s
+end
+)";
+  double Ref = 0;
+  for (GVNEngine E : {GVNEngine::AWZ, GVNEngine::DVNT}) {
+    LowerResult LR = compileMiniFortran(Src, NamingMode::Naive);
+    ASSERT_TRUE(LR.ok()) << LR.Error;
+    Function &F = *LR.M->find("eng");
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    PO.Engine = E;
+    optimizeFunction(F, PO);
+    MemoryImage Mem(0);
+    ExecResult R = interpret(
+        F, {RtValue::ofF(1.5), RtValue::ofF(2.5), RtValue::ofI(40)}, Mem);
+    ASSERT_FALSE(R.Trapped) << R.TrapReason;
+    if (E == GVNEngine::AWZ)
+      Ref = R.ReturnValue.F;
+    else
+      EXPECT_NEAR(R.ReturnValue.F, Ref, 1e-9 * (1 + std::abs(Ref)));
+  }
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- tests/edge_cases_test.cpp - Corner-case coverage -------------------===//
+///
+/// Structural corner cases: irreducible control flow, degenerate
+/// functions, ExprKey normalization, weighted costs, and frontend corner
+/// syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "interp/Interpreter.h"
+#include "ir/ExprKey.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  ParseResult R = parseModule(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+TEST(ExprKeys, CommutativeNormalization) {
+  Function F("f");
+  Reg A = F.makeReg(Type::I64), B = F.makeReg(Type::I64);
+  Instruction AB = Instruction::makeBinary(Opcode::Add, Type::I64, 0, A, B);
+  Instruction BA = Instruction::makeBinary(Opcode::Add, Type::I64, 0, B, A);
+  EXPECT_TRUE(makeExprKey(AB, true) == makeExprKey(BA, true));
+  EXPECT_FALSE(makeExprKey(AB, false) == makeExprKey(BA, false));
+
+  // Subtraction is not commutative: never normalized.
+  Instruction SubAB =
+      Instruction::makeBinary(Opcode::Sub, Type::I64, 0, A, B);
+  Instruction SubBA =
+      Instruction::makeBinary(Opcode::Sub, Type::I64, 0, B, A);
+  EXPECT_FALSE(makeExprKey(SubAB, true) == makeExprKey(SubBA, true));
+}
+
+TEST(ExprKeys, ConstantsKeyedByValueAndType) {
+  Instruction I1 = Instruction::makeLoadI(0, 42);
+  Instruction I2 = Instruction::makeLoadI(0, 42);
+  Instruction I3 = Instruction::makeLoadI(0, 43);
+  Instruction F1 = Instruction::makeLoadF(0, 42.0);
+  EXPECT_TRUE(makeExprKey(I1) == makeExprKey(I2));
+  EXPECT_FALSE(makeExprKey(I1) == makeExprKey(I3));
+  EXPECT_FALSE(makeExprKey(I1) == makeExprKey(F1));
+  // -0.0 and +0.0 are distinct bit patterns, hence distinct keys.
+  Instruction FPos = Instruction::makeLoadF(0, 0.0);
+  Instruction FNeg = Instruction::makeLoadF(0, -0.0);
+  EXPECT_FALSE(makeExprKey(FPos) == makeExprKey(FNeg));
+}
+
+TEST(ExprKeys, CallsKeyedByIntrinsic) {
+  Function F("f");
+  Reg A = F.makeReg(Type::F64);
+  Instruction S = Instruction::makeCall(Intrinsic::Sin, Type::F64, 0, {A});
+  Instruction C = Instruction::makeCall(Intrinsic::Cos, Type::F64, 0, {A});
+  EXPECT_FALSE(makeExprKey(S) == makeExprKey(C));
+}
+
+// An irreducible CFG (two-entry "loop"): every pass must stay correct even
+// though LoopInfo sees no natural loop here.
+TEST(Irreducible, PipelineIsSafe) {
+  const char *Src = R"(
+func @f(%p:i64, %n:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %i:i64 = copy %z
+  %s:i64 = copy %z
+  cbr %p, ^a, ^b
+^a:
+  %one:i64 = loadi 1
+  %s:i64 = add %s, %one
+  %i:i64 = add %i, %one
+  %c1:i64 = cmplt %i, %n
+  cbr %c1, ^b, ^x
+^b:
+  %two:i64 = loadi 2
+  %s:i64 = add %s, %two
+  %i:i64 = add %i, %two
+  %c2:i64 = cmplt %i, %n
+  cbr %c2, ^a, ^x
+^x:
+  ret %s
+}
+)";
+  for (int64_t P : {0, 1}) {
+    auto M = parse(Src);
+    Function &F = *M->Functions[0];
+    MemoryImage Mem(0);
+    int64_t Before =
+        interpret(F, {RtValue::ofI(P), RtValue::ofI(20)}, Mem).ReturnValue.I;
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    PO.EnableStrengthReduction = true;
+    optimizeFunction(F, PO);
+    ExecResult R = interpret(F, {RtValue::ofI(P), RtValue::ofI(20)}, Mem);
+    ASSERT_TRUE(R.ok()) << R.TrapReason;
+    EXPECT_EQ(R.ReturnValue.I, Before) << "p=" << P;
+  }
+}
+
+TEST(Degenerate, EmptyishFunctions) {
+  // Just a return.
+  auto M1 = parse("func @f() { ^e: ret }");
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  optimizeFunction(*M1->Functions[0], PO);
+  EXPECT_TRUE(verifyFunction(*M1->Functions[0], SSAMode::NoSSA).empty());
+
+  // Return a parameter through every level.
+  for (OptLevel L : {OptLevel::Baseline, OptLevel::Partial,
+                     OptLevel::Reassociation, OptLevel::Distribution}) {
+    auto M2 = parse("func @g(%a:i64) -> i64 { ^e: ret %a }");
+    PipelineOptions P2;
+    P2.Level = L;
+    optimizeFunction(*M2->Functions[0], P2);
+    MemoryImage Mem(0);
+    EXPECT_EQ(interpret(*M2->Functions[0], {RtValue::ofI(7)}, Mem)
+                  .ReturnValue.I,
+              7);
+  }
+}
+
+TEST(Degenerate, ConstantOnlyFunction) {
+  auto M = parse(R"(
+func @f() -> i64 {
+^e:
+  %a:i64 = loadi 6
+  %b:i64 = loadi 7
+  %c:i64 = mul %a, %b
+  ret %c
+}
+)");
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  optimizeFunction(*M->Functions[0], PO);
+  MemoryImage Mem(0);
+  ExecResult R = interpret(*M->Functions[0], {}, Mem);
+  EXPECT_EQ(R.ReturnValue.I, 42);
+  // Everything folded: at most loadi + ret remain.
+  EXPECT_LE(R.DynOps, 2u);
+}
+
+TEST(Interpreter, WeightedCostModel) {
+  EXPECT_EQ(opcodeCost(Opcode::Add), 1u);
+  EXPECT_EQ(opcodeCost(Opcode::Mul), 3u);
+  EXPECT_EQ(opcodeCost(Opcode::Div), 12u);
+  EXPECT_EQ(opcodeCost(Opcode::Call), 20u);
+  EXPECT_EQ(opcodeCost(Opcode::Load), 2u);
+  EXPECT_EQ(opcodeCost(Opcode::Phi), 0u);
+
+  auto M = parse(R"(
+func @f(%a:i64, %b:i64) -> i64 {
+^e:
+  %m:i64 = mul %a, %b
+  %s:i64 = add %m, %a
+  ret %s
+}
+)");
+  MemoryImage Mem(0);
+  ExecResult R = interpret(*M->Functions[0],
+                           {RtValue::ofI(2), RtValue::ofI(3)}, Mem);
+  EXPECT_EQ(R.DynOps, 3u);
+  EXPECT_EQ(R.WeightedCost, 3u + 1u + 1u); // mul + add + ret
+}
+
+TEST(Frontend, SyntaxCorners) {
+  // Nested parens, unary plus/minus stacking, d-exponents, semicolons.
+  const char *Src = R"(
+function corner(a)
+  real a, corner
+  b = -(-(+a)) + 1.0d1 ; c = ((b))
+  if (c .gt. 0.0) then
+    corner = c * 2.0
+  else
+    corner = -c
+  end if
+  return
+end
+)";
+  LowerResult LR = compileMiniFortran(Src, NamingMode::Naive);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  MemoryImage Mem(0);
+  ExecResult R =
+      interpret(*LR.M->find("corner"), {RtValue::ofF(3.0)}, Mem);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue.F, 26.0); // (3 + 10) * 2
+}
+
+TEST(Frontend, WhileZeroIterations) {
+  const char *Src = R"(
+function wz(n)
+  integer n, k, wz
+  k = 5
+  while (n .gt. 100)
+    k = k + 1
+    n = n + 1
+  end while
+  return k
+end
+)";
+  LowerResult LR = compileMiniFortran(Src, NamingMode::Naive);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(*LR.M->find("wz"), {RtValue::ofI(1)}, Mem)
+                .ReturnValue.I,
+            5);
+}
+
+TEST(Parser, ExtremeImmediates) {
+  auto M = parse(R"(
+func @f() -> i64 {
+^e:
+  %a:i64 = loadi 9223372036854775807
+  %b:i64 = loadi -9223372036854775808
+  %c:i64 = add %a, %b
+  ret %c
+}
+)");
+  const BasicBlock *E = M->Functions[0]->entry();
+  EXPECT_EQ(E->Insts[0].IImm, 9223372036854775807LL);
+  EXPECT_EQ(E->Insts[1].IImm, INT64_MIN);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(*M->Functions[0], {}, Mem).ReturnValue.I, -1);
+}
+
+TEST(Printer, RoundTripsWeirdDoubles) {
+  auto M = parse(R"(
+func @f() -> f64 {
+^e:
+  %a:f64 = loadf 4.9406564584124654e-324
+  %b:f64 = loadf 1.7976931348623157e308
+  %c:f64 = add %a, %b
+  ret %c
+}
+)");
+  std::string P1 = printModule(*M);
+  ParseResult R2 = parseModule(P1);
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  EXPECT_EQ(R2.M->Functions[0]->entry()->Insts[0].FImm,
+            4.9406564584124654e-324);
+  EXPECT_EQ(R2.M->Functions[0]->entry()->Insts[1].FImm,
+            1.7976931348623157e308);
+}
+
+} // namespace

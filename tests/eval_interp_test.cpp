@@ -1,0 +1,244 @@
+//===- tests/eval_interp_test.cpp - Evaluation semantics & interpreter ----===//
+
+#include "interp/Interpreter.h"
+#include "ir/Eval.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace epre;
+
+namespace {
+
+RtValue evalBin(Opcode Op, RtValue A, RtValue B) {
+  Instruction I = Instruction::makeBinary(Op, A.Ty, 1, 2, 3);
+  RtValue Out;
+  EXPECT_TRUE(evalPure(I, {A, B}, Out)) << opcodeName(Op);
+  return Out;
+}
+
+TEST(Eval, IntegerArithmetic) {
+  EXPECT_EQ(evalBin(Opcode::Add, RtValue::ofI(2), RtValue::ofI(3)).I, 5);
+  EXPECT_EQ(evalBin(Opcode::Sub, RtValue::ofI(2), RtValue::ofI(3)).I, -1);
+  EXPECT_EQ(evalBin(Opcode::Mul, RtValue::ofI(-4), RtValue::ofI(3)).I, -12);
+  EXPECT_EQ(evalBin(Opcode::Div, RtValue::ofI(7), RtValue::ofI(2)).I, 3);
+  EXPECT_EQ(evalBin(Opcode::Div, RtValue::ofI(-7), RtValue::ofI(2)).I, -3);
+  EXPECT_EQ(evalBin(Opcode::Mod, RtValue::ofI(7), RtValue::ofI(3)).I, 1);
+  EXPECT_EQ(evalBin(Opcode::Mod, RtValue::ofI(-7), RtValue::ofI(3)).I, -1);
+  EXPECT_EQ(evalBin(Opcode::Min, RtValue::ofI(3), RtValue::ofI(-5)).I, -5);
+  EXPECT_EQ(evalBin(Opcode::Max, RtValue::ofI(3), RtValue::ofI(-5)).I, 3);
+}
+
+TEST(Eval, IntegerOverflowWraps) {
+  int64_t Max = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(evalBin(Opcode::Add, RtValue::ofI(Max), RtValue::ofI(1)).I,
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(Eval, DivisionTraps) {
+  Instruction I = Instruction::makeBinary(Opcode::Div, Type::I64, 1, 2, 3);
+  RtValue Out;
+  EXPECT_FALSE(evalPure(I, {RtValue::ofI(1), RtValue::ofI(0)}, Out));
+  EXPECT_FALSE(evalPure(
+      I, {RtValue::ofI(std::numeric_limits<int64_t>::min()),
+          RtValue::ofI(-1)},
+      Out));
+  I.Op = Opcode::Mod;
+  EXPECT_FALSE(evalPure(I, {RtValue::ofI(1), RtValue::ofI(0)}, Out));
+}
+
+TEST(Eval, ShiftsMaskAmount) {
+  EXPECT_EQ(evalBin(Opcode::Shl, RtValue::ofI(1), RtValue::ofI(64)).I, 1);
+  EXPECT_EQ(evalBin(Opcode::Shl, RtValue::ofI(1), RtValue::ofI(3)).I, 8);
+  EXPECT_EQ(evalBin(Opcode::Shr, RtValue::ofI(-8), RtValue::ofI(1)).I, -4);
+}
+
+TEST(Eval, FloatArithmeticIsIEEE) {
+  EXPECT_EQ(evalBin(Opcode::Div, RtValue::ofF(1.0), RtValue::ofF(0.0)).F,
+            std::numeric_limits<double>::infinity());
+  RtValue NaN =
+      evalBin(Opcode::Div, RtValue::ofF(0.0), RtValue::ofF(0.0));
+  EXPECT_TRUE(std::isnan(NaN.F));
+  EXPECT_EQ(evalBin(Opcode::Add, RtValue::ofF(0.1), RtValue::ofF(0.2)).F,
+            0.1 + 0.2);
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_EQ(evalBin(Opcode::CmpLt, RtValue::ofI(1), RtValue::ofI(2)).I, 1);
+  EXPECT_EQ(evalBin(Opcode::CmpGe, RtValue::ofI(1), RtValue::ofI(2)).I, 0);
+  // NaN compares false with everything except Ne.
+  RtValue NaN = RtValue::ofF(std::nan(""));
+  EXPECT_EQ(evalBin(Opcode::CmpEq, NaN, NaN).I, 0);
+  EXPECT_EQ(evalBin(Opcode::CmpNe, NaN, NaN).I, 1);
+  EXPECT_EQ(evalBin(Opcode::CmpLe, NaN, RtValue::ofF(1.0)).I, 0);
+}
+
+TEST(Eval, Conversions) {
+  Instruction I2F = Instruction::makeUnary(Opcode::I2F, Type::I64, 1, 2);
+  RtValue Out;
+  ASSERT_TRUE(evalPure(I2F, {RtValue::ofI(-3)}, Out));
+  EXPECT_EQ(Out.F, -3.0);
+  Instruction F2I = Instruction::makeUnary(Opcode::F2I, Type::F64, 1, 2);
+  ASSERT_TRUE(evalPure(F2I, {RtValue::ofF(3.9)}, Out));
+  EXPECT_EQ(Out.I, 3); // truncation toward zero, FORTRAN style
+  ASSERT_TRUE(evalPure(F2I, {RtValue::ofF(-3.9)}, Out));
+  EXPECT_EQ(Out.I, -3);
+  EXPECT_FALSE(evalPure(F2I, {RtValue::ofF(1e300)}, Out));
+  EXPECT_FALSE(evalPure(F2I, {RtValue::ofF(std::nan(""))}, Out));
+}
+
+TEST(Eval, Intrinsics) {
+  auto call1 = [](Intrinsic In, RtValue A) {
+    Instruction I = Instruction::makeCall(In, A.Ty, 1, {2});
+    RtValue Out;
+    EXPECT_TRUE(evalPure(I, {A}, Out));
+    return Out;
+  };
+  EXPECT_EQ(call1(Intrinsic::Sqrt, RtValue::ofF(16.0)).F, 4.0);
+  EXPECT_EQ(call1(Intrinsic::Abs, RtValue::ofF(-2.5)).F, 2.5);
+  EXPECT_EQ(call1(Intrinsic::Abs, RtValue::ofI(-7)).I, 7);
+  EXPECT_EQ(call1(Intrinsic::Floor, RtValue::ofF(2.7)).F, 2.0);
+
+  Instruction Sign =
+      Instruction::makeCall(Intrinsic::Sign, Type::F64, 1, {2, 3});
+  RtValue Out;
+  ASSERT_TRUE(evalPure(Sign, {RtValue::ofF(-3.0), RtValue::ofF(2.0)}, Out));
+  EXPECT_EQ(Out.F, 3.0);
+  ASSERT_TRUE(evalPure(Sign, {RtValue::ofF(3.0), RtValue::ofF(-2.0)}, Out));
+  EXPECT_EQ(Out.F, -3.0);
+  // FORTRAN SIGN(a, 0) is +|a|.
+  ASSERT_TRUE(evalPure(Sign, {RtValue::ofF(-3.0), RtValue::ofF(0.0)}, Out));
+  EXPECT_EQ(Out.F, 3.0);
+}
+
+TEST(Eval, RtValueIdentity) {
+  EXPECT_TRUE(RtValue::ofI(5).identical(RtValue::ofI(5)));
+  EXPECT_FALSE(RtValue::ofI(5).identical(RtValue::ofF(5.0)));
+  double NaN = std::nan("");
+  EXPECT_TRUE(RtValue::ofF(NaN).identical(RtValue::ofF(NaN)));
+  EXPECT_FALSE(RtValue::ofF(0.0).identical(RtValue::ofF(-0.0)));
+}
+
+TEST(MemoryImage, AllocateAlignsAndZeroes) {
+  MemoryImage Mem(12);
+  int64_t A = Mem.allocate(8);
+  EXPECT_EQ(A % 8, 0);
+  EXPECT_GE(A, 12);
+  EXPECT_EQ(Mem.loadI64(A), 0);
+  Mem.storeF64(A, 1.5);
+  EXPECT_EQ(Mem.loadF64(A), 1.5);
+}
+
+TEST(MemoryImage, HashDetectsChanges) {
+  MemoryImage A(64), B(64);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.storeI64(8, 1);
+  EXPECT_NE(A.hash(), B.hash());
+}
+
+TEST(Interpreter, CountsEveryOperation) {
+  ParseResult R = parseModule(R"(
+func @f() -> i64 {
+^e:
+  %a:i64 = loadi 2
+  %b:i64 = loadi 3
+  %c:i64 = add %a, %b
+  ret %c
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  ExecResult E = interpret(*R.M->Functions[0], {}, Mem);
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(E.ReturnValue.I, 5);
+  EXPECT_EQ(E.DynOps, 4u); // loadi, loadi, add, ret
+  EXPECT_EQ(E.OpCounts[unsigned(Opcode::LoadI)], 2u);
+  EXPECT_EQ(E.OpCounts[unsigned(Opcode::Add)], 1u);
+  EXPECT_EQ(E.OpCounts[unsigned(Opcode::Ret)], 1u);
+}
+
+TEST(Interpreter, PhisCostNothingAndReadInParallel) {
+  // Swap phis: b1 swaps x and y each iteration via phis.
+  ParseResult R = parseModule(R"(
+func @f(%n:i64) -> i64 {
+^e:
+  %x0:i64 = loadi 1
+  %y0:i64 = loadi 2
+  %i0:i64 = loadi 0
+  br ^l
+^l:
+  %x:i64 = phi [%x0, ^e], [%y, ^l]
+  %y:i64 = phi [%y0, ^e], [%x, ^l]
+  %i:i64 = phi [%i0, ^e], [%i1, ^l]
+  %one:i64 = loadi 1
+  %i1:i64 = add %i, %one
+  %c:i64 = cmplt %i1, %n
+  cbr %c, ^l, ^x2
+^x2:
+  %ten:i64 = loadi 10
+  %r:i64 = mul %x, %ten
+  %r2:i64 = add %r, %y
+  ret %r2
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  // After 1 iteration: x=1,y=2 at the phi read, i1=1 ends loop (n=1):
+  // at exit x/y hold the *entry* values of the last iteration.
+  ExecResult E1 = interpret(*R.M->Functions[0], {RtValue::ofI(1)}, Mem);
+  ASSERT_TRUE(E1.ok());
+  EXPECT_EQ(E1.ReturnValue.I, 12);
+  // Two iterations: swapped once.
+  ExecResult E2 = interpret(*R.M->Functions[0], {RtValue::ofI(2)}, Mem);
+  ASSERT_TRUE(E2.ok());
+  EXPECT_EQ(E2.ReturnValue.I, 21);
+}
+
+TEST(Interpreter, TrapsOnOutOfBounds) {
+  ParseResult R = parseModule(R"(
+func @f(%a:i64) -> f64 {
+^e:
+  %v:f64 = load %a
+  ret %v
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(16);
+  ExecResult Ok = interpret(*R.M->Functions[0], {RtValue::ofI(8)}, Mem);
+  EXPECT_TRUE(Ok.ok());
+  ExecResult Bad = interpret(*R.M->Functions[0], {RtValue::ofI(9)}, Mem);
+  EXPECT_TRUE(Bad.Trapped); // 9+8 > 16
+  ExecResult Neg = interpret(*R.M->Functions[0], {RtValue::ofI(-1)}, Mem);
+  EXPECT_TRUE(Neg.Trapped);
+}
+
+TEST(Interpreter, TrapsOnOpLimit) {
+  ParseResult R = parseModule(R"(
+func @f() {
+^e:
+  br ^e
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  ExecLimits Lim;
+  Lim.MaxOps = 1000;
+  ExecResult E = interpret(*R.M->Functions[0], {}, Mem, Lim);
+  EXPECT_TRUE(E.Trapped);
+}
+
+TEST(Interpreter, ArgumentChecking) {
+  ParseResult R = parseModule("func @f(%a:i64) { ^e: ret }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  EXPECT_TRUE(interpret(*R.M->Functions[0], {}, Mem).Trapped);
+  EXPECT_TRUE(
+      interpret(*R.M->Functions[0], {RtValue::ofF(1.0)}, Mem).Trapped);
+  EXPECT_FALSE(
+      interpret(*R.M->Functions[0], {RtValue::ofI(1)}, Mem).Trapped);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tests/ir_test.cpp - IR core: opcodes, builder, verifier ------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+TEST(Opcode, Traits) {
+  EXPECT_TRUE(isCommutative(Opcode::Add));
+  EXPECT_TRUE(isCommutative(Opcode::Mul));
+  EXPECT_FALSE(isCommutative(Opcode::Sub));
+  EXPECT_FALSE(isCommutative(Opcode::Div));
+  EXPECT_FALSE(isCommutative(Opcode::Shl));
+
+  EXPECT_TRUE(isAssociative(Opcode::Add));
+  EXPECT_TRUE(isAssociative(Opcode::Min));
+  EXPECT_TRUE(isAssociative(Opcode::Xor));
+  EXPECT_FALSE(isAssociative(Opcode::Sub));
+  EXPECT_FALSE(isAssociative(Opcode::Shl)); // the §5.2 pitfall
+
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isTerminator(Opcode::Cbr));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Add));
+
+  EXPECT_TRUE(hasSideEffects(Opcode::Store));
+  EXPECT_FALSE(hasSideEffects(Opcode::Call)); // intrinsics are pure
+  EXPECT_FALSE(hasSideEffects(Opcode::Load)); // reads are idempotent
+
+  // Loads and copies are not "expressions" in the PRE sense.
+  EXPECT_FALSE(isExpression(Opcode::Load));
+  EXPECT_FALSE(isExpression(Opcode::Copy));
+  EXPECT_FALSE(isExpression(Opcode::Phi));
+  EXPECT_TRUE(isExpression(Opcode::Call));
+  EXPECT_TRUE(isExpression(Opcode::LoadI));
+  EXPECT_TRUE(isExpression(Opcode::CmpLt));
+}
+
+TEST(Opcode, OperandCounts) {
+  EXPECT_EQ(fixedOperandCount(Opcode::LoadI), 0);
+  EXPECT_EQ(fixedOperandCount(Opcode::Neg), 1);
+  EXPECT_EQ(fixedOperandCount(Opcode::Add), 2);
+  EXPECT_EQ(fixedOperandCount(Opcode::Store), 2);
+  EXPECT_EQ(fixedOperandCount(Opcode::Call), -1);
+  EXPECT_EQ(fixedOperandCount(Opcode::Phi), -1);
+  EXPECT_EQ(intrinsicArity(Intrinsic::Sqrt), 1u);
+  EXPECT_EQ(intrinsicArity(Intrinsic::Pow), 2u);
+  EXPECT_EQ(intrinsicArity(Intrinsic::Sign), 2u);
+}
+
+TEST(Function, RegisterAllocation) {
+  Function F("f");
+  Reg A = F.makeReg(Type::I64);
+  Reg B = F.makeReg(Type::F64);
+  EXPECT_NE(A, NoReg);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(F.regType(A), Type::I64);
+  EXPECT_EQ(F.regType(B), Type::F64);
+  EXPECT_EQ(F.numRegs(), 3u); // slot 0 is reserved
+}
+
+TEST(Function, ParamsAndBlocks) {
+  Function F("f");
+  Reg P = F.addParam(Type::F64);
+  EXPECT_TRUE(F.isParam(P));
+  BasicBlock *B0 = F.addBlock("entry");
+  BasicBlock *B1 = F.addBlock();
+  EXPECT_EQ(B0->id(), 0u);
+  EXPECT_EQ(B1->id(), 1u);
+  EXPECT_EQ(F.entry(), B0);
+  F.eraseBlock(B1->id());
+  EXPECT_EQ(F.block(1), nullptr);
+  unsigned Count = 0;
+  F.forEachBlock([&](BasicBlock &) { ++Count; });
+  EXPECT_EQ(Count, 1u);
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  Function F("f");
+  Reg P = F.addParam(Type::I64);
+  F.setReturnType(Type::I64);
+  IRBuilder B(F, F.addBlock("entry"));
+  Reg C = B.loadI(2);
+  Reg S = B.add(P, C);
+  B.ret(S);
+  EXPECT_TRUE(verifyFunction(F).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Function F("f");
+  IRBuilder B(F, F.addBlock("entry"));
+  B.loadI(1);
+  std::vector<std::string> E = verifyFunction(F);
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMidBlockTerminator) {
+  Function F("f");
+  BasicBlock *BB = F.addBlock("entry");
+  BB->Insts.push_back(Instruction::makeRet());
+  BB->Insts.push_back(Instruction::makeRet());
+  EXPECT_FALSE(verifyFunction(F).empty());
+}
+
+TEST(Verifier, RejectsBadOperandCount) {
+  Function F("f");
+  BasicBlock *BB = F.addBlock("entry");
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Ty = Type::I64;
+  I.Dst = F.makeReg(Type::I64);
+  I.Operands = {}; // add needs two
+  BB->Insts.push_back(std::move(I));
+  BB->Insts.push_back(Instruction::makeRet());
+  EXPECT_FALSE(verifyFunction(F).empty());
+}
+
+TEST(Verifier, RejectsTypeErrors) {
+  Function F("f");
+  Reg FP = F.addParam(Type::F64);
+  BasicBlock *BB = F.addBlock("entry");
+  // cbr on a float register is ill-typed.
+  BasicBlock *T = F.addBlock("t");
+  T->Insts.push_back(Instruction::makeRet());
+  BB->Insts.push_back(Instruction::makeCbr(FP, T->id(), T->id()));
+  EXPECT_FALSE(verifyFunction(F).empty());
+}
+
+TEST(Verifier, RejectsBranchToErasedBlock) {
+  Function F("f");
+  BasicBlock *BB = F.addBlock("entry");
+  BasicBlock *T = F.addBlock("t");
+  T->Insts.push_back(Instruction::makeRet());
+  BB->Insts.push_back(Instruction::makeBr(T->id()));
+  F.eraseBlock(T->id());
+  EXPECT_FALSE(verifyFunction(F).empty());
+}
+
+TEST(Verifier, SSAModeCatchesDoubleDef) {
+  Function F("f");
+  IRBuilder B(F, F.addBlock("entry"));
+  Reg C = B.loadI(1);
+  B.emit(Instruction::makeLoadI(C, 2)); // second def of C
+  B.ret(C);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::Relaxed).empty());
+  EXPECT_FALSE(verifyFunction(F, SSAMode::SSA).empty());
+}
+
+TEST(Verifier, NoSSAModeRejectsPhis) {
+  Function F("f");
+  BasicBlock *BB = F.addBlock("entry");
+  Instruction Phi = Instruction::makePhi(Type::I64, F.makeReg(Type::I64));
+  BB->Insts.push_back(std::move(Phi));
+  BB->Insts.push_back(Instruction::makeRet());
+  EXPECT_FALSE(verifyFunction(F, SSAMode::NoSSA).empty());
+}
+
+TEST(Verifier, PhiPredsMustMatchCFG) {
+  Function F("f");
+  Reg P = F.addParam(Type::I64);
+  BasicBlock *A = F.addBlock("a");
+  BasicBlock *Join = F.addBlock("j");
+  A->Insts.push_back(Instruction::makeBr(Join->id()));
+  Instruction Phi = Instruction::makePhi(Type::I64, F.makeReg(Type::I64));
+  Phi.addPhiIncoming(P, A->id());
+  Phi.addPhiIncoming(P, A->id()); // duplicate entry; only one edge exists
+  Join->Insts.push_back(std::move(Phi));
+  Join->Insts.push_back(Instruction::makeRet());
+  EXPECT_FALSE(verifyFunction(F, SSAMode::SSA).empty());
+}
+
+} // namespace

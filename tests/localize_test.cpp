@@ -1,0 +1,177 @@
+//===- tests/localize_test.cpp - §5.1 name localization -------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pre/LocalizeNames.h"
+#include "pre/PRE.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace epre;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  ParseResult R = parseModule(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+/// No expression name may be used in a block without a local def first.
+bool sec51Holds(const Function &F) {
+  std::set<Reg> ExprNames;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts)
+      if (I.hasDst() && I.isExpression() && !F.isParam(I.Dst))
+        ExprNames.insert(I.Dst);
+  });
+  bool Ok = true;
+  F.forEachBlock([&](const BasicBlock &B) {
+    std::set<Reg> Defined;
+    for (const Instruction &I : B.Insts) {
+      for (Reg Op : I.Operands)
+        if (ExprNames.count(Op) && !Defined.count(Op))
+          Ok = false;
+      if (I.hasDst())
+        Defined.insert(I.Dst);
+    }
+  });
+  return Ok;
+}
+
+// The sqrt example of §5.1, with the result consumed in another block.
+const char *CrossBlock = R"(
+func @f(%p:i64, %x:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %x
+  cbr %p, ^a, ^j
+^a:
+  %x:i64 = loadi 100
+  %t:i64 = add %x, %x
+  br ^j
+^j:
+  %u:i64 = copy %t
+  ret %u
+}
+)";
+
+TEST(LocalizeNames, EstablishesSec51) {
+  auto M = parse(CrossBlock);
+  Function &F = *M->Functions[0];
+  EXPECT_FALSE(sec51Holds(F));
+  unsigned N = localizeExpressionNames(F);
+  EXPECT_GE(N, 1u); // t, and x (redefined by the loadi) also qualifies
+  EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
+      << printFunction(F);
+  EXPECT_TRUE(sec51Holds(F)) << printFunction(F);
+  // Behaviour unchanged on both paths.
+  MemoryImage Mem(0);
+  EXPECT_EQ(
+      interpret(F, {RtValue::ofI(0), RtValue::ofI(7)}, Mem).ReturnValue.I,
+      14);
+  EXPECT_EQ(
+      interpret(F, {RtValue::ofI(1), RtValue::ofI(7)}, Mem).ReturnValue.I,
+      200);
+}
+
+TEST(LocalizeNames, UnblocksPRE) {
+  // With the name localized, PRE keeps the expression in its universe and
+  // can delete the recomputation in ^a... which here is NOT redundant
+  // (x changed), so instead check a genuinely redundant variant.
+  const char *Src = R"(
+func @f(%p:i64, %x:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %x
+  cbr %p, ^a, ^j
+^a:
+  %t:i64 = add %x, %x
+  br ^j
+^j:
+  %u:i64 = copy %t
+  ret %u
+}
+)";
+  auto M = parse(Src);
+  Function &F = *M->Functions[0];
+  // Without localization the cross-block use makes PRE drop the name.
+  {
+    auto M2 = parse(Src);
+    PREStats S = eliminatePartialRedundancies(*M2->Functions[0]);
+    EXPECT_EQ(S.Deleted, 0u);
+    EXPECT_GE(S.DroppedUnsafe, 1u);
+  }
+  // With localization the redundant recomputation in ^a dies.
+  localizeExpressionNames(F);
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_EQ(S.DroppedUnsafe, 0u);
+  EXPECT_EQ(S.Deleted, 1u);
+  MemoryImage Mem(0);
+  for (int64_t P : {0, 1})
+    EXPECT_EQ(interpret(F, {RtValue::ofI(P), RtValue::ofI(7)}, Mem)
+                  .ReturnValue.I,
+              14);
+}
+
+TEST(LocalizeNames, NoWorkWhenAlreadyLocal) {
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %x
+  %u:i64 = copy %t
+  ret %u
+}
+)");
+  EXPECT_EQ(localizeExpressionNames(*M->Functions[0]), 0u);
+}
+
+TEST(LocalizeNames, HandlesMultipleDefsAndUses) {
+  const char *Src = R"(
+func @f(%p:i64, %x:i64, %y:i64) -> i64 {
+^e:
+  %t:i64 = mul %x, %y
+  cbr %p, ^a, ^b
+^a:
+  %t:i64 = mul %x, %y
+  %u1:i64 = add %t, %t
+  br ^j
+^b:
+  br ^j
+^j:
+  %r:i64 = add %t, %t
+  ret %r
+}
+)";
+  auto M = parse(Src);
+  Function &F = *M->Functions[0];
+  int64_t Before0, Before1;
+  {
+    MemoryImage Mem(0);
+    Before0 = interpret(F, {RtValue::ofI(0), RtValue::ofI(3),
+                            RtValue::ofI(4)},
+                        Mem)
+                  .ReturnValue.I;
+    Before1 = interpret(F, {RtValue::ofI(1), RtValue::ofI(3),
+                            RtValue::ofI(4)},
+                        Mem)
+                  .ReturnValue.I;
+  }
+  localizeExpressionNames(F);
+  EXPECT_TRUE(sec51Holds(F)) << printFunction(F);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(0), RtValue::ofI(3),
+                          RtValue::ofI(4)},
+                      Mem)
+                .ReturnValue.I,
+            Before0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(1), RtValue::ofI(3),
+                          RtValue::ofI(4)},
+                      Mem)
+                .ReturnValue.I,
+            Before1);
+}
+
+} // namespace

@@ -1,0 +1,475 @@
+//===- tests/opt_test.cpp - Baseline optimizer passes ---------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "opt/ConstantPropagation.h"
+#include "opt/CopyCoalescing.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/Peephole.h"
+#include "opt/SimplifyCFG.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace epre;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  ParseResult R = parseModule(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+unsigned countOp(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts)
+      N += I.Op == Op;
+  });
+  return N;
+}
+
+unsigned countInsts(const Function &F) { return F.staticOperationCount(); }
+
+// --- Constant propagation --------------------------------------------------
+
+TEST(ConstProp, FoldsThroughArithmetic) {
+  auto M = parse(R"(
+func @f() -> i64 {
+^e:
+  %a:i64 = loadi 6
+  %b:i64 = loadi 7
+  %c:i64 = mul %a, %b
+  %d:i64 = add %c, %c
+  ret %d
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(propagateConstants(F));
+  const BasicBlock *E = F.entry();
+  EXPECT_EQ(E->Insts[3].Op, Opcode::LoadI);
+  EXPECT_EQ(E->Insts[3].IImm, 84);
+}
+
+TEST(ConstProp, FoldsBranchesAndPrunesPaths) {
+  // The condition is constant; the false arm assigns a non-constant, but
+  // with conditional propagation %v is still known at the join.
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %one:i64 = loadi 1
+  cbr %one, ^a, ^b
+^a:
+  %v:i64 = loadi 10
+  br ^j
+^b:
+  %v:i64 = copy %x
+  br ^j
+^j:
+  %r:i64 = add %v, %v
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(propagateConstants(F));
+  // Branch folded.
+  EXPECT_EQ(countOp(F, Opcode::Cbr), 0u);
+  // The add folded to 20 despite the (unreachable) other arm.
+  bool Found = false;
+  for (const Instruction &I : F.block(3)->Insts)
+    if (I.hasDst() && I.Op == Opcode::LoadI && I.IImm == 20)
+      Found = true;
+  EXPECT_TRUE(Found) << printFunction(F);
+}
+
+TEST(ConstProp, DoesNotFoldTrappingDivision) {
+  auto M = parse(R"(
+func @f() -> i64 {
+^e:
+  %a:i64 = loadi 1
+  %z:i64 = loadi 0
+  %d:i64 = div %a, %z
+  ret %d
+}
+)");
+  Function &F = *M->Functions[0];
+  propagateConstants(F);
+  EXPECT_EQ(countOp(F, Opcode::Div), 1u); // preserved; still traps at run time
+}
+
+TEST(ConstProp, LoopConstantConverges) {
+  auto M = parse(R"(
+func @f(%n:i64) -> i64 {
+^e:
+  %k:i64 = loadi 5
+  %i:i64 = loadi 0
+  br ^l
+^l:
+  %k:i64 = loadi 5
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^x
+^x:
+  %r:i64 = add %k, %k
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  propagateConstants(F);
+  bool Folded = false;
+  for (const Instruction &I : F.block(2)->Insts)
+    if (I.Op == Opcode::LoadI && I.IImm == 10)
+      Folded = true;
+  EXPECT_TRUE(Folded) << printFunction(F);
+}
+
+// --- Peephole ---------------------------------------------------------------
+
+TEST(Peephole, AlgebraicIdentities) {
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %a:i64 = add %x, %z
+  %o:i64 = loadi 1
+  %b:i64 = mul %a, %o
+  %c:i64 = sub %b, %z
+  %d:i64 = xor %c, %z
+  ret %d
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(runPeephole(F));
+  // All four ops reduce to copies of %x; no arithmetic remains.
+  EXPECT_EQ(countOp(F, Opcode::Add), 0u);
+  EXPECT_EQ(countOp(F, Opcode::Mul), 0u);
+  EXPECT_EQ(countOp(F, Opcode::Sub), 0u);
+  EXPECT_EQ(countOp(F, Opcode::Xor), 0u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(99)}, Mem).ReturnValue.I, 99);
+}
+
+TEST(Peephole, ReconstructsSubFromAddNeg) {
+  // The pass the paper relies on after negation normalization.
+  auto M = parse(R"(
+func @f(%x:i64, %y:i64) -> i64 {
+^e:
+  %n:i64 = neg %y
+  %r:i64 = add %x, %n
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(runPeephole(F));
+  EXPECT_EQ(countOp(F, Opcode::Sub), 1u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(10), RtValue::ofI(3)}, Mem)
+                .ReturnValue.I,
+            7);
+}
+
+TEST(Peephole, NoUnsafeForwardingAcrossRedefinition) {
+  // n = neg y; y redefined; add x, n must NOT become sub x, y.
+  auto M = parse(R"(
+func @f(%x:i64, %y:i64) -> i64 {
+^e:
+  %n:i64 = neg %y
+  %hundred:i64 = loadi 100
+  %y:i64 = copy %hundred
+  %r:i64 = add %x, %n
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  runPeephole(F);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(10), RtValue::ofI(3)}, Mem)
+                .ReturnValue.I,
+            7);
+}
+
+TEST(Peephole, StrengthReducesPowerOfTwoMultiply) {
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %c:i64 = loadi 8
+  %r:i64 = mul %x, %c
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  PeepholeOptions PO;
+  PO.StrengthReduceMul = true;
+  runPeephole(F, PO);
+  EXPECT_EQ(countOp(F, Opcode::Mul), 0u);
+  EXPECT_EQ(countOp(F, Opcode::Shl), 1u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(5)}, Mem).ReturnValue.I, 40);
+
+  // And the option can disable it (§5.2 ordering concerns).
+  auto M2 = parse(R"(
+func @g(%x:i64) -> i64 {
+^e:
+  %c:i64 = loadi 8
+  %r:i64 = mul %x, %c
+  ret %r
+}
+)");
+  PeepholeOptions NoSR;
+  NoSR.StrengthReduceMul = false;
+  runPeephole(*M2->Functions[0], NoSR);
+  EXPECT_EQ(countOp(*M2->Functions[0], Opcode::Mul), 1u);
+}
+
+TEST(Peephole, FloatIdentitiesAreBitExactOnly) {
+  // x + 0.0 must NOT fold (x = -0.0 would change); x * 1.0 must fold.
+  auto M = parse(R"(
+func @f(%x:f64) -> f64 {
+^e:
+  %z:f64 = loadf 0.0
+  %a:f64 = add %x, %z
+  %o:f64 = loadf 1.0
+  %b:f64 = mul %a, %o
+  ret %b
+}
+)");
+  Function &F = *M->Functions[0];
+  runPeephole(F);
+  EXPECT_EQ(countOp(F, Opcode::Add), 1u); // kept
+  EXPECT_EQ(countOp(F, Opcode::Mul), 0u); // folded
+  MemoryImage Mem(0);
+  ExecResult R = interpret(F, {RtValue::ofF(-0.0)}, Mem);
+  EXPECT_EQ(R.ReturnValue.F, 0.0);
+  EXPECT_FALSE(std::signbit(R.ReturnValue.F)); // -0.0 + 0.0 == +0.0
+}
+
+// --- DCE ---------------------------------------------------------------------
+
+TEST(DCE, RemovesDeadChains) {
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %a:i64 = loadi 1
+  %b:i64 = add %a, %x
+  %c:i64 = mul %b, %b
+  %r:i64 = add %x, %x
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(eliminateDeadCode(F));
+  EXPECT_EQ(countInsts(F), 2u); // the live add and the ret
+}
+
+TEST(DCE, KeepsSideEffects) {
+  auto M = parse(R"(
+func @f(%a:i64, %v:f64) {
+^e:
+  %dead:f64 = add %v, %v
+  store %v -> %a
+  ret
+}
+)");
+  Function &F = *M->Functions[0];
+  eliminateDeadCode(F);
+  EXPECT_EQ(countOp(F, Opcode::Store), 1u);
+  EXPECT_EQ(countOp(F, Opcode::Add), 0u);
+}
+
+TEST(DCE, DeadAcrossLoop) {
+  // A value computed in a loop and never observed must vanish entirely.
+  auto M = parse(R"(
+func @f(%n:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %s:i64 = copy %z
+  %i:i64 = copy %z
+  br ^l
+^l:
+  %s:i64 = add %s, %i
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^x
+^x:
+  %r:i64 = loadi 42
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  eliminateDeadCode(F);
+  // The s accumulation is dead; the induction variable is still needed.
+  bool HasS = false;
+  for (const Instruction &I : F.block(1)->Insts)
+    if (I.Op == Opcode::Add && I.Dst == I.Operands[0] &&
+        I.Operands[1] != I.Operands[0])
+      HasS = countOp(F, Opcode::Add) > 1;
+  EXPECT_EQ(countOp(F, Opcode::Add), 1u) << printFunction(F);
+  (void)HasS;
+}
+
+// --- Coalescing ---------------------------------------------------------------
+
+TEST(Coalesce, MergesNonInterferingCopy) {
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %x
+  %u:i64 = copy %t
+  %r:i64 = add %u, %u
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(coalesceCopies(F), 1u);
+  EXPECT_EQ(countOp(F, Opcode::Copy), 0u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(3)}, Mem).ReturnValue.I, 12);
+}
+
+TEST(Coalesce, KeepsInterferingCopy) {
+  // u <- t, then both used: merging would lose t's value... here t is
+  // redefined while u lives, so they interfere.
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %x
+  %u:i64 = copy %t
+  %t:i64 = add %t, %u
+  %r:i64 = add %t, %u
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  coalesceCopies(F);
+  MemoryImage Mem(0);
+  // t=6,u=6,t=12,r=18
+  EXPECT_EQ(interpret(F, {RtValue::ofI(3)}, Mem).ReturnValue.I, 18);
+}
+
+TEST(Coalesce, ParametersKeepTheirRegisters) {
+  auto M = parse(R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %u:i64 = copy %x
+  %r:i64 = add %u, %u
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  Reg P = F.params()[0];
+  coalesceCopies(F);
+  EXPECT_EQ(F.params()[0], P);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(4)}, Mem).ReturnValue.I, 8);
+}
+
+// --- SimplifyCFG ---------------------------------------------------------------
+
+TEST(SimplifyCFG, RemovesUnreachable) {
+  auto M = parse(R"(
+func @f() -> i64 {
+^e:
+  %r:i64 = loadi 1
+  ret %r
+^dead:
+  %x:i64 = loadi 2
+  ret %x
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(simplifyCFG(F));
+  unsigned Blocks = 0;
+  F.forEachBlock([&](BasicBlock &) { ++Blocks; });
+  EXPECT_EQ(Blocks, 1u);
+}
+
+TEST(SimplifyCFG, ThreadsEmptyForwardingBlocks) {
+  auto M = parse(R"(
+func @f(%p:i64) -> i64 {
+^e:
+  cbr %p, ^fwd, ^b
+^fwd:
+  br ^t
+^b:
+  br ^t
+^t:
+  %r:i64 = loadi 3
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(simplifyCFG(F));
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(1)}, Mem).ReturnValue.I, 3);
+  unsigned Blocks = 0;
+  F.forEachBlock([&](BasicBlock &) { ++Blocks; });
+  EXPECT_LE(Blocks, 2u);
+}
+
+TEST(SimplifyCFG, MergesStraightLine) {
+  auto M = parse(R"(
+func @f() -> i64 {
+^a:
+  %x:i64 = loadi 1
+  br ^b
+^b:
+  %y:i64 = loadi 2
+  br ^c
+^c:
+  %r:i64 = add %x, %y
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(simplifyCFG(F));
+  unsigned Blocks = 0;
+  F.forEachBlock([&](BasicBlock &) { ++Blocks; });
+  EXPECT_EQ(Blocks, 1u);
+  EXPECT_EQ(countOp(F, Opcode::Br), 0u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {}, Mem).ReturnValue.I, 3);
+}
+
+TEST(SimplifyCFG, FoldsConstantBranch) {
+  auto M = parse(R"(
+func @f() -> i64 {
+^e:
+  %one:i64 = loadi 1
+  cbr %one, ^a, ^b
+^a:
+  %x:i64 = loadi 10
+  ret %x
+^b:
+  %y:i64 = loadi 20
+  ret %y
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(simplifyCFG(F));
+  EXPECT_EQ(countOp(F, Opcode::Cbr), 0u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {}, Mem).ReturnValue.I, 10);
+}
+
+TEST(SimplifyCFG, CbrSameTargetsBecomesBr) {
+  auto M = parse(R"(
+func @f(%p:i64) -> i64 {
+^e:
+  cbr %p, ^t, ^t
+^t:
+  %r:i64 = loadi 5
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_TRUE(simplifyCFG(F));
+  EXPECT_EQ(countOp(F, Opcode::Cbr), 0u);
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/pipeline_test.cpp - Pipeline configuration matrix ------------===//
+///
+/// Integration tests of pipeline options that the smoke/suite tests don't
+/// cover: strategy and FP-reassociation knobs, verification toggles, level
+/// monotonicity on a hoisting-friendly workload, module-level driving,
+/// and stability (optimizing twice changes nothing the second time).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+const char *Workload = R"(
+function work(a, b, n)
+  integer n
+  real w(32)
+  do i = 1, n
+    w(i) = (a + b) * i + (a + b)
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + w(i) * (a - b)
+  end do
+  return s
+end
+)";
+
+struct RunOut {
+  double Value = 0;
+  uint64_t Ops = 0;
+  bool Ok = false;
+};
+
+RunOut runWith(const PipelineOptions &PO) {
+  NamingMode NM = PO.Level == OptLevel::Partial ? NamingMode::Hashed
+                                                : NamingMode::Naive;
+  LowerResult LR = compileMiniFortran(Workload, NM);
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  RunOut R;
+  if (!LR.ok())
+    return R;
+  Function &F = *LR.M->find("work");
+  PipelineOptions Opts = PO;
+  optimizeFunction(F, Opts);
+  MemoryImage Mem(LR.Routines[0].LocalMemBytes);
+  ExecResult E = interpret(
+      F, {RtValue::ofF(1.5), RtValue::ofF(0.25), RtValue::ofI(32)}, Mem);
+  EXPECT_FALSE(E.Trapped) << E.TrapReason;
+  R.Ok = !E.Trapped;
+  R.Value = E.ReturnValue.F;
+  R.Ops = E.DynOps;
+  return R;
+}
+
+TEST(Pipeline, LevelsMonotoneOnHoistingWorkload) {
+  PipelineOptions PO;
+  PO.Level = OptLevel::None;
+  RunOut None = runWith(PO);
+  PO.Level = OptLevel::Baseline;
+  RunOut Base = runWith(PO);
+  PO.Level = OptLevel::Partial;
+  RunOut Part = runWith(PO);
+  PO.Level = OptLevel::Distribution;
+  RunOut Dist = runWith(PO);
+  ASSERT_TRUE(None.Ok && Base.Ok && Part.Ok && Dist.Ok);
+  EXPECT_LE(Base.Ops, None.Ops);
+  EXPECT_LT(Part.Ops, Base.Ops);
+  EXPECT_LT(Dist.Ops, Part.Ops);
+  EXPECT_NEAR(None.Value, Dist.Value, 1e-9 * (1 + std::abs(None.Value)));
+}
+
+TEST(Pipeline, StrategiesAllCorrect) {
+  for (PREStrategy S : {PREStrategy::LazyCodeMotion,
+                        PREStrategy::MorelRenvoise, PREStrategy::GlobalCSE}) {
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    PO.Strategy = S;
+    RunOut R = runWith(PO);
+    ASSERT_TRUE(R.Ok);
+    PipelineOptions Ref;
+    Ref.Level = OptLevel::None;
+    EXPECT_NEAR(R.Value, runWith(Ref).Value, 1e-9);
+  }
+}
+
+TEST(Pipeline, NoFPReassocStillSound) {
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  PO.AllowFPReassoc = false;
+  RunOut R = runWith(PO);
+  ASSERT_TRUE(R.Ok);
+  PipelineOptions Ref;
+  Ref.Level = OptLevel::None;
+  // Without FP reassociation the result must be BIT-exact.
+  EXPECT_EQ(R.Value, runWith(Ref).Value);
+}
+
+TEST(Pipeline, VerifyOffStillWorks) {
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  PO.Verify = false;
+  RunOut R = runWith(PO);
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Pipeline, OptimizeModuleCoversAllFunctions) {
+  const char *Two = R"(
+function f1(a)
+  return a + a
+end
+
+function f2(a)
+  return a * a
+end
+)";
+  LowerResult LR = compileMiniFortran(Two, NamingMode::Naive);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  std::vector<PipelineStats> Stats = optimizeModule(*LR.M, PO);
+  EXPECT_EQ(Stats.size(), 2u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(*LR.M->find("f1"), {RtValue::ofF(3.0)}, Mem)
+                .ReturnValue.F,
+            6.0);
+  EXPECT_EQ(interpret(*LR.M->find("f2"), {RtValue::ofF(3.0)}, Mem)
+                .ReturnValue.F,
+            9.0);
+}
+
+TEST(Pipeline, Idempotent) {
+  // Running the strongest level twice must not change behaviour, and the
+  // second run must not blow the code back up.
+  LowerResult LR = compileMiniFortran(Workload, NamingMode::Naive);
+  ASSERT_TRUE(LR.ok());
+  Function &F = *LR.M->find("work");
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  optimizeFunction(F, PO);
+  unsigned OpsAfterFirst = F.staticOperationCount();
+  optimizeFunction(F, PO);
+  unsigned OpsAfterSecond = F.staticOperationCount();
+  EXPECT_LE(OpsAfterSecond, OpsAfterFirst + OpsAfterFirst / 4);
+  MemoryImage Mem(LR.Routines[0].LocalMemBytes);
+  ExecResult E = interpret(
+      F, {RtValue::ofF(1.5), RtValue::ofF(0.25), RtValue::ofI(32)}, Mem);
+  EXPECT_FALSE(E.Trapped) << E.TrapReason;
+}
+
+TEST(Pipeline, StatsArePopulated) {
+  LowerResult LR = compileMiniFortran(Workload, NamingMode::Naive);
+  ASSERT_TRUE(LR.ok());
+  Function &F = *LR.M->find("work");
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  PipelineStats S = optimizeFunction(F, PO);
+  EXPECT_GT(S.OpsBefore, 0u);
+  EXPECT_GT(S.OpsAfter, 0u);
+  EXPECT_GT(S.ForwardProp.PhisRemoved, 0u);
+  EXPECT_GT(S.GVN.Classes, 0u);
+  EXPECT_GT(S.PRE.UniverseSize, 0u);
+  EXPECT_GT(S.PRE.Deleted, 0u);
+}
+
+TEST(Pipeline, InvertedComparisonNormalized) {
+  // .not. (i .lt. n) must become i .ge. n (one op, not cmp+xor).
+  const char *Src = R"(
+function inv(i, n)
+  integer i, n, inv
+  if (.not. (i .lt. n)) then
+    inv = 1
+  else
+    inv = 0
+  end if
+  return
+end
+)";
+  LowerResult LR = compileMiniFortran(Src, NamingMode::Naive);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  Function &F = *LR.M->find("inv");
+  PipelineOptions PO;
+  PO.Level = OptLevel::Baseline;
+  optimizeFunction(F, PO);
+  unsigned Xors = 0, Cmps = 0;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts) {
+      Xors += I.Op == Opcode::Xor;
+      Cmps += isComparison(I.Op);
+    }
+  });
+  EXPECT_EQ(Xors, 0u) << printFunction(F);
+  EXPECT_EQ(Cmps, 1u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(5), RtValue::ofI(3)}, Mem)
+                .ReturnValue.I,
+            1);
+  EXPECT_EQ(interpret(F, {RtValue::ofI(2), RtValue::ofI(3)}, Mem)
+                .ReturnValue.I,
+            0);
+}
+
+} // namespace

@@ -1,0 +1,363 @@
+//===- tests/pre_test.cpp - Partial redundancy elimination ----------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pre/PRE.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  ParseResult R = parseModule(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+unsigned countOp(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts)
+      N += I.Op == Op;
+  });
+  return N;
+}
+
+// The paper's §2 example: x+y available on one arm only, recomputed after
+// the join. PRE must insert on the other arm's edge and delete the join
+// computation — never lengthening any path.
+TEST(PRE, ConvertsPartialToFullRedundancy) {
+  auto M = parse(R"(
+func @f(%p:i64, %x:i64, %y:i64) -> i64 {
+^e:
+  cbr %p, ^a, ^b
+^a:
+  %t:i64 = add %x, %y
+  %u1:i64 = copy %t
+  br ^j
+^b:
+  %u2:i64 = loadi 5
+  br ^j
+^j:
+  %t:i64 = add %x, %y
+  %r:i64 = add %t, %t
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOp(F, Opcode::Add), 3u);
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
+      << printFunction(F);
+  EXPECT_EQ(S.Inserted, 1u);
+  EXPECT_EQ(S.Deleted, 1u);
+  // Static count of x+y computations is unchanged (one per path)...
+  EXPECT_EQ(countOp(F, Opcode::Add), 3u);
+  // ...but the ^j block no longer computes it.
+  bool JoinComputes = false;
+  for (const Instruction &I : F.block(3)->Insts)
+    if (I.Op == Opcode::Add && I.Dst != I.Operands[0])
+      JoinComputes |= I.Operands[0] == F.params()[1];
+  EXPECT_FALSE(JoinComputes);
+  // Behaviour identical on both paths.
+  MemoryImage Mem(0);
+  for (int64_t P : {0, 1}) {
+    ExecResult R = interpret(
+        F, {RtValue::ofI(P), RtValue::ofI(3), RtValue::ofI(4)}, Mem);
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R.ReturnValue.I, 14);
+  }
+}
+
+TEST(PRE, HoistsLoopInvariant) {
+  auto M = parse(R"(
+func @f(%x:i64, %y:i64, %n:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %s:i64 = copy %z
+  %i:i64 = copy %z
+  br ^l
+^l:
+  %t:i64 = add %x, %y
+  %s:i64 = add %s, %t
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^ex
+^ex:
+  ret %s
+}
+)");
+  Function &F = *M->Functions[0];
+  MemoryImage Mem(0);
+  std::vector<RtValue> Args = {RtValue::ofI(3), RtValue::ofI(4),
+                               RtValue::ofI(50)};
+  uint64_t OpsBefore = interpret(F, Args, Mem).DynOps;
+  int64_t ValBefore = interpret(F, Args, Mem).ReturnValue.I;
+
+  PREStats S{};
+  for (int I = 0; I < 4; ++I) {
+    PREStats T = eliminatePartialRedundancies(F);
+    S.Inserted += T.Inserted;
+    S.Deleted += T.Deleted;
+    if (!T.Inserted && !T.Deleted)
+      break;
+  }
+  EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty());
+  EXPECT_GT(S.Deleted, 0u);
+  ExecResult After = interpret(F, Args, Mem);
+  EXPECT_EQ(After.ReturnValue.I, ValBefore);
+  EXPECT_LT(After.DynOps, OpsBefore); // t and the loadi left the loop
+}
+
+TEST(PRE, NeverLengthensAPath) {
+  // x+y on one arm only, never after the join: inserting on the other arm
+  // would lengthen it. LCM must not insert at all.
+  auto M = parse(R"(
+func @f(%p:i64, %x:i64, %y:i64) -> i64 {
+^e:
+  cbr %p, ^a, ^b
+^a:
+  %t:i64 = add %x, %y
+  %u:i64 = copy %t
+  br ^j
+^b:
+  %u:i64 = loadi 0
+  br ^j
+^j:
+  ret %u
+}
+)");
+  Function &F = *M->Functions[0];
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_EQ(S.Inserted, 0u);
+  EXPECT_EQ(S.Deleted, 0u);
+}
+
+TEST(PRE, LocalCSEWithinBlock) {
+  auto M = parse(R"(
+func @f(%x:i64, %y:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %y
+  %a:i64 = copy %t
+  %t:i64 = add %x, %y
+  %b:i64 = copy %t
+  %r:i64 = add %a, %b
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_EQ(S.Deleted, 1u);
+  MemoryImage Mem(0);
+  EXPECT_EQ(
+      interpret(F, {RtValue::ofI(1), RtValue::ofI(2)}, Mem).ReturnValue.I,
+      6);
+}
+
+TEST(PRE, KillsBlockRedundancy) {
+  // x+y recomputed after x is redefined: NOT redundant; must stay.
+  auto M = parse(R"(
+func @f(%x:i64, %y:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %y
+  %a:i64 = copy %t
+  %x:i64 = add %x, %a
+  %t:i64 = add %x, %y
+  ret %t
+}
+)");
+  Function &F = *M->Functions[0];
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_EQ(S.Deleted, 0u);
+}
+
+TEST(PRE, UniverseRejectsInconsistentNames) {
+  // One register defined by two different expressions: not a §2.2 name.
+  auto M = parse(R"(
+func @f(%x:i64, %y:i64, %p:i64) -> i64 {
+^e:
+  cbr %p, ^a, ^b
+^a:
+  %t:i64 = add %x, %y
+  br ^j
+^b:
+  %t:i64 = mul %x, %y
+  br ^j
+^j:
+  %t2:i64 = add %x, %y
+  %r:i64 = add %t, %t2
+  ret %r
+}
+)");
+  Function &F = *M->Functions[0];
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty());
+  MemoryImage Mem(0);
+  for (int64_t P : {0, 1}) {
+    ExecResult R = interpret(
+        F, {RtValue::ofI(3), RtValue::ofI(4), RtValue::ofI(P)}, Mem);
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R.ReturnValue.I, P ? 14 : 19);
+  }
+  (void)S;
+}
+
+TEST(PRE, Sec51FilterDropsCrossBlockNames) {
+  auto M = parse(R"(
+func @f(%p:i64, %x:i64) -> i64 {
+^e:
+  %t:i64 = add %x, %x
+  cbr %p, ^a, ^j
+^a:
+  %x:i64 = loadi 100
+  %t:i64 = add %x, %x
+  br ^j
+^j:
+  %u:i64 = copy %t
+  ret %u
+}
+)");
+  Function &F = *M->Functions[0];
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_GE(S.DroppedUnsafe, 1u);
+  // The dangerous name must be untouched on both paths.
+  MemoryImage Mem(0);
+  EXPECT_EQ(
+      interpret(F, {RtValue::ofI(0), RtValue::ofI(7)}, Mem).ReturnValue.I,
+      14);
+  EXPECT_EQ(
+      interpret(F, {RtValue::ofI(1), RtValue::ofI(7)}, Mem).ReturnValue.I,
+      200);
+}
+
+TEST(PRE, CriticalEdgeInsertionSplits) {
+  // Insertion needed on a critical edge: PRE must split it, not push the
+  // computation onto the other path.
+  auto M = parse(R"(
+func @f(%p:i64, %q:i64, %x:i64, %y:i64) -> i64 {
+^e:
+  cbr %p, ^a, ^j
+^a:
+  %t:i64 = add %x, %y
+  %u:i64 = copy %t
+  cbr %q, ^j, ^other
+^j:
+  %t:i64 = add %x, %y
+  %r:i64 = add %t, %t
+  ret %r
+^other:
+  %z:i64 = loadi 0
+  ret %z
+}
+)");
+  Function &F = *M->Functions[0];
+  unsigned BlocksBefore = 0;
+  F.forEachBlock([&](BasicBlock &) { ++BlocksBefore; });
+  PREStats S = eliminatePartialRedundancies(F);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
+      << printFunction(F);
+  MemoryImage Mem(0);
+  for (int64_t P : {0, 1})
+    for (int64_t Q : {0, 1}) {
+      ExecResult R = interpret(F,
+                               {RtValue::ofI(P), RtValue::ofI(Q),
+                                RtValue::ofI(3), RtValue::ofI(4)},
+                               Mem);
+      ASSERT_TRUE(R.ok());
+      int64_t Expect = (P && Q) || !P ? 14 : 0;
+      EXPECT_EQ(R.ReturnValue.I, Expect) << P << "," << Q;
+    }
+  (void)S;
+  (void)BlocksBefore;
+}
+
+/// All three strategies must preserve semantics on the same programs.
+class PREStrategies : public testing::TestWithParam<PREStrategy> {};
+
+TEST_P(PREStrategies, PreserveSemantics) {
+  const char *Src = R"(
+func @f(%p:i64, %x:i64, %y:i64, %n:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %s:i64 = copy %z
+  %i:i64 = copy %z
+  br ^l
+^l:
+  %t:i64 = add %x, %y
+  %s:i64 = add %s, %t
+  cbr %p, ^then, ^tail
+^then:
+  %t:i64 = add %x, %y
+  %s:i64 = add %s, %t
+  br ^tail
+^tail:
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^ex
+^ex:
+  ret %s
+}
+)";
+  for (int64_t P : {0, 1}) {
+    auto M = parse(Src);
+    Function &F = *M->Functions[0];
+    MemoryImage Mem(0);
+    std::vector<RtValue> Args = {RtValue::ofI(P), RtValue::ofI(3),
+                                 RtValue::ofI(4), RtValue::ofI(20)};
+    int64_t Before = interpret(F, Args, Mem).ReturnValue.I;
+    eliminatePartialRedundancies(F, GetParam());
+    EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
+        << printFunction(F);
+    ExecResult R = interpret(F, Args, Mem);
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R.ReturnValue.I, Before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PREStrategies,
+                         testing::Values(PREStrategy::LazyCodeMotion,
+                                         PREStrategy::MorelRenvoise,
+                                         PREStrategy::GlobalCSE),
+                         [](const testing::TestParamInfo<PREStrategy> &I) {
+                           switch (I.param) {
+                           case PREStrategy::LazyCodeMotion:
+                             return "LCM";
+                           case PREStrategy::MorelRenvoise:
+                             return "MorelRenvoise";
+                           case PREStrategy::GlobalCSE:
+                             return "GlobalCSE";
+                           }
+                           return "?";
+                         });
+
+TEST(PRE, GlobalCSENeverInserts) {
+  auto M = parse(R"(
+func @f(%x:i64, %y:i64, %n:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %s:i64 = copy %z
+  %i:i64 = copy %z
+  br ^l
+^l:
+  %t:i64 = add %x, %y
+  %s:i64 = add %s, %t
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^ex
+^ex:
+  ret %s
+}
+)");
+  Function &F = *M->Functions[0];
+  PREStats S = eliminatePartialRedundancies(F, PREStrategy::GlobalCSE);
+  EXPECT_EQ(S.Inserted, 0u);
+}
+
+} // namespace

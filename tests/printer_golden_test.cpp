@@ -1,0 +1,136 @@
+//===- tests/printer_golden_test.cpp - Exact textual-form goldens ---------===//
+///
+/// Locks the textual IR format down: builder-constructed programs must
+/// print exactly these strings (so the format cannot drift silently), and
+/// printing is a bijection with parsing on them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+TEST(PrinterGolden, StraightLine) {
+  Function F("axpy");
+  Reg A = F.addParam(Type::F64);
+  Reg X = F.addParam(Type::F64);
+  Reg Y = F.addParam(Type::F64);
+  F.setReturnType(Type::F64);
+  IRBuilder B(F, F.addBlock("entry"));
+  Reg P = B.mul(A, X);
+  Reg S = B.add(P, Y);
+  B.ret(S);
+
+  EXPECT_EQ(printFunction(F),
+            "func @axpy(%r1:f64, %r2:f64, %r3:f64) -> f64 {\n"
+            "^entry:\n"
+            "  %r4:f64 = mul %r1, %r2\n"
+            "  %r5:f64 = add %r4, %r3\n"
+            "  ret %r5\n"
+            "}\n");
+}
+
+TEST(PrinterGolden, ControlFlowMemoryAndCalls) {
+  Function F("k");
+  Reg P = F.addParam(Type::I64);
+  Reg Addr = F.addParam(Type::I64);
+  F.setReturnType(Type::F64);
+  IRBuilder B(F);
+  BasicBlock *E = B.makeBlock("e");
+  BasicBlock *T = B.makeBlock("t");
+  BasicBlock *J = B.makeBlock("j");
+
+  B.setInsertPoint(E);
+  Reg V = B.load(Type::F64, Addr);
+  B.cbr(P, T, J);
+
+  B.setInsertPoint(T);
+  Reg R = B.call(Intrinsic::Sqrt, {V});
+  B.store(R, Addr);
+  B.br(J);
+
+  B.setInsertPoint(J);
+  Reg W = B.load(Type::F64, Addr);
+  B.ret(W);
+
+  EXPECT_EQ(printFunction(F),
+            "func @k(%r1:i64, %r2:i64) -> f64 {\n"
+            "^e:\n"
+            "  %r3:f64 = load %r2\n"
+            "  cbr %r1, ^t, ^j\n"
+            "^t:\n"
+            "  %r4:f64 = call sqrt(%r3)\n"
+            "  store %r4 -> %r2\n"
+            "  br ^j\n"
+            "^j:\n"
+            "  %r5:f64 = load %r2\n"
+            "  ret %r5\n"
+            "}\n");
+}
+
+TEST(PrinterGolden, PhisAndImmediates) {
+  Function F("g");
+  Reg P = F.addParam(Type::I64);
+  F.setReturnType(Type::I64);
+  IRBuilder B(F);
+  BasicBlock *E = B.makeBlock("e");
+  BasicBlock *A = B.makeBlock("a");
+  BasicBlock *J = B.makeBlock("j");
+
+  B.setInsertPoint(E);
+  Reg C1 = B.loadI(-7);
+  B.cbr(P, A, J);
+
+  B.setInsertPoint(A);
+  Reg C2 = B.loadI(9);
+  B.br(J);
+
+  B.setInsertPoint(J);
+  Reg Phi = F.makeReg(Type::I64);
+  Instruction PhiI = Instruction::makePhi(Type::I64, Phi);
+  PhiI.addPhiIncoming(C1, E->id());
+  PhiI.addPhiIncoming(C2, A->id());
+  J->Insts.push_back(std::move(PhiI));
+  B.ret(Phi);
+
+  std::string Expected =
+      "func @g(%r1:i64) -> i64 {\n"
+      "^e:\n"
+      "  %r2:i64 = loadi -7\n"
+      "  cbr %r1, ^a, ^j\n"
+      "^a:\n"
+      "  %r3:i64 = loadi 9\n"
+      "  br ^j\n"
+      "^j:\n"
+      "  %r4:i64 = phi [%r2, ^e], [%r3, ^a]\n"
+      "  ret %r4\n"
+      "}\n";
+  EXPECT_EQ(printFunction(F), Expected);
+
+  // And it parses back to the identical text.
+  ParseResult R = parseModule(Expected);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(printFunction(*R.M->Functions[0]), Expected);
+}
+
+TEST(PrinterGolden, FloatFormatting) {
+  Function F("c");
+  F.setReturnType(Type::F64);
+  IRBuilder B(F, F.addBlock("e"));
+  Reg V1 = B.loadF(1.5);
+  Reg V2 = B.loadF(0.1);
+  Reg S = B.add(V1, V2);
+  B.ret(S);
+  std::string P = printFunction(F);
+  EXPECT_NE(P.find("loadf 1.5\n"), std::string::npos);
+  // 0.1 needs all 17 digits to round-trip.
+  EXPECT_NE(P.find("loadf 0.10000000000000001\n"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+//===- tests/ssa_test.cpp - SSA construction/destruction, parallel copies -===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "ssa/ParallelCopy.h"
+#include "ssa/SSA.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  ParseResult R = parseModule(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+unsigned countPhis(const Function &F) {
+  unsigned N = 0;
+  F.forEachBlock([&](const BasicBlock &B) { N += B.firstNonPhi(); });
+  return N;
+}
+
+unsigned countCopies(const Function &F) {
+  unsigned N = 0;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts)
+      N += I.isCopy();
+  });
+  return N;
+}
+
+// A loop accumulating into two variables.
+const char *LoopSrc = R"(
+func @f(%n:i64) -> i64 {
+^e:
+  %s:i64 = loadi 0
+  %i:i64 = loadi 0
+  br ^l
+^l:
+  %s:i64 = add %s, %i
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^x
+^x:
+  ret %s
+}
+)";
+
+ExecResult run(const Function &F, int64_t N) {
+  MemoryImage Mem(0);
+  return interpret(F, {RtValue::ofI(N)}, Mem);
+}
+
+TEST(SSA, BuildsValidSSA) {
+  auto M = parse(LoopSrc);
+  Function &F = *M->Functions[0];
+  SSAInfo Info = buildSSA(F);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::SSA).empty())
+      << printFunction(F);
+  // s and i each need a phi at the loop header.
+  EXPECT_EQ(Info.NumPhis, 2u);
+  EXPECT_EQ(countPhis(F), 2u);
+}
+
+TEST(SSA, CopyFoldingRemovesCopies) {
+  const char *Src = R"(
+func @f(%x:i64) -> i64 {
+^e:
+  %a:i64 = copy %x
+  %b:i64 = copy %a
+  %c:i64 = add %b, %b
+  ret %c
+}
+)";
+  auto M = parse(Src);
+  Function &F = *M->Functions[0];
+  SSAInfo Info = buildSSA(F);
+  EXPECT_EQ(Info.NumCopiesFolded, 2u);
+  EXPECT_EQ(countCopies(F), 0u);
+  // The add must now reference the parameter directly.
+  bool Found = false;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts)
+      if (I.Op == Opcode::Add) {
+        EXPECT_EQ(I.Operands[0], F.params()[0]);
+        Found = true;
+      }
+  });
+  EXPECT_TRUE(Found);
+}
+
+TEST(SSA, PruningSuppressesDeadPhis) {
+  // v is assigned on both arms but never used after the join: a pruned
+  // build places no phi for it.
+  const char *Src = R"(
+func @f(%p:i64) -> i64 {
+^e:
+  cbr %p, ^a, ^b
+^a:
+  %v:i64 = loadi 1
+  br ^j
+^b:
+  %v:i64 = loadi 2
+  br ^j
+^j:
+  %r:i64 = loadi 9
+  ret %r
+}
+)";
+  auto M = parse(Src);
+  Function &F = *M->Functions[0];
+  SSAOptions Pruned;
+  Pruned.Pruned = true;
+  buildSSA(F, Pruned);
+  EXPECT_EQ(countPhis(F), 0u);
+
+  auto M2 = parse(Src);
+  Function &F2 = *M2->Functions[0];
+  SSAOptions Minimal;
+  Minimal.Pruned = false;
+  buildSSA(F2, Minimal);
+  EXPECT_EQ(countPhis(F2), 1u); // minimal SSA still places it
+}
+
+TEST(SSA, RoundTripPreservesBehaviour) {
+  for (int64_t N : {0, 1, 2, 17, 100}) {
+    auto M = parse(LoopSrc);
+    Function &F = *M->Functions[0];
+    ExecResult Before = run(F, N);
+    buildSSA(F);
+    ExecResult Mid = run(F, N);
+    destroySSA(F);
+    EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
+        << printFunction(F);
+    ExecResult After = run(F, N);
+    ASSERT_FALSE(Before.Trapped || Mid.Trapped || After.Trapped);
+    EXPECT_EQ(Before.ReturnValue.I, Mid.ReturnValue.I) << "N=" << N;
+    EXPECT_EQ(Before.ReturnValue.I, After.ReturnValue.I) << "N=" << N;
+  }
+}
+
+TEST(SSA, UndefinedUseGetsZeroInit) {
+  // %v is used before any definition on the p=0 path; SSA construction
+  // must zero-initialize rather than crash, and the interpreter semantics
+  // (registers start at 0) must be preserved.
+  const char *Src = R"(
+func @f(%p:i64) -> i64 {
+^e:
+  cbr %p, ^a, ^j
+^a:
+  %v:i64 = loadi 7
+  br ^j
+^j:
+  ret %v
+}
+)";
+  auto M = parse(Src);
+  Function &F = *M->Functions[0];
+  ExecResult R0 = run(F, 0), R1 = run(F, 1);
+  buildSSA(F);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::SSA).empty())
+      << printFunction(F);
+  ExecResult S0 = run(F, 0), S1 = run(F, 1);
+  EXPECT_EQ(R0.ReturnValue.I, S0.ReturnValue.I);
+  EXPECT_EQ(R1.ReturnValue.I, S1.ReturnValue.I);
+}
+
+TEST(ParallelCopy, IndependentCopies) {
+  Function F("f");
+  Reg A = F.makeReg(Type::I64), B = F.makeReg(Type::I64);
+  Reg X = F.makeReg(Type::I64), Y = F.makeReg(Type::I64);
+  std::vector<Instruction> Seq =
+      sequenceParallelCopies(F, {{A, X}, {B, Y}});
+  EXPECT_EQ(Seq.size(), 2u);
+}
+
+TEST(ParallelCopy, SelfCopyDropped) {
+  Function F("f");
+  Reg A = F.makeReg(Type::I64);
+  std::vector<Instruction> Seq = sequenceParallelCopies(F, {{A, A}});
+  EXPECT_TRUE(Seq.empty());
+}
+
+TEST(ParallelCopy, ChainOrdered) {
+  // {a<-b, b<-c}: must emit a<-b before b<-c.
+  Function F("f");
+  Reg A = F.makeReg(Type::I64), B = F.makeReg(Type::I64),
+      C = F.makeReg(Type::I64);
+  std::vector<Instruction> Seq =
+      sequenceParallelCopies(F, {{B, C}, {A, B}});
+  ASSERT_EQ(Seq.size(), 2u);
+  EXPECT_EQ(Seq[0].Dst, A);
+  EXPECT_EQ(Seq[1].Dst, B);
+}
+
+TEST(ParallelCopy, SwapNeedsTemp) {
+  // {a<-b, b<-a}: a cycle; a temporary must break it.
+  Function F("f");
+  Reg A = F.makeReg(Type::I64), B = F.makeReg(Type::I64);
+  unsigned RegsBefore = F.numRegs();
+  std::vector<Instruction> Seq =
+      sequenceParallelCopies(F, {{A, B}, {B, A}});
+  ASSERT_EQ(Seq.size(), 3u);
+  EXPECT_GT(F.numRegs(), RegsBefore);
+  // Simulate to confirm the swap.
+  std::map<Reg, int> Val = {{A, 1}, {B, 2}};
+  for (const Instruction &I : Seq)
+    Val[I.Dst] = Val[I.Operands[0]];
+  EXPECT_EQ(Val[A], 2);
+  EXPECT_EQ(Val[B], 1);
+}
+
+TEST(ParallelCopy, ThreeCycle) {
+  Function F("f");
+  Reg A = F.makeReg(Type::I64), B = F.makeReg(Type::I64),
+      C = F.makeReg(Type::I64);
+  std::vector<Instruction> Seq =
+      sequenceParallelCopies(F, {{A, B}, {B, C}, {C, A}});
+  std::map<Reg, int> Val = {{A, 1}, {B, 2}, {C, 3}};
+  for (const Instruction &I : Seq)
+    Val[I.Dst] = Val[I.Operands[0]];
+  EXPECT_EQ(Val[A], 2);
+  EXPECT_EQ(Val[B], 3);
+  EXPECT_EQ(Val[C], 1);
+}
+
+TEST(SSA, DestroySwapLoop) {
+  // A loop swapping two variables each iteration: destruction must use a
+  // temporary, and behaviour must be identical.
+  const char *Src = R"(
+func @f(%n:i64) -> i64 {
+^e:
+  %a:i64 = loadi 1
+  %b:i64 = loadi 2
+  %i:i64 = loadi 0
+  br ^l
+^l:
+  %t:i64 = copy %a
+  %a:i64 = copy %b
+  %b:i64 = copy %t
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^x
+^x:
+  %h:i64 = loadi 10
+  %r:i64 = mul %a, %h
+  %r2:i64 = add %r, %b
+  ret %r2
+}
+)";
+  for (int64_t N : {0, 1, 2, 3, 7}) {
+    auto M = parse(Src);
+    Function &F = *M->Functions[0];
+    ExecResult Before = run(F, N);
+    buildSSA(F);
+    destroySSA(F);
+    ExecResult After = run(F, N);
+    ASSERT_FALSE(Before.Trapped || After.Trapped);
+    EXPECT_EQ(Before.ReturnValue.I, After.ReturnValue.I) << "N=" << N;
+  }
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/suite_test.cpp - Differential testing over the full suite ----===//
+///
+/// For every routine of the 50-routine suite and every optimization level:
+/// the program must compile, verify, run without trapping, and compute the
+/// same observable result as the unoptimized program (bit-exact for the
+/// non-reassociating levels; within a relative tolerance for the
+/// reassociating ones, which FORTRAN-legally reorder F64 arithmetic).
+/// Parameterized gtest: one test instance per (routine, level).
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Harness.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+struct SuiteCase {
+  unsigned RoutineIdx;
+  OptLevel Level;
+};
+
+std::string caseName(const testing::TestParamInfo<SuiteCase> &Info) {
+  const Routine &R = benchmarkSuite()[Info.param.RoutineIdx];
+  return R.Name + "_" + optLevelName(Info.param.Level);
+}
+
+class SuiteDifferential : public testing::TestWithParam<SuiteCase> {};
+
+TEST_P(SuiteDifferential, MatchesUnoptimized) {
+  const Routine &R = benchmarkSuite()[GetParam().RoutineIdx];
+  OptLevel Level = GetParam().Level;
+
+  Measurement Ref = measureRoutine(R, OptLevel::None);
+  ASSERT_TRUE(Ref.CompileOk) << Ref.CompileError;
+  ASSERT_FALSE(Ref.Trapped) << Ref.TrapReason;
+  ASSERT_TRUE(Ref.HasReturn);
+
+  Measurement Got = measureRoutine(R, Level);
+  ASSERT_TRUE(Got.CompileOk) << Got.CompileError;
+  ASSERT_FALSE(Got.Trapped) << Got.TrapReason;
+  ASSERT_TRUE(Got.HasReturn);
+
+  bool Reassoc =
+      Level == OptLevel::Reassociation || Level == OptLevel::Distribution;
+  ASSERT_EQ(Ref.ReturnValue.Ty, Got.ReturnValue.Ty);
+  if (Ref.ReturnValue.isI()) {
+    EXPECT_EQ(Ref.ReturnValue.I, Got.ReturnValue.I);
+  } else if (Reassoc) {
+    double A = Ref.ReturnValue.F, B = Got.ReturnValue.F;
+    EXPECT_NEAR(A, B, 1e-8 * (1.0 + std::fabs(A)));
+  } else {
+    EXPECT_EQ(Ref.ReturnValue.F, Got.ReturnValue.F);
+  }
+  if (!Reassoc) {
+    EXPECT_EQ(Ref.MemHash, Got.MemHash);
+  }
+
+  // Optimization must never be catastrophically slower (paper §4.2 allows
+  // small degradations; 1.5x is far outside them).
+  EXPECT_LE(Got.DynOps, Ref.DynOps + Ref.DynOps / 2 + 64);
+}
+
+std::vector<SuiteCase> allCases() {
+  std::vector<SuiteCase> Cases;
+  for (unsigned I = 0; I < benchmarkSuite().size(); ++I)
+    for (OptLevel L : {OptLevel::Baseline, OptLevel::Partial,
+                       OptLevel::Reassociation, OptLevel::Distribution})
+      Cases.push_back({I, L});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoutines, SuiteDifferential,
+                         testing::ValuesIn(allCases()), caseName);
+
+// The headline shape of Table 1, asserted as aggregate properties.
+TEST(SuiteAggregate, PREImprovesMostRoutines) {
+  unsigned Wins = 0, Total = 0;
+  for (const Routine &R : benchmarkSuite()) {
+    Measurement Base = measureRoutine(R, OptLevel::Baseline);
+    Measurement Part = measureRoutine(R, OptLevel::Partial);
+    if (!Base.ok() || !Part.ok())
+      continue;
+    ++Total;
+    if (Part.DynOps < Base.DynOps)
+      ++Wins;
+  }
+  EXPECT_EQ(Total, 50u);
+  // Paper: PRE improves nearly every routine.
+  EXPECT_GE(Wins * 100, Total * 60);
+}
+
+TEST(SuiteAggregate, ReassociationHelpsOnNet) {
+  uint64_t PartialTotal = 0, DistribTotal = 0;
+  unsigned Degraded = 0, Counted = 0;
+  for (const Routine &R : benchmarkSuite()) {
+    Measurement Part = measureRoutine(R, OptLevel::Partial);
+    Measurement Dist = measureRoutine(R, OptLevel::Distribution);
+    if (!Part.ok() || !Dist.ok())
+      continue;
+    ++Counted;
+    PartialTotal += Part.DynOps;
+    DistribTotal += Dist.DynOps;
+    if (Dist.DynOps > Part.DynOps)
+      ++Degraded;
+  }
+  EXPECT_EQ(Counted, 50u);
+  // Net win in aggregate...
+  EXPECT_LT(DistribTotal, PartialTotal);
+  // ...with some degradations expected (paper §4.2) but not a majority.
+  EXPECT_LT(Degraded, Counted / 2);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- tests/support_test.cpp - BitVector and string utilities ------------===//
+
+#include "support/BitVector.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace epre;
+
+namespace {
+
+TEST(BitVector, BasicSetResetTest) {
+  BitVector V(130);
+  EXPECT_EQ(V.size(), 130u);
+  EXPECT_TRUE(V.none());
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 3u);
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 2u);
+}
+
+TEST(BitVector, InitialValueTrue) {
+  BitVector V(70, true);
+  EXPECT_EQ(V.count(), 70u);
+  V.flip();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector V(65);
+  V.setAll();
+  EXPECT_EQ(V.count(), 65u);
+  V.flip();
+  EXPECT_EQ(V.count(), 0u);
+}
+
+TEST(BitVector, ResizeGrowsWithValue) {
+  BitVector V(10, false);
+  V.resize(100, true);
+  EXPECT_EQ(V.count(), 90u);
+  EXPECT_FALSE(V.test(5));
+  EXPECT_TRUE(V.test(10));
+  EXPECT_TRUE(V.test(99));
+}
+
+TEST(BitVector, BooleanAlgebra) {
+  BitVector A(100), B(100);
+  for (unsigned I = 0; I < 100; I += 2)
+    A.set(I);
+  for (unsigned I = 0; I < 100; I += 3)
+    B.set(I);
+  BitVector Or = A;
+  Or |= B;
+  BitVector And = A;
+  And &= B;
+  BitVector Diff = A;
+  Diff.andNot(B);
+  for (unsigned I = 0; I < 100; ++I) {
+    EXPECT_EQ(Or.test(I), I % 2 == 0 || I % 3 == 0) << I;
+    EXPECT_EQ(And.test(I), I % 2 == 0 && I % 3 == 0) << I;
+    EXPECT_EQ(Diff.test(I), I % 2 == 0 && I % 3 != 0) << I;
+  }
+}
+
+TEST(BitVector, FindFirstNext) {
+  BitVector V(200);
+  EXPECT_EQ(V.findFirst(), -1);
+  std::set<unsigned> Bits = {3, 63, 64, 65, 127, 128, 199};
+  for (unsigned B : Bits)
+    V.set(B);
+  std::set<unsigned> Seen;
+  for (int I = V.findFirst(); I != -1; I = V.findNext(unsigned(I)))
+    Seen.insert(unsigned(I));
+  EXPECT_EQ(Seen, Bits);
+}
+
+TEST(BitVector, EqualityIncludesSize) {
+  BitVector A(10), B(11);
+  EXPECT_NE(A, B);
+  BitVector C(10);
+  EXPECT_EQ(A, C);
+  C.set(9);
+  EXPECT_NE(A, C);
+}
+
+/// Property sweep: BitVector agrees with std::set over random operations.
+class BitVectorRandom : public testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorRandom, MatchesReferenceSet) {
+  std::mt19937 Rng(GetParam());
+  unsigned N = 1 + Rng() % 300;
+  BitVector V(N);
+  std::set<unsigned> Ref;
+  for (unsigned Step = 0; Step < 500; ++Step) {
+    unsigned Bit = Rng() % N;
+    if (Rng() % 2) {
+      V.set(Bit);
+      Ref.insert(Bit);
+    } else {
+      V.reset(Bit);
+      Ref.erase(Bit);
+    }
+  }
+  EXPECT_EQ(V.count(), Ref.size());
+  std::set<unsigned> Got;
+  for (int I = V.findFirst(); I != -1; I = V.findNext(unsigned(I)))
+    Got.insert(unsigned(I));
+  EXPECT_EQ(Got, Ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorRandom,
+                         testing::Range(0u, 12u));
+
+TEST(StringUtil, Strprintf) {
+  EXPECT_EQ(strprintf("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+  EXPECT_EQ(strprintf("%s", ""), "");
+  std::string Long(500, 'a');
+  EXPECT_EQ(strprintf("%s", Long.c_str()), Long);
+}
+
+TEST(StringUtil, HashCombineDistinguishes) {
+  EXPECT_NE(hashCombine(0, 1), hashCombine(0, 2));
+  EXPECT_NE(hashCombine(1, 0), hashCombine(2, 0));
+  EXPECT_NE(hashCombine(hashCombine(0, 1), 2),
+            hashCombine(hashCombine(0, 2), 1));
+}
+
+} // namespace
