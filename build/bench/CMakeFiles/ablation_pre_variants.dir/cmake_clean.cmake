@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pre_variants.dir/ablation_pre_variants.cpp.o"
+  "CMakeFiles/ablation_pre_variants.dir/ablation_pre_variants.cpp.o.d"
+  "ablation_pre_variants"
+  "ablation_pre_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pre_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pass_timing.dir/bench_pass_timing.cpp.o"
+  "CMakeFiles/bench_pass_timing.dir/bench_pass_timing.cpp.o.d"
+  "bench_pass_timing"
+  "bench_pass_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pass_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_code_shape.dir/fig1_code_shape.cpp.o"
+  "CMakeFiles/fig1_code_shape.dir/fig1_code_shape.cpp.o.d"
+  "fig1_code_shape"
+  "fig1_code_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_code_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec31_partially_dead.dir/sec31_partially_dead.cpp.o"
+  "CMakeFiles/sec31_partially_dead.dir/sec31_partially_dead.cpp.o.d"
+  "sec31_partially_dead"
+  "sec31_partially_dead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec31_partially_dead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec31_partially_dead.
+# This may be replaced when dependencies are built.

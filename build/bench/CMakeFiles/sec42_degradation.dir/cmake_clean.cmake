@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_degradation.dir/sec42_degradation.cpp.o"
+  "CMakeFiles/sec42_degradation.dir/sec42_degradation.cpp.o.d"
+  "sec42_degradation"
+  "sec42_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

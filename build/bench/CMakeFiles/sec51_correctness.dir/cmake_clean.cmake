@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_correctness.dir/sec51_correctness.cpp.o"
+  "CMakeFiles/sec51_correctness.dir/sec51_correctness.cpp.o.d"
+  "sec51_correctness"
+  "sec51_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_ordering.dir/sec52_ordering.cpp.o"
+  "CMakeFiles/sec52_ordering.dir/sec52_ordering.cpp.o.d"
+  "sec52_ordering"
+  "sec52_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

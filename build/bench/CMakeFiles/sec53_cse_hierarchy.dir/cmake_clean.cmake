@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_cse_hierarchy.dir/sec53_cse_hierarchy.cpp.o"
+  "CMakeFiles/sec53_cse_hierarchy.dir/sec53_cse_hierarchy.cpp.o.d"
+  "sec53_cse_hierarchy"
+  "sec53_cse_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_cse_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_code_expansion.dir/table2_code_expansion.cpp.o"
+  "CMakeFiles/table2_code_expansion.dir/table2_code_expansion.cpp.o.d"
+  "table2_code_expansion"
+  "table2_code_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_code_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

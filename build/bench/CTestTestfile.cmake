@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench.fig1_code_shape "/root/repo/build/bench/fig1_code_shape")
+set_tests_properties(bench.fig1_code_shape PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.fig2_10_running_example "/root/repo/build/bench/fig2_10_running_example")
+set_tests_properties(bench.fig2_10_running_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.sec31_partially_dead "/root/repo/build/bench/sec31_partially_dead")
+set_tests_properties(bench.sec31_partially_dead PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.sec42_degradation "/root/repo/build/bench/sec42_degradation")
+set_tests_properties(bench.sec42_degradation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.sec51_correctness "/root/repo/build/bench/sec51_correctness")
+set_tests_properties(bench.sec51_correctness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.sec52_ordering "/root/repo/build/bench/sec52_ordering")
+set_tests_properties(bench.sec52_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.sec53_cse_hierarchy "/root/repo/build/bench/sec53_cse_hierarchy")
+set_tests_properties(bench.sec53_cse_hierarchy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.table2_code_expansion "/root/repo/build/bench/table2_code_expansion")
+set_tests_properties(bench.table2_code_expansion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_addressing.dir/array_addressing.cpp.o"
+  "CMakeFiles/array_addressing.dir/array_addressing.cpp.o.d"
+  "array_addressing"
+  "array_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_fc.dir/epre_fc.cpp.o"
+  "CMakeFiles/epre_fc.dir/epre_fc.cpp.o.d"
+  "epre_fc"
+  "epre_fc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_opt_tool.dir/epre_opt.cpp.o"
+  "CMakeFiles/epre_opt_tool.dir/epre_opt.cpp.o.d"
+  "epre-opt"
+  "epre-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_opt_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

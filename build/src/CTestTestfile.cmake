@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("analysis")
+subdirs("ssa")
+subdirs("opt")
+subdirs("reassoc")
+subdirs("gvn")
+subdirs("pre")
+subdirs("pipeline")
+subdirs("frontend")
+subdirs("interp")
+subdirs("suite")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/epre_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/epre_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/epre_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/epre_analysis.dir/EdgeSplitting.cpp.o"
+  "CMakeFiles/epre_analysis.dir/EdgeSplitting.cpp.o.d"
+  "CMakeFiles/epre_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/epre_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/epre_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/epre_analysis.dir/LoopInfo.cpp.o.d"
+  "libepre_analysis.a"
+  "libepre_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

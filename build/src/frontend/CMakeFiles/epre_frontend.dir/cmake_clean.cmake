@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/epre_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/epre_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/epre_frontend.dir/Parser.cpp.o.d"
+  "libepre_frontend.a"
+  "libepre_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_gvn.dir/DVNT.cpp.o"
+  "CMakeFiles/epre_gvn.dir/DVNT.cpp.o.d"
+  "CMakeFiles/epre_gvn.dir/ValueNumbering.cpp.o"
+  "CMakeFiles/epre_gvn.dir/ValueNumbering.cpp.o.d"
+  "libepre_gvn.a"
+  "libepre_gvn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_gvn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

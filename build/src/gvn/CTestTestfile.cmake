@@ -1,0 +1,6 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/gvn
+# Build directory: /root/repo/build/src/gvn
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/epre_interp.dir/Interpreter.cpp.o.d"
+  "libepre_interp.a"
+  "libepre_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

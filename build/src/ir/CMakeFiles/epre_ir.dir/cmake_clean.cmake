@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_ir.dir/Eval.cpp.o"
+  "CMakeFiles/epre_ir.dir/Eval.cpp.o.d"
+  "CMakeFiles/epre_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/epre_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/epre_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/epre_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/epre_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/epre_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/epre_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/epre_ir.dir/Verifier.cpp.o.d"
+  "libepre_ir.a"
+  "libepre_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

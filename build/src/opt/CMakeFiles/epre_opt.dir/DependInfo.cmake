@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/ConstantPropagation.cpp" "src/opt/CMakeFiles/epre_opt.dir/ConstantPropagation.cpp.o" "gcc" "src/opt/CMakeFiles/epre_opt.dir/ConstantPropagation.cpp.o.d"
+  "/root/repo/src/opt/CopyCoalescing.cpp" "src/opt/CMakeFiles/epre_opt.dir/CopyCoalescing.cpp.o" "gcc" "src/opt/CMakeFiles/epre_opt.dir/CopyCoalescing.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElim.cpp" "src/opt/CMakeFiles/epre_opt.dir/DeadCodeElim.cpp.o" "gcc" "src/opt/CMakeFiles/epre_opt.dir/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/opt/Peephole.cpp" "src/opt/CMakeFiles/epre_opt.dir/Peephole.cpp.o" "gcc" "src/opt/CMakeFiles/epre_opt.dir/Peephole.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/opt/CMakeFiles/epre_opt.dir/SimplifyCFG.cpp.o" "gcc" "src/opt/CMakeFiles/epre_opt.dir/SimplifyCFG.cpp.o.d"
+  "/root/repo/src/opt/StrengthReduction.cpp" "src/opt/CMakeFiles/epre_opt.dir/StrengthReduction.cpp.o" "gcc" "src/opt/CMakeFiles/epre_opt.dir/StrengthReduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/epre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/epre_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pre/CMakeFiles/epre_pre.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/epre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/epre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

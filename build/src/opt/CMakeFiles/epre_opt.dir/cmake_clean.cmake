@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_opt.dir/ConstantPropagation.cpp.o"
+  "CMakeFiles/epre_opt.dir/ConstantPropagation.cpp.o.d"
+  "CMakeFiles/epre_opt.dir/CopyCoalescing.cpp.o"
+  "CMakeFiles/epre_opt.dir/CopyCoalescing.cpp.o.d"
+  "CMakeFiles/epre_opt.dir/DeadCodeElim.cpp.o"
+  "CMakeFiles/epre_opt.dir/DeadCodeElim.cpp.o.d"
+  "CMakeFiles/epre_opt.dir/Peephole.cpp.o"
+  "CMakeFiles/epre_opt.dir/Peephole.cpp.o.d"
+  "CMakeFiles/epre_opt.dir/SimplifyCFG.cpp.o"
+  "CMakeFiles/epre_opt.dir/SimplifyCFG.cpp.o.d"
+  "CMakeFiles/epre_opt.dir/StrengthReduction.cpp.o"
+  "CMakeFiles/epre_opt.dir/StrengthReduction.cpp.o.d"
+  "libepre_opt.a"
+  "libepre_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_pipeline.dir/Pipeline.cpp.o"
+  "CMakeFiles/epre_pipeline.dir/Pipeline.cpp.o.d"
+  "libepre_pipeline.a"
+  "libepre_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

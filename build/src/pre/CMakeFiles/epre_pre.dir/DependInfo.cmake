@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pre/LocalizeNames.cpp" "src/pre/CMakeFiles/epre_pre.dir/LocalizeNames.cpp.o" "gcc" "src/pre/CMakeFiles/epre_pre.dir/LocalizeNames.cpp.o.d"
+  "/root/repo/src/pre/PRE.cpp" "src/pre/CMakeFiles/epre_pre.dir/PRE.cpp.o" "gcc" "src/pre/CMakeFiles/epre_pre.dir/PRE.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/epre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/epre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/epre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

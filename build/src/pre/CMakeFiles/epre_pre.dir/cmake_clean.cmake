@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_pre.dir/LocalizeNames.cpp.o"
+  "CMakeFiles/epre_pre.dir/LocalizeNames.cpp.o.d"
+  "CMakeFiles/epre_pre.dir/PRE.cpp.o"
+  "CMakeFiles/epre_pre.dir/PRE.cpp.o.d"
+  "libepre_pre.a"
+  "libepre_pre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libepre_pre.a"
+)

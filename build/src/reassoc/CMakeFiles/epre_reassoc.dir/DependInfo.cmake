@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reassoc/ForwardProp.cpp" "src/reassoc/CMakeFiles/epre_reassoc.dir/ForwardProp.cpp.o" "gcc" "src/reassoc/CMakeFiles/epre_reassoc.dir/ForwardProp.cpp.o.d"
+  "/root/repo/src/reassoc/Ranks.cpp" "src/reassoc/CMakeFiles/epre_reassoc.dir/Ranks.cpp.o" "gcc" "src/reassoc/CMakeFiles/epre_reassoc.dir/Ranks.cpp.o.d"
+  "/root/repo/src/reassoc/Reassociate.cpp" "src/reassoc/CMakeFiles/epre_reassoc.dir/Reassociate.cpp.o" "gcc" "src/reassoc/CMakeFiles/epre_reassoc.dir/Reassociate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/epre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/epre_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/epre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/epre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

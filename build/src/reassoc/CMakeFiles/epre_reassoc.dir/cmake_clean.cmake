@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_reassoc.dir/ForwardProp.cpp.o"
+  "CMakeFiles/epre_reassoc.dir/ForwardProp.cpp.o.d"
+  "CMakeFiles/epre_reassoc.dir/Ranks.cpp.o"
+  "CMakeFiles/epre_reassoc.dir/Ranks.cpp.o.d"
+  "CMakeFiles/epre_reassoc.dir/Reassociate.cpp.o"
+  "CMakeFiles/epre_reassoc.dir/Reassociate.cpp.o.d"
+  "libepre_reassoc.a"
+  "libepre_reassoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_reassoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

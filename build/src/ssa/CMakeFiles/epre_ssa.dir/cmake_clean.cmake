@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_ssa.dir/ParallelCopy.cpp.o"
+  "CMakeFiles/epre_ssa.dir/ParallelCopy.cpp.o.d"
+  "CMakeFiles/epre_ssa.dir/SSA.cpp.o"
+  "CMakeFiles/epre_ssa.dir/SSA.cpp.o.d"
+  "libepre_ssa.a"
+  "libepre_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

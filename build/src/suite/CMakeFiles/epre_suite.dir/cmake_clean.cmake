@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_suite.dir/Harness.cpp.o"
+  "CMakeFiles/epre_suite.dir/Harness.cpp.o.d"
+  "CMakeFiles/epre_suite.dir/RoutinesFMM.cpp.o"
+  "CMakeFiles/epre_suite.dir/RoutinesFMM.cpp.o.d"
+  "CMakeFiles/epre_suite.dir/RoutinesHydro.cpp.o"
+  "CMakeFiles/epre_suite.dir/RoutinesHydro.cpp.o.d"
+  "CMakeFiles/epre_suite.dir/RoutinesLinalg.cpp.o"
+  "CMakeFiles/epre_suite.dir/RoutinesLinalg.cpp.o.d"
+  "CMakeFiles/epre_suite.dir/RoutinesMisc.cpp.o"
+  "CMakeFiles/epre_suite.dir/RoutinesMisc.cpp.o.d"
+  "CMakeFiles/epre_suite.dir/Suite.cpp.o"
+  "CMakeFiles/epre_suite.dir/Suite.cpp.o.d"
+  "libepre_suite.a"
+  "libepre_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epre_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/epre_support.dir/StringUtil.cpp.o.d"
+  "libepre_support.a"
+  "libepre_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epre_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

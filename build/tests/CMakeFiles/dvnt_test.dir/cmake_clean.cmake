@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvnt_test.dir/dvnt_test.cpp.o"
+  "CMakeFiles/dvnt_test.dir/dvnt_test.cpp.o.d"
+  "dvnt_test"
+  "dvnt_test.pdb"
+  "dvnt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvnt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_interp_test.dir/eval_interp_test.cpp.o"
+  "CMakeFiles/eval_interp_test.dir/eval_interp_test.cpp.o.d"
+  "eval_interp_test"
+  "eval_interp_test.pdb"
+  "eval_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvn_test.dir/gvn_test.cpp.o"
+  "CMakeFiles/gvn_test.dir/gvn_test.cpp.o.d"
+  "gvn_test"
+  "gvn_test.pdb"
+  "gvn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_smoke_test.cpp" "tests/CMakeFiles/pipeline_smoke_test.dir/pipeline_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_smoke_test.dir/pipeline_smoke_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/epre_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/epre_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/epre_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/epre_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/reassoc/CMakeFiles/epre_reassoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvn/CMakeFiles/epre_gvn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pre/CMakeFiles/epre_pre.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/epre_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/epre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/epre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/epre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pre_test.dir/pre_test.cpp.o"
+  "CMakeFiles/pre_test.dir/pre_test.cpp.o.d"
+  "pre_test"
+  "pre_test.pdb"
+  "pre_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_golden_test.dir/printer_golden_test.cpp.o"
+  "CMakeFiles/printer_golden_test.dir/printer_golden_test.cpp.o.d"
+  "printer_golden_test"
+  "printer_golden_test.pdb"
+  "printer_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassoc_test.dir/reassoc_test.cpp.o"
+  "CMakeFiles/reassoc_test.dir/reassoc_test.cpp.o.d"
+  "reassoc_test"
+  "reassoc_test.pdb"
+  "reassoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/ssa_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/reassoc_test[1]_include.cmake")
+include("/root/repo/build/tests/gvn_test[1]_include.cmake")
+include("/root/repo/build/tests/pre_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/localize_test[1]_include.cmake")
+include("/root/repo/build/tests/dvnt_test[1]_include.cmake")
+include("/root/repo/build/tests/strength_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/printer_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_stats_test[1]_include.cmake")
