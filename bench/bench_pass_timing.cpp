@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CFG.h"
+#include "analysis/Liveness.h"
 #include "frontend/Lower.h"
 #include "gvn/ValueNumbering.h"
 #include "pipeline/Pipeline.h"
@@ -133,6 +134,135 @@ void BM_FullPipeline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_FullPipeline)->Arg(4)->Arg(16)->Arg(64);
+
+// --- Dataflow solver: worklist engine vs the pre-change round-robin --------
+//
+// The input compiles once and analyzePartialRedundancies precomputes the
+// expression universe and local sets once; each iteration then re-runs only
+// the AVAIL and ANT fixpoints through solveBitDataflow, so the timing is
+// the solver alone.
+
+void solvePRE(benchmark::State &State, DataflowSolverKind Kind) {
+  auto M = compileGen(unsigned(State.range(0)), NamingMode::Hashed);
+  Function &F = *M->Functions[0];
+  CFG G = CFG::compute(F);
+  PREDataflow D = analyzePartialRedundancies(F);
+
+  BitDataflowProblem Avail;
+  Avail.Dir = DataflowDirection::Forward;
+  Avail.Meet = MeetOp::Intersect;
+  Avail.NumBits = D.Stats.UniverseSize;
+  Avail.Gen = &D.COMP;
+  Avail.Preserve = &D.TRANSP;
+
+  BitDataflowProblem Ant;
+  Ant.Dir = DataflowDirection::Backward;
+  Ant.Meet = MeetOp::Intersect;
+  Ant.NumBits = D.Stats.UniverseSize;
+  Ant.ExtraBoundary = &D.AntBoundary;
+  Ant.Gen = &D.ANTLOC;
+  Ant.Preserve = &D.TRANSP;
+
+  std::vector<BitVector> AVIN, AVOUT, ANTIN, ANTOUT;
+  for (auto _ : State) {
+    DataflowStats SA = solveBitDataflow(G, Avail, AVIN, AVOUT, Kind);
+    DataflowStats SN = solveBitDataflow(G, Ant, ANTOUT, ANTIN, Kind);
+    benchmark::DoNotOptimize(SA.Iterations + SN.Iterations);
+    benchmark::DoNotOptimize(AVOUT.data());
+    benchmark::DoNotOptimize(ANTIN.data());
+  }
+}
+
+void BM_PRESolve(benchmark::State &State) {
+  solvePRE(State, DataflowSolverKind::Worklist);
+}
+BENCHMARK(BM_PRESolve)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PRESolveRoundRobin(benchmark::State &State) {
+  solvePRE(State, DataflowSolverKind::RoundRobin);
+}
+BENCHMARK(BM_PRESolveRoundRobin)->Arg(64)->Arg(128)->Arg(256);
+
+void solveLiveness(benchmark::State &State, DataflowSolverKind Kind) {
+  auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+  Function &F = *M->Functions[0];
+  CFG G = CFG::compute(F);
+  // Local sets come from one up-front Liveness run; each iteration re-runs
+  // only the backward union fixpoint (the input is phi-free, so there is no
+  // PhiUse seed).
+  Liveness L = Liveness::compute(F, G);
+
+  BitDataflowProblem P;
+  P.Dir = DataflowDirection::Backward;
+  P.Meet = MeetOp::Union;
+  P.NumBits = unsigned(F.numRegs());
+  // Same Gen/Kill posing as Liveness::compute itself, minus the (empty)
+  // phi seed.
+  std::vector<BitVector> Gen, Kill;
+  for (unsigned B = 0; B < F.numBlocks(); ++B) {
+    Gen.push_back(L.upwardExposed(B));
+    Kill.push_back(L.kill(B));
+  }
+  P.Gen = &Gen;
+  P.Kill = &Kill;
+
+  std::vector<BitVector> LiveOut, LiveIn;
+  for (auto _ : State) {
+    DataflowStats SL = solveBitDataflow(G, P, LiveOut, LiveIn, Kind);
+    benchmark::DoNotOptimize(SL.Iterations);
+    benchmark::DoNotOptimize(LiveIn.data());
+  }
+}
+
+void BM_Liveness(benchmark::State &State) {
+  solveLiveness(State, DataflowSolverKind::Worklist);
+}
+BENCHMARK(BM_Liveness)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LivenessRoundRobin(benchmark::State &State) {
+  solveLiveness(State, DataflowSolverKind::RoundRobin);
+}
+BENCHMARK(BM_LivenessRoundRobin)->Arg(64)->Arg(128)->Arg(256);
+
+// --- Parallel per-function pipeline driver ---------------------------------
+
+/// A module of State.range(0) independent loop-nest functions.
+std::unique_ptr<Module> compileMultiFunction(unsigned NumFns) {
+  std::string Src;
+  for (unsigned I = 0; I < NumFns; ++I) {
+    std::string One = generateSource(12);
+    One.replace(One.find("function gen"), 12,
+                "function gen" + std::to_string(I));
+    Src += One;
+  }
+  LowerResult LR = compileMiniFortran(Src, NamingMode::Naive);
+  assert(LR.ok());
+  return std::move(LR.M);
+}
+
+void BM_PipelineSerial(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileMultiFunction(unsigned(State.range(0)));
+    State.ResumeTiming();
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    optimizeModule(*M, PO);
+  }
+}
+BENCHMARK(BM_PipelineSerial)->Arg(8)->Arg(16);
+
+void BM_PipelineParallel(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileMultiFunction(unsigned(State.range(0)));
+    State.ResumeTiming();
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    runPipelineParallel(*M, PO, 4);
+  }
+}
+BENCHMARK(BM_PipelineParallel)->Arg(8)->Arg(16)->UseRealTime();
 
 } // namespace
 

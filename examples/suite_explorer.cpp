@@ -22,8 +22,8 @@ namespace {
 
 void showRoutine(const Routine &R, bool Print) {
   std::printf("=== %s ===\n%s\n", R.Name.c_str(), R.Source.c_str());
-  std::printf("%-15s %12s %14s %10s\n", "level", "dynamic ops",
-              "weighted cost", "static");
+  std::printf("%-15s %12s %14s %10s %12s\n", "level", "dynamic ops",
+              "weighted cost", "static", "solve iters");
   for (OptLevel L : {OptLevel::None, OptLevel::Baseline, OptLevel::Partial,
                      OptLevel::Reassociation, OptLevel::Distribution}) {
     Measurement M = measureRoutine(R, L);
@@ -33,9 +33,14 @@ void showRoutine(const Routine &R, bool Print) {
                               : M.CompileError.c_str());
       continue;
     }
-    std::printf("%-15s %12llu %14llu %10u\n", optLevelName(L),
+    // AVAIL+ANT worklist pops across all PRE rounds: a degenerate CFG shows
+    // up as iterations far in excess of the block count.
+    unsigned SolveIters =
+        M.Stats.PRE.AvailSolve.Iterations + M.Stats.PRE.AntSolve.Iterations;
+    std::printf("%-15s %12llu %14llu %10u %12u\n", optLevelName(L),
                 (unsigned long long)M.DynOps,
-                (unsigned long long)M.WeightedCost, M.StaticOpsAfter);
+                (unsigned long long)M.WeightedCost, M.StaticOpsAfter,
+                SolveIters);
     if (Print && L == OptLevel::Distribution) {
       LowerResult LR = compileMiniFortran(R.Source, NamingMode::Naive);
       if (LR.ok()) {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the pass-timing microbenchmarks and records google-benchmark JSON at
+# the repo root (BENCH_pass_timing.json) so the perf trajectory is tracked
+# in version control from PR to PR.
+#
+# Usage: scripts/bench.sh [extra google-benchmark flags]
+#   e.g. scripts/bench.sh --benchmark_filter='BM_PRESolve|BM_Liveness'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_pass_timing >/dev/null
+
+"$BUILD_DIR"/bench/bench_pass_timing \
+  --benchmark_out=BENCH_pass_timing.json \
+  --benchmark_out_format=json \
+  "$@"

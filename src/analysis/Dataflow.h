@@ -1,0 +1,125 @@
+//===- analysis/Dataflow.h - Worklist bit-vector dataflow engine -*- C++ -*-===//
+///
+/// \file
+/// A shared solver for the global bit-vector dataflow problems of the
+/// optimizer (availability and anticipability in PRE, register liveness).
+///
+/// A problem is described by its direction, its meet operator, and an
+/// in-place transfer function; the engine owns iteration order, meets,
+/// storage initialization, change detection, and the worklist discipline:
+///
+///  - blocks are seeded in reverse postorder (forward problems) or
+///    postorder (backward problems), the orders that converge fastest on
+///    reducible flow graphs;
+///  - after the seed pass, a block is re-evaluated only when the flow-side
+///    set of a meet-side neighbour actually changed (word-level change
+///    detection via the BitVector changed-flag kernels);
+///  - all temporaries come from a BitVectorScratch pool, so the steady-state
+///    solve performs zero heap allocation.
+///
+/// The pre-change round-robin solver (sweep every block until a full pass
+/// makes no change, fresh temporaries per visit) is kept selectable via
+/// DataflowSolverKind::RoundRobin as the reference implementation for the
+/// equivalence tests and the before/after benchmarks. Both solvers compute
+/// the same unique fixpoint of the monotone equation system, bit for bit.
+///
+/// See docs/dataflow-engine.md for the design discussion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_ANALYSIS_DATAFLOW_H
+#define EPRE_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFG.h"
+#include "support/BitVector.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace epre {
+
+enum class DataflowDirection { Forward, Backward };
+
+enum class MeetOp {
+  Intersect, ///< all-paths problems (AVAIL, ANT); sets start all-ones
+  Union,     ///< any-path problems (liveness); sets start all-zero
+};
+
+/// Which solver runs the fixpoint.
+enum class DataflowSolverKind {
+  Worklist,   ///< sparse worklist with change-driven re-enqueueing (default)
+  RoundRobin, ///< the pre-change dense sweep, kept for equivalence/benchmarks
+};
+
+/// Cost counters for one solve; cheap to gather, surfaced through
+/// PREStats/PipelineStats so degenerate CFGs that iterate excessively are
+/// visible in the suite driver.
+struct DataflowStats {
+  unsigned Iterations = 0;    ///< block transfer evaluations (worklist pops,
+                              ///< or sweeps x blocks for round-robin)
+  unsigned BlocksVisited = 0; ///< distinct blocks evaluated at least once
+  uint64_t WordsTouched = 0;  ///< 64-bit words moved by the solver's meet,
+                              ///< store, and compare kernels
+
+  void accumulate(const DataflowStats &O) {
+    Iterations += O.Iterations;
+    BlocksVisited += O.BlocksVisited;
+    WordsTouched += O.WordsTouched;
+  }
+};
+
+/// Description of one bit-vector dataflow problem.
+struct BitDataflowProblem {
+  DataflowDirection Dir = DataflowDirection::Forward;
+  MeetOp Meet = MeetOp::Intersect;
+  /// Universe size (bits per set).
+  unsigned NumBits = 0;
+  /// Optional per-block constant folded into every meet on the meet side
+  /// (e.g. liveness phi-uses entering a block's successors). Indexed by
+  /// BlockId; only meaningful for union problems.
+  const std::vector<BitVector> *MeetSeed = nullptr;
+  /// Optional extra boundary blocks (indexed by BlockId, nonzero = boundary):
+  /// for intersect problems the meet-side set of a boundary block is forced
+  /// empty regardless of its neighbours. The entry block (forward) and
+  /// successor-less blocks (backward) are always boundary for intersect
+  /// problems; this adds to that set (e.g. blocks that cannot reach an exit
+  /// in anticipability).
+  const std::vector<uint8_t> *ExtraBoundary = nullptr;
+  /// Gen/Kill formulation — the preferred way to pose a problem. When
+  /// \p Gen is set the per-block transfer is
+  ///
+  ///   Flow = (Meet & Preserve) | Gen     (if \p Preserve is set), or
+  ///   Flow = (Meet & ~Kill)    | Gen     (if \p Kill is set),
+  ///
+  /// and the worklist solver computes it fused with the change-detecting
+  /// store in a single word pass per block (BitVector::assignMeetPreserveGen
+  /// / assignMeetKillGen). All vectors are indexed by BlockId. Exactly one
+  /// of Preserve/Kill must accompany Gen.
+  const std::vector<BitVector> *Gen = nullptr;
+  const std::vector<BitVector> *Preserve = nullptr;
+  const std::vector<BitVector> *Kill = nullptr;
+  /// General in-place transfer, for problems that do not fit Gen/Kill: on
+  /// entry \p Set holds the block's meet-side set (IN for forward problems,
+  /// OUT for backward); on return it must hold the flow-side set. Must be a
+  /// pure function of \p Set and per-block constants (monotone in \p Set)
+  /// for the fixpoint to be unique. Ignored when \p Gen is set.
+  std::function<void(BlockId, BitVector &Set)> Transfer;
+};
+
+/// Solves \p P over the reachable blocks of \p G.
+///
+/// \p MeetSets receives the meet-side fixpoint (IN for forward problems,
+/// OUT for backward); \p FlowSets the flow-side one (OUT forward, IN
+/// backward). Both are (re)initialized by the solver — all-ones for
+/// intersect problems, all-zero for union — and unreachable blocks keep
+/// that initial value, matching the historical solvers.
+DataflowStats
+solveBitDataflow(const CFG &G, const BitDataflowProblem &P,
+                 std::vector<BitVector> &MeetSets,
+                 std::vector<BitVector> &FlowSets,
+                 DataflowSolverKind Kind = DataflowSolverKind::Worklist);
+
+} // namespace epre
+
+#endif // EPRE_ANALYSIS_DATAFLOW_H

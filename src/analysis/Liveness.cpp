@@ -4,12 +4,11 @@
 
 using namespace epre;
 
-Liveness Liveness::compute(const Function &F, const CFG &G) {
+Liveness Liveness::compute(const Function &F, const CFG &G,
+                           DataflowSolverKind Solver) {
   Liveness L;
   unsigned NB = F.numBlocks();
   unsigned NR = F.numRegs();
-  L.LiveIn.assign(NB, BitVector(NR));
-  L.LiveOut.assign(NB, BitVector(NR));
   L.UEVar.assign(NB, BitVector(NR));
   L.Kill.assign(NB, BitVector(NR));
 
@@ -33,24 +32,15 @@ Liveness Liveness::compute(const Function &F, const CFG &G) {
     }
   });
 
-  // Backward round-robin over postorder until stable.
-  std::vector<BlockId> Post = G.postorder();
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (BlockId B : Post) {
-      BitVector Out = PhiUse[B];
-      for (BlockId S : G.succs(B))
-        Out |= L.LiveIn[S];
-      BitVector In = Out;
-      In.andNot(L.Kill[B]);
-      In |= L.UEVar[B];
-      if (Out != L.LiveOut[B] || In != L.LiveIn[B]) {
-        L.LiveOut[B] = std::move(Out);
-        L.LiveIn[B] = std::move(In);
-        Changed = true;
-      }
-    }
-  }
+  // LiveOut = PhiUse + union of successors' LiveIn;
+  // LiveIn  = (LiveOut - Kill) + UEVar.
+  BitDataflowProblem P;
+  P.Dir = DataflowDirection::Backward;
+  P.Meet = MeetOp::Union;
+  P.NumBits = NR;
+  P.MeetSeed = &PhiUse;
+  P.Gen = &L.UEVar;
+  P.Kill = &L.Kill;
+  L.SolveStats = solveBitDataflow(G, P, L.LiveOut, L.LiveIn, Solver);
   return L;
 }

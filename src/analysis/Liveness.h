@@ -6,7 +6,9 @@
 /// is defined at the top of its block.
 ///
 /// Used for pruned SSA construction (live-in sets), dead code elimination,
-/// and copy coalescing (interference).
+/// and copy coalescing (interference). Solved on the shared worklist
+/// dataflow engine (analysis/Dataflow.h); the pre-change round-robin solver
+/// remains selectable for equivalence testing and benchmarking.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +16,7 @@
 #define EPRE_ANALYSIS_LIVENESS_H
 
 #include "analysis/CFG.h"
+#include "analysis/Dataflow.h"
 #include "support/BitVector.h"
 
 #include <vector>
@@ -23,7 +26,9 @@ namespace epre {
 /// Per-block live-in/live-out register sets.
 class Liveness {
 public:
-  static Liveness compute(const Function &F, const CFG &G);
+  static Liveness compute(const Function &F, const CFG &G,
+                          DataflowSolverKind Solver =
+                              DataflowSolverKind::Worklist);
 
   /// Registers live on entry to \p B (phi results of B excluded; a phi's
   /// result becomes live at the phi itself).
@@ -36,11 +41,20 @@ public:
   /// Registers with an upward-exposed use in \p B.
   const BitVector &upwardExposed(BlockId B) const { return UEVar[B]; }
 
+  /// Registers defined (killed) in \p B. Together with upwardExposed this
+  /// is the full transfer function, letting callers re-pose the live-range
+  /// system to solveBitDataflow directly (e.g. solver benchmarks).
+  const BitVector &kill(BlockId B) const { return Kill[B]; }
+
   /// True if register \p R is live on entry to \p B.
   bool isLiveIn(Reg R, BlockId B) const { return LiveIn[B].test(R); }
 
+  /// Cost counters of the dataflow solve that produced these sets.
+  const DataflowStats &solveStats() const { return SolveStats; }
+
 private:
   std::vector<BitVector> LiveIn, LiveOut, UEVar, Kill;
+  DataflowStats SolveStats;
 };
 
 } // namespace epre

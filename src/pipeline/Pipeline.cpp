@@ -16,6 +16,10 @@
 #include "reassoc/Reassociate.h"
 #include "ssa/SSA.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
 using namespace epre;
 
 const char *epre::optLevelName(OptLevel L) {
@@ -110,7 +114,7 @@ void runReassociationPhase(Function &F, const PipelineOptions &Opts,
 void runPREToFixpoint(Function &F, const PipelineOptions &Opts,
                       PipelineStats &Stats) {
   for (unsigned Round = 0; Round < 16; ++Round) {
-    PREStats S = eliminatePartialRedundancies(F, Opts.Strategy);
+    PREStats S = eliminatePartialRedundancies(F, Opts.Strategy, Opts.Solver);
     verifyStage(F, Opts, SSAMode::NoSSA, "PRE");
     if (Round == 0) {
       Stats.PRE = S;
@@ -118,6 +122,8 @@ void runPREToFixpoint(Function &F, const PipelineOptions &Opts,
       Stats.PRE.Inserted += S.Inserted;
       Stats.PRE.Deleted += S.Deleted;
       Stats.PRE.EdgesSplit += S.EdgesSplit;
+      Stats.PRE.AvailSolve.accumulate(S.AvailSolve);
+      Stats.PRE.AntSolve.accumulate(S.AntSolve);
     }
     if (S.Inserted == 0 && S.Deleted == 0)
       break;
@@ -174,5 +180,40 @@ std::vector<PipelineStats> epre::optimizeModule(Module &M,
   std::vector<PipelineStats> All;
   for (auto &F : M.Functions)
     All.push_back(optimizeFunction(*F, Opts));
+  return All;
+}
+
+std::vector<PipelineStats>
+epre::runPipelineParallel(Module &M, const PipelineOptions &Opts,
+                          unsigned NumThreads) {
+  size_t N = M.Functions.size();
+  std::vector<PipelineStats> All(N);
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  NumThreads = unsigned(std::min<size_t>(NumThreads, N));
+  if (NumThreads <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      All[I] = optimizeFunction(*M.Functions[I], Opts);
+    return All;
+  }
+
+  // Functions share nothing, so a shared atomic cursor is the whole
+  // scheduler: each worker claims the next unprocessed function until the
+  // module is drained.
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    while (true) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      All[I] = optimizeFunction(*M.Functions[I], Opts);
+    }
+  };
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
   return All;
 }

@@ -53,6 +53,9 @@ struct PipelineOptions {
   /// Run loop strength reduction (the paper's other "missing pass") after
   /// PRE, before the baseline tail.
   bool EnableStrengthReduction = false;
+  /// Which dataflow solver PRE's AVAIL/ANT fixpoints run on. RoundRobin is
+  /// the pre-change reference, kept for equivalence tests and benchmarks.
+  DataflowSolverKind Solver = DataflowSolverKind::Worklist;
   /// Run the IR verifier after every pass (aborts on breakage).
   bool Verify = true;
 };
@@ -74,6 +77,15 @@ PipelineStats optimizeFunction(Function &F, const PipelineOptions &Opts);
 /// per-function stats in module order.
 std::vector<PipelineStats> optimizeModule(Module &M,
                                           const PipelineOptions &Opts);
+
+/// Runs the configured pipeline on every function of \p M, distributing the
+/// functions across \p NumThreads worker threads (0 = one per hardware
+/// thread). Functions are fully independent — the pipeline touches nothing
+/// outside the Function it is handed — so this is safe, deterministic, and
+/// returns stats in module order, identical to optimizeModule.
+std::vector<PipelineStats> runPipelineParallel(Module &M,
+                                               const PipelineOptions &Opts,
+                                               unsigned NumThreads = 0);
 
 } // namespace epre
 

@@ -3,6 +3,7 @@
 #include "pre/PRE.h"
 
 #include "analysis/CFG.h"
+#include "analysis/Dataflow.h"
 #include "analysis/EdgeSplitting.h"
 #include "ir/ExprKey.h"
 #include "support/BitVector.h"
@@ -25,8 +26,33 @@ struct ExprInfo {
 
 class PREImpl {
 public:
-  PREImpl(Function &F, PREStrategy Strategy)
-      : F(F), Strategy(Strategy) {}
+  PREImpl(Function &F, PREStrategy Strategy,
+          DataflowSolverKind Solver = DataflowSolverKind::Worklist)
+      : F(F), Strategy(Strategy), Solver(Solver) {}
+
+  /// Runs only the analysis half (universe, local sets, AVAIL/ANT solves);
+  /// leaves the function untouched.
+  PREDataflow analyze() {
+    PREDataflow D;
+    G = CFG::compute(F);
+    buildUniverse();
+    Stats.UniverseSize = unsigned(Universe.size());
+    if (!Universe.empty()) {
+      computeLocal();
+      solveAvailability();
+      solveAnticipability();
+    }
+    D.Stats = Stats;
+    D.ANTLOC = std::move(ANTLOC);
+    D.COMP = std::move(COMP);
+    D.TRANSP = std::move(TRANSP);
+    D.AntBoundary = std::move(AntBoundary);
+    D.AVIN = std::move(AVIN);
+    D.AVOUT = std::move(AVOUT);
+    D.ANTIN = std::move(ANTIN);
+    D.ANTOUT = std::move(ANTOUT);
+    return D;
+  }
 
   PREStats run() {
     G = CFG::compute(F);
@@ -170,48 +196,31 @@ private:
 
   // --- Global dataflow ------------------------------------------------------
 
+  // AVIN = product of predecessors' AVOUT (empty at entry);
+  // AVOUT = COMP + TRANSP*AVIN.
   void solveAvailability() {
-    unsigned NB = F.numBlocks();
-    unsigned NE = numExprs();
-    AVIN.assign(NB, BitVector(NE, true));
-    AVOUT.assign(NB, BitVector(NE, true));
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (BlockId B : G.rpo()) {
-        BitVector In(NE, true);
-        if (B == G.rpo().front()) {
-          In.resetAll();
-        } else {
-          for (BlockId P : G.preds(B))
-            In &= AVOUT[P];
-        }
-        BitVector Out = In;
-        Out &= TRANSP[B];
-        Out |= COMP[B];
-        if (In != AVIN[B] || Out != AVOUT[B]) {
-          AVIN[B] = std::move(In);
-          AVOUT[B] = std::move(Out);
-          Changed = true;
-        }
-      }
-    }
+    BitDataflowProblem P;
+    P.Dir = DataflowDirection::Forward;
+    P.Meet = MeetOp::Intersect;
+    P.NumBits = numExprs();
+    P.Gen = &COMP;
+    P.Preserve = &TRANSP;
+    Stats.AvailSolve = solveBitDataflow(G, P, AVIN, AVOUT, Solver);
   }
 
+  // ANTOUT = product of successors' ANTIN (empty at exits);
+  // ANTIN = ANTLOC + TRANSP*ANTOUT.
   void solveAnticipability() {
     unsigned NB = F.numBlocks();
-    unsigned NE = numExprs();
-    ANTIN.assign(NB, BitVector(NE, true));
-    ANTOUT.assign(NB, BitVector(NE, true));
 
     // Blocks that cannot reach an exit get empty ANTOUT: hoisting into or
     // above an infinite loop is never down-safe.
-    std::vector<bool> ReachExit(NB, false);
+    AntBoundary.assign(NB, 1);
     {
       std::vector<BlockId> Work;
       F.forEachBlock([&](const BasicBlock &B) {
         if (G.isReachable(B.id()) && B.terminator().Op == Opcode::Ret) {
-          ReachExit[B.id()] = true;
+          AntBoundary[B.id()] = 0;
           Work.push_back(B.id());
         }
       });
@@ -219,35 +228,21 @@ private:
         BlockId B = Work.back();
         Work.pop_back();
         for (BlockId P : G.preds(B))
-          if (!ReachExit[P]) {
-            ReachExit[P] = true;
+          if (AntBoundary[P]) {
+            AntBoundary[P] = 0;
             Work.push_back(P);
           }
       }
     }
 
-    std::vector<BlockId> Post = G.postorder();
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (BlockId B : Post) {
-        BitVector Out(NE, true);
-        if (G.succs(B).empty() || !ReachExit[B]) {
-          Out.resetAll();
-        } else {
-          for (BlockId S : G.succs(B))
-            Out &= ANTIN[S];
-        }
-        BitVector In = Out;
-        In &= TRANSP[B];
-        In |= ANTLOC[B];
-        if (In != ANTIN[B] || Out != ANTOUT[B]) {
-          ANTIN[B] = std::move(In);
-          ANTOUT[B] = std::move(Out);
-          Changed = true;
-        }
-      }
-    }
+    BitDataflowProblem P;
+    P.Dir = DataflowDirection::Backward;
+    P.Meet = MeetOp::Intersect;
+    P.NumBits = numExprs();
+    P.ExtraBoundary = &AntBoundary;
+    P.Gen = &ANTLOC;
+    P.Preserve = &TRANSP;
+    Stats.AntSolve = solveBitDataflow(G, P, ANTOUT, ANTIN, Solver);
   }
 
   // --- Edge set -------------------------------------------------------------
@@ -299,37 +294,34 @@ private:
     for (const Edge &E : Edges)
       Earliest.push_back(earliest(E));
 
-    // LATERIN as greatest fixpoint.
+    // LATERIN as greatest fixpoint. All iteration-local temporaries live in
+    // the scratch pool, so the loop is allocation-free in steady state.
     LATERIN.assign(NB, BitVector(NE, true));
     std::vector<BitVector> Later(Edges.size(), BitVector(NE, true));
+    BitVectorScratch Scratch(NE);
     bool Changed = true;
     while (Changed) {
       Changed = false;
       for (unsigned EI = 0; EI < Edges.size(); ++EI) {
         const Edge &E = Edges[EI];
-        BitVector L = Earliest[EI];
+        // LATER = EARLIEST + LATERIN(from)*~ANTLOC(from).
+        BitVector &L = Scratch.raw(0);
+        L.assignFrom(Earliest[EI]);
         if (E.From != InvalidBlock) {
-          BitVector Prop = LATERIN[E.From];
-          BitVector NotAntloc = ANTLOC[E.From];
-          NotAntloc.flip();
-          Prop &= NotAntloc;
-          L |= Prop;
+          BitVector &Prop = Scratch.raw(1);
+          Prop.assignFrom(LATERIN[E.From]);
+          Prop.intersectWithComplement(ANTLOC[E.From]);
+          L.unionWith(Prop);
         }
-        if (L != Later[EI]) {
-          Later[EI] = std::move(L);
-          Changed = true;
-        }
+        Changed |= Later[EI].assignFrom(L);
       }
       for (BlockId B : G.rpo()) {
         if (InEdges[B].empty())
           continue;
-        BitVector In(NE, true);
+        BitVector &In = Scratch.ones(0);
         for (unsigned EI : InEdges[B])
-          In &= Later[EI];
-        if (In != LATERIN[B]) {
-          LATERIN[B] = std::move(In);
-          Changed = true;
-        }
+          In.intersectWith(Later[EI]);
+        Changed |= LATERIN[B].assignFrom(In);
       }
     }
 
@@ -361,38 +353,46 @@ private:
     std::vector<BitVector> PPIN(NB, BitVector(NE, true));
     std::vector<BitVector> PPOUT(NB, BitVector(NE, true));
 
+    // The system is bidirectional (Morel–Renvoise), so it stays a dense
+    // round-robin sweep; the per-block temporaries live in the scratch pool
+    // and results are stored with changed-flag kernels, so each iteration
+    // is allocation-free.
+    BitVectorScratch Scratch(NE);
     bool Changed = true;
     while (Changed) {
       Changed = false;
       for (BlockId B : G.rpo()) {
         // PPOUT = product of successors' PPIN (empty at exits).
-        BitVector Out(NE, true);
+        BitVector &Out = Scratch.raw(0);
         if (G.succs(B).empty()) {
           Out.resetAll();
         } else {
+          Out.setAll();
           for (BlockId S : G.succs(B))
-            Out &= PPIN[S];
+            Out.intersectWith(PPIN[S]);
         }
         // PPIN = ANTIN * (ANTLOC + TRANSP*PPOUT)
         //        * prod_preds (PPOUT(p) + AVOUT(p)); empty at entry.
-        BitVector In(NE);
-        if (B != G.rpo().front()) {
-          BitVector Mid = TRANSP[B];
-          Mid &= Out;
-          Mid |= ANTLOC[B];
-          In = ANTIN[B];
-          In &= Mid;
+        BitVector &In = Scratch.raw(1);
+        if (B == G.rpo().front()) {
+          In.resetAll();
+        } else {
+          BitVector &Mid = Scratch.raw(2);
+          Mid.assignFrom(TRANSP[B]);
+          Mid.intersectWith(Out);
+          Mid.unionWith(ANTLOC[B]);
+          In.assignFrom(ANTIN[B]);
+          In.intersectWith(Mid);
           for (BlockId P : G.preds(B)) {
-            BitVector Avail = PPOUT[P];
-            Avail |= AVOUT[P];
-            In &= Avail;
+            BitVector &Avail = Scratch.raw(2);
+            Avail.assignFrom(PPOUT[P]);
+            Avail.unionWith(AVOUT[P]);
+            In.intersectWith(Avail);
           }
         }
-        if (In != PPIN[B] || Out != PPOUT[B]) {
-          PPIN[B] = std::move(In);
-          PPOUT[B] = std::move(Out);
-          Changed = true;
-        }
+        bool InChanged = PPIN[B].assignFrom(In);
+        bool OutChanged = PPOUT[B].assignFrom(Out);
+        Changed |= InChanged || OutChanged;
       }
     }
 
@@ -593,12 +593,14 @@ private:
 
   Function &F;
   PREStrategy Strategy;
+  DataflowSolverKind Solver;
   PREStats Stats;
   CFG G;
   std::vector<ExprInfo> Universe;
   std::map<Reg, unsigned> ExprIndex;
   std::vector<std::vector<unsigned>> RegToExprs;
   std::vector<BitVector> ANTLOC, COMP, TRANSP;
+  std::vector<uint8_t> AntBoundary;
   std::vector<BitVector> AVIN, AVOUT, ANTIN, ANTOUT;
   std::vector<BitVector> LATERIN, DELETE;
   /// Block-end insertions (Morel–Renvoise strategy only).
@@ -609,7 +611,12 @@ private:
 
 } // namespace
 
-PREStats epre::eliminatePartialRedundancies(Function &F,
-                                            PREStrategy Strategy) {
-  return PREImpl(F, Strategy).run();
+PREStats epre::eliminatePartialRedundancies(Function &F, PREStrategy Strategy,
+                                            DataflowSolverKind Solver) {
+  return PREImpl(F, Strategy, Solver).run();
+}
+
+PREDataflow epre::analyzePartialRedundancies(Function &F,
+                                             DataflowSolverKind Solver) {
+  return PREImpl(F, PREStrategy::LazyCodeMotion, Solver).analyze();
 }

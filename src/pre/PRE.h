@@ -20,7 +20,11 @@
 #ifndef EPRE_PRE_PRE_H
 #define EPRE_PRE_PRE_H
 
+#include "analysis/Dataflow.h"
 #include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
 
 namespace epre {
 
@@ -43,12 +47,32 @@ struct PREStats {
   unsigned Inserted = 0;       ///< computations inserted on edges
   unsigned Deleted = 0;        ///< redundant computations removed
   unsigned EdgesSplit = 0;     ///< critical edges split for insertion
+  DataflowStats AvailSolve;    ///< cost of the availability solve
+  DataflowStats AntSolve;      ///< cost of the anticipability solve
 };
 
 /// Runs PRE on phi-free code whose names obey the §2.2 discipline.
 /// Never lengthens any execution path.
 PREStats eliminatePartialRedundancies(
-    Function &F, PREStrategy Strategy = PREStrategy::LazyCodeMotion);
+    Function &F, PREStrategy Strategy = PREStrategy::LazyCodeMotion,
+    DataflowSolverKind Solver = DataflowSolverKind::Worklist);
+
+/// The dataflow half of PRE — universe construction, local properties, and
+/// the AVAIL/ANT fixpoints — with no code motion. Exposed so the solver can
+/// be benchmarked in isolation and checked bit-for-bit across solver kinds.
+/// The local sets and the ANT boundary are exported alongside the solutions
+/// so callers can re-pose the two fixpoint systems to solveBitDataflow
+/// directly (e.g. to time just the solve, with locals precomputed).
+struct PREDataflow {
+  PREStats Stats;
+  std::vector<BitVector> ANTLOC, COMP, TRANSP;
+  /// Blocks whose ANTOUT is forced empty: they cannot reach an exit.
+  std::vector<uint8_t> AntBoundary;
+  std::vector<BitVector> AVIN, AVOUT, ANTIN, ANTOUT;
+};
+
+PREDataflow analyzePartialRedundancies(
+    Function &F, DataflowSolverKind Solver = DataflowSolverKind::Worklist);
 
 } // namespace epre
 

@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 namespace epre {
@@ -120,6 +121,94 @@ public:
     return *this;
   }
 
+  // --- Allocation-free kernels with change detection ------------------------
+  //
+  // The dataflow solvers' inner loop: each kernel mutates in place, touches
+  // every word exactly once, and reports whether any bit actually changed so
+  // a worklist solver can re-enqueue only the neighbours it has to.
+
+  /// *this |= RHS; returns true if any bit of *this changed.
+  bool unionWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    uint64_t Delta = 0;
+    for (unsigned I = 0, E = unsigned(Words.size()); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= RHS.Words[I];
+      Delta |= Old ^ Words[I];
+    }
+    return Delta != 0;
+  }
+
+  /// *this &= RHS; returns true if any bit of *this changed.
+  bool intersectWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    uint64_t Delta = 0;
+    for (unsigned I = 0, E = unsigned(Words.size()); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= RHS.Words[I];
+      Delta |= Old ^ Words[I];
+    }
+    return Delta != 0;
+  }
+
+  /// *this &= ~RHS (set difference); returns true if any bit changed.
+  bool intersectWithComplement(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    uint64_t Delta = 0;
+    for (unsigned I = 0, E = unsigned(Words.size()); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= ~RHS.Words[I];
+      Delta |= Old ^ Words[I];
+    }
+    return Delta != 0;
+  }
+
+  /// *this = RHS; returns true if any bit changed. Universes must already
+  /// match, so this never allocates.
+  bool assignFrom(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    uint64_t Delta = 0;
+    for (unsigned I = 0, E = unsigned(Words.size()); I != E; ++I) {
+      Delta |= Words[I] ^ RHS.Words[I];
+      Words[I] = RHS.Words[I];
+    }
+    return Delta != 0;
+  }
+
+  /// *this = (M & P) | G in a single word pass; returns true if any bit of
+  /// *this changed. The fused Gen/Preserve transfer of forward/backward
+  /// bit-vector dataflow (P = transparency mask).
+  bool assignMeetPreserveGen(const BitVector &M, const BitVector &P,
+                             const BitVector &G) {
+    assert(NumBits == M.NumBits && NumBits == P.NumBits &&
+           NumBits == G.NumBits && "universe mismatch");
+    uint64_t Delta = 0;
+    for (unsigned I = 0, E = unsigned(Words.size()); I != E; ++I) {
+      uint64_t New = (M.Words[I] & P.Words[I]) | G.Words[I];
+      Delta |= Words[I] ^ New;
+      Words[I] = New;
+    }
+    return Delta != 0;
+  }
+
+  /// *this = (M & ~K) | G in a single word pass; returns true if any bit of
+  /// *this changed. The fused Gen/Kill transfer (K = kill mask).
+  bool assignMeetKillGen(const BitVector &M, const BitVector &K,
+                         const BitVector &G) {
+    assert(NumBits == M.NumBits && NumBits == K.NumBits &&
+           NumBits == G.NumBits && "universe mismatch");
+    uint64_t Delta = 0;
+    for (unsigned I = 0, E = unsigned(Words.size()); I != E; ++I) {
+      uint64_t New = (M.Words[I] & ~K.Words[I]) | G.Words[I];
+      Delta |= Words[I] ^ New;
+      Words[I] = New;
+    }
+    return Delta != 0;
+  }
+
+  /// Number of 64-bit words backing the vector (for solver statistics).
+  unsigned numWords() const { return unsigned(Words.size()); }
+
   BitVector &operator&=(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "universe mismatch");
     for (unsigned I = 0, E = Words.size(); I != E; ++I)
@@ -159,6 +248,51 @@ private:
 
   unsigned NumBits = 0;
   std::vector<uint64_t> Words;
+};
+
+/// Reusable scratch-buffer protocol for fixpoint loops: a small pool of
+/// same-universe temporaries addressed by slot index. Each slot allocates
+/// once, on first use; after that every borrow is a constant-time reset (or
+/// no reset at all for \c raw), so steady-state solves never touch the heap.
+class BitVectorScratch {
+public:
+  BitVectorScratch() = default;
+  explicit BitVectorScratch(unsigned NumBits) { setUniverse(NumBits); }
+
+  /// Sets the universe all slots are sized to. Existing slots are resized
+  /// lazily on their next borrow.
+  void setUniverse(unsigned NumBits) { Bits = NumBits; }
+
+  unsigned universe() const { return Bits; }
+
+  /// Borrows slot \p Slot with unspecified contents; the caller overwrites
+  /// it (e.g. via assignFrom). Cheapest borrow: no clearing pass.
+  /// References stay valid while other slots are borrowed (deque storage).
+  BitVector &raw(unsigned Slot) {
+    if (Slot >= Slots.size())
+      Slots.resize(Slot + 1);
+    if (Slots[Slot].size() != Bits)
+      Slots[Slot].resize(Bits);
+    return Slots[Slot];
+  }
+
+  /// Borrows slot \p Slot cleared to all-zero.
+  BitVector &zeroed(unsigned Slot) {
+    BitVector &V = raw(Slot);
+    V.resetAll();
+    return V;
+  }
+
+  /// Borrows slot \p Slot set to all-ones.
+  BitVector &ones(unsigned Slot) {
+    BitVector &V = raw(Slot);
+    V.setAll();
+    return V;
+  }
+
+private:
+  unsigned Bits = 0;
+  std::deque<BitVector> Slots;
 };
 
 } // namespace epre

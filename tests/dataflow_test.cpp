@@ -1,0 +1,227 @@
+//===- tests/dataflow_test.cpp - Worklist vs round-robin equivalence ------===//
+///
+/// The worklist dataflow engine must compute exactly the same fixpoints as
+/// the pre-change round-robin solver: AVAIL/ANT inside PRE, live sets in
+/// Liveness, and (end to end) identical PRE rewrites. Checked on the
+/// paper's running example and on generated loop-nest inputs of increasing
+/// size (the bench corpus).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+#include "pre/PRE.h"
+#include "ssa/SSA.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+const char *FooSource = R"(
+function foo(y, z)
+  s = 0
+  x = y + z
+  do i = x, 100
+    s = i + s + x
+  end do
+  return s
+end
+)";
+
+/// Same shape as the bench generator: sequential loop nests with shared
+/// invariant subexpressions and array addressing.
+std::string loopNestSource(unsigned NumLoops) {
+  std::string S = "function gen(a, b, n)\n  integer n\n  real w(64)\n";
+  S += "  s = 0.0\n";
+  for (unsigned L = 0; L < NumLoops; ++L) {
+    S += strprintf("  do i%u = 1, n\n", L);
+    S += strprintf("    w(i%u) = (a + b) * i%u + a * %u.0\n", L, L, L + 1);
+    S += strprintf("    s = s + w(i%u) + (a + b + %u.0)\n", L, L);
+    S += "  end do\n";
+  }
+  S += "  return s\nend\n";
+  return S;
+}
+
+std::unique_ptr<Module> compile(const std::string &Src, NamingMode NM) {
+  LowerResult LR = compileMiniFortran(Src, NM);
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  return std::move(LR.M);
+}
+
+void expectSetsEqual(const std::vector<BitVector> &A,
+                     const std::vector<BitVector> &B, const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (unsigned I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I], B[I]) << What << " differs at block " << I;
+}
+
+/// AVAIL/ANT sets from both solvers must be bit-identical.
+void checkPREDataflowEquivalence(const std::string &Src,
+                                 const std::string &Fn) {
+  auto M1 = compile(Src, NamingMode::Hashed);
+  auto M2 = compile(Src, NamingMode::Hashed);
+  ASSERT_TRUE(M1 && M2);
+  PREDataflow W =
+      analyzePartialRedundancies(*M1->find(Fn), DataflowSolverKind::Worklist);
+  PREDataflow R = analyzePartialRedundancies(*M2->find(Fn),
+                                             DataflowSolverKind::RoundRobin);
+  EXPECT_EQ(W.Stats.UniverseSize, R.Stats.UniverseSize);
+  expectSetsEqual(W.AVIN, R.AVIN, "AVIN");
+  expectSetsEqual(W.AVOUT, R.AVOUT, "AVOUT");
+  expectSetsEqual(W.ANTIN, R.ANTIN, "ANTIN");
+  expectSetsEqual(W.ANTOUT, R.ANTOUT, "ANTOUT");
+  // The worklist solve must not be doing more transfer evaluations than the
+  // dense sweep — that is the whole point.
+  EXPECT_LE(W.Stats.AvailSolve.Iterations, R.Stats.AvailSolve.Iterations);
+  EXPECT_LE(W.Stats.AntSolve.Iterations, R.Stats.AntSolve.Iterations);
+}
+
+/// Live-in/live-out from both solvers must be bit-identical.
+void checkLivenessEquivalence(const std::string &Src, const std::string &Fn,
+                              bool SSAForm) {
+  auto M = compile(Src, NamingMode::Naive);
+  ASSERT_TRUE(M);
+  Function &F = *M->find(Fn);
+  if (SSAForm)
+    buildSSA(F);
+  CFG G = CFG::compute(F);
+  Liveness W = Liveness::compute(F, G, DataflowSolverKind::Worklist);
+  Liveness R = Liveness::compute(F, G, DataflowSolverKind::RoundRobin);
+  for (unsigned B = 0; B < F.numBlocks(); ++B) {
+    if (!F.block(B))
+      continue;
+    EXPECT_EQ(W.liveIn(B), R.liveIn(B)) << "LiveIn differs at block " << B;
+    EXPECT_EQ(W.liveOut(B), R.liveOut(B)) << "LiveOut differs at block " << B;
+  }
+  EXPECT_LE(W.solveStats().Iterations, R.solveStats().Iterations);
+}
+
+/// Full PRE must produce the identical rewrite (printed IR and stats) no
+/// matter which solver ran the fixpoints.
+void checkPRERewriteEquivalence(const std::string &Src, const std::string &Fn,
+                                PREStrategy Strategy) {
+  auto M1 = compile(Src, NamingMode::Hashed);
+  auto M2 = compile(Src, NamingMode::Hashed);
+  ASSERT_TRUE(M1 && M2);
+  PREStats W = eliminatePartialRedundancies(*M1->find(Fn), Strategy,
+                                            DataflowSolverKind::Worklist);
+  PREStats R = eliminatePartialRedundancies(*M2->find(Fn), Strategy,
+                                            DataflowSolverKind::RoundRobin);
+  EXPECT_EQ(W.Inserted, R.Inserted);
+  EXPECT_EQ(W.Deleted, R.Deleted);
+  EXPECT_EQ(W.EdgesSplit, R.EdgesSplit);
+  EXPECT_EQ(printFunction(*M1->find(Fn)), printFunction(*M2->find(Fn)));
+}
+
+TEST(DataflowEquivalence, PaperExamplePRESets) {
+  checkPREDataflowEquivalence(FooSource, "foo");
+}
+
+TEST(DataflowEquivalence, PaperExampleLiveness) {
+  checkLivenessEquivalence(FooSource, "foo", /*SSAForm=*/false);
+  checkLivenessEquivalence(FooSource, "foo", /*SSAForm=*/true);
+}
+
+TEST(DataflowEquivalence, PaperExamplePRERewrite) {
+  checkPRERewriteEquivalence(FooSource, "foo", PREStrategy::LazyCodeMotion);
+  checkPRERewriteEquivalence(FooSource, "foo", PREStrategy::MorelRenvoise);
+  checkPRERewriteEquivalence(FooSource, "foo", PREStrategy::GlobalCSE);
+}
+
+class DataflowEquivalenceLoopNests : public testing::TestWithParam<unsigned> {
+};
+
+TEST_P(DataflowEquivalenceLoopNests, PRESets) {
+  checkPREDataflowEquivalence(loopNestSource(GetParam()), "gen");
+}
+
+TEST_P(DataflowEquivalenceLoopNests, Liveness) {
+  checkLivenessEquivalence(loopNestSource(GetParam()), "gen",
+                           /*SSAForm=*/false);
+}
+
+TEST_P(DataflowEquivalenceLoopNests, PRERewrite) {
+  checkPRERewriteEquivalence(loopNestSource(GetParam()), "gen",
+                             PREStrategy::LazyCodeMotion);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DataflowEquivalenceLoopNests,
+                         testing::Values(1u, 4u, 16u, 64u));
+
+/// The fused Gen/Kill problem formulation must solve to exactly the same
+/// fixpoint as the same transfer posed as a general in-place lambda, on
+/// both solvers. Uses the liveness system of a generated input.
+TEST(DataflowEquivalence, GenKillMatchesGenericTransfer) {
+  auto M = compile(loopNestSource(8), NamingMode::Naive);
+  ASSERT_TRUE(M);
+  Function &F = *M->find("gen");
+  CFG G = CFG::compute(F);
+  Liveness L = Liveness::compute(F, G);
+
+  BitDataflowProblem Fused;
+  Fused.Dir = DataflowDirection::Backward;
+  Fused.Meet = MeetOp::Union;
+  Fused.NumBits = unsigned(F.numRegs());
+  std::vector<BitVector> Gen, Kill;
+  for (unsigned B = 0; B < F.numBlocks(); ++B) {
+    Gen.push_back(L.upwardExposed(B));
+    Kill.push_back(L.kill(B));
+  }
+  Fused.Gen = &Gen;
+  Fused.Kill = &Kill;
+
+  BitDataflowProblem Generic = Fused;
+  Generic.Gen = nullptr;
+  Generic.Kill = nullptr;
+  Generic.Transfer = [&](BlockId B, BitVector &S) {
+    S.intersectWithComplement(Kill[B]);
+    S.unionWith(Gen[B]);
+  };
+
+  for (auto K :
+       {DataflowSolverKind::Worklist, DataflowSolverKind::RoundRobin}) {
+    std::vector<BitVector> FO, FI, GO, GI;
+    solveBitDataflow(G, Fused, FO, FI, K);
+    solveBitDataflow(G, Generic, GO, GI, K);
+    expectSetsEqual(FO, GO, "LiveOut fused vs generic");
+    expectSetsEqual(FI, GI, "LiveIn fused vs generic");
+  }
+}
+
+/// The parallel pipeline driver must produce exactly what the serial one
+/// does, function by function, in module order.
+TEST(PipelineParallel, MatchesSerialOnMultiFunctionModule) {
+  std::string Src;
+  for (unsigned I = 0; I < 6; ++I) {
+    std::string One = loopNestSource(3 + I);
+    // Rename each copy so the module holds distinct functions.
+    size_t Pos = One.find("function gen");
+    One.replace(Pos, 12, "function gen" + std::to_string(I));
+    Src += One;
+  }
+  auto MSerial = compile(Src, NamingMode::Naive);
+  auto MParallel = compile(Src, NamingMode::Naive);
+  ASSERT_TRUE(MSerial && MParallel);
+  ASSERT_EQ(MSerial->Functions.size(), 6u);
+
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  std::vector<PipelineStats> S = optimizeModule(*MSerial, PO);
+  std::vector<PipelineStats> P = runPipelineParallel(*MParallel, PO, 4);
+  ASSERT_EQ(S.size(), P.size());
+  for (unsigned I = 0; I < S.size(); ++I) {
+    EXPECT_EQ(S[I].OpsAfter, P[I].OpsAfter) << "function " << I;
+    EXPECT_EQ(S[I].PRE.Deleted, P[I].PRE.Deleted) << "function " << I;
+    EXPECT_EQ(printFunction(*MSerial->Functions[I]),
+              printFunction(*MParallel->Functions[I]))
+        << "function " << I;
+  }
+}
+
+} // namespace

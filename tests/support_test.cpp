@@ -121,6 +121,165 @@ TEST_P(BitVectorRandom, MatchesReferenceSet) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorRandom,
                          testing::Range(0u, 12u));
 
+/// Universes chosen to exercise the word-level kernels: empty, exactly one
+/// word, a partial final word, and multiple words with a partial tail.
+class BitVectorKernels : public testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorKernels, UnionWithMatchesOrAndReportsChange) {
+  unsigned N = GetParam();
+  BitVector A(N), B(N);
+  for (unsigned I = 0; I < N; I += 2)
+    A.set(I);
+  for (unsigned I = 0; I < N; I += 3)
+    B.set(I);
+  BitVector Ref = A;
+  Ref |= B;
+  BitVector V = A;
+  bool Changed = V.unionWith(B);
+  EXPECT_EQ(V, Ref);
+  // Change iff B had a bit A lacked: any multiple of 3 that is odd (< N).
+  EXPECT_EQ(Changed, N > 3);
+  // Second application is idempotent and must report no change.
+  EXPECT_FALSE(V.unionWith(B));
+  // Union with self never changes.
+  BitVector C = A;
+  EXPECT_FALSE(C.unionWith(A));
+}
+
+TEST_P(BitVectorKernels, IntersectWithMatchesAndAndReportsChange) {
+  unsigned N = GetParam();
+  BitVector A(N), B(N);
+  for (unsigned I = 0; I < N; I += 2)
+    A.set(I);
+  for (unsigned I = 0; I < N; I += 3)
+    B.set(I);
+  BitVector Ref = A;
+  Ref &= B;
+  BitVector V = A;
+  bool Changed = V.intersectWith(B);
+  EXPECT_EQ(V, Ref);
+  EXPECT_EQ(Changed, N > 2); // loses bit 2 (and others) once N > 2
+  EXPECT_FALSE(V.intersectWith(B));
+  BitVector Full(N, true);
+  BitVector C = A;
+  EXPECT_FALSE(C.intersectWith(Full));
+}
+
+TEST_P(BitVectorKernels, IntersectWithComplementMatchesAndNot) {
+  unsigned N = GetParam();
+  BitVector A(N), B(N);
+  for (unsigned I = 0; I < N; I += 2)
+    A.set(I);
+  for (unsigned I = 0; I < N; I += 3)
+    B.set(I);
+  BitVector Ref = A;
+  Ref.andNot(B);
+  BitVector V = A;
+  bool Changed = V.intersectWithComplement(B);
+  EXPECT_EQ(V, Ref);
+  EXPECT_EQ(Changed, N > 0); // bit 0 is in both, so it is always removed
+  EXPECT_FALSE(V.intersectWithComplement(B));
+  BitVector Empty(N);
+  BitVector C = A;
+  EXPECT_FALSE(C.intersectWithComplement(Empty));
+}
+
+TEST_P(BitVectorKernels, AssignFromCopiesAndReportsChange) {
+  unsigned N = GetParam();
+  BitVector A(N), B(N);
+  for (unsigned I = 0; I < N; I += 2)
+    A.set(I);
+  for (unsigned I = 0; I < N; I += 5)
+    B.set(I);
+  BitVector V = A;
+  bool Changed = V.assignFrom(B);
+  EXPECT_EQ(V, B);
+  EXPECT_EQ(Changed, N > 2); // identical universes differ once both non-empty
+  EXPECT_FALSE(V.assignFrom(B));
+}
+
+TEST_P(BitVectorKernels, AssignMeetPreserveGenFusesAndOr) {
+  unsigned N = GetParam();
+  BitVector M(N), P(N), G(N);
+  for (unsigned I = 0; I < N; I += 2)
+    M.set(I);
+  for (unsigned I = 0; I < N; I += 3)
+    P.set(I);
+  for (unsigned I = 0; I < N; I += 7)
+    G.set(I);
+  BitVector Ref = M;
+  Ref &= P;
+  Ref |= G;
+  BitVector V(N);
+  bool Changed = V.assignMeetPreserveGen(M, P, G);
+  EXPECT_EQ(V, Ref);
+  EXPECT_EQ(Changed, N > 0); // bit 0 always survives the meet
+  // Re-applying with the same operands is a fixpoint.
+  EXPECT_FALSE(V.assignMeetPreserveGen(M, P, G));
+  // Aliasing the meet operand with the destination (self-loop blocks in the
+  // dataflow engine) must behave like an in-place transfer.
+  BitVector W = M;
+  W.assignMeetPreserveGen(W, P, G);
+  EXPECT_EQ(W, Ref);
+}
+
+TEST_P(BitVectorKernels, AssignMeetKillGenFusesAndNotOr) {
+  unsigned N = GetParam();
+  BitVector M(N), K(N), G(N);
+  for (unsigned I = 0; I < N; I += 2)
+    M.set(I);
+  for (unsigned I = 0; I < N; I += 3)
+    K.set(I);
+  for (unsigned I = 0; I < N; I += 7)
+    G.set(I);
+  BitVector Ref = M;
+  Ref.andNot(K);
+  Ref |= G;
+  BitVector V(N);
+  bool Changed = V.assignMeetKillGen(M, K, G);
+  EXPECT_EQ(V, Ref);
+  EXPECT_EQ(Changed, N > 0); // bit 0 is killed but regenerated
+  EXPECT_FALSE(V.assignMeetKillGen(M, K, G));
+  // ~K must not leak bits beyond the universe into the padding words.
+  BitVector Empty(N);
+  BitVector U(N);
+  U.assignMeetKillGen(Empty, Empty, Empty);
+  EXPECT_TRUE(U.none());
+  BitVector W = M;
+  W.assignMeetKillGen(W, K, G);
+  EXPECT_EQ(W, Ref);
+}
+
+TEST_P(BitVectorKernels, FullAndEmptyUniverses) {
+  unsigned N = GetParam();
+  BitVector Full(N, true), Empty(N), V(N);
+  EXPECT_EQ(V.unionWith(Full), N > 0);
+  EXPECT_EQ(V.count(), N);
+  EXPECT_EQ(V.intersectWith(Empty), N > 0);
+  EXPECT_TRUE(V.none());
+  BitVector W(N, true);
+  EXPECT_EQ(W.intersectWithComplement(Full), N > 0);
+  EXPECT_TRUE(W.none());
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, BitVectorKernels,
+                         testing::Values(0u, 1u, 64u, 100u, 130u));
+
+TEST(BitVectorScratch, SlotsAreStableAndRecycled) {
+  BitVectorScratch S(100);
+  BitVector &A = S.zeroed(0);
+  BitVector &B = S.ones(5); // forces pool growth past slot 0
+  A.set(3);                 // must still be valid storage
+  EXPECT_TRUE(S.raw(0).test(3));
+  EXPECT_EQ(B.count(), 100u);
+  // Re-borrowing clears as requested and reuses the same storage.
+  EXPECT_TRUE(S.zeroed(0).none());
+  EXPECT_EQ(&S.raw(0), &A);
+  // Changing universe re-sizes on next borrow.
+  S.setUniverse(40);
+  EXPECT_EQ(S.ones(0).count(), 40u);
+}
+
 TEST(StringUtil, Strprintf) {
   EXPECT_EQ(strprintf("x=%d y=%s", 42, "abc"), "x=42 y=abc");
   EXPECT_EQ(strprintf("%s", ""), "");
