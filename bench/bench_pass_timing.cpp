@@ -226,11 +226,13 @@ BENCHMARK(BM_LivenessRoundRobin)->Arg(64)->Arg(128)->Arg(256);
 
 // --- Parallel per-function pipeline driver ---------------------------------
 
-/// A module of State.range(0) independent loop-nest functions.
-std::unique_ptr<Module> compileMultiFunction(unsigned NumFns) {
+/// A module of \p NumFns independent loop-nest functions of \p LoopsPer
+/// loop nests each.
+std::unique_ptr<Module> compileMultiFunction(unsigned NumFns,
+                                             unsigned LoopsPer = 12) {
   std::string Src;
   for (unsigned I = 0; I < NumFns; ++I) {
-    std::string One = generateSource(12);
+    std::string One = generateSource(LoopsPer);
     One.replace(One.find("function gen"), 12,
                 "function gen" + std::to_string(I));
     Src += One;
@@ -264,6 +266,73 @@ void BM_PipelineParallel(benchmark::State &State) {
 }
 BENCHMARK(BM_PipelineParallel)->Arg(8)->Arg(16)->UseRealTime();
 
+// --- End-to-end pipeline cost ----------------------------------------------
+//
+// The headline compile-time number: everything the optimizer does on one
+// function of Arg loop nests at the highest level (Distribution), without
+// the debug verifier — i.e. the production configuration. This is the
+// benchmark the cached analysis manager and the inline-storage IR target;
+// the PR-over-PR trajectory is recorded in EXPERIMENTS.md.
+
+void BM_PipelineEndToEnd(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+    State.ResumeTiming();
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    PO.Verify = false;
+    optimizeFunction(*M->Functions[0], PO);
+  }
+}
+BENCHMARK(BM_PipelineEndToEnd)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same total work split across 16 functions and handed to the parallel
+/// driver (4 workers). On a single-core host this measures the driver's
+/// overhead, not scaling; see EXPERIMENTS.md.
+void BM_PipelineEndToEndParallel(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileMultiFunction(16, unsigned(State.range(0)) / 16);
+    State.ResumeTiming();
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    PO.Verify = false;
+    runPipelineParallel(*M, PO, 4);
+  }
+}
+BENCHMARK(BM_PipelineEndToEndParallel)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // The Debian-packaged libbenchmark is compiled without NDEBUG, so the
+  // JSON context's "library_build_type" says "debug" no matter how *this*
+  // binary was built. Record the binary's own configuration so
+  // scripts/bench.sh can refuse to publish numbers from a debug build.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("epre_assertions", "disabled");
+#else
+  benchmark::AddCustomContext("epre_assertions", "enabled");
+#endif
+#ifdef EPRE_BENCH_BUILD_TYPE
+  benchmark::AddCustomContext("epre_build_type", EPRE_BENCH_BUILD_TYPE);
+#else
+  benchmark::AddCustomContext("epre_build_type", "unknown");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

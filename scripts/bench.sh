@@ -3,16 +3,48 @@
 # the repo root (BENCH_pass_timing.json) so the perf trajectory is tracked
 # in version control from PR to PR.
 #
+# The benchmarks build in a dedicated Release tree (build-bench/) — never in
+# the default RelWithDebInfo/debug developer tree — and the script refuses
+# to publish JSON whose context indicates a debug configuration. Note: the
+# Debian-packaged libbenchmark reports "library_build_type": "debug"
+# unconditionally (the *library* was compiled without NDEBUG), so the
+# binary additionally records its own "epre_build_type"/"epre_assertions"
+# context, which is what gates publication.
+#
 # Usage: scripts/bench.sh [extra google-benchmark flags]
-#   e.g. scripts/bench.sh --benchmark_filter='BM_PRESolve|BM_Liveness'
+#   e.g. scripts/bench.sh --benchmark_filter='BM_PipelineEndToEnd'
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build}
-cmake -B "$BUILD_DIR" -S . >/dev/null
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT=${OUT:-BENCH_pass_timing.json}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_pass_timing >/dev/null
 
+TMP_OUT=$(mktemp "${TMPDIR:-/tmp}/bench_pass_timing.XXXXXX.json")
+trap 'rm -f "$TMP_OUT"' EXIT
+
 "$BUILD_DIR"/bench/bench_pass_timing \
-  --benchmark_out=BENCH_pass_timing.json \
+  --benchmark_out="$TMP_OUT" \
   --benchmark_out_format=json \
   "$@"
+
+refuse() {
+  echo "error: $1 — refusing to write $OUT" >&2
+  echo "       (use scripts/bench.sh, which builds Release in build-bench/)" >&2
+  exit 1
+}
+
+grep -q '"epre_build_type": "Release"' "$TMP_OUT" ||
+  refuse "benchmark binary was not built with -DCMAKE_BUILD_TYPE=Release"
+grep -q '"epre_assertions": "disabled"' "$TMP_OUT" ||
+  refuse "benchmark binary was built with assertions enabled (no NDEBUG)"
+if grep -q '"library_build_type": "debug"' "$TMP_OUT" &&
+   ! grep -q '"epre_build_type": "Release"' "$TMP_OUT"; then
+  refuse "google-benchmark reports a debug build"
+fi
+
+mv "$TMP_OUT" "$OUT"
+trap - EXIT
+echo "wrote $OUT"

@@ -310,7 +310,7 @@ private:
       return Dst;
     }
 
-    std::vector<Reg> Args;
+    SmallVector<Reg, 2> Args;
     for (const ExprPtr &C : E.Children)
       Args.push_back(lowerExpr(*C));
     if (!Err.empty())

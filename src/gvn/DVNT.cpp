@@ -2,7 +2,7 @@
 
 #include "gvn/DVNT.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
 #include "ir/ExprKey.h"
 #include "pre/LocalizeNames.h"
@@ -20,10 +20,10 @@ class DVNT {
 public:
   explicit DVNT(Function &F) : F(F) {}
 
-  DVNTStats run() {
-    G = CFG::compute(F);
-    DT = DominatorTree::compute(F, G);
-    walk(G.rpo().front());
+  DVNTStats run(FunctionAnalysisManager &AM) {
+    G = &AM.cfg();
+    DT = &AM.domTree();
+    walk(G->rpo().front());
     return Stats;
   }
 
@@ -123,7 +123,7 @@ private:
     // Adjust successor phi inputs for the edges leaving this block: the
     // value numbers of everything flowing out of B are final here, and a
     // deleted definition must not remain referenced.
-    for (BlockId S : G.succs(B)) {
+    for (BlockId S : G->succs(B)) {
       BasicBlock *SB = F.block(S);
       for (Instruction &Phi : SB->Insts) {
         if (!Phi.isPhi())
@@ -134,14 +134,14 @@ private:
       }
     }
 
-    for (BlockId C : DT.children(B))
+    for (BlockId C : DT->children(B))
       walk(C);
     Scopes.pop_back();
   }
 
   Function &F;
-  CFG G;
-  DominatorTree DT;
+  const CFG *G = nullptr;
+  const DominatorTree *DT = nullptr;
   DVNTStats Stats;
   std::map<Reg, Reg> VN;
   std::vector<std::unordered_map<ExprKey, Reg, ExprKeyHash>> Scopes;
@@ -149,19 +149,36 @@ private:
 
 } // namespace
 
-DVNTStats epre::valueNumberDominatorTreeSSA(Function &F) {
-  return DVNT(F).run();
+DVNTStats epre::valueNumberDominatorTreeSSA(Function &F,
+                                            FunctionAnalysisManager &AM) {
+  DVNTStats Stats = DVNT(F).run(AM);
+  // Uses are rewritten to value-number representatives even when nothing is
+  // deleted: treat every run as a change.
+  F.bumpVersion();
+  AM.finishPass(PreservedAnalyses::cfgShape());
+  return Stats;
 }
 
-DVNTStats epre::runDominatorValueNumbering(Function &F) {
+DVNTStats epre::valueNumberDominatorTreeSSA(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return valueNumberDominatorTreeSSA(F, AM);
+}
+
+DVNTStats epre::runDominatorValueNumbering(Function &F,
+                                           FunctionAnalysisManager &AM) {
   SSAOptions Opts;
   Opts.Pruned = true;
   Opts.FoldCopies = false; // copies are the variable-name definers
-  buildSSA(F, Opts);
-  DVNTStats Stats = valueNumberDominatorTreeSSA(F);
-  destroySSA(F);
+  buildSSA(F, AM, Opts);
+  DVNTStats Stats = valueNumberDominatorTreeSSA(F, AM);
+  destroySSA(F, AM);
   // Deleting dominated redundancies can leave an expression name live
   // across a block boundary; restore the §5.1 discipline for PRE.
-  localizeExpressionNames(F);
+  localizeExpressionNames(F, AM);
   return Stats;
+}
+
+DVNTStats epre::runDominatorValueNumbering(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return runDominatorValueNumbering(F, AM);
 }

@@ -19,6 +19,7 @@
 #define EPRE_GVN_DVNT_H
 
 #include "gvn/ValueNumbering.h"
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -31,12 +32,16 @@ struct DVNTStats {
 
 /// The core: value-numbers a function in SSA form, deleting dominated
 /// redundancies. Copies are treated as variable-name barriers (kept).
+DVNTStats valueNumberDominatorTreeSSA(Function &F,
+                                      FunctionAnalysisManager &AM);
 DVNTStats valueNumberDominatorTreeSSA(Function &F);
 
 /// The full phase on phi-free code, mirroring runGlobalValueNumbering:
 /// builds SSA (copies kept), value-numbers over the dominator tree,
 /// leaves SSA, and re-localizes any expression name the deletions left
 /// live across a block boundary (§5.1).
+DVNTStats runDominatorValueNumbering(Function &F,
+                                     FunctionAnalysisManager &AM);
 DVNTStats runDominatorValueNumbering(Function &F);
 
 } // namespace epre

@@ -2,6 +2,8 @@
 
 #include "gvn/ValueNumbering.h"
 
+#include "analysis/AnalysisManager.h"
+
 #include "analysis/CFG.h"
 #include "analysis/EdgeSplitting.h"
 #include "ir/ExprKey.h"
@@ -62,7 +64,7 @@ private:
         case Opcode::Load:
           // Memory values are never congruent to anything (no alias info).
           K.S = strprintf("load:%u", I.Dst);
-          Ops = I.Operands;
+          Ops.assign(I.Operands.begin(), I.Operands.end());
           break;
         case Opcode::Phi: {
           // Phis are congruent only within one block; operands compared in
@@ -81,15 +83,15 @@ private:
           // its source, which refinement discovers if we class it with the
           // identity operator.
           K.S = "copy";
-          Ops = I.Operands;
+          Ops.assign(I.Operands.begin(), I.Operands.end());
           break;
         case Opcode::Call:
           K.S = strprintf("call:%u:%u", unsigned(I.Intr), unsigned(I.Ty));
-          Ops = I.Operands;
+          Ops.assign(I.Operands.begin(), I.Operands.end());
           break;
         default:
           K.S = strprintf("op:%u:%u", unsigned(I.Op), unsigned(I.Ty));
-          Ops = I.Operands;
+          Ops.assign(I.Operands.begin(), I.Operands.end());
           break;
         }
         Keys[I.Dst] = std::move(K);
@@ -209,7 +211,8 @@ private:
 
 GVNStats epre::valueNumberSSA(Function &F) { return AWZ(F).run(); }
 
-GVNStats epre::runGlobalValueNumbering(Function &F) {
+GVNStats epre::runGlobalValueNumbering(Function &F,
+                                       FunctionAnalysisManager &AM) {
   // Keep copies as instructions: they are the definitions of "variable
   // names" (§2.2), and folding them away would let phi inputs reference
   // expression names across block boundaries — undoing the locality that
@@ -217,8 +220,17 @@ GVNStats epre::runGlobalValueNumbering(Function &F) {
   SSAOptions Opts;
   Opts.Pruned = true;
   Opts.FoldCopies = false;
-  buildSSA(F, Opts);
+  buildSSA(F, AM, Opts);
   GVNStats Stats = valueNumberSSA(F);
-  destroySSA(F);
+  // AWZ rewrites uses to class representatives; instructions changed but
+  // the graph did not.
+  F.bumpVersion();
+  AM.finishPass(PreservedAnalyses::cfgShape());
+  destroySSA(F, AM);
   return Stats;
+}
+
+GVNStats epre::runGlobalValueNumbering(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return runGlobalValueNumbering(F, AM);
 }

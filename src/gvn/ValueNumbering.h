@@ -22,6 +22,7 @@
 #ifndef EPRE_GVN_VALUENUMBERING_H
 #define EPRE_GVN_VALUENUMBERING_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -38,6 +39,7 @@ struct GVNStats {
 /// "The names are the only things changed during this phase; no
 /// instructions are added, deleted, or moved" — except the phi/copy
 /// shuffling inherent in entering and leaving SSA.
+GVNStats runGlobalValueNumbering(Function &F, FunctionAnalysisManager &AM);
 GVNStats runGlobalValueNumbering(Function &F);
 
 /// The partition+rename core, for code already in SSA form. Exposed for

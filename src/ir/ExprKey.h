@@ -26,7 +26,7 @@ struct ExprKey {
   Intrinsic Intr = Intrinsic::Sqrt;
   int64_t IImm = 0;
   uint64_t FBits = 0;
-  std::vector<Reg> Operands;
+  SmallVector<Reg, 2> Operands;
 
   bool operator==(const ExprKey &RHS) const {
     return Op == RHS.Op && Ty == RHS.Ty && Intr == RHS.Intr &&

@@ -53,7 +53,7 @@ public:
   }
 
   /// The block's successors, read from the terminator.
-  const std::vector<BlockId> &successors() const {
+  const SmallVector<BlockId, 2> &successors() const {
     return terminator().Succs;
   }
 
@@ -91,6 +91,7 @@ public:
   /// Allocates a fresh register of type \p Ty.
   Reg makeReg(Type Ty) {
     RegTypes.push_back(Ty);
+    bumpVersion();
     return Reg(RegTypes.size() - 1);
   }
 
@@ -134,6 +135,7 @@ public:
     if (Label.empty())
       Label = "b" + std::to_string(Id);
     Blocks.push_back(std::make_unique<BasicBlock>(Id, std::move(Label)));
+    bumpVersion();
     return Blocks.back().get();
   }
 
@@ -164,6 +166,7 @@ public:
     assert(Id != 0 && "cannot erase the entry block");
     assert(Id < Blocks.size() && "bad block id");
     Blocks[Id].reset();
+    bumpVersion();
   }
 
   /// Iteration over live (non-tombstone) blocks in id order.
@@ -177,6 +180,21 @@ public:
       if (B)
         F(*B);
   }
+
+  // --- IR version ------------------------------------------------------------
+
+  /// Monotonic counter identifying the current state of the IR. Bumped by
+  /// every structural mutation routed through Function (block creation and
+  /// removal, register allocation) and, explicitly via \ref bumpVersion, by
+  /// passes that edit instructions in place (terminator rewrites, operand
+  /// renaming). Cached analyses (see analysis/AnalysisManager.h) are keyed
+  /// on this value: a cache entry stamped with an older version is stale
+  /// unless the mutating pass declared the analysis preserved.
+  uint64_t version() const { return Version; }
+
+  /// Records that the IR changed. Cheap and safe to over-call: spurious
+  /// bumps only cost a recompute, never a stale result.
+  void bumpVersion() { ++Version; }
 
   /// Counts all instructions in live blocks (the paper's static size metric).
   unsigned staticOperationCount() const {
@@ -192,6 +210,7 @@ private:
   /// Indexed by Reg; slot 0 is the reserved NoReg.
   std::vector<Type> RegTypes = {Type::I64};
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  uint64_t Version = 0;
 };
 
 /// A translation unit: a list of functions.

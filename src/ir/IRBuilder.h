@@ -97,7 +97,7 @@ public:
     emit(Instruction::makeStore(F.regType(Value), Addr, Value));
   }
 
-  Reg call(Intrinsic Intr, std::vector<Reg> Args) {
+  Reg call(Intrinsic Intr, SmallVector<Reg, 2> Args) {
     assert(!Args.empty());
     Type Ty = F.regType(Args[0]);
     Reg Dst = F.makeReg(Ty);

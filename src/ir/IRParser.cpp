@@ -564,7 +564,7 @@ private:
       badvance();
       if (!bexpect(TokKind::LParen, "'('"))
         return false;
-      std::vector<Reg> Args;
+      SmallVector<Reg, 2> Args;
       while (btok().Kind == TokKind::Reg) {
         Reg A;
         if (!bparseReg(F, A))
@@ -607,7 +607,7 @@ private:
     int N = fixedOperandCount(Op);
     if (N < 0 || Op == Opcode::Store || isTerminator(Op))
       return bfail("opcode '" + Name + "' cannot define a register here");
-    std::vector<Reg> Ops;
+    SmallVector<Reg, 2> Ops;
     for (int I = 0; I < N; ++I) {
       if (I && !bexpect(TokKind::Comma, "','"))
         return false;

@@ -10,10 +10,10 @@
 #define EPRE_IR_INSTRUCTION_H
 
 #include "ir/Opcode.h"
+#include "support/SmallVector.h"
 
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
 namespace epre {
 
@@ -38,16 +38,16 @@ struct Instruction {
   /// for comparisons, whose results are always I64).
   Type Ty = Type::I64;
   Reg Dst = NoReg;
-  std::vector<Reg> Operands;
+  SmallVector<Reg, 2> Operands;
   /// Immediate payloads for LoadI / LoadF.
   int64_t IImm = 0;
   double FImm = 0.0;
   /// Callee for Opcode::Call.
   Intrinsic Intr = Intrinsic::Sqrt;
   /// Successor blocks: Br has one; Cbr has two (taken, not-taken).
-  std::vector<BlockId> Succs;
+  SmallVector<BlockId, 2> Succs;
   /// For Phi: the incoming predecessor of each operand.
-  std::vector<BlockId> PhiBlocks;
+  SmallVector<BlockId, 2> PhiBlocks;
 
   bool isTerminator() const { return epre::isTerminator(Op); }
   bool hasSideEffects() const { return epre::hasSideEffects(Op); }
@@ -120,7 +120,7 @@ struct Instruction {
   }
 
   static Instruction makeCall(Intrinsic Intr, Type Ty, Reg Dst,
-                              std::vector<Reg> Args) {
+                              SmallVector<Reg, 2> Args) {
     assert(Args.size() == intrinsicArity(Intr) && "wrong intrinsic arity");
     Instruction I;
     I.Op = Opcode::Call;

@@ -83,7 +83,14 @@ private:
 
   void checkInstruction(const BasicBlock &B, const Instruction &I,
                         std::map<Reg, unsigned> &DefCount) {
-    // Destination.
+    // Destination. Value-free opcodes must carry NoReg: a stale Dst (left
+    // by a rewrite that recycled an instruction) would corrupt liveness and
+    // def counting.
+    bool ValueFree = I.Op == Opcode::Store || I.Op == Opcode::Br ||
+                     I.Op == Opcode::Cbr || I.Op == Opcode::Ret;
+    if (ValueFree && I.hasDst())
+      error(strprintf("block ^%s: %s must not define a register (has r%u)",
+                      B.label().c_str(), opcodeName(I.Op), I.Dst));
     if (I.hasDst()) {
       checkReg(B, I.Dst, "destination");
       if (I.Dst < F.numRegs() && I.Dst != NoReg)

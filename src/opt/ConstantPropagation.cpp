@@ -11,7 +11,7 @@
 
 #include "opt/ConstantPropagation.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisManager.h"
 #include "ir/Eval.h"
 
 #include <algorithm>
@@ -61,17 +61,26 @@ using LatticeRow = std::vector<LatVal>;
 
 class SCCP {
 public:
-  explicit SCCP(Function &F) : F(F), G(CFG::compute(F)) {}
+  explicit SCCP(Function &F) : F(F) {}
 
   bool run() {
     unsigned NB = F.numBlocks();
     unsigned NR = F.numRegs();
-    In.assign(NB, LatticeRow(NR));
+    // Per-block rows hold only the registers whose values cross a block
+    // boundary; everything else is block-local by construction and lives
+    // in the shared scratch row. This keeps the lattice NB x NG instead of
+    // NB x NR (NG is typically a small fraction of NR once forward
+    // propagation has localized expression evaluation).
+    computeGlobals();
+    In.assign(NB, LatticeRow(GlobalRegs.size()));
+    Scratch.assign(NR, LatVal::top());
     BlockExec.assign(NB, false);
 
-    // Entry: parameters are runtime inputs.
+    // Entry: parameters are runtime inputs. A parameter that never
+    // crosses a block boundary unread has no row slot and needs none.
     for (Reg P : F.params())
-      In[0][P] = LatVal::bottom();
+      if (GIdx[P] != NoIdx)
+        In[0][GIdx[P]] = LatVal::bottom();
 
     BlockExec[0] = true;
     Worklist.push_back(0);
@@ -85,6 +94,51 @@ public:
   }
 
 private:
+  static constexpr unsigned NoIdx = ~0u;
+
+  /// A register is "global" when some block reads it without a preceding
+  /// definition in that block (phi inputs always qualify: they are read on
+  /// entry). Only globals need per-block lattice slots.
+  void computeGlobals() {
+    unsigned NR = F.numRegs();
+    GIdx.assign(NR, NoIdx);
+    GlobalRegs.clear();
+    auto markGlobal = [&](Reg R) {
+      if (GIdx[R] == NoIdx) {
+        GIdx[R] = unsigned(GlobalRegs.size());
+        GlobalRegs.push_back(R);
+      }
+    };
+    for (Reg P : F.params())
+      markGlobal(P);
+    std::vector<uint32_t> DefStamp(NR, 0);
+    uint32_t BlockStamp = 0;
+    F.forEachBlock([&](const BasicBlock &B) {
+      ++BlockStamp;
+      for (const Instruction &I : B.Insts) {
+        if (I.isPhi()) {
+          for (Reg Op : I.Operands)
+            markGlobal(Op);
+        } else {
+          for (Reg Op : I.Operands)
+            if (DefStamp[Op] != BlockStamp)
+              markGlobal(Op);
+        }
+        if (I.hasDst())
+          DefStamp[I.Dst] = BlockStamp;
+      }
+    });
+  }
+
+  /// Loads block \p B's In row (globals only) into the scratch value map.
+  /// Block-local registers keep stale values from earlier blocks, which is
+  /// safe: a local is always written before it is read within a block.
+  void loadEntry(BlockId B) {
+    const LatticeRow &Entry = In[B];
+    for (unsigned GI = 0; GI < GlobalRegs.size(); ++GI)
+      Scratch[GlobalRegs[GI]] = Entry[GI];
+  }
+
   void enqueue(BlockId B) {
     if (InWorklist.insert(B).second)
       Worklist.push_back(B);
@@ -123,45 +177,52 @@ private:
     return LatVal::constant(Out);
   }
 
-  /// Applies the block's instructions to a copy of its In row. Phis are
-  /// evaluated against the entry values simultaneously (they read their
-  /// inputs in parallel); everything else is sequential.
-  LatticeRow transfer(const BasicBlock &BB) const {
-    const LatticeRow &Entry = In[BB.id()];
-    LatticeRow Vals = Entry;
-    unsigned Idx = 0;
-    for (; Idx < BB.Insts.size() && BB.Insts[Idx].isPhi(); ++Idx)
-      Vals[BB.Insts[Idx].Dst] = evalInst(BB.Insts[Idx], Entry);
-    for (; Idx < BB.Insts.size(); ++Idx)
+  /// Applies the block's instructions to the scratch value map (entry row
+  /// pre-loaded by the caller). Phis are evaluated against the entry values
+  /// simultaneously (they read their inputs in parallel, and their inputs
+  /// are globals the phi writes below could clobber), so their results are
+  /// buffered and stored in a second step; everything else is sequential.
+  void transfer(const BasicBlock &BB) {
+    unsigned NumPhis = BB.firstNonPhi();
+    PhiVals.clear();
+    for (unsigned Idx = 0; Idx < NumPhis; ++Idx)
+      PhiVals.push_back(evalInst(BB.Insts[Idx], Scratch));
+    for (unsigned Idx = 0; Idx < NumPhis; ++Idx)
+      Scratch[BB.Insts[Idx].Dst] = PhiVals[Idx];
+    for (unsigned Idx = NumPhis; Idx < BB.Insts.size(); ++Idx)
       if (BB.Insts[Idx].hasDst())
-        Vals[BB.Insts[Idx].Dst] = evalInst(BB.Insts[Idx], Vals);
-    return Vals;
+        Scratch[BB.Insts[Idx].Dst] = evalInst(BB.Insts[Idx], Scratch);
   }
 
   void processBlock(BlockId B) {
     const BasicBlock *BB = F.block(B);
-    LatticeRow Vals = transfer(*BB);
+    loadEntry(B);
+    transfer(*BB);
 
     // Determine executable out-edges.
     const Instruction &T = BB->terminator();
-    std::vector<BlockId> ExecSuccs;
+    BlockId ExecSuccs[2];
+    unsigned NumExec = 0;
     if (T.Op == Opcode::Br) {
-      ExecSuccs.push_back(T.Succs[0]);
+      ExecSuccs[NumExec++] = T.Succs[0];
     } else if (T.Op == Opcode::Cbr) {
-      const LatVal &C = Vals[T.Operands[0]];
-      if (C.K == LatVal::Const)
-        ExecSuccs.push_back(C.V.I != 0 ? T.Succs[0] : T.Succs[1]);
-      else if (C.K == LatVal::Bottom)
-        ExecSuccs = {T.Succs[0], T.Succs[1]};
+      const LatVal &C = Scratch[T.Operands[0]];
+      if (C.K == LatVal::Const) {
+        ExecSuccs[NumExec++] = C.V.I != 0 ? T.Succs[0] : T.Succs[1];
+      } else if (C.K == LatVal::Bottom) {
+        ExecSuccs[NumExec++] = T.Succs[0];
+        ExecSuccs[NumExec++] = T.Succs[1];
+      }
       // Top: no successor known executable yet.
     }
 
-    for (BlockId S : ExecSuccs) {
+    for (unsigned E = 0; E < NumExec; ++E) {
+      BlockId S = ExecSuccs[E];
       bool Changed = !BlockExec[S];
       BlockExec[S] = true;
       LatticeRow &SIn = In[S];
-      for (unsigned R = 1; R < SIn.size(); ++R)
-        if (SIn[R].meet(Vals[R]))
+      for (unsigned GI = 0; GI < SIn.size(); ++GI)
+        if (SIn[GI].meet(Scratch[GlobalRegs[GI]]))
           Changed = true;
       if (Changed)
         enqueue(S);
@@ -186,21 +247,26 @@ private:
 
   bool rewrite() {
     bool Changed = false;
+    BranchFolded = false;
     F.forEachBlock([&](BasicBlock &B) {
       if (!BlockExec[B.id()])
         return; // unreachable under the analysis; SimplifyCFG will erase
-      const LatticeRow &Entry = In[B.id()];
-      LatticeRow Vals = Entry;
+      loadEntry(B.id());
       bool RewrotePhi = false;
       unsigned NumPhis = B.firstNonPhi();
+      // Phis read the entry values in parallel: evaluate them all before
+      // any result lands in the scratch map.
+      PhiVals.clear();
+      for (unsigned Idx = 0; Idx < NumPhis; ++Idx)
+        PhiVals.push_back(evalInst(B.Insts[Idx], Scratch));
       for (unsigned Idx = 0; Idx < B.Insts.size(); ++Idx) {
         Instruction &I = B.Insts[Idx];
         bool IsPhi = I.isPhi();
-        LatVal L = I.hasDst() ? evalInst(I, IsPhi && Idx < NumPhis ? Entry
-                                                                   : Vals)
-                              : LatVal::bottom();
+        LatVal L = Idx < NumPhis ? PhiVals[Idx]
+                   : I.hasDst()  ? evalInst(I, Scratch)
+                                 : LatVal::bottom();
         if (I.hasDst())
-          Vals[I.Dst] = L;
+          Scratch[I.Dst] = L;
         bool AlreadyImm = I.Op == Opcode::LoadI || I.Op == Opcode::LoadF;
         if (I.hasDst() && L.K == LatVal::Const && !AlreadyImm &&
             (I.isExpression() || I.isCopy() || IsPhi)) {
@@ -211,13 +277,15 @@ private:
           Changed = true;
         }
         if (I.Op == Opcode::Cbr) {
-          const LatVal &C = Vals[I.Operands[0]];
+          const LatVal &C = Scratch[I.Operands[0]];
           if (C.K == LatVal::Const) {
             BlockId Taken = C.V.I != 0 ? I.Succs[0] : I.Succs[1];
             BlockId NotTaken = C.V.I != 0 ? I.Succs[1] : I.Succs[0];
             if (Taken != NotTaken)
               removePhiEntriesFrom(*F.block(NotTaken), B.id());
             I = Instruction::makeBr(Taken);
+            F.bumpVersion(); // terminator rewrite: CFG edge removed
+            BranchFolded = true;
             Changed = true;
           }
         }
@@ -234,13 +302,34 @@ private:
   }
 
   Function &F;
-  CFG G;
-  std::vector<LatticeRow> In;
+  std::vector<LatticeRow> In;       ///< per block, indexed by global slot
+  std::vector<Reg> GlobalRegs;      ///< global slot -> register
+  std::vector<unsigned> GIdx;       ///< register -> global slot or NoIdx
+  LatticeRow Scratch;               ///< running value map, indexed by Reg
+  std::vector<LatVal> PhiVals;      ///< parallel-phi evaluation buffer
   std::vector<bool> BlockExec;
   std::deque<BlockId> Worklist;
   std::set<BlockId> InWorklist;
+
+public:
+  /// Set by rewrite() when a cbr was folded to br (a CFG edge died).
+  bool BranchFolded = false;
 };
 
 } // namespace
 
-bool epre::propagateConstants(Function &F) { return SCCP(F).run(); }
+bool epre::propagateConstants(Function &F, FunctionAnalysisManager &AM) {
+  SCCP S(F);
+  bool Changed = S.run();
+  if (Changed) {
+    F.bumpVersion();
+    AM.finishPass(S.BranchFolded ? PreservedAnalyses::none()
+                                 : PreservedAnalyses::cfgShape());
+  }
+  return Changed;
+}
+
+bool epre::propagateConstants(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return propagateConstants(F, AM);
+}

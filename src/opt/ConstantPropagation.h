@@ -12,6 +12,7 @@
 #ifndef EPRE_OPT_CONSTANTPROPAGATION_H
 #define EPRE_OPT_CONSTANTPROPAGATION_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -20,6 +21,9 @@ namespace epre {
 /// Instructions computing constants are rewritten to immediate loads, and
 /// conditional branches on constants become unconditional. Dead code and
 /// unreachable blocks are left for DCE / SimplifyCFG.
+///
+/// Preserves the CFG shape unless a conditional branch was folded.
+bool propagateConstants(Function &F, FunctionAnalysisManager &AM);
 bool propagateConstants(Function &F);
 
 } // namespace epre

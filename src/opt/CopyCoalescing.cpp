@@ -2,7 +2,7 @@
 
 #include "opt/CopyCoalescing.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Liveness.h"
 
 #include <cassert>
@@ -55,12 +55,15 @@ std::vector<std::set<Reg>> buildInterference(const Function &F, const CFG &G,
 
 } // namespace
 
-unsigned epre::coalesceCopies(Function &F) {
+unsigned epre::coalesceCopies(Function &F, FunctionAnalysisManager &AM) {
   unsigned Removed = 0;
+  // Coalescing renames registers and deletes self-copies; the block graph
+  // never changes, so one CFG serves every round.
+  const CFG &G = AM.cfg();
+  std::vector<Instruction> Kept; // reused across blocks to recycle capacity
   bool Changed = true;
   while (Changed) {
     Changed = false;
-    CFG G = CFG::compute(F);
     Liveness Live = Liveness::compute(F, G);
     std::vector<std::set<Reg>> IG = buildInterference(F, G, Live);
 
@@ -114,7 +117,7 @@ unsigned epre::coalesceCopies(Function &F) {
 
     // Rewrite every register to its representative; self-copies vanish.
     F.forEachBlock([&](BasicBlock &B) {
-      std::vector<Instruction> Kept;
+      Kept.clear();
       Kept.reserve(B.Insts.size());
       for (Instruction &I : B.Insts) {
         if (I.hasDst())
@@ -128,8 +131,17 @@ unsigned epre::coalesceCopies(Function &F) {
         }
         Kept.push_back(std::move(I));
       }
-      B.Insts = std::move(Kept);
+      B.Insts.swap(Kept);
     });
   }
+  if (Removed) {
+    F.bumpVersion();
+    AM.finishPass(PreservedAnalyses::cfgShape());
+  }
   return Removed;
+}
+
+unsigned epre::coalesceCopies(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return coalesceCopies(F, AM);
 }

@@ -12,6 +12,7 @@
 #ifndef EPRE_OPT_COPYCOALESCING_H
 #define EPRE_OPT_COPYCOALESCING_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -19,6 +20,8 @@ namespace epre {
 /// Coalesces non-interfering copy-related registers and deletes the copies.
 /// Runs in rounds until no copy can be removed. Returns the number of copy
 /// instructions eliminated. Must run on phi-free (non-SSA) code.
+/// Preserves the CFG shape (registers renamed, copies removed).
+unsigned coalesceCopies(Function &F, FunctionAnalysisManager &AM);
 unsigned coalesceCopies(Function &F);
 
 } // namespace epre

@@ -2,7 +2,7 @@
 
 #include "opt/DeadCodeElim.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Liveness.h"
 #include "support/BitVector.h"
 
@@ -19,50 +19,72 @@ namespace {
 /// loop accumulator whose sum is never read (`s = s + i`), because the
 /// cycle keeps itself live; this register-level mark phase can.
 bool sweepUnobservableRegisters(Function &F) {
-  std::set<Reg> Observable;
-  bool Grew = true;
-  while (Grew) {
-    Grew = false;
-    F.forEachBlock([&](const BasicBlock &B) {
-      for (const Instruction &I : B.Insts) {
-        bool Effect = I.hasSideEffects() || I.Op == Opcode::Load ||
-                      !I.hasDst();
-        if (!Effect && !Observable.count(I.Dst))
-          continue;
+  // Backward reachability from effects over the def-use graph, driven by a
+  // register worklist (one pass over the instructions to index defs, then
+  // each definition is visited once per its register's first marking —
+  // no repeated whole-function scans).
+  unsigned NR = F.numRegs();
+  BitVector Observable(NR);
+  std::vector<Reg> Worklist;
+  auto mark = [&](Reg R) {
+    if (!Observable.test(R)) {
+      Observable.set(R);
+      Worklist.push_back(R);
+    }
+  };
+  // DefsOf: for each register, the instructions defining it (the function
+  // is not in SSA form here, so there may be several). Instruction
+  // pointers stay stable: nothing mutates the blocks until the sweep.
+  std::vector<std::vector<const Instruction *>> DefsOf(NR);
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts) {
+      if (I.hasDst())
+        DefsOf[I.Dst].push_back(&I);
+      bool Effect = I.hasSideEffects() || I.Op == Opcode::Load || !I.hasDst();
+      if (Effect)
         for (Reg R : I.Operands)
-          if (Observable.insert(R).second)
-            Grew = true;
-      }
-    });
+          mark(R);
+    }
+  });
+  while (!Worklist.empty()) {
+    Reg R = Worklist.back();
+    Worklist.pop_back();
+    for (const Instruction *I : DefsOf[R])
+      for (Reg Op : I->Operands)
+        mark(Op);
   }
   // Loads are kept (their addresses are observable above) but their
   // results may still be dead; the liveness pass below handles that.
   bool Changed = false;
+  std::vector<Instruction> Kept; // reused across blocks to recycle capacity
   F.forEachBlock([&](BasicBlock &B) {
-    std::vector<Instruction> Kept;
+    Kept.clear();
     Kept.reserve(B.Insts.size());
     for (Instruction &I : B.Insts) {
       bool Removable = I.hasDst() && !I.hasSideEffects() &&
-                       I.Op != Opcode::Load && !Observable.count(I.Dst);
+                       I.Op != Opcode::Load && !Observable.test(I.Dst);
       if (Removable) {
         Changed = true;
         continue;
       }
       Kept.push_back(std::move(I));
     }
-    B.Insts = std::move(Kept);
+    B.Insts.swap(Kept);
   });
   return Changed;
 }
 
 } // namespace
 
-bool epre::eliminateDeadCode(Function &F) {
+bool epre::eliminateDeadCode(Function &F, FunctionAnalysisManager &AM) {
   bool EverChanged = sweepUnobservableRegisters(F);
+  // Only instructions are removed below, never blocks or edges: one CFG
+  // serves every liveness round.
+  const CFG &G = AM.cfg();
+  std::vector<Instruction> Kept; // reused across blocks to recycle capacity
   bool Changed = true;
   while (Changed) {
     Changed = false;
-    CFG G = CFG::compute(F);
     Liveness Live = Liveness::compute(F, G);
 
     F.forEachBlock([&](BasicBlock &B) {
@@ -72,7 +94,7 @@ bool epre::eliminateDeadCode(Function &F) {
       // in the *predecessors*, not here, but adding them to the local live
       // set is merely conservative; the next liveness round is exact.
       BitVector LiveNow = Live.liveOut(B.id());
-      std::vector<Instruction> Kept;
+      Kept.clear();
       for (auto It = B.Insts.rbegin(); It != B.Insts.rend(); ++It) {
         Instruction &I = *It;
         bool Needed = I.hasSideEffects() || !I.hasDst() ||
@@ -93,5 +115,14 @@ bool epre::eliminateDeadCode(Function &F) {
     });
     EverChanged |= Changed;
   }
+  if (EverChanged) {
+    F.bumpVersion();
+    AM.finishPass(PreservedAnalyses::cfgShape());
+  }
   return EverChanged;
+}
+
+bool epre::eliminateDeadCode(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return eliminateDeadCode(F, AM);
 }

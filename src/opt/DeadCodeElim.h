@@ -10,6 +10,7 @@
 #ifndef EPRE_OPT_DEADCODEELIM_H
 #define EPRE_OPT_DEADCODEELIM_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -17,6 +18,8 @@ namespace epre {
 /// Removes dead pure instructions. Returns true if anything was deleted.
 /// Stores, calls are pure (intrinsics) and thus deletable; branches,
 /// returns, and stores are always kept.
+/// Preserves the CFG shape (only instructions are removed).
+bool eliminateDeadCode(Function &F, FunctionAnalysisManager &AM);
 bool eliminateDeadCode(Function &F);
 
 } // namespace epre

@@ -8,8 +8,7 @@
 
 #include "opt/Peephole.h"
 
-#include "analysis/CFG.h"
-#include "analysis/Dominators.h"
+#include "analysis/AnalysisManager.h"
 #include "ir/Eval.h"
 
 #include <cassert>
@@ -24,9 +23,8 @@ class Peephole {
 public:
   Peephole(Function &F, const PeepholeOptions &Opts) : F(F), Opts(Opts) {}
 
-  bool run() {
-    G = CFG::compute(F);
-    DT = DominatorTree::compute(F, G);
+  bool run(FunctionAnalysisManager &AM) {
+    DT = &AM.domTree();
     collectUniqueDefs();
     bool Changed = false;
     F.forEachBlock([&](BasicBlock &B) { Changed |= runOnBlock(B); });
@@ -59,7 +57,7 @@ private:
     auto It = UniqueDef.find(R);
     if (It == UniqueDef.end())
       return nullptr;
-    if (!DT.strictlyDominates(It->second.second, CurBlock))
+    if (!DT->strictlyDominates(It->second.second, CurBlock))
       return nullptr;
     return &It->second.first;
   }
@@ -346,8 +344,7 @@ private:
 
   Function &F;
   PeepholeOptions Opts;
-  CFG G;
-  DominatorTree DT;
+  const DominatorTree *DT = nullptr;
   BlockId CurBlock = 0;
   std::map<Reg, std::pair<Instruction, BlockId>> UniqueDef;
   std::map<Reg, unsigned> AllDefs;
@@ -357,6 +354,19 @@ private:
 
 } // namespace
 
+bool epre::runPeephole(Function &F, FunctionAnalysisManager &AM,
+                       const PeepholeOptions &Opts) {
+  bool Changed = Peephole(F, Opts).run(AM);
+  if (Changed) {
+    F.bumpVersion();
+    // Never touches terminators, so the block graph is intact; rewritten
+    // expressions invalidate ranks.
+    AM.finishPass(PreservedAnalyses::cfgShape());
+  }
+  return Changed;
+}
+
 bool epre::runPeephole(Function &F, const PeepholeOptions &Opts) {
-  return Peephole(F, Opts).run();
+  FunctionAnalysisManager AM(F);
+  return runPeephole(F, AM, Opts);
 }

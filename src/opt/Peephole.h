@@ -14,6 +14,7 @@
 #ifndef EPRE_OPT_PEEPHOLE_H
 #define EPRE_OPT_PEEPHOLE_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -26,6 +27,9 @@ struct PeepholeOptions {
 };
 
 /// Runs peephole simplification to a local fixpoint; returns true on change.
+/// Preserves the CFG shape (terminators are never rewritten).
+bool runPeephole(Function &F, FunctionAnalysisManager &AM,
+                 const PeepholeOptions &Opts = {});
 bool runPeephole(Function &F, const PeepholeOptions &Opts = {});
 
 } // namespace epre

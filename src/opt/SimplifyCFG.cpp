@@ -2,6 +2,7 @@
 
 #include "opt/SimplifyCFG.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/CFG.h"
 #include "ssa/ParallelCopy.h"
 
@@ -11,8 +12,8 @@
 
 using namespace epre;
 
-bool epre::removeUnreachableBlocks(Function &F) {
-  CFG G = CFG::compute(F);
+bool epre::removeUnreachableBlocks(Function &F, FunctionAnalysisManager &AM) {
+  const CFG &G = AM.cfg();
   std::vector<BlockId> Dead;
   F.forEachBlock([&](BasicBlock &B) {
     if (!G.isReachable(B.id()))
@@ -20,6 +21,9 @@ bool epre::removeUnreachableBlocks(Function &F) {
   });
   if (Dead.empty())
     return false;
+  // G stays safe to read while erasing: the cached object is only replaced
+  // by a later accessor call or finishPass, neither of which happens before
+  // the phi cleanup below finishes with it.
   for (BlockId D : Dead)
     F.eraseBlock(D);
   // Drop phi inputs that arrived from erased blocks.
@@ -35,7 +39,13 @@ bool epre::removeUnreachableBlocks(Function &F) {
       }
     }
   });
+  AM.finishPass(PreservedAnalyses::none());
   return true;
+}
+
+bool epre::removeUnreachableBlocks(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return removeUnreachableBlocks(F, AM);
 }
 
 namespace {
@@ -88,6 +98,7 @@ bool foldBranches(Function &F) {
           }
         }
         T = Instruction::makeBr(Target);
+        F.bumpVersion(); // terminator rewrite: CFG edge removed
         Changed = true;
         return;
       }
@@ -117,6 +128,7 @@ bool foldBranches(Function &F) {
           }
         }
         T = Instruction::makeBr(Taken);
+        F.bumpVersion(); // terminator rewrite: CFG edge removed
         Changed = true;
       }
       break;
@@ -152,8 +164,8 @@ bool collapseSingleInputPhis(Function &F) {
 }
 
 /// Bypasses blocks that contain only `br ^t`.
-bool threadForwardingBlocks(Function &F) {
-  CFG G = CFG::compute(F);
+bool threadForwardingBlocks(Function &F, FunctionAnalysisManager &AM) {
+  const CFG &G = AM.cfg();
   bool Changed = false;
   F.forEachBlock([&](BasicBlock &B) {
     if (B.id() == 0 || B.Insts.size() != 1 ||
@@ -181,6 +193,7 @@ bool threadForwardingBlocks(Function &F) {
         if (S == B.id())
           S = T;
     }
+    F.bumpVersion(); // terminator edits: CFG edges moved
     // Re-attribute phi entries from B to the predecessors.
     for (Instruction &I : TB->Insts) {
       if (!I.isPhi())
@@ -199,15 +212,17 @@ bool threadForwardingBlocks(Function &F) {
     }
     Changed = true;
   });
-  if (Changed)
-    removeUnreachableBlocks(F);
+  if (Changed) {
+    AM.finishPass(PreservedAnalyses::none());
+    removeUnreachableBlocks(F, AM);
+  }
   return Changed;
 }
 
 /// Merges a block into its unique successor when it is that successor's
 /// unique predecessor.
-bool mergeStraightLine(Function &F) {
-  CFG G = CFG::compute(F);
+bool mergeStraightLine(Function &F, FunctionAnalysisManager &AM) {
+  const CFG &G = AM.cfg();
   bool Changed = false;
   F.forEachBlock([&](BasicBlock &B) {
     if (Changed)
@@ -238,26 +253,41 @@ bool mergeStraightLine(Function &F) {
     F.eraseBlock(S);
     Changed = true;
   });
+  if (Changed)
+    AM.finishPass(PreservedAnalyses::none());
   return Changed;
 }
 
 } // namespace
 
-bool epre::simplifyCFG(Function &F) {
+bool epre::simplifyCFG(Function &F, FunctionAnalysisManager &AM) {
   bool EverChanged = false;
   bool Changed = true;
   while (Changed) {
     Changed = false;
     // Unreachable blocks go first: they may hold branches to blocks that a
     // previous pass or iteration erased.
-    Changed |= removeUnreachableBlocks(F);
-    Changed |= foldBranches(F);
-    Changed |= removeUnreachableBlocks(F);
-    Changed |= collapseSingleInputPhis(F);
-    Changed |= threadForwardingBlocks(F);
-    while (mergeStraightLine(F))
+    Changed |= removeUnreachableBlocks(F, AM);
+    if (foldBranches(F)) {
+      AM.finishPass(PreservedAnalyses::none());
+      Changed = true;
+    }
+    Changed |= removeUnreachableBlocks(F, AM);
+    if (collapseSingleInputPhis(F)) {
+      // Phis became copies: no block or edge changed, but expression
+      // content did.
+      AM.finishPass(PreservedAnalyses::cfgShape());
+      Changed = true;
+    }
+    Changed |= threadForwardingBlocks(F, AM);
+    while (mergeStraightLine(F, AM))
       Changed = true;
     EverChanged |= Changed;
   }
   return EverChanged;
+}
+
+bool epre::simplifyCFG(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return simplifyCFG(F, AM);
 }

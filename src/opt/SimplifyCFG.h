@@ -11,6 +11,7 @@
 #ifndef EPRE_OPT_SIMPLIFYCFG_H
 #define EPRE_OPT_SIMPLIFYCFG_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -25,10 +26,15 @@ namespace epre {
 ///  - a block containing only `br ^t` is bypassed when target phis permit;
 ///  - a block whose single successor has it as its single predecessor is
 ///    merged with that successor.
+///
+/// Invalidates everything when it changes the graph; on the no-change exit
+/// the CFG in \p AM is fresh for subsequent passes.
+bool simplifyCFG(Function &F, FunctionAnalysisManager &AM);
 bool simplifyCFG(Function &F);
 
 /// Erases unreachable blocks only; used by passes that need a clean CFG
 /// without wanting full simplification. Returns true if blocks were erased.
+bool removeUnreachableBlocks(Function &F, FunctionAnalysisManager &AM);
 bool removeUnreachableBlocks(Function &F);
 
 } // namespace epre

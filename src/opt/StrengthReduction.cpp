@@ -2,6 +2,7 @@
 
 #include "opt/StrengthReduction.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/CFG.h"
 #include "analysis/Dominators.h"
 #include "analysis/EdgeSplitting.h"
@@ -33,13 +34,10 @@ struct BasicIV {
 
 class StrengthReducer {
 public:
-  explicit StrengthReducer(Function &F) : F(F) {}
+  StrengthReducer(Function &F, FunctionAnalysisManager &AM)
+      : F(F), G(AM.cfg()), LI(AM.loopInfo()) {}
 
   SRStats run() {
-    G = CFG::compute(F);
-    DT = DominatorTree::compute(F, G);
-    LI = LoopInfo::compute(F, G, DT);
-
     // Innermost loops first (deeper loops have higher Depth).
     std::vector<unsigned> Order(LI.loops().size());
     for (unsigned I = 0; I < Order.size(); ++I)
@@ -280,26 +278,44 @@ private:
   }
 
   Function &F;
-  CFG G;
-  DominatorTree DT;
-  LoopInfo LI;
+  // Cached analyses: valid for the whole run — no AM accessor is called
+  // while the reducer mutates the function.
+  const CFG &G;
+  const LoopInfo &LI;
   SRStats Stats;
   std::map<Reg, std::pair<Instruction *, BlockId>> Defs;
 };
 
 } // namespace
 
-SRStats epre::strengthReduceSSA(Function &F) {
-  return StrengthReducer(F).run();
+SRStats epre::strengthReduceSSA(Function &F, FunctionAnalysisManager &AM) {
+  SRStats Stats = StrengthReducer(F, AM).run();
+  if (Stats.Reduced) {
+    // New phis, preheader computations, and copy rewrites: instruction
+    // content changed, the block graph did not.
+    F.bumpVersion();
+    AM.finishPass(PreservedAnalyses::cfgShape());
+  }
+  return Stats;
 }
 
-SRStats epre::strengthReduce(Function &F) {
+SRStats epre::strengthReduceSSA(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return strengthReduceSSA(F, AM);
+}
+
+SRStats epre::strengthReduce(Function &F, FunctionAnalysisManager &AM) {
   SSAOptions Opts;
   Opts.Pruned = true;
   Opts.FoldCopies = false;
-  buildSSA(F, Opts);
-  SRStats Stats = strengthReduceSSA(F);
-  destroySSA(F);
-  localizeExpressionNames(F);
+  buildSSA(F, AM, Opts);
+  SRStats Stats = strengthReduceSSA(F, AM);
+  destroySSA(F, AM);
+  localizeExpressionNames(F, AM);
   return Stats;
+}
+
+SRStats epre::strengthReduce(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return strengthReduce(F, AM);
 }

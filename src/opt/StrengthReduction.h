@@ -31,6 +31,7 @@
 #ifndef EPRE_OPT_STRENGTHREDUCTION_H
 #define EPRE_OPT_STRENGTHREDUCTION_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -42,10 +43,13 @@ struct SRStats {
 };
 
 /// The SSA core: reduces candidates in a function already in SSA form.
+/// Preserves the CFG shape (adds instructions and phis, never blocks/edges).
+SRStats strengthReduceSSA(Function &F, FunctionAnalysisManager &AM);
 SRStats strengthReduceSSA(Function &F);
 
 /// The full phase on phi-free code: builds SSA (copies kept), reduces,
 /// leaves SSA, and re-localizes expression names for PRE (§5.1).
+SRStats strengthReduce(Function &F, FunctionAnalysisManager &AM);
 SRStats strengthReduce(Function &F);
 
 } // namespace epre

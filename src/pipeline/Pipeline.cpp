@@ -2,6 +2,7 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/CFG.h"
 #include "analysis/EdgeSplitting.h"
 #include "ir/Verifier.h"
@@ -47,46 +48,49 @@ void verifyStage(const Function &F, const PipelineOptions &Opts,
 }
 
 /// The paper's baseline sequence; every level ends with it.
-void runBaselineTail(Function &F, const PipelineOptions &Opts,
-                     PipelineStats &Stats) {
-  propagateConstants(F);
+void runBaselineTail(Function &F, FunctionAnalysisManager &AM,
+                     const PipelineOptions &Opts, PipelineStats &Stats) {
+  propagateConstants(F, AM);
   verifyStage(F, Opts, SSAMode::Relaxed, "constant propagation");
-  simplifyCFG(F);
+  simplifyCFG(F, AM);
   verifyStage(F, Opts, SSAMode::Relaxed, "cfg simplification");
 
   PeepholeOptions PO;
   PO.StrengthReduceMul = Opts.StrengthReduceMul;
-  runPeephole(F, PO);
+  runPeephole(F, AM, PO);
   verifyStage(F, Opts, SSAMode::Relaxed, "peephole");
 
   // Peephole can expose more constants (and vice versa); one more round
   // matches the paper's "sequence of passes" spirit without iterating to
   // an unbounded fixpoint.
-  propagateConstants(F);
-  simplifyCFG(F);
-  runPeephole(F, PO);
+  propagateConstants(F, AM);
+  simplifyCFG(F, AM);
+  runPeephole(F, AM, PO);
   verifyStage(F, Opts, SSAMode::Relaxed, "second peephole");
 
-  eliminateDeadCode(F);
+  eliminateDeadCode(F, AM);
   verifyStage(F, Opts, SSAMode::Relaxed, "dead code elimination");
 
-  Stats.CopiesCoalesced = coalesceCopies(F);
+  Stats.CopiesCoalesced = coalesceCopies(F, AM);
   verifyStage(F, Opts, SSAMode::Relaxed, "coalescing");
 
-  eliminateDeadCode(F);
-  simplifyCFG(F);
+  eliminateDeadCode(F, AM);
+  simplifyCFG(F, AM);
   verifyStage(F, Opts, SSAMode::Relaxed, "final cleanup");
 }
 
-void runReassociationPhase(Function &F, const PipelineOptions &Opts,
+void runReassociationPhase(Function &F, FunctionAnalysisManager &AM,
+                           const PipelineOptions &Opts,
                            PipelineStats &Stats) {
-  buildSSA(F);
+  buildSSA(F, AM);
   verifyStage(F, Opts, SSAMode::SSA, "SSA construction");
 
-  CFG G = CFG::compute(F);
-  RankMap Ranks = RankMap::compute(F, G);
+  // The reassociation passes extend this map in place as they create
+  // registers, so it lives outside the manager (the cached slot would be a
+  // stale snapshot after the first setRank).
+  RankMap Ranks = RankMap::compute(F, AM.cfg());
 
-  Stats.ForwardProp = propagateForward(F, Ranks);
+  Stats.ForwardProp = propagateForward(F, AM, Ranks);
   verifyStage(F, Opts, SSAMode::NoSSA, "forward propagation");
 
   ReassociateOptions RO;
@@ -98,11 +102,15 @@ void runReassociationPhase(Function &F, const PipelineOptions &Opts,
 
   reassociate(F, Ranks, RO);
   verifyStage(F, Opts, SSAMode::NoSSA, "reassociation");
+  // Both passes rewrite expressions in place without telling the manager;
+  // flush it once here instead of threading it through them.
+  F.bumpVersion();
+  AM.finishPass(PreservedAnalyses::cfgShape());
 
   if (Opts.Engine == GVNEngine::AWZ) {
-    Stats.GVN = runGlobalValueNumbering(F);
+    Stats.GVN = runGlobalValueNumbering(F, AM);
   } else {
-    DVNTStats DS = runDominatorValueNumbering(F);
+    DVNTStats DS = runDominatorValueNumbering(F, AM);
     Stats.GVN.MergedDefs = DS.Redundant;
   }
   verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
@@ -111,10 +119,11 @@ void runReassociationPhase(Function &F, const PipelineOptions &Opts,
 /// PRE handles one nesting level of redundancy per run: deleting the
 /// computation of an inner subexpression un-kills its parents. Iterate to
 /// a fixpoint (bounded by expression-tree depth).
-void runPREToFixpoint(Function &F, const PipelineOptions &Opts,
-                      PipelineStats &Stats) {
+void runPREToFixpoint(Function &F, FunctionAnalysisManager &AM,
+                      const PipelineOptions &Opts, PipelineStats &Stats) {
   for (unsigned Round = 0; Round < 16; ++Round) {
-    PREStats S = eliminatePartialRedundancies(F, Opts.Strategy, Opts.Solver);
+    PREStats S =
+        eliminatePartialRedundancies(F, AM, Opts.Strategy, Opts.Solver);
     verifyStage(F, Opts, SSAMode::NoSSA, "PRE");
     if (Round == 0) {
       Stats.PRE = S;
@@ -141,7 +150,12 @@ PipelineStats epre::optimizeFunction(Function &F,
     return Stats;
   }
 
-  removeUnreachableBlocks(F);
+  // One analysis manager per function: every pass below reads its analyses
+  // from here and declares what it preserved, so rounds that change nothing
+  // stop paying for full re-analysis.
+  FunctionAnalysisManager AM(F, Opts.DisableAnalysisCache);
+
+  removeUnreachableBlocks(F, AM);
 
   switch (Opts.Level) {
   case OptLevel::None:
@@ -152,25 +166,25 @@ PipelineStats epre::optimizeFunction(Function &F,
     // §5.1's "alternative approach": shadow-copy any expression name the
     // front end left live across a block boundary, so PRE's universe never
     // has to drop an expression.
-    localizeExpressionNames(F);
+    localizeExpressionNames(F, AM);
     verifyStage(F, Opts, SSAMode::NoSSA, "name localization");
-    runPREToFixpoint(F, Opts, Stats);
+    runPREToFixpoint(F, AM, Opts, Stats);
     break;
   case OptLevel::Reassociation:
   case OptLevel::Distribution:
-    runReassociationPhase(F, Opts, Stats);
-    runPREToFixpoint(F, Opts, Stats);
+    runReassociationPhase(F, AM, Opts, Stats);
+    runPREToFixpoint(F, AM, Opts, Stats);
     break;
   }
 
   if (Opts.EnableStrengthReduction) {
-    strengthReduce(F);
+    strengthReduce(F, AM);
     verifyStage(F, Opts, SSAMode::NoSSA, "strength reduction");
     if (Opts.Level != OptLevel::Baseline)
-      runPREToFixpoint(F, Opts, Stats);
+      runPREToFixpoint(F, AM, Opts, Stats);
   }
 
-  runBaselineTail(F, Opts, Stats);
+  runBaselineTail(F, AM, Opts, Stats);
   Stats.OpsAfter = F.staticOperationCount();
   return Stats;
 }

@@ -19,6 +19,7 @@
 #ifndef EPRE_PIPELINE_PIPELINE_H
 #define EPRE_PIPELINE_PIPELINE_H
 
+#include "analysis/AnalysisManager.h"
 #include "gvn/ValueNumbering.h"
 #include "pre/PRE.h"
 #include "reassoc/ForwardProp.h"
@@ -58,6 +59,10 @@ struct PipelineOptions {
   DataflowSolverKind Solver = DataflowSolverKind::Worklist;
   /// Run the IR verifier after every pass (aborts on breakage).
   bool Verify = true;
+  /// Force every analysis lookup to recompute (differential testing of the
+  /// cached FunctionAnalysisManager). Defaults to the compiled-in value,
+  /// which -DEPRE_DISABLE_ANALYSIS_CACHE flips.
+  bool DisableAnalysisCache = FunctionAnalysisManager::defaultDisabled();
 };
 
 struct PipelineStats {

@@ -2,7 +2,7 @@
 
 #include "pre/LocalizeNames.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Liveness.h"
 
 #include <cassert>
@@ -12,7 +12,8 @@
 
 using namespace epre;
 
-unsigned epre::localizeExpressionNames(Function &F) {
+unsigned epre::localizeExpressionNames(Function &F,
+                                       FunctionAnalysisManager &AM) {
   // Registers with at least one expression definition (candidates for the
   // §2.2 "expression name" role).
   std::set<Reg> ExprNames;
@@ -57,7 +58,7 @@ unsigned epre::localizeExpressionNames(Function &F) {
   // state to a use without passing a definition), the shadow must be
   // seeded at entry; such a name is itself beyond PRE's reach, but its
   // behaviour is preserved. Names always defined before use need no seed.
-  CFG G = CFG::compute(F);
+  const CFG &G = AM.cfg();
   Liveness Live = Liveness::compute(F, G);
   std::map<Reg, Reg> ShadowOf;
   std::vector<Instruction> EntrySeeds;
@@ -68,13 +69,15 @@ unsigned epre::localizeExpressionNames(Function &F) {
       EntrySeeds.push_back(Instruction::makeCopy(F.regType(R), Shadow, R));
   }
 
+  std::vector<Instruction> Out; // reused across blocks to recycle capacity
+  std::vector<Instruction> AfterPhis;
   F.forEachBlock([&](BasicBlock &B) {
     std::set<Reg> Defined;
-    std::vector<Instruction> Out;
+    Out.clear();
     Out.reserve(B.Insts.size());
+    AfterPhis.clear();
     // Shadow copies for phi definitions must wait until after the phi
     // prefix to keep "phis first" intact.
-    std::vector<Instruction> AfterPhis;
     bool InPhiPrefix = true;
     for (Instruction &I : B.Insts) {
       if (InPhiPrefix && !I.isPhi()) {
@@ -117,7 +120,7 @@ unsigned epre::localizeExpressionNames(Function &F) {
     }
     // The terminator is a non-phi, so the prefix always flushed above.
     assert(AfterPhis.empty() && "block without a terminator?");
-    B.Insts = std::move(Out);
+    B.Insts.swap(Out);
   });
 
   // Seed the shadows at the top of the entry block. The seeds read the
@@ -127,5 +130,14 @@ unsigned epre::localizeExpressionNames(Function &F) {
   Entry->Insts.insert(Entry->Insts.begin() + Entry->firstNonPhi(),
                       std::make_move_iterator(EntrySeeds.begin()),
                       std::make_move_iterator(EntrySeeds.end()));
+  F.bumpVersion();
+  // Shadow copies change instruction content only; blocks and edges are
+  // untouched.
+  AM.finishPass(PreservedAnalyses::cfgShape());
   return unsigned(Unsafe.size());
+}
+
+unsigned epre::localizeExpressionNames(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return localizeExpressionNames(F, AM);
 }

@@ -21,11 +21,14 @@
 #ifndef EPRE_PRE_LOCALIZENAMES_H
 #define EPRE_PRE_LOCALIZENAMES_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 namespace epre {
 
 /// Returns the number of expression names localized.
+/// Preserves the CFG shape (adds shadow copies only).
+unsigned localizeExpressionNames(Function &F, FunctionAnalysisManager &AM);
 unsigned localizeExpressionNames(Function &F);
 
 } // namespace epre

@@ -2,7 +2,7 @@
 
 #include "pre/PRE.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Dataflow.h"
 #include "analysis/EdgeSplitting.h"
 #include "ir/ExprKey.h"
@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 #include <map>
 #include <set>
 #include <vector>
@@ -26,15 +27,14 @@ struct ExprInfo {
 
 class PREImpl {
 public:
-  PREImpl(Function &F, PREStrategy Strategy,
+  PREImpl(Function &F, FunctionAnalysisManager &AM, PREStrategy Strategy,
           DataflowSolverKind Solver = DataflowSolverKind::Worklist)
-      : F(F), Strategy(Strategy), Solver(Solver) {}
+      : F(F), AM(AM), G(AM.cfg()), Strategy(Strategy), Solver(Solver) {}
 
   /// Runs only the analysis half (universe, local sets, AVAIL/ANT solves);
   /// leaves the function untouched.
   PREDataflow analyze() {
     PREDataflow D;
-    G = CFG::compute(F);
     buildUniverse();
     Stats.UniverseSize = unsigned(Universe.size());
     if (!Universe.empty()) {
@@ -55,7 +55,6 @@ public:
   }
 
   PREStats run() {
-    G = CFG::compute(F);
     buildUniverse();
     if (Universe.empty()) {
       Stats.UniverseSize = 0;
@@ -79,6 +78,13 @@ public:
     }
     applyDeletions();
     applyInsertions();
+    if (Stats.Inserted || Stats.Deleted) {
+      F.bumpVersion();
+      // Deletions and in-block insertions keep the graph; a split edge adds
+      // a block and reroutes an edge.
+      AM.finishPass(Stats.EdgesSplit ? PreservedAnalyses::none()
+                                     : PreservedAnalyses::cfgShape());
+    }
     return Stats;
   }
 
@@ -294,39 +300,58 @@ private:
     for (const Edge &E : Edges)
       Earliest.push_back(earliest(E));
 
-    // LATERIN as greatest fixpoint. All iteration-local temporaries live in
-    // the scratch pool, so the loop is allocation-free in steady state.
+    // LATERIN as greatest fixpoint, solved with a forward worklist instead
+    // of round-robin sweeps: LATERIN only shrinks, and a shrink at a block
+    // can only shrink its successors, so each block is re-solved once per
+    // incoming change rather than once per global iteration. LATER is
+    // derivable from LATERIN (edge formula below), so it is not stored.
+    // All iteration-local temporaries live in the scratch pool, keeping
+    // the loop allocation-free in steady state.
     LATERIN.assign(NB, BitVector(NE, true));
-    std::vector<BitVector> Later(Edges.size(), BitVector(NE, true));
     BitVectorScratch Scratch(NE);
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (unsigned EI = 0; EI < Edges.size(); ++EI) {
-        const Edge &E = Edges[EI];
-        // LATER = EARLIEST + LATERIN(from)*~ANTLOC(from).
-        BitVector &L = Scratch.raw(0);
-        L.assignFrom(Earliest[EI]);
-        if (E.From != InvalidBlock) {
-          BitVector &Prop = Scratch.raw(1);
-          Prop.assignFrom(LATERIN[E.From]);
-          Prop.intersectWithComplement(ANTLOC[E.From]);
-          L.unionWith(Prop);
-        }
-        Changed |= Later[EI].assignFrom(L);
+    auto laterOf = [&](unsigned EI, BitVector &L) {
+      // LATER = EARLIEST + LATERIN(from)*~ANTLOC(from).
+      const Edge &E = Edges[EI];
+      L.assignFrom(Earliest[EI]);
+      if (E.From != InvalidBlock) {
+        BitVector &Prop = Scratch.raw(2);
+        Prop.assignFrom(LATERIN[E.From]);
+        Prop.intersectWithComplement(ANTLOC[E.From]);
+        L.unionWith(Prop);
       }
-      for (BlockId B : G.rpo()) {
-        if (InEdges[B].empty())
-          continue;
-        BitVector &In = Scratch.ones(0);
-        for (unsigned EI : InEdges[B])
-          In.intersectWith(Later[EI]);
-        Changed |= LATERIN[B].assignFrom(In);
+    };
+    std::deque<BlockId> WL;
+    std::vector<char> InWL(NB, false);
+    for (BlockId B : G.rpo()) {
+      if (InEdges[B].empty())
+        continue;
+      WL.push_back(B);
+      InWL[B] = true;
+    }
+    while (!WL.empty()) {
+      BlockId B = WL.front();
+      WL.pop_front();
+      InWL[B] = false;
+      BitVector &In = Scratch.ones(0);
+      for (unsigned EI : InEdges[B]) {
+        BitVector &L = Scratch.raw(1);
+        laterOf(EI, L);
+        In.intersectWith(L);
+      }
+      if (LATERIN[B].assignFrom(In)) {
+        for (BlockId S : G.succs(B)) {
+          if (!InEdges[S].empty() && !InWL[S]) {
+            WL.push_back(S);
+            InWL[S] = true;
+          }
+        }
       }
     }
 
     for (unsigned EI = 0; EI < Edges.size(); ++EI) {
-      BitVector Ins = Later[EI];
+      BitVector &L = Scratch.raw(1);
+      laterOf(EI, L);
+      BitVector Ins = L;
       BitVector NotLaterIn = LATERIN[Edges[EI].To];
       NotLaterIn.flip();
       Ins &= NotLaterIn;
@@ -461,6 +486,7 @@ private:
   // --- Rewrite --------------------------------------------------------------
 
   void applyDeletions() {
+    std::vector<Instruction> Kept; // reused across blocks to recycle capacity
     F.forEachBlock([&](BasicBlock &B) {
       if (!G.isReachable(B.id()))
         return;
@@ -471,7 +497,7 @@ private:
       // Morel–Renvoise assume as a preprocessing step).
       BitVector Killed(numExprs());
       BitVector CompClean(numExprs());
-      std::vector<Instruction> Kept;
+      Kept.clear();
       Kept.reserve(B.Insts.size());
       for (Instruction &I : B.Insts) {
         bool Drop = false;
@@ -498,7 +524,7 @@ private:
         }
         Kept.push_back(std::move(I));
       }
-      B.Insts = std::move(Kept);
+      B.Insts.swap(Kept);
     });
   }
 
@@ -592,10 +618,13 @@ private:
   }
 
   Function &F;
+  FunctionAnalysisManager &AM;
+  /// Cached in AM; valid for the whole run (mutations happen strictly after
+  /// the last analysis read, and no AM accessor is called in between).
+  const CFG &G;
   PREStrategy Strategy;
   DataflowSolverKind Solver;
   PREStats Stats;
-  CFG G;
   std::vector<ExprInfo> Universe;
   std::map<Reg, unsigned> ExprIndex;
   std::vector<std::vector<unsigned>> RegToExprs;
@@ -611,12 +640,21 @@ private:
 
 } // namespace
 
+PREStats epre::eliminatePartialRedundancies(Function &F,
+                                            FunctionAnalysisManager &AM,
+                                            PREStrategy Strategy,
+                                            DataflowSolverKind Solver) {
+  return PREImpl(F, AM, Strategy, Solver).run();
+}
+
 PREStats epre::eliminatePartialRedundancies(Function &F, PREStrategy Strategy,
                                             DataflowSolverKind Solver) {
-  return PREImpl(F, Strategy, Solver).run();
+  FunctionAnalysisManager AM(F);
+  return PREImpl(F, AM, Strategy, Solver).run();
 }
 
 PREDataflow epre::analyzePartialRedundancies(Function &F,
                                              DataflowSolverKind Solver) {
-  return PREImpl(F, PREStrategy::LazyCodeMotion, Solver).analyze();
+  FunctionAnalysisManager AM(F);
+  return PREImpl(F, AM, PREStrategy::LazyCodeMotion, Solver).analyze();
 }

@@ -20,6 +20,7 @@
 #ifndef EPRE_PRE_PRE_H
 #define EPRE_PRE_PRE_H
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/Dataflow.h"
 #include "ir/Function.h"
 #include "support/BitVector.h"
@@ -55,6 +56,13 @@ struct PREStats {
 /// Never lengthens any execution path.
 PREStats eliminatePartialRedundancies(
     Function &F, PREStrategy Strategy = PREStrategy::LazyCodeMotion,
+    DataflowSolverKind Solver = DataflowSolverKind::Worklist);
+
+/// As above, reading the CFG through \p AM. Preserves the CFG shape unless
+/// an insertion had to split a critical edge.
+PREStats eliminatePartialRedundancies(
+    Function &F, FunctionAnalysisManager &AM,
+    PREStrategy Strategy = PREStrategy::LazyCodeMotion,
     DataflowSolverKind Solver = DataflowSolverKind::Worklist);
 
 /// The dataflow half of PRE — universe construction, local properties, and

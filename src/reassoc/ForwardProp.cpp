@@ -2,6 +2,7 @@
 
 #include "reassoc/ForwardProp.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/CFG.h"
 #include "analysis/Dominators.h"
 #include "analysis/EdgeSplitting.h"
@@ -30,7 +31,10 @@ struct EdgeExports {
 
 class ForwardProp {
 public:
-  ForwardProp(Function &F, RankMap &Ranks) : F(F), Ranks(Ranks) {}
+  ForwardProp(Function &F, FunctionAnalysisManager &AM, RankMap &Ranks)
+      : F(F), AM(AM), Ranks(Ranks) {}
+
+  bool splitEdges() const { return !NewBlocks.empty(); }
 
   ForwardPropStats run() {
     Stats.OpsBefore = F.staticOperationCount();
@@ -63,8 +67,10 @@ private:
   /// The input *trees* are always evaluated at the predecessor, before any
   /// of its copies, so every tree reads pre-copy values.
   void capturePhis() {
-    CFG G = CFG::compute(F);
-    DominatorTree DT = DominatorTree::compute(F, G);
+    // Refs stay valid through the scan: the mutation (splitEdge) happens
+    // only after the last read, and no AM accessor runs in between.
+    const CFG &G = AM.cfg();
+    const DominatorTree &DT = AM.domTree();
     Liveness Live = Liveness::compute(F, G);
 
     struct PendingSplit {
@@ -179,7 +185,9 @@ private:
   }
 
   void rewriteBlock(BasicBlock &B) {
-    std::vector<Instruction> Out;
+    // Per-block scratch recycled across blocks (capacity survives the swap).
+    std::vector<Instruction> Out = std::move(OutScratch);
+    Out.clear();
     Out.reserve(B.Insts.size());
     for (Instruction &I : B.Insts) {
       if (I.isPhi())
@@ -205,7 +213,8 @@ private:
       anchorOperands(I, Out);
       Out.push_back(std::move(I));
     }
-    B.Insts = std::move(Out);
+    std::swap(B.Insts, Out);
+    OutScratch = std::move(Out);
   }
 
   /// Export work computed by emitExportTrees, consumed by emitExportCopies.
@@ -354,8 +363,10 @@ private:
   }
 
   Function &F;
+  FunctionAnalysisManager &AM;
   RankMap &Ranks;
   ForwardPropStats Stats;
+  std::vector<Instruction> OutScratch;
   std::map<Reg, Instruction> Defs;
   std::map<BlockId, std::vector<EdgeExports>> Exports;
   std::set<BlockId> NewBlocks;
@@ -363,6 +374,20 @@ private:
 
 } // namespace
 
+ForwardPropStats epre::propagateForward(Function &F,
+                                        FunctionAnalysisManager &AM,
+                                        RankMap &Ranks) {
+  ForwardProp FP(F, AM, Ranks);
+  ForwardPropStats Stats = FP.run();
+  // Phis are gone and every block was rewritten; edge splits may have
+  // added forwarding blocks.
+  F.bumpVersion();
+  AM.finishPass(FP.splitEdges() ? PreservedAnalyses::none()
+                                : PreservedAnalyses::cfgShape());
+  return Stats;
+}
+
 ForwardPropStats epre::propagateForward(Function &F, RankMap &Ranks) {
-  return ForwardProp(F, Ranks).run();
+  FunctionAnalysisManager AM(F);
+  return propagateForward(F, AM, Ranks);
 }

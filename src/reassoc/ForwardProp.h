@@ -24,6 +24,7 @@
 #ifndef EPRE_REASSOC_FORWARDPROP_H
 #define EPRE_REASSOC_FORWARDPROP_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 #include "reassoc/Ranks.h"
 
@@ -42,6 +43,10 @@ struct ForwardPropStats {
 
 /// Runs forward propagation on \p F (must be in SSA form with critical
 /// edges split). Extends \p Ranks with the ranks of cloned registers.
+/// Invalidates the CFG when it splits entering edges; preserves its shape
+/// otherwise.
+ForwardPropStats propagateForward(Function &F, FunctionAnalysisManager &AM,
+                                  RankMap &Ranks);
 ForwardPropStats propagateForward(Function &F, RankMap &Ranks);
 
 } // namespace epre

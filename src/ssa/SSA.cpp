@@ -2,8 +2,7 @@
 
 #include "ssa/SSA.h"
 
-#include "analysis/CFG.h"
-#include "analysis/Dominators.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/EdgeSplitting.h"
 #include "analysis/Liveness.h"
 #include "ssa/ParallelCopy.h"
@@ -18,8 +17,8 @@ namespace {
 
 /// Erases blocks unreachable from entry and drops phi operands arriving
 /// from erased blocks. SSA construction requires a reachable-only CFG.
-void removeUnreachable(Function &F) {
-  CFG G = CFG::compute(F);
+void removeUnreachable(Function &F, FunctionAnalysisManager &AM) {
+  const CFG &G = AM.cfg();
   std::vector<BlockId> Dead;
   F.forEachBlock([&](BasicBlock &B) {
     if (!G.isReachable(B.id()))
@@ -41,11 +40,14 @@ void removeUnreachable(Function &F) {
       }
     }
   });
+  AM.finishPass(PreservedAnalyses::none());
 }
 
 class SSABuilder {
 public:
-  SSABuilder(Function &F, const SSAOptions &Opts) : F(F), Opts(Opts) {}
+  SSABuilder(Function &F, FunctionAnalysisManager &AM,
+             const SSAOptions &Opts)
+      : F(F), AM(AM), Opts(Opts) {}
 
   SSAInfo run() {
 #ifndef NDEBUG
@@ -54,13 +56,15 @@ public:
              "buildSSA requires phi-free input; destroy SSA form first");
     });
 #endif
-    removeUnreachable(F);
-    G = CFG::compute(F);
-    DT = DominatorTree::compute(F, G);
-    DF = DominanceFrontier::compute(F, G, DT);
+    removeUnreachable(F, AM);
+    // Pointers stay valid through the mutations below: no AM accessor runs
+    // again until finishPass at the end of buildSSA.
+    G = &AM.cfg();
+    DT = &AM.domTree();
+    DF = DominanceFrontier::compute(F, *G, *DT);
 
     insertEntryInits();
-    Live = Liveness::compute(F, G);
+    Live = Liveness::compute(F, *G);
     collectDefSites();
     insertPhis();
     rename();
@@ -75,7 +79,7 @@ private:
   /// Zero-initializes any register that may be used before being defined,
   /// so renaming always finds a reaching definition.
   void insertEntryInits() {
-    Liveness L0 = Liveness::compute(F, G);
+    Liveness L0 = Liveness::compute(F, *G);
     const BitVector &EntryLive = L0.liveIn(0);
     std::vector<Instruction> Inits;
     for (int R = EntryLive.findFirst(); R != -1; R = EntryLive.findNext(R)) {
@@ -151,7 +155,7 @@ private:
     for (Reg P : F.params())
       Stacks[P].push_back(P);
 
-    renameBlock(G.rpo()[0]);
+    renameBlock(G->rpo()[0]);
 
     for (Reg P : F.params()) {
       assert(Stacks[P].size() == 1 && "unbalanced rename stack");
@@ -198,7 +202,7 @@ private:
 
     // Fill phi operands of successors with the names current at the end
     // of this block.
-    for (BlockId S : G.succs(B)) {
+    for (BlockId S : G->succs(B)) {
       const BasicBlock *SB = F.block(S);
       for (unsigned I = 0; I < SB->Insts.size() && SB->Insts[I].isPhi(); ++I) {
         Reg V = PhiVar.at({S, I});
@@ -206,7 +210,7 @@ private:
       }
     }
 
-    for (BlockId C : DT.children(B))
+    for (BlockId C : DT->children(B))
       renameBlock(C);
 
     for (auto It = PopLog.rbegin(); It != PopLog.rend(); ++It)
@@ -214,9 +218,10 @@ private:
   }
 
   Function &F;
+  FunctionAnalysisManager &AM;
   SSAOptions Opts;
-  CFG G;
-  DominatorTree DT;
+  const CFG *G = nullptr;
+  const DominatorTree *DT = nullptr;
   DominanceFrontier DF;
   Liveness Live;
   SSAInfo Info;
@@ -228,20 +233,31 @@ private:
 
 } // namespace
 
-SSAInfo epre::buildSSA(Function &F, const SSAOptions &Opts) {
-  SSABuilder B(F, Opts);
-  return B.run();
+SSAInfo epre::buildSSA(Function &F, FunctionAnalysisManager &AM,
+                       const SSAOptions &Opts) {
+  SSABuilder B(F, AM, Opts);
+  SSAInfo Info = B.run();
+  F.bumpVersion();
+  // Phi insertion and renaming rewrite instructions and registers but never
+  // blocks or edges.
+  AM.finishPass(PreservedAnalyses::cfgShape());
+  return Info;
 }
 
-void epre::destroySSA(Function &F) {
+SSAInfo epre::buildSSA(Function &F, const SSAOptions &Opts) {
+  FunctionAnalysisManager AM(F);
+  return buildSSA(F, AM, Opts);
+}
+
+void epre::destroySSA(Function &F, FunctionAnalysisManager &AM) {
   // Copies for single-successor predecessors and loop back edges are
   // placed inline at the end of the predecessor (keeping loop bodies in
   // one block, the paper's Figure 5 shape); other critical entering edges
   // get forwarding blocks. A forwarding-block copy whose source is about
   // to be clobbered by the predecessor's inline group reads a temporary
   // captured in parallel with the clobber.
-  CFG G = CFG::compute(F);
-  DominatorTree DT = DominatorTree::compute(F, G);
+  const CFG &G = AM.cfg();
+  const DominatorTree &DT = AM.domTree();
   Liveness Live = Liveness::compute(F, G);
 
   struct EdgeGroup {
@@ -363,4 +379,13 @@ void epre::destroySSA(Function &F) {
         Mid->insertBeforeTerminator(std::move(C));
     }
   }
+  F.bumpVersion();
+  // Forwarding blocks reroute edges; even without them, phi removal and
+  // copy insertion rewrite instructions everywhere.
+  AM.finishPass(PreservedAnalyses::none());
+}
+
+void epre::destroySSA(Function &F) {
+  FunctionAnalysisManager AM(F);
+  destroySSA(F, AM);
 }

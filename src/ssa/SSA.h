@@ -14,6 +14,7 @@
 #ifndef EPRE_SSA_SSA_H
 #define EPRE_SSA_SSA_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Function.h"
 
 #include <vector>
@@ -45,11 +46,14 @@ struct SSAOptions {
 /// fresh name; uses are rewired; phis are inserted at (pruned) iterated
 /// dominance frontiers. Variables that may be used before definition are
 /// zero-initialized in the entry block so the result is well defined.
+SSAInfo buildSSA(Function &F, FunctionAnalysisManager &AM,
+                 const SSAOptions &Opts = {});
 SSAInfo buildSSA(Function &F, const SSAOptions &Opts = {});
 
 /// Replaces all phi nodes with copies in predecessor blocks, using parallel
 /// copy sequencing. Requires critical edges to have been split (asserts).
 /// The function is no longer in SSA form afterwards.
+void destroySSA(Function &F, FunctionAnalysisManager &AM);
 void destroySSA(Function &F);
 
 } // namespace epre

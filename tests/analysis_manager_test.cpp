@@ -1,0 +1,154 @@
+//===- tests/analysis_manager_test.cpp - Cached analyses ------------------===//
+///
+/// Unit tests for the FunctionAnalysisManager: cache hits on unchanged IR,
+/// invalidation on version bumps, the finishPass restamp protocol, the
+/// PreservedAnalyses dependency normalization, and the disabled
+/// (always-recompute) mode used for differential testing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  ParseResult R = parseModule(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+const char *Diamond = R"(
+func @f(%p:i64) {
+^e:
+  cbr %p, ^a, ^b
+^a:
+  br ^j
+^b:
+  br ^j
+^j:
+  ret
+}
+)";
+
+TEST(AnalysisManager, RepeatedAccessHitsCache) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  FunctionAnalysisManager AM(F, /*Disabled=*/false);
+
+  const CFG &G1 = AM.cfg();
+  const CFG &G2 = AM.cfg();
+  EXPECT_EQ(&G1, &G2) << "same object on a cache hit";
+  EXPECT_EQ(AM.stats().computes(AnalysisID::CFGAnalysis), 1u);
+  EXPECT_EQ(AM.stats().hits(AnalysisID::CFGAnalysis), 1u);
+}
+
+TEST(AnalysisManager, VersionBumpForcesRecompute) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  FunctionAnalysisManager AM(F, /*Disabled=*/false);
+
+  AM.cfg();
+  F.bumpVersion();
+  AM.cfg();
+  EXPECT_EQ(AM.stats().computes(AnalysisID::CFGAnalysis), 2u);
+  EXPECT_EQ(AM.stats().hits(AnalysisID::CFGAnalysis), 0u);
+}
+
+TEST(AnalysisManager, MakeRegBumpsVersion) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  uint64_t V = F.version();
+  F.makeReg(Type::I64);
+  EXPECT_GT(F.version(), V);
+}
+
+TEST(AnalysisManager, FinishPassRestampsPreserved) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  FunctionAnalysisManager AM(F, /*Disabled=*/false);
+
+  AM.domTree();
+  // A pass that rewrote instructions but kept the graph: CFG and DomTree
+  // survive the version bump through the restamp.
+  F.bumpVersion();
+  AM.finishPass(PreservedAnalyses::cfgShape());
+  AM.domTree();
+  EXPECT_EQ(AM.stats().computes(AnalysisID::DomTreeAnalysis), 1u);
+  EXPECT_EQ(AM.stats().hits(AnalysisID::DomTreeAnalysis), 1u);
+}
+
+TEST(AnalysisManager, FinishPassNoneDropsEverything) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  FunctionAnalysisManager AM(F, /*Disabled=*/false);
+
+  AM.domTree();
+  F.bumpVersion();
+  AM.finishPass(PreservedAnalyses::none());
+  AM.domTree();
+  EXPECT_EQ(AM.stats().computes(AnalysisID::CFGAnalysis), 2u);
+  EXPECT_EQ(AM.stats().computes(AnalysisID::DomTreeAnalysis), 2u);
+}
+
+TEST(AnalysisManager, CfgShapeDoesNotPreserveRanks) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  FunctionAnalysisManager AM(F, /*Disabled=*/false);
+
+  AM.ranks();
+  F.bumpVersion();
+  AM.finishPass(PreservedAnalyses::cfgShape());
+  AM.ranks();
+  EXPECT_EQ(AM.stats().computes(AnalysisID::RankAnalysis), 2u)
+      << "instruction rewrites change rank assignments";
+}
+
+TEST(AnalysisManager, NormalizationDropsDerivedAnalyses) {
+  // Claiming DomTree without CFG is contradictory; normalization drops the
+  // derived analysis rather than serving one built on a dead input.
+  PreservedAnalyses PA = PreservedAnalyses::none()
+                             .preserve(AnalysisID::DomTreeAnalysis)
+                             .preserve(AnalysisID::LoopAnalysis)
+                             .normalized();
+  EXPECT_FALSE(PA.isPreserved(AnalysisID::DomTreeAnalysis));
+  EXPECT_FALSE(PA.isPreserved(AnalysisID::LoopAnalysis));
+
+  PreservedAnalyses PB = PreservedAnalyses::none()
+                             .preserve(AnalysisID::CFGAnalysis)
+                             .preserve(AnalysisID::LoopAnalysis)
+                             .normalized();
+  EXPECT_TRUE(PB.isPreserved(AnalysisID::CFGAnalysis));
+  EXPECT_FALSE(PB.isPreserved(AnalysisID::LoopAnalysis))
+      << "loops depend on the dominator tree, which was not preserved";
+}
+
+TEST(AnalysisManager, DisabledModeAlwaysRecomputes) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  FunctionAnalysisManager AM(F, /*Disabled=*/true);
+
+  AM.cfg();
+  AM.cfg();
+  EXPECT_EQ(AM.stats().computes(AnalysisID::CFGAnalysis), 2u);
+  EXPECT_EQ(AM.stats().hits(AnalysisID::CFGAnalysis), 0u);
+}
+
+TEST(AnalysisManager, DerivedAnalysisChainIsCached) {
+  auto M = parse(Diamond);
+  Function &F = *M->Functions[0];
+  FunctionAnalysisManager AM(F, /*Disabled=*/false);
+
+  AM.loopInfo(); // pulls in CFG and DomTree
+  AM.loopInfo();
+  EXPECT_EQ(AM.stats().computes(AnalysisID::CFGAnalysis), 1u);
+  EXPECT_EQ(AM.stats().computes(AnalysisID::DomTreeAnalysis), 1u);
+  EXPECT_EQ(AM.stats().computes(AnalysisID::LoopAnalysis), 1u);
+  EXPECT_EQ(AM.stats().hits(AnalysisID::LoopAnalysis), 1u);
+}
+
+} // namespace
