@@ -20,6 +20,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 using namespace epre;
 
 namespace {
@@ -286,6 +288,32 @@ void BM_PipelineEndToEnd(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_PipelineEndToEnd)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same run with timers + stats + remarks collection attached: the
+/// instrumentation overhead the observability layer must keep under 10%
+/// (EXPERIMENTS.md records the measured ratio against BM_PipelineEndToEnd).
+void BM_PipelineEndToEndInstrumented(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
+    InstrumentationOptions IO;
+    IO.TimePasses = true;
+    IO.CollectRemarks = true;
+    auto PI = std::make_unique<PassInstrumentation>(IO);
+    State.ResumeTiming();
+    PipelineOptions PO;
+    PO.Level = OptLevel::Distribution;
+    PO.Verify = false;
+    PO.Instr = PI.get();
+    optimizeFunction(*M->Functions[0], PO);
+    benchmark::DoNotOptimize(PI->stats().size());
+  }
+}
+BENCHMARK(BM_PipelineEndToEndInstrumented)
     ->Arg(64)
     ->Arg(128)
     ->Arg(256)

@@ -125,8 +125,9 @@ int main(int argc, char **argv) {
       std::printf("@%s: %u -> %u static ops | fwdprop x%.3f | %u classes | "
                   "PRE +%u/-%u | %u copies coalesced\n",
                   F->name().c_str(), Before, F->staticOperationCount(),
-                  PS.ForwardProp.expansion(), PS.GVN.Classes,
-                  PS.PRE.Inserted, PS.PRE.Deleted, PS.CopiesCoalesced);
+                  PS.fwdExpansion(), unsigned(PS.gvnClasses()),
+                  unsigned(PS.preInserted()), unsigned(PS.preDeleted()),
+                  unsigned(PS.copiesCoalesced()));
     if (Print)
       std::printf("%s\n", printFunction(*F).c_str());
   }

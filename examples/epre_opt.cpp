@@ -5,13 +5,24 @@
 /// that filter: textual IR on stdin (or a file), a pass list on the
 /// command line, textual IR on stdout.
 ///
-///   epre_opt [FILE] -passes=ssa,ranks?,fwdprop,reassoc,gvn,pre,...
+///   epre_opt [FILE] -passes=ssa,fwdprop,reassoc,gvn,pre,...
+///   epre_opt [FILE] -O=distribution [-strategy=lcm] [-gvn=awz]
 ///
-/// Passes: ssa destroyssa fwdprop negnorm reassoc distribute gvn pre
-///         pre-mr cse constprop peephole dce coalesce simplifycfg verify
+/// Passes: ssa destroyssa fwdprop negnorm reassoc distribute osr gvn dvnt
+///         pre pre-mr cse constprop peephole dce coalesce simplifycfg verify
+///
+/// Observability (both modes):
+///   -time-passes        hierarchical wall-clock report on stderr
+///   -trace-out=FILE     Chrome trace_event JSON (chrome://tracing, Perfetto)
+///   -remarks[=p1,p2]    optimization remarks on stderr (optionally only
+///                       from the named passes)
+///   -remarks-json       render remarks as JSON instead of text
+///   -stats              the aggregate statsJSON() document on stderr
+///   -print-changed      dump IR after each pass that changed it
 ///
 /// Example:
-///   ./build/examples/epre_opt in.iloc -passes=fwdprop,reassoc,gvn,pre
+///   ./build/examples/epre_opt in.iloc -passes=fwdprop,reassoc,gvn,pre \
+///       -remarks=pre -time-passes
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +38,7 @@
 #include "opt/Peephole.h"
 #include "opt/SimplifyCFG.h"
 #include "opt/StrengthReduction.h"
+#include "pipeline/Pipeline.h"
 #include "pre/PRE.h"
 #include "reassoc/ForwardProp.h"
 #include "reassoc/Ranks.h"
@@ -44,7 +56,7 @@ using namespace epre;
 
 namespace {
 
-std::vector<std::string> splitPasses(const std::string &S) {
+std::vector<std::string> splitList(const std::string &S) {
   std::vector<std::string> Out;
   std::string Cur;
   for (char C : S) {
@@ -61,32 +73,37 @@ std::vector<std::string> splitPasses(const std::string &S) {
   return Out;
 }
 
-/// Runs one named pass. The reassociation family needs ranks, which must
-/// be computed in SSA form; this driver recomputes them on demand and
-/// keeps them alive across fwdprop/negnorm/reassoc/distribute.
+/// Runs one named pass through the unified entry points. The reassociation
+/// family needs ranks, which must be computed in SSA form; this driver
+/// recomputes them on demand and keeps them alive across
+/// fwdprop/negnorm/reassoc/distribute.
 struct PassDriver {
   Function &F;
+  FunctionAnalysisManager AM;
+  PassContext Ctx;
   RankMap Ranks;
   bool HaveRanks = false;
 
-  explicit PassDriver(Function &F) : F(F) {}
+  PassDriver(Function &F, StatsRegistry &SR, PassInstrumentation *PI)
+      : F(F), AM(F), Ctx(&SR, PI) {}
 
   bool run(const std::string &Name) {
     if (Name == "ssa") {
-      buildSSA(F);
-      CFG G = CFG::compute(F);
-      Ranks = RankMap::compute(F, G);
+      SSABuildPass().run(F, AM, Ctx);
+      Ranks = RankMap::compute(F, AM.cfg());
       HaveRanks = true;
       return true;
     }
     if (Name == "destroyssa") {
-      destroySSA(F);
+      SSADestroyPass().run(F, AM, Ctx);
       return true;
     }
     if (Name == "fwdprop") {
       if (!ensureRanks())
         return false;
-      ForwardPropStats S = propagateForward(F, Ranks);
+      ForwardPropPass FP(Ranks);
+      FP.run(F, AM, Ctx);
+      const ForwardPropStats &S = FP.lastStats();
       std::fprintf(stderr, "fwdprop: %u -> %u static ops (x%.3f)\n",
                    S.OpsBefore, S.OpsAfter, S.expansion());
       return true;
@@ -97,26 +114,32 @@ struct PassDriver {
       ReassociateOptions RO;
       RO.Distribute = Name == "distribute";
       if (Name == "negnorm")
-        normalizeNegation(F, Ranks, RO);
+        NegNormPass(Ranks, RO).run(F, AM, Ctx);
       else
-        reassociate(F, Ranks, RO);
+        ReassociatePass(Ranks, RO).run(F, AM, Ctx);
       return true;
     }
     if (Name == "osr") {
-      SRStats S = strengthReduce(F);
+      StrengthReductionPass P;
+      P.run(F, AM, Ctx);
+      const SRStats &S = P.lastStats();
       std::fprintf(stderr, "osr: %u loops, %u basic IVs, %u reduced\n",
                    S.LoopsVisited, S.BasicIVs, S.Reduced);
       return true;
     }
     if (Name == "dvnt") {
-      DVNTStats S = runDominatorValueNumbering(F);
+      DVNTPass P;
+      P.run(F, AM, Ctx);
+      const DVNTStats &S = P.lastStats();
       std::fprintf(stderr, "dvnt: %u redundant, %u meaningless phis, "
                    "%u duplicate phis\n",
                    S.Redundant, S.MeaninglessPhis, S.RedundantPhis);
       return true;
     }
     if (Name == "gvn") {
-      GVNStats S = runGlobalValueNumbering(F);
+      GVNPass P;
+      P.run(F, AM, Ctx);
+      const GVNStats &S = P.lastStats();
       std::fprintf(stderr, "gvn: %u regs in %u classes, %u merged\n",
                    S.Registers, S.Classes, S.MergedDefs);
       return true;
@@ -125,24 +148,30 @@ struct PassDriver {
       PREStrategy Strat = Name == "pre" ? PREStrategy::LazyCodeMotion
                           : Name == "pre-mr" ? PREStrategy::MorelRenvoise
                                              : PREStrategy::GlobalCSE;
-      PREStats S = eliminatePartialRedundancies(F, Strat);
+      PREPass P(Strat);
+      P.run(F, AM, Ctx);
+      const PREStats &S = P.lastStats();
       std::fprintf(stderr, "%s: universe %u, +%u/-%u\n", Name.c_str(),
                    S.UniverseSize, S.Inserted, S.Deleted);
       return true;
     }
     if (Name == "constprop")
-      return (void)propagateConstants(F), true;
+      return SCCPPass().run(F, AM, Ctx), true;
     if (Name == "peephole")
-      return (void)runPeephole(F), true;
+      return PeepholePass().run(F, AM, Ctx), true;
     if (Name == "dce")
-      return (void)eliminateDeadCode(F), true;
+      return DCEPass().run(F, AM, Ctx), true;
     if (Name == "coalesce") {
-      unsigned N = coalesceCopies(F);
-      std::fprintf(stderr, "coalesce: removed %u copies\n", N);
+      uint64_t Before = Ctx.stats()->get("coalesce", "copies_removed");
+      CopyCoalescingPass().run(F, AM, Ctx);
+      std::fprintf(stderr, "coalesce: removed %llu copies\n",
+                   (unsigned long long)(Ctx.stats()->get("coalesce",
+                                                         "copies_removed") -
+                                        Before));
       return true;
     }
     if (Name == "simplifycfg")
-      return (void)simplifyCFG(F), true;
+      return SimplifyCFGPass().run(F, AM, Ctx), true;
     if (Name == "verify") {
       std::vector<std::string> E = verifyFunction(F, SSAMode::Relaxed);
       for (const std::string &Msg : E)
@@ -167,14 +196,69 @@ struct PassDriver {
 int main(int argc, char **argv) {
   std::string File;
   std::string PassList;
+  std::string TraceOut;
+  bool HaveLevel = false;
+  bool TimePasses = false, WantRemarks = false, RemarksJSON = false;
+  bool WantStats = false, PrintChanged = false;
+  std::vector<std::string> RemarkFilter;
+  PipelineOptions PO;
+  PO.Verify = false; // filter input is hand-written; do not abort the tool
+
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
-    if (A.rfind("-passes=", 0) == 0)
+    if (A.rfind("-passes=", 0) == 0) {
       PassList = A.substr(8);
-    else if (!A.empty() && A[0] != '-')
+    } else if (A.rfind("-O=", 0) == 0) {
+      if (!parseOptLevel(A.substr(3), PO.Level)) {
+        std::fprintf(stderr, "error: unknown opt level '%s'\n",
+                     A.substr(3).c_str());
+        return 2;
+      }
+      HaveLevel = true;
+    } else if (A.rfind("-strategy=", 0) == 0) {
+      if (!parsePREStrategy(A.substr(10), PO.Strategy)) {
+        std::fprintf(stderr, "error: unknown PRE strategy '%s'\n",
+                     A.substr(10).c_str());
+        return 2;
+      }
+    } else if (A.rfind("-gvn=", 0) == 0) {
+      if (!parseGVNEngine(A.substr(5), PO.Engine)) {
+        std::fprintf(stderr, "error: unknown GVN engine '%s'\n",
+                     A.substr(5).c_str());
+        return 2;
+      }
+    } else if (A.rfind("-naming=", 0) == 0) {
+      if (!parseInputNaming(A.substr(8), PO.Naming)) {
+        std::fprintf(stderr, "error: unknown naming discipline '%s'\n",
+                     A.substr(8).c_str());
+        return 2;
+      }
+    } else if (A == "-time-passes") {
+      TimePasses = true;
+    } else if (A.rfind("-trace-out=", 0) == 0) {
+      TraceOut = A.substr(11);
+    } else if (A == "-remarks") {
+      WantRemarks = true;
+    } else if (A.rfind("-remarks=", 0) == 0) {
+      WantRemarks = true;
+      RemarkFilter = splitList(A.substr(9));
+    } else if (A == "-remarks-json") {
+      WantRemarks = true;
+      RemarksJSON = true;
+    } else if (A == "-stats") {
+      WantStats = true;
+    } else if (A == "-print-changed") {
+      PrintChanged = true;
+    } else if (!A.empty() && A[0] != '-') {
       File = A;
-    else {
-      std::fprintf(stderr, "usage: %s [FILE] -passes=p1,p2,...\n", argv[0]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [FILE] -passes=p1,p2,... | -O=LEVEL\n"
+                   "  [-strategy=lcm|morel-renvoise|gcse] [-gvn=awz|dvnt]\n"
+                   "  [-naming=hashed|naive] [-time-passes]\n"
+                   "  [-trace-out=FILE] [-remarks[=p1,p2]] [-remarks-json]\n"
+                   "  [-stats] [-print-changed]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -197,12 +281,48 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  for (auto &F : R.M->Functions) {
-    PassDriver Driver(*F);
-    for (const std::string &P : splitPasses(PassList))
-      if (!Driver.run(P))
-        return 1;
+  InstrumentationOptions IO;
+  IO.TimePasses = TimePasses || !TraceOut.empty();
+  IO.CollectRemarks = WantRemarks;
+  IO.RemarkPasses = RemarkFilter;
+  IO.PrintChangedIR = PrintChanged;
+  PassInstrumentation PI(IO);
+
+  if (HaveLevel) {
+    std::string Err;
+    std::optional<PipelineOptions> Valid = PipelineOptions::create(PO, &Err);
+    if (!Valid) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    Valid->Instr = &PI;
+    for (auto &F : R.M->Functions)
+      optimizeFunction(*F, *Valid);
+  } else {
+    for (auto &F : R.M->Functions) {
+      StatsRegistry FR;
+      PassDriver Driver(*F, FR, &PI);
+      for (const std::string &P : splitList(PassList))
+        if (!Driver.run(P))
+          return 1;
+      PI.stats().merge(FR);
+    }
   }
+
+  if (TimePasses)
+    std::fprintf(stderr, "%s", PI.timers().report().c_str());
+  if (!TraceOut.empty()) {
+    std::ofstream Out(TraceOut);
+    Out << PI.timers().toChromeTrace();
+    std::fprintf(stderr, "trace written to %s\n", TraceOut.c_str());
+  }
+  if (WantRemarks)
+    std::fprintf(stderr, "%s",
+                 RemarksJSON ? PI.remarks().toJSON().c_str()
+                             : PI.remarks().toText().c_str());
+  if (WantStats)
+    std::fprintf(stderr, "%s\n", PI.statsJSON().c_str());
+
   std::printf("%s", printModule(*R.M).c_str());
   return 0;
 }

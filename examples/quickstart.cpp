@@ -90,9 +90,10 @@ int main() {
   std::printf("pipeline: %u phis removed, %u trees cloned (x%.2f code), "
               "%u congruence classes, PRE inserted %u / deleted %u, "
               "%u copies coalesced\n\n",
-              Stats.ForwardProp.PhisRemoved, Stats.ForwardProp.TreesCloned,
-              Stats.ForwardProp.expansion(), Stats.GVN.Classes,
-              Stats.PRE.Inserted, Stats.PRE.Deleted, Stats.CopiesCoalesced);
+              unsigned(Stats.phisRemoved()), unsigned(Stats.treesCloned()),
+              Stats.fwdExpansion(), unsigned(Stats.gvnClasses()),
+              unsigned(Stats.preInserted()), unsigned(Stats.preDeleted()),
+              unsigned(Stats.copiesCoalesced()));
 
   // --- 4. Run it again -------------------------------------------------------
   uint64_t After = Run("optimized  ");

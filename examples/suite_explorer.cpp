@@ -35,8 +35,8 @@ void showRoutine(const Routine &R, bool Print) {
     }
     // AVAIL+ANT worklist pops across all PRE rounds: a degenerate CFG shows
     // up as iterations far in excess of the block count.
-    unsigned SolveIters =
-        M.Stats.PRE.AvailSolve.Iterations + M.Stats.PRE.AntSolve.Iterations;
+    unsigned SolveIters = unsigned(M.Stats.preAvailIterations() +
+                                   M.Stats.preAntIterations());
     std::printf("%-15s %12llu %14llu %10u %12u\n", optLevelName(L),
                 (unsigned long long)M.DynOps,
                 (unsigned long long)M.WeightedCost, M.StaticOpsAfter,

@@ -1,0 +1,109 @@
+//===- examples/suite_report.cpp - Instrumented suite run -----------------===//
+///
+/// Runs the 50-routine benchmark suite at the four measured optimization
+/// levels with full instrumentation attached and emits ONE JSON document
+/// containing, per level: the per-pass wall-clock aggregate, every named
+/// counter, the per-pass remark counts, and the suite's total dynamic
+/// operation count. Optionally also writes the distribution-level pass
+/// trace as Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+///
+///   suite_report [-o=FILE] [-trace-out=FILE]
+///
+/// CI uploads both files as artifacts; scripts/bench.sh points here too.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Harness.h"
+#include "suite/Suite.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace epre;
+
+int main(int argc, char **argv) {
+  std::string OutFile;
+  std::string TraceOut;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("-o=", 0) == 0) {
+      OutFile = A.substr(3);
+    } else if (A.rfind("-trace-out=", 0) == 0) {
+      TraceOut = A.substr(11);
+    } else {
+      std::fprintf(stderr, "usage: %s [-o=FILE] [-trace-out=FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<Routine> &Suite = benchmarkSuite();
+  const OptLevel Levels[] = {OptLevel::Baseline, OptLevel::Partial,
+                             OptLevel::Reassociation, OptLevel::Distribution};
+
+  // statsJSON() is a complete JSON value, so the per-level documents are
+  // spliced into the top-level object verbatim.
+  std::string Doc = "{\"suite\":\"paper-50\",\"routines\":" +
+                    std::to_string(Suite.size()) + ",\"levels\":{";
+  bool FirstLevel = true;
+  for (OptLevel L : Levels) {
+    InstrumentationOptions IO;
+    IO.TimePasses = true;
+    IO.CollectRemarks = true;
+    PassInstrumentation PI(IO);
+
+    PipelineOptions Overrides;
+    Overrides.Instr = &PI;
+
+    uint64_t DynOps = 0, Failures = 0;
+    for (const Routine &R : Suite) {
+      Measurement M = measureRoutine(R, L, &Overrides);
+      if (!M.ok()) {
+        std::fprintf(stderr, "%s @ %s: %s\n", R.Name.c_str(),
+                     optLevelName(L),
+                     M.CompileOk ? M.TrapReason.c_str()
+                                 : M.CompileError.c_str());
+        ++Failures;
+        continue;
+      }
+      DynOps += M.DynOps;
+    }
+
+    if (!FirstLevel)
+      Doc += ",";
+    FirstLevel = false;
+    Doc += "\"";
+    Doc += optLevelName(L);
+    Doc += "\":{\"dynamic_ops_total\":" + std::to_string(DynOps) +
+           ",\"failures\":" + std::to_string(Failures) + ",\"report\":";
+    Doc += PI.statsJSON();
+    Doc += "}";
+
+    if (L == OptLevel::Distribution && !TraceOut.empty()) {
+      std::ofstream T(TraceOut);
+      if (!T) {
+        std::fprintf(stderr, "error: cannot write %s\n", TraceOut.c_str());
+        return 1;
+      }
+      T << PI.timers().toChromeTrace();
+      std::fprintf(stderr, "trace written to %s\n", TraceOut.c_str());
+    }
+    if (Failures)
+      return 1;
+  }
+  Doc += "}}";
+
+  if (OutFile.empty()) {
+    std::printf("%s\n", Doc.c_str());
+  } else {
+    std::ofstream Out(OutFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+      return 1;
+    }
+    Out << Doc << "\n";
+    std::fprintf(stderr, "report written to %s\n", OutFile.c_str());
+  }
+  return 0;
+}

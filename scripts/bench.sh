@@ -48,3 +48,11 @@ fi
 mv "$TMP_OUT" "$OUT"
 trap - EXIT
 echo "wrote $OUT"
+
+# Alongside the microbenchmark timings, record the instrumented suite
+# statistics: per-pass wall-clock aggregate, every named counter, and
+# per-pass remark counts for all four optimization levels in one JSON
+# document (suite_report also backs the CI observability artifacts).
+STATS_OUT=${STATS_OUT:-BENCH_suite_stats.json}
+cmake --build "$BUILD_DIR" -j --target suite_report >/dev/null
+"$BUILD_DIR"/examples/suite_report -o="$STATS_OUT"

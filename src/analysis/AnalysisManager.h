@@ -113,8 +113,14 @@ public:
   struct Stats {
     std::array<uint64_t, NumAnalysisIDs> Computes = {};
     std::array<uint64_t, NumAnalysisIDs> Hits = {};
+    /// Cached values actually dropped by finishPass (not merely re-stamped
+    /// and not already-empty slots): the cache's invalidation events.
+    std::array<uint64_t, NumAnalysisIDs> Invalidations = {};
     uint64_t computes(AnalysisID ID) const { return Computes[unsigned(ID)]; }
     uint64_t hits(AnalysisID ID) const { return Hits[unsigned(ID)]; }
+    uint64_t invalidations(AnalysisID ID) const {
+      return Invalidations[unsigned(ID)];
+    }
   };
 
   explicit FunctionAnalysisManager(Function &F,
@@ -207,15 +213,23 @@ private:
     Stamp[unsigned(ID)] = StaleStamp;
     switch (ID) {
     case AnalysisID::CFGAnalysis:
+      if (G)
+        ++S.Invalidations[unsigned(ID)];
       G.reset();
       break;
     case AnalysisID::DomTreeAnalysis:
+      if (DT)
+        ++S.Invalidations[unsigned(ID)];
       DT.reset();
       break;
     case AnalysisID::LoopAnalysis:
+      if (LI)
+        ++S.Invalidations[unsigned(ID)];
       LI.reset();
       break;
     case AnalysisID::RankAnalysis:
+      if (Ranks)
+        ++S.Invalidations[unsigned(ID)];
       Ranks.reset();
       break;
     }

@@ -164,18 +164,33 @@ DVNTStats epre::valueNumberDominatorTreeSSA(Function &F) {
   return valueNumberDominatorTreeSSA(F, AM);
 }
 
-DVNTStats epre::runDominatorValueNumbering(Function &F,
-                                           FunctionAnalysisManager &AM) {
+PreservedAnalyses epre::DVNTPass::run(Function &F, FunctionAnalysisManager &AM,
+                                      PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
   SSAOptions Opts;
   Opts.Pruned = true;
   Opts.FoldCopies = false; // copies are the variable-name definers
-  buildSSA(F, AM, Opts);
-  DVNTStats Stats = valueNumberDominatorTreeSSA(F, AM);
-  destroySSA(F, AM);
+  SSABuildPass(Opts).run(F, AM, Ctx);
+  Last = valueNumberDominatorTreeSSA(F, AM);
+  SSADestroyPass().run(F, AM, Ctx);
   // Deleting dominated redundancies can leave an expression name live
   // across a block boundary; restore the §5.1 discipline for PRE.
-  localizeExpressionNames(F, AM);
-  return Stats;
+  LocalizeNamesPass().run(F, AM, Ctx);
+  Ctx.addStat("redundant", Last.Redundant);
+  Ctx.addStat("meaningless_phis", Last.MeaninglessPhis);
+  Ctx.addStat("redundant_phis", Last.RedundantPhis);
+  // The SSA sandwich always rewrites the function; AM was settled by the
+  // sub-passes.
+  return PreservedAnalyses::none();
+}
+
+DVNTStats epre::runDominatorValueNumbering(Function &F,
+                                           FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  DVNTPass P;
+  P.run(F, AM, Ctx);
+  return P.lastStats();
 }
 
 DVNTStats epre::runDominatorValueNumbering(Function &F) {

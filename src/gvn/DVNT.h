@@ -20,6 +20,7 @@
 
 #include "gvn/ValueNumbering.h"
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -30,16 +31,33 @@ struct DVNTStats {
   unsigned RedundantPhis = 0;
 };
 
+/// The full dominator-tree value numbering phase behind the unified
+/// pass-entry API, on phi-free code, mirroring GVNPass: builds SSA
+/// (copies kept), value-numbers over the dominator tree, leaves SSA, and
+/// re-localizes any expression name the deletions left live across a
+/// block boundary (§5.1).
+///
+/// Counters: dvnt.redundant, dvnt.meaningless_phis, dvnt.redundant_phis.
+class DVNTPass {
+public:
+  static constexpr const char *name() { return "dvnt"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+  /// Stats of the most recent run.
+  const DVNTStats &lastStats() const { return Last; }
+
+private:
+  DVNTStats Last;
+};
+
 /// The core: value-numbers a function in SSA form, deleting dominated
 /// redundancies. Copies are treated as variable-name barriers (kept).
 DVNTStats valueNumberDominatorTreeSSA(Function &F,
                                       FunctionAnalysisManager &AM);
 DVNTStats valueNumberDominatorTreeSSA(Function &F);
 
-/// The full phase on phi-free code, mirroring runGlobalValueNumbering:
-/// builds SSA (copies kept), value-numbers over the dominator tree,
-/// leaves SSA, and re-localizes any expression name the deletions left
-/// live across a block boundary (§5.1).
+/// Deprecated free-function shims (kept for one PR).
 DVNTStats runDominatorValueNumbering(Function &F,
                                      FunctionAnalysisManager &AM);
 DVNTStats runDominatorValueNumbering(Function &F);

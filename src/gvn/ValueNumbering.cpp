@@ -34,6 +34,9 @@ class AWZ {
 public:
   explicit AWZ(Function &F) : F(F) {}
 
+  /// Optional remark emitter (instrumented runs only).
+  PassContext *Ctx = nullptr;
+
   GVNStats run() {
     collect();
     refine();
@@ -180,8 +183,13 @@ private:
       for (Instruction &I : B.Insts) {
         if (I.hasDst()) {
           Reg NewDst = repOf(I.Dst);
-          if (NewDst != I.Dst)
+          if (NewDst != I.Dst) {
             ++Stats.MergedDefs;
+            if (Ctx && Ctx->remarksEnabled())
+              Ctx->remark(RemarkKind::Merge, F, B.label(), opcodeName(I.Op),
+                          strprintf("r%u renamed to congruent r%u", I.Dst,
+                                    NewDst));
+          }
           I.Dst = NewDst;
         }
         for (Reg &Op : I.Operands)
@@ -211,8 +219,9 @@ private:
 
 GVNStats epre::valueNumberSSA(Function &F) { return AWZ(F).run(); }
 
-GVNStats epre::runGlobalValueNumbering(Function &F,
-                                       FunctionAnalysisManager &AM) {
+PreservedAnalyses epre::GVNPass::run(Function &F, FunctionAnalysisManager &AM,
+                                     PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
   // Keep copies as instructions: they are the definitions of "variable
   // names" (§2.2), and folding them away would let phi inputs reference
   // expression names across block boundaries — undoing the locality that
@@ -220,14 +229,30 @@ GVNStats epre::runGlobalValueNumbering(Function &F,
   SSAOptions Opts;
   Opts.Pruned = true;
   Opts.FoldCopies = false;
-  buildSSA(F, AM, Opts);
-  GVNStats Stats = valueNumberSSA(F);
+  SSABuildPass(Opts).run(F, AM, Ctx);
+  AWZ A(F);
+  A.Ctx = &Ctx;
+  Last = A.run();
   // AWZ rewrites uses to class representatives; instructions changed but
   // the graph did not.
   F.bumpVersion();
   AM.finishPass(PreservedAnalyses::cfgShape());
-  destroySSA(F, AM);
-  return Stats;
+  SSADestroyPass().run(F, AM, Ctx);
+  Ctx.addStat("registers", Last.Registers);
+  Ctx.addStat("classes", Last.Classes);
+  Ctx.addStat("merged_defs", Last.MergedDefs);
+  // The SSA sandwich always rewrites the function; AM was settled by the
+  // sub-passes.
+  return PreservedAnalyses::none();
+}
+
+GVNStats epre::runGlobalValueNumbering(Function &F,
+                                       FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  GVNPass P;
+  P.run(F, AM, Ctx);
+  return P.lastStats();
 }
 
 GVNStats epre::runGlobalValueNumbering(Function &F) {

@@ -23,6 +23,7 @@
 #define EPRE_GVN_VALUENUMBERING_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -33,12 +34,30 @@ struct GVNStats {
   unsigned MergedDefs = 0;    ///< definitions renamed to another name
 };
 
-/// Runs the complete §3.2 phase on non-SSA code: (re)builds pruned SSA with
-/// copy folding, computes the AWZ partition, renames every value to its
-/// class representative, and leaves SSA again via predecessor copies.
-/// "The names are the only things changed during this phase; no
-/// instructions are added, deleted, or moved" — except the phi/copy
-/// shuffling inherent in entering and leaving SSA.
+/// The complete §3.2 phase behind the unified pass-entry API, on non-SSA
+/// code: (re)builds pruned SSA with copy folding, computes the AWZ
+/// partition, renames every value to its class representative, and leaves
+/// SSA again via predecessor copies. "The names are the only things
+/// changed during this phase; no instructions are added, deleted, or
+/// moved" — except the phi/copy shuffling inherent in entering and
+/// leaving SSA.
+///
+/// Counters: gvn.registers, gvn.classes, gvn.merged_defs.
+/// Remarks: Merge per definition renamed to its congruence class rep.
+class GVNPass {
+public:
+  static constexpr const char *name() { return "gvn"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+  /// Stats of the most recent run.
+  const GVNStats &lastStats() const { return Last; }
+
+private:
+  GVNStats Last;
+};
+
+/// Deprecated free-function shims (kept for one PR).
 GVNStats runGlobalValueNumbering(Function &F, FunctionAnalysisManager &AM);
 GVNStats runGlobalValueNumbering(Function &F);
 

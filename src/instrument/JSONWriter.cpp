@@ -1,0 +1,54 @@
+//===- instrument/JSONWriter.cpp ------------------------------------------===//
+
+#include "instrument/JSONWriter.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace epre;
+
+std::string epre::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += char(C);
+      }
+    }
+  }
+  return Out;
+}
+
+JSONWriter &JSONWriter::value(double V) {
+  comma();
+  if (!std::isfinite(V)) {
+    // JSON has no Inf/NaN; emit null, as Chrome's trace importer does.
+    Out += "null";
+    return *this;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof Buf, "%.6g", V);
+  Out += Buf;
+  return *this;
+}

@@ -1,0 +1,121 @@
+//===- instrument/JSONWriter.h - Minimal streaming JSON writer ---*- C++ -*-===//
+///
+/// \file
+/// A small streaming JSON emitter used by the instrumentation layer for the
+/// stats dump, the remark stream, and the Chrome trace_event export. It
+/// tracks nesting and comma placement so every produced document is
+/// syntactically valid by construction; values are escaped per RFC 8259.
+///
+/// No external JSON dependency is available in the build image, and the
+/// write-only subset the instrumentation needs is ~100 lines, so it lives
+/// here rather than behind a vendored library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_INSTRUMENT_JSONWRITER_H
+#define EPRE_INSTRUMENT_JSONWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epre {
+
+/// Escapes \p S for use inside a JSON string literal (quotes not included).
+std::string jsonEscape(std::string_view S);
+
+/// Streaming writer producing one JSON document into an internal string.
+///
+///   JSONWriter W;
+///   W.beginObject().key("counters").beginObject()
+///     .key("pre.inserted").value(uint64_t(3)).endObject().endObject();
+///   W.str(); // {"counters":{"pre.inserted":3}}
+class JSONWriter {
+public:
+  JSONWriter &beginObject() {
+    comma();
+    Out += '{';
+    Stack.push_back(First);
+    return *this;
+  }
+  JSONWriter &endObject() {
+    pop();
+    Out += '}';
+    return *this;
+  }
+  JSONWriter &beginArray() {
+    comma();
+    Out += '[';
+    Stack.push_back(First);
+    return *this;
+  }
+  JSONWriter &endArray() {
+    pop();
+    Out += ']';
+    return *this;
+  }
+  JSONWriter &key(std::string_view K) {
+    comma();
+    Out += '"';
+    Out += jsonEscape(K);
+    Out += "\":";
+    if (!Stack.empty())
+      Stack.back() = AfterKey;
+    return *this;
+  }
+  JSONWriter &value(std::string_view V) {
+    comma();
+    Out += '"';
+    Out += jsonEscape(V);
+    Out += '"';
+    return *this;
+  }
+  JSONWriter &value(const char *V) { return value(std::string_view(V)); }
+  JSONWriter &value(uint64_t V) {
+    comma();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JSONWriter &value(int64_t V) {
+    comma();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JSONWriter &value(unsigned V) { return value(uint64_t(V)); }
+  JSONWriter &value(double V);
+  JSONWriter &value(bool V) {
+    comma();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+
+  /// The document so far. Valid JSON once every begin has been ended.
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  enum State { First, Sibling, AfterKey };
+
+  void comma() {
+    if (Stack.empty())
+      return;
+    if (Stack.back() == Sibling)
+      Out += ',';
+    else
+      Stack.back() = Sibling;
+  }
+  void pop() {
+    if (!Stack.empty())
+      Stack.pop_back();
+    if (!Stack.empty() && Stack.back() == AfterKey)
+      Stack.back() = Sibling;
+  }
+
+  std::string Out;
+  std::vector<State> Stack;
+};
+
+} // namespace epre
+
+#endif // EPRE_INSTRUMENT_JSONWRITER_H

@@ -1,0 +1,152 @@
+//===- instrument/PassTimer.cpp -------------------------------------------===//
+
+#include "instrument/PassTimer.h"
+
+#include "instrument/JSONWriter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+using namespace epre;
+
+uint64_t TimerTree::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  // One epoch for the whole process so traces from different trees (e.g.
+  // parallel workers) share a timeline.
+  static const Clock::time_point Epoch = Clock::now();
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - Epoch)
+                      .count());
+}
+
+void TimerTree::open(std::string_view Name) {
+  Slice S;
+  S.Name = std::string(Name);
+  S.Parent = OpenStack.empty() ? -1 : int(OpenStack.back());
+  S.StartNs = nowNs();
+  S.Tid = Tid;
+  OpenStack.push_back(Slices.size());
+  Slices.push_back(std::move(S));
+}
+
+void TimerTree::close() {
+  assert(!OpenStack.empty() && "close() without matching open()");
+  Slice &S = Slices[OpenStack.back()];
+  S.DurNs = nowNs() - S.StartNs;
+  OpenStack.pop_back();
+}
+
+uint64_t TimerTree::totalNs() const {
+  uint64_t Total = 0;
+  for (const Slice &S : Slices)
+    if (S.Parent < 0)
+      Total += S.DurNs;
+  return Total;
+}
+
+namespace {
+
+/// Aggregation node keyed by (parent aggregate, name): sums wall time and
+/// invocation counts of every slice sharing a path.
+struct Agg {
+  std::string Name;
+  int Parent = -1;
+  uint64_t Ns = 0;
+  uint64_t Count = 0;
+  std::vector<size_t> Children; // in first-seen order (pipeline order)
+};
+
+void printAgg(std::string &Out, const std::vector<Agg> &Nodes, size_t N,
+              unsigned Depth, uint64_t TotalNs) {
+  const Agg &A = Nodes[N];
+  double Ms = double(A.Ns) / 1e6;
+  double Pct = TotalNs ? 100.0 * double(A.Ns) / double(TotalNs) : 0.0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%10.3f ms  %5.1f%%  %6llu  ", Ms, Pct,
+                (unsigned long long)A.Count);
+  Out += Buf;
+  Out.append(2 * Depth, ' ');
+  Out += A.Name;
+  Out += '\n';
+  for (size_t C : A.Children)
+    printAgg(Out, Nodes, C, Depth + 1, TotalNs);
+}
+
+} // namespace
+
+std::string TimerTree::report() const {
+  // Build the path-aggregated tree. Slices map onto aggregates parent
+  // first because a child always has a larger index than its parent.
+  std::vector<Agg> Nodes;
+  std::map<std::pair<int, std::string>, size_t> Index;
+  std::vector<size_t> AggOf(Slices.size());
+  std::vector<size_t> Roots;
+  for (size_t I = 0; I < Slices.size(); ++I) {
+    const Slice &S = Slices[I];
+    int ParentAgg = S.Parent < 0 ? -1 : int(AggOf[size_t(S.Parent)]);
+    auto Key = std::make_pair(ParentAgg, S.Name);
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      Agg A;
+      A.Name = S.Name;
+      A.Parent = ParentAgg;
+      It = Index.emplace(Key, Nodes.size()).first;
+      if (ParentAgg < 0)
+        Roots.push_back(Nodes.size());
+      else
+        Nodes[size_t(ParentAgg)].Children.push_back(Nodes.size());
+      Nodes.push_back(std::move(A));
+    }
+    AggOf[I] = It->second;
+    Nodes[It->second].Ns += S.DurNs;
+    Nodes[It->second].Count += 1;
+  }
+
+  uint64_t Total = totalNs();
+  std::string Out;
+  char Buf[96];
+  std::snprintf(Buf, sizeof Buf,
+                "=== pass timing report (wall %.3f ms) ===\n",
+                double(Total) / 1e6);
+  Out += Buf;
+  Out += "      time      %     count  pass\n";
+  for (size_t R : Roots)
+    printAgg(Out, Nodes, R, 0, Total);
+  return Out;
+}
+
+std::string TimerTree::toChromeTrace() const {
+  JSONWriter W;
+  W.beginObject();
+  W.key("traceEvents").beginArray();
+  for (const Slice &S : Slices) {
+    W.beginObject();
+    W.key("name").value(S.Name);
+    W.key("ph").value("X");
+    W.key("pid").value(uint64_t(1));
+    W.key("tid").value(uint64_t(S.Tid));
+    // trace_event timestamps are microseconds; keep sub-us precision.
+    W.key("ts").value(double(S.StartNs) / 1e3);
+    W.key("dur").value(double(S.DurNs) / 1e3);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("displayTimeUnit").value("ms");
+  W.endObject();
+  return W.take();
+}
+
+void TimerTree::merge(const TimerTree &O) {
+  assert(OpenStack.empty() && !O.hasOpenSlice() &&
+         "merge with open slices would corrupt nesting");
+  int Offset = int(Slices.size());
+  for (const Slice &S : O.Slices) {
+    Slice Copy = S;
+    if (Copy.Parent >= 0)
+      Copy.Parent += Offset;
+    Slices.push_back(std::move(Copy));
+  }
+}

@@ -1,0 +1,83 @@
+//===- instrument/PassTimer.h - Hierarchical wall-clock timers ---*- C++ -*-===//
+///
+/// \file
+/// The timing side of the instrumentation layer: a tree of wall-clock timer
+/// slices, one per pass execution, nested the way passes nest (GVN's
+/// internal SSA build appears under GVN). Two views are derived:
+///
+///  - report(): a `--time-passes`-style text table, aggregated by pass path
+///    (total wall time, percentage of the root, invocation count), indented
+///    by nesting depth;
+///  - toChromeTrace(): the individual slices as Chrome trace_event JSON
+///    ("X" complete events), loadable in chrome://tracing or Perfetto.
+///
+/// Timestamps come from one process-wide steady_clock epoch so slices from
+/// different functions — and, after merge(), different worker threads —
+/// line up on one timeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_INSTRUMENT_PASSTIMER_H
+#define EPRE_INSTRUMENT_PASSTIMER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epre {
+
+/// A tree of completed timer slices. open()/close() must nest; the tree
+/// records every slice individually (for the trace export) and aggregates
+/// by path on demand (for the report).
+class TimerTree {
+public:
+  struct Slice {
+    std::string Name;
+    int Parent = -1;      ///< index of the enclosing slice, -1 for roots
+    uint64_t StartNs = 0; ///< since the process-wide epoch
+    uint64_t DurNs = 0;
+    uint32_t Tid = 0; ///< logical lane for the trace (worker index)
+  };
+
+  /// Starts a slice named \p Name nested under the currently open slice.
+  void open(std::string_view Name);
+
+  /// Ends the innermost open slice.
+  void close();
+
+  bool hasOpenSlice() const { return !OpenStack.empty(); }
+  bool empty() const { return Slices.empty(); }
+  const std::vector<Slice> &slices() const { return Slices; }
+
+  /// Sets the logical trace lane recorded on subsequently opened slices
+  /// (the parallel driver tags each worker's tree before merging).
+  void setLane(uint32_t Lane) { Tid = Lane; }
+
+  /// Total nanoseconds across root slices.
+  uint64_t totalNs() const;
+
+  /// `--time-passes`-style aggregate text report.
+  std::string report() const;
+
+  /// The slices as a Chrome trace_event JSON document:
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...},...]}.
+  std::string toChromeTrace() const;
+
+  /// Appends \p O's slices (re-rooted alongside this tree's). Merge in
+  /// module order for a deterministic report; timestamps keep their
+  /// original epoch so the trace stays a single coherent timeline.
+  void merge(const TimerTree &O);
+
+  /// Nanoseconds since the process-wide timer epoch (monotonic).
+  static uint64_t nowNs();
+
+private:
+  std::vector<Slice> Slices;
+  std::vector<size_t> OpenStack;
+  uint32_t Tid = 0;
+};
+
+} // namespace epre
+
+#endif // EPRE_INSTRUMENT_PASSTIMER_H

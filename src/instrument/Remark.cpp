@@ -1,0 +1,82 @@
+//===- instrument/Remark.cpp ----------------------------------------------===//
+
+#include "instrument/Remark.h"
+
+#include "instrument/JSONWriter.h"
+
+using namespace epre;
+
+const char *epre::remarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Insert:
+    return "insert";
+  case RemarkKind::Delete:
+    return "delete";
+  case RemarkKind::Merge:
+    return "merge";
+  case RemarkKind::Reorder:
+    return "reorder";
+  case RemarkKind::Fold:
+    return "fold";
+  case RemarkKind::Event:
+    return "event";
+  }
+  return "?";
+}
+
+std::string Remark::toText() const {
+  std::string S = Pass;
+  S += ": ";
+  S += remarkKindName(Kind);
+  S += ": [";
+  S += Function;
+  if (!Block.empty()) {
+    S += ":^";
+    S += Block;
+  }
+  S += "]";
+  if (!Opcode.empty()) {
+    S += " ";
+    S += Opcode;
+  }
+  if (!Message.empty()) {
+    S += " — ";
+    S += Message;
+  }
+  return S;
+}
+
+std::map<std::string, uint64_t> RemarkCollector::countsByPass() const {
+  std::map<std::string, uint64_t> Counts;
+  for (const Remark &R : All)
+    ++Counts[R.Pass];
+  return Counts;
+}
+
+std::string RemarkCollector::toText() const {
+  std::string S;
+  for (const Remark &R : All) {
+    S += R.toText();
+    S += '\n';
+  }
+  return S;
+}
+
+std::string RemarkCollector::toJSON() const {
+  JSONWriter W;
+  W.beginArray();
+  for (const Remark &R : All) {
+    W.beginObject();
+    W.key("pass").value(R.Pass);
+    W.key("kind").value(remarkKindName(R.Kind));
+    W.key("function").value(R.Function);
+    if (!R.Block.empty())
+      W.key("block").value(R.Block);
+    if (!R.Opcode.empty())
+      W.key("opcode").value(R.Opcode);
+    W.key("message").value(R.Message);
+    W.endObject();
+  }
+  W.endArray();
+  return W.take();
+}

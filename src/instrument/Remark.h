@@ -1,0 +1,105 @@
+//===- instrument/Remark.h - Structured optimization remarks -----*- C++ -*-===//
+///
+/// \file
+/// Structured optimization remarks: each transformation a pass performs can
+/// be reported as a typed record carrying the pass name, function, block
+/// label, and opcode, answering questions like "which block did PRE hoist
+/// that load into?" without printf archaeology. Remarks render as
+/// human-readable text (one line per remark, stable format used by the
+/// golden tests) or machine-readable JSON, with per-pass filtering at
+/// collection time so an enabled collector does not pay for passes the user
+/// did not ask about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_INSTRUMENT_REMARK_H
+#define EPRE_INSTRUMENT_REMARK_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epre {
+
+/// What kind of transformation a remark reports.
+enum class RemarkKind {
+  Insert,  ///< a computation was placed (PRE edge/block insertions)
+  Delete,  ///< a redundant computation was removed
+  Merge,   ///< two names were proven congruent and merged (GVN)
+  Reorder, ///< an expression tree was re-emitted in a new order (reassoc)
+  Fold,    ///< an instruction was folded to a constant (SCCP, peephole)
+  Event,   ///< anything else worth reporting (cache events, phase notes)
+};
+
+const char *remarkKindName(RemarkKind K);
+
+/// One structured remark. String members are empty when not applicable
+/// (e.g. a function-level event has no block or opcode).
+struct Remark {
+  RemarkKind Kind = RemarkKind::Event;
+  std::string Pass;     ///< short pass name ("pre", "gvn", ...)
+  std::string Function; ///< function the transformation happened in
+  std::string Block;    ///< label of the affected basic block
+  std::string Opcode;   ///< opcode of the affected instruction
+  std::string Message;  ///< human-readable detail
+
+  /// "pre: insert: [foo:^b3] add — hoisted ..." (the golden-test format).
+  std::string toText() const;
+};
+
+/// Collects remarks, optionally restricted to a set of passes.
+class RemarkCollector {
+public:
+  /// Restricts collection to the named passes; an empty filter (the
+  /// default) collects from every pass.
+  void setPassFilter(std::vector<std::string> Passes) {
+    Filter = std::move(Passes);
+  }
+
+  /// True when remarks from \p Pass should be built at all — emitters check
+  /// this before constructing message strings.
+  bool wants(std::string_view Pass) const {
+    if (Filter.empty())
+      return true;
+    for (const std::string &P : Filter)
+      if (P == Pass)
+        return true;
+    return false;
+  }
+
+  void emit(Remark R) {
+    if (wants(R.Pass))
+      All.push_back(std::move(R));
+  }
+
+  const std::vector<Remark> &remarks() const { return All; }
+  size_t size() const { return All.size(); }
+  bool empty() const { return All.empty(); }
+  void clear() { All.clear(); }
+
+  /// Remark count per pass name, deterministically ordered.
+  std::map<std::string, uint64_t> countsByPass() const;
+
+  /// All remarks, one toText() line each.
+  std::string toText() const;
+
+  /// JSON array of remark objects.
+  std::string toJSON() const;
+
+  /// Appends \p O's remarks after this collector's (module-order merging
+  /// for the parallel driver).
+  void merge(RemarkCollector &&O) {
+    All.insert(All.end(), std::make_move_iterator(O.All.begin()),
+               std::make_move_iterator(O.All.end()));
+    O.All.clear();
+  }
+
+private:
+  std::vector<Remark> All;
+  std::vector<std::string> Filter;
+};
+
+} // namespace epre
+
+#endif // EPRE_INSTRUMENT_REMARK_H

@@ -1,0 +1,16 @@
+//===- instrument/Statistic.cpp -------------------------------------------===//
+
+#include "instrument/Statistic.h"
+
+#include "instrument/JSONWriter.h"
+
+using namespace epre;
+
+std::string StatsRegistry::toJSON() const {
+  JSONWriter W;
+  W.beginObject();
+  for (const auto &[K, V] : Counters)
+    W.key(K).value(V);
+  W.endObject();
+  return W.take();
+}

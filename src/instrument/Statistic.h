@@ -1,0 +1,88 @@
+//===- instrument/Statistic.h - Named-counter statistics registry -*- C++ -*-===//
+///
+/// \file
+/// The statistics side of the instrumentation layer: a registry of named
+/// counters that passes bump through their PassContext. Counters are
+/// qualified "pass.counter" (e.g. "pre.inserted", "gvn.classes"), collected
+/// per function by the pipeline, and merged deterministically into
+/// per-module / per-suite aggregates. The registry replaces the old
+/// field-by-field PipelineStats aggregate: consumers read counters through
+/// the stable string-keyed accessors instead of reaching into pass-specific
+/// struct members.
+///
+/// Counter name registry (the stable, documented names) lives in
+/// docs/observability.md; tests assert the ones they rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_INSTRUMENT_STATISTIC_H
+#define EPRE_INSTRUMENT_STATISTIC_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace epre {
+
+/// A registry of named uint64 counters with deterministic (lexicographic)
+/// iteration order. Not thread-safe: parallel drivers give each worker its
+/// own registry and merge in module order (see runPipelineParallel).
+class StatsRegistry {
+public:
+  /// Returns the counter \p Pass.\p Name, creating it at zero.
+  uint64_t &counter(std::string_view Pass, std::string_view Name) {
+    return Counters[qualify(Pass, Name)];
+  }
+
+  /// Reads a counter by qualified "pass.name"; absent counters read 0.
+  uint64_t get(std::string_view Qualified) const {
+    auto It = Counters.find(Qualified);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  uint64_t get(std::string_view Pass, std::string_view Name) const {
+    auto It = Counters.find(qualify(Pass, Name));
+    return It == Counters.end() ? 0 : It->second;
+  }
+  bool has(std::string_view Qualified) const {
+    return Counters.find(Qualified) != Counters.end();
+  }
+
+  bool empty() const { return Counters.empty(); }
+  size_t size() const { return Counters.size(); }
+  void clear() { Counters.clear(); }
+
+  /// Adds every counter of \p O into this registry. Merging is commutative
+  /// and associative, so any merge order yields the same totals; drivers
+  /// still merge in module order so remark/timer streams line up.
+  void merge(const StatsRegistry &O) {
+    for (const auto &[K, V] : O.Counters)
+      Counters[K] += V;
+  }
+
+  /// Visits counters in lexicographic name order.
+  void forEach(
+      const std::function<void(const std::string &, uint64_t)> &Fn) const {
+    for (const auto &[K, V] : Counters)
+      Fn(K, V);
+  }
+
+  /// One flat JSON object: {"pass.counter": value, ...}, keys sorted.
+  std::string toJSON() const;
+
+private:
+  static std::string qualify(std::string_view Pass, std::string_view Name) {
+    std::string Q;
+    Q.reserve(Pass.size() + 1 + Name.size());
+    Q.append(Pass).push_back('.');
+    Q.append(Name);
+    return Q;
+  }
+
+  std::map<std::string, uint64_t, std::less<>> Counters;
+};
+
+} // namespace epre
+
+#endif // EPRE_INSTRUMENT_STATISTIC_H

@@ -13,6 +13,7 @@
 
 #include "analysis/AnalysisManager.h"
 #include "ir/Eval.h"
+#include "support/StringUtil.h"
 
 #include <algorithm>
 #include <cassert>
@@ -271,9 +272,17 @@ private:
         if (I.hasDst() && L.K == LatVal::Const && !AlreadyImm &&
             (I.isExpression() || I.isCopy() || IsPhi)) {
           Reg Dst = I.Dst;
+          if (Ctx && Ctx->remarksEnabled())
+            Ctx->remark(RemarkKind::Fold, F, B.label(), opcodeName(I.Op),
+                        L.V.isI()
+                            ? strprintf("r%u folded to constant %lld", Dst,
+                                        (long long)L.V.I)
+                            : strprintf("r%u folded to constant %g", Dst,
+                                        L.V.F));
           I = L.V.isI() ? Instruction::makeLoadI(Dst, L.V.I)
                         : Instruction::makeLoadF(Dst, L.V.F);
           RewrotePhi |= IsPhi;
+          ++Folds;
           Changed = true;
         }
         if (I.Op == Opcode::Cbr) {
@@ -283,9 +292,14 @@ private:
             BlockId NotTaken = C.V.I != 0 ? I.Succs[1] : I.Succs[0];
             if (Taken != NotTaken)
               removePhiEntriesFrom(*F.block(NotTaken), B.id());
+            if (Ctx && Ctx->remarksEnabled())
+              Ctx->remark(RemarkKind::Fold, F, B.label(), opcodeName(I.Op),
+                          strprintf("conditional branch folded to ^%s",
+                                    F.block(Taken)->label().c_str()));
             I = Instruction::makeBr(Taken);
             F.bumpVersion(); // terminator rewrite: CFG edge removed
             BranchFolded = true;
+            ++BranchFolds;
             Changed = true;
           }
         }
@@ -314,19 +328,38 @@ private:
 public:
   /// Set by rewrite() when a cbr was folded to br (a CFG edge died).
   bool BranchFolded = false;
+  /// Optional remark emitter (instrumented runs only).
+  PassContext *Ctx = nullptr;
+  unsigned Folds = 0;
+  unsigned BranchFolds = 0;
 };
 
 } // namespace
 
-bool epre::propagateConstants(Function &F, FunctionAnalysisManager &AM) {
+PreservedAnalyses epre::SCCPPass::run(Function &F,
+                                      FunctionAnalysisManager &AM,
+                                      PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
   SCCP S(F);
+  S.Ctx = &Ctx;
   bool Changed = S.run();
-  if (Changed) {
-    F.bumpVersion();
-    AM.finishPass(S.BranchFolded ? PreservedAnalyses::none()
-                                 : PreservedAnalyses::cfgShape());
-  }
-  return Changed;
+  Ctx.addStat("folds", S.Folds);
+  Ctx.addStat("branches_folded", S.BranchFolds);
+  Ctx.addStat("changed", Changed);
+  if (!Changed)
+    return PreservedAnalyses::all();
+  F.bumpVersion();
+  PreservedAnalyses PA = S.BranchFolded ? PreservedAnalyses::none()
+                                        : PreservedAnalyses::cfgShape();
+  AM.finishPass(PA);
+  return PA;
+}
+
+bool epre::propagateConstants(Function &F, FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  SCCPPass().run(F, AM, Ctx);
+  return SR.get("sccp", "changed") != 0;
 }
 
 bool epre::propagateConstants(Function &F) {

@@ -13,16 +13,30 @@
 #define EPRE_OPT_CONSTANTPROPAGATION_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
 
-/// Runs constant propagation; returns true if the function changed.
-/// Instructions computing constants are rewritten to immediate loads, and
-/// conditional branches on constants become unconditional. Dead code and
-/// unreachable blocks are left for DCE / SimplifyCFG.
+/// Sparse conditional constant propagation behind the unified pass-entry
+/// API. Rewrites instructions computing constants to immediate loads and
+/// folds conditional branches on constants; dead code and unreachable
+/// blocks are left for DCE / SimplifyCFG.
 ///
-/// Preserves the CFG shape unless a conditional branch was folded.
+/// Counters: sccp.folds, sccp.branches_folded, sccp.changed.
+/// Remarks: Fold per rewritten instruction and folded branch.
+class SCCPPass {
+public:
+  static constexpr const char *name() { return "sccp"; }
+
+  /// Runs the pass, settles \p AM, and returns the net preserved set
+  /// (everything when nothing changed; CFG shape unless a branch folded).
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+};
+
+/// Deprecated free-function shims (kept for one PR): forward to SCCPPass
+/// with instrumentation disabled. Return true if the function changed.
 bool propagateConstants(Function &F, FunctionAnalysisManager &AM);
 bool propagateConstants(Function &F);
 

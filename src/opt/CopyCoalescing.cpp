@@ -53,9 +53,7 @@ std::vector<std::set<Reg>> buildInterference(const Function &F, const CFG &G,
   return IG;
 }
 
-} // namespace
-
-unsigned epre::coalesceCopies(Function &F, FunctionAnalysisManager &AM) {
+unsigned coalesceCopiesImpl(Function &F, FunctionAnalysisManager &AM) {
   unsigned Removed = 0;
   // Coalescing renames registers and deletes self-copies; the block graph
   // never changes, so one CFG serves every round.
@@ -139,6 +137,25 @@ unsigned epre::coalesceCopies(Function &F, FunctionAnalysisManager &AM) {
     AM.finishPass(PreservedAnalyses::cfgShape());
   }
   return Removed;
+}
+
+} // namespace
+
+PreservedAnalyses epre::CopyCoalescingPass::run(Function &F,
+                                                FunctionAnalysisManager &AM,
+                                                PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  unsigned Removed = coalesceCopiesImpl(F, AM);
+  Ctx.addStat("copies_removed", Removed);
+  // The impl already settled AM (cfgShape) when it removed anything.
+  return Removed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all();
+}
+
+unsigned epre::coalesceCopies(Function &F, FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  CopyCoalescingPass().run(F, AM, Ctx);
+  return unsigned(SR.get("coalesce", "copies_removed"));
 }
 
 unsigned epre::coalesceCopies(Function &F) {

@@ -13,14 +13,25 @@
 #define EPRE_OPT_COPYCOALESCING_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
 
-/// Coalesces non-interfering copy-related registers and deletes the copies.
-/// Runs in rounds until no copy can be removed. Returns the number of copy
-/// instructions eliminated. Must run on phi-free (non-SSA) code.
-/// Preserves the CFG shape (registers renamed, copies removed).
+/// Copy coalescing behind the unified pass-entry API. Coalesces
+/// non-interfering copy-related registers and deletes the copies, in
+/// rounds until no copy can be removed. Must run on phi-free (non-SSA)
+/// code. Preserves the CFG shape (registers renamed, copies removed).
+/// Counters: coalesce.copies_removed.
+class CopyCoalescingPass {
+public:
+  static constexpr const char *name() { return "coalesce"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+};
+
+/// Deprecated free-function shims (kept for one PR). Return the number of
+/// copy instructions eliminated.
 unsigned coalesceCopies(Function &F, FunctionAnalysisManager &AM);
 unsigned coalesceCopies(Function &F);
 

@@ -18,7 +18,7 @@ namespace {
 /// return. Liveness alone cannot remove self-sustaining dead cycles like a
 /// loop accumulator whose sum is never read (`s = s + i`), because the
 /// cycle keeps itself live; this register-level mark phase can.
-bool sweepUnobservableRegisters(Function &F) {
+bool sweepUnobservableRegisters(Function &F, unsigned &Removed) {
   // Backward reachability from effects over the def-use graph, driven by a
   // register worklist (one pass over the instructions to index defs, then
   // each definition is visited once per its register's first marking —
@@ -65,6 +65,7 @@ bool sweepUnobservableRegisters(Function &F) {
                        I.Op != Opcode::Load && !Observable.test(I.Dst);
       if (Removable) {
         Changed = true;
+        ++Removed;
         continue;
       }
       Kept.push_back(std::move(I));
@@ -74,10 +75,9 @@ bool sweepUnobservableRegisters(Function &F) {
   return Changed;
 }
 
-} // namespace
-
-bool epre::eliminateDeadCode(Function &F, FunctionAnalysisManager &AM) {
-  bool EverChanged = sweepUnobservableRegisters(F);
+bool eliminateDeadCodeImpl(Function &F, FunctionAnalysisManager &AM,
+                           unsigned &Removed) {
+  bool EverChanged = sweepUnobservableRegisters(F, Removed);
   // Only instructions are removed below, never blocks or edges: one CFG
   // serves every liveness round.
   const CFG &G = AM.cfg();
@@ -101,6 +101,7 @@ bool epre::eliminateDeadCode(Function &F, FunctionAnalysisManager &AM) {
                       LiveNow.test(I.Dst);
         if (!Needed) {
           Changed = true;
+          ++Removed;
           continue;
         }
         if (I.hasDst())
@@ -120,6 +121,26 @@ bool epre::eliminateDeadCode(Function &F, FunctionAnalysisManager &AM) {
     AM.finishPass(PreservedAnalyses::cfgShape());
   }
   return EverChanged;
+}
+
+} // namespace
+
+PreservedAnalyses epre::DCEPass::run(Function &F, FunctionAnalysisManager &AM,
+                                     PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  unsigned Removed = 0;
+  bool Changed = eliminateDeadCodeImpl(F, AM, Removed);
+  Ctx.addStat("removed", Removed);
+  Ctx.addStat("changed", Changed);
+  // The impl already settled AM (cfgShape) when it changed anything.
+  return Changed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all();
+}
+
+bool epre::eliminateDeadCode(Function &F, FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  DCEPass().run(F, AM, Ctx);
+  return SR.get("dce", "changed") != 0;
 }
 
 bool epre::eliminateDeadCode(Function &F) {

@@ -11,14 +11,24 @@
 #define EPRE_OPT_DEADCODEELIM_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
 
-/// Removes dead pure instructions. Returns true if anything was deleted.
-/// Stores, calls are pure (intrinsics) and thus deletable; branches,
-/// returns, and stores are always kept.
+/// Dead code elimination behind the unified pass-entry API. Removes dead
+/// pure instructions; branches, returns, and stores are always kept.
 /// Preserves the CFG shape (only instructions are removed).
+/// Counters: dce.removed, dce.changed.
+class DCEPass {
+public:
+  static constexpr const char *name() { return "dce"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+};
+
+/// Deprecated free-function shims (kept for one PR). Return true if
+/// anything was deleted.
 bool eliminateDeadCode(Function &F, FunctionAnalysisManager &AM);
 bool eliminateDeadCode(Function &F);
 

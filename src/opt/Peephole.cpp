@@ -354,16 +354,28 @@ private:
 
 } // namespace
 
+PreservedAnalyses epre::PeepholePass::run(Function &F,
+                                          FunctionAnalysisManager &AM,
+                                          PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  bool Changed = Peephole(F, Opts).run(AM);
+  Ctx.addStat("changed", Changed);
+  if (!Changed)
+    return PreservedAnalyses::all();
+  F.bumpVersion();
+  // Never touches terminators, so the block graph is intact; rewritten
+  // expressions invalidate ranks.
+  PreservedAnalyses PA = PreservedAnalyses::cfgShape();
+  AM.finishPass(PA);
+  return PA;
+}
+
 bool epre::runPeephole(Function &F, FunctionAnalysisManager &AM,
                        const PeepholeOptions &Opts) {
-  bool Changed = Peephole(F, Opts).run(AM);
-  if (Changed) {
-    F.bumpVersion();
-    // Never touches terminators, so the block graph is intact; rewritten
-    // expressions invalidate ranks.
-    AM.finishPass(PreservedAnalyses::cfgShape());
-  }
-  return Changed;
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  PeepholePass(Opts).run(F, AM, Ctx);
+  return SR.get("peephole", "changed") != 0;
 }
 
 bool epre::runPeephole(Function &F, const PeepholeOptions &Opts) {

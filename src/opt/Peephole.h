@@ -15,6 +15,7 @@
 #define EPRE_OPT_PEEPHOLE_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -26,8 +27,21 @@ struct PeepholeOptions {
   bool StrengthReduceMul = true;
 };
 
-/// Runs peephole simplification to a local fixpoint; returns true on change.
-/// Preserves the CFG shape (terminators are never rewritten).
+/// Peephole simplification to a local fixpoint behind the unified
+/// pass-entry API. Preserves the CFG shape (terminators are never
+/// rewritten). Counters: peephole.changed.
+class PeepholePass {
+public:
+  static constexpr const char *name() { return "peephole"; }
+  explicit PeepholePass(const PeepholeOptions &Opts = {}) : Opts(Opts) {}
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+private:
+  PeepholeOptions Opts;
+};
+
+/// Deprecated free-function shims (kept for one PR).
 bool runPeephole(Function &F, FunctionAnalysisManager &AM,
                  const PeepholeOptions &Opts = {});
 bool runPeephole(Function &F, const PeepholeOptions &Opts = {});

@@ -12,7 +12,9 @@
 
 using namespace epre;
 
-bool epre::removeUnreachableBlocks(Function &F, FunctionAnalysisManager &AM) {
+namespace {
+
+bool removeUnreachableBlocksImpl(Function &F, FunctionAnalysisManager &AM) {
   const CFG &G = AM.cfg();
   std::vector<BlockId> Dead;
   F.forEachBlock([&](BasicBlock &B) {
@@ -42,13 +44,6 @@ bool epre::removeUnreachableBlocks(Function &F, FunctionAnalysisManager &AM) {
   AM.finishPass(PreservedAnalyses::none());
   return true;
 }
-
-bool epre::removeUnreachableBlocks(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return removeUnreachableBlocks(F, AM);
-}
-
-namespace {
 
 /// Rewrites `cbr` with equal targets or a locally-constant condition to
 /// `br`. Returns true on change.
@@ -214,7 +209,7 @@ bool threadForwardingBlocks(Function &F, FunctionAnalysisManager &AM) {
   });
   if (Changed) {
     AM.finishPass(PreservedAnalyses::none());
-    removeUnreachableBlocks(F, AM);
+    removeUnreachableBlocksImpl(F, AM);
   }
   return Changed;
 }
@@ -258,21 +253,19 @@ bool mergeStraightLine(Function &F, FunctionAnalysisManager &AM) {
   return Changed;
 }
 
-} // namespace
-
-bool epre::simplifyCFG(Function &F, FunctionAnalysisManager &AM) {
+bool simplifyCFGImpl(Function &F, FunctionAnalysisManager &AM) {
   bool EverChanged = false;
   bool Changed = true;
   while (Changed) {
     Changed = false;
     // Unreachable blocks go first: they may hold branches to blocks that a
     // previous pass or iteration erased.
-    Changed |= removeUnreachableBlocks(F, AM);
+    Changed |= removeUnreachableBlocksImpl(F, AM);
     if (foldBranches(F)) {
       AM.finishPass(PreservedAnalyses::none());
       Changed = true;
     }
-    Changed |= removeUnreachableBlocks(F, AM);
+    Changed |= removeUnreachableBlocksImpl(F, AM);
     if (collapseSingleInputPhis(F)) {
       // Phis became copies: no block or edge changed, but expression
       // content did.
@@ -287,7 +280,47 @@ bool epre::simplifyCFG(Function &F, FunctionAnalysisManager &AM) {
   return EverChanged;
 }
 
+} // namespace
+
+PreservedAnalyses epre::SimplifyCFGPass::run(Function &F,
+                                             FunctionAnalysisManager &AM,
+                                             PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  // The fixpoint settles AM after every rule application, so the cache is
+  // already fresh on exit; the returned set is informational.
+  bool Changed = simplifyCFGImpl(F, AM);
+  Ctx.addStat("changed", Changed);
+  return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
+}
+
+PreservedAnalyses epre::UnreachableBlockElimPass::run(
+    Function &F, FunctionAnalysisManager &AM, PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  bool Changed = removeUnreachableBlocksImpl(F, AM);
+  Ctx.addStat("changed", Changed);
+  return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
+}
+
+bool epre::simplifyCFG(Function &F, FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  SimplifyCFGPass().run(F, AM, Ctx);
+  return SR.get("simplifycfg", "changed") != 0;
+}
+
 bool epre::simplifyCFG(Function &F) {
   FunctionAnalysisManager AM(F);
   return simplifyCFG(F, AM);
+}
+
+bool epre::removeUnreachableBlocks(Function &F, FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  UnreachableBlockElimPass().run(F, AM, Ctx);
+  return SR.get("unreachable-elim", "changed") != 0;
+}
+
+bool epre::removeUnreachableBlocks(Function &F) {
+  FunctionAnalysisManager AM(F);
+  return removeUnreachableBlocks(F, AM);
 }

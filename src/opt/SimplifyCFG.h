@@ -12,10 +12,30 @@
 #define EPRE_OPT_SIMPLIFYCFG_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
 
+/// CFG simplification behind the unified pass-entry API.
+/// Counters: simplifycfg.changed.
+class SimplifyCFGPass {
+public:
+  static constexpr const char *name() { return "simplifycfg"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+};
+
+/// Unreachable-block removal only, as its own schedulable pass.
+/// Counters: unreachable-elim.changed.
+class UnreachableBlockElimPass {
+public:
+  static constexpr const char *name() { return "unreachable-elim"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+};
+
+/// Deprecated free-function shim (kept for one PR).
 /// Runs CFG simplification to a fixpoint. Returns true if anything changed.
 ///
 /// Rules applied:

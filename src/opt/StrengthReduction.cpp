@@ -288,7 +288,9 @@ private:
 
 } // namespace
 
-SRStats epre::strengthReduceSSA(Function &F, FunctionAnalysisManager &AM) {
+namespace {
+
+SRStats strengthReduceSSAImpl(Function &F, FunctionAnalysisManager &AM) {
   SRStats Stats = StrengthReducer(F, AM).run();
   if (Stats.Reduced) {
     // New phis, preheader computations, and copy rewrites: instruction
@@ -299,20 +301,42 @@ SRStats epre::strengthReduceSSA(Function &F, FunctionAnalysisManager &AM) {
   return Stats;
 }
 
+} // namespace
+
+PreservedAnalyses epre::StrengthReductionPass::run(Function &F,
+                                                   FunctionAnalysisManager &AM,
+                                                   PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  SSAOptions Opts;
+  Opts.Pruned = true;
+  Opts.FoldCopies = false;
+  SSABuildPass(Opts).run(F, AM, Ctx);
+  Last = strengthReduceSSAImpl(F, AM);
+  SSADestroyPass().run(F, AM, Ctx);
+  LocalizeNamesPass().run(F, AM, Ctx);
+  Ctx.addStat("loops_visited", Last.LoopsVisited);
+  Ctx.addStat("basic_ivs", Last.BasicIVs);
+  Ctx.addStat("reduced", Last.Reduced);
+  // The SSA sandwich always rewrites the function; the sub-passes settled
+  // AM along the way.
+  return PreservedAnalyses::none();
+}
+
+SRStats epre::strengthReduceSSA(Function &F, FunctionAnalysisManager &AM) {
+  return strengthReduceSSAImpl(F, AM);
+}
+
 SRStats epre::strengthReduceSSA(Function &F) {
   FunctionAnalysisManager AM(F);
   return strengthReduceSSA(F, AM);
 }
 
 SRStats epre::strengthReduce(Function &F, FunctionAnalysisManager &AM) {
-  SSAOptions Opts;
-  Opts.Pruned = true;
-  Opts.FoldCopies = false;
-  buildSSA(F, AM, Opts);
-  SRStats Stats = strengthReduceSSA(F, AM);
-  destroySSA(F, AM);
-  localizeExpressionNames(F, AM);
-  return Stats;
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  StrengthReductionPass P;
+  P.run(F, AM, Ctx);
+  return P.lastStats();
 }
 
 SRStats epre::strengthReduce(Function &F) {

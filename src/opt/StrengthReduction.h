@@ -32,6 +32,7 @@
 #define EPRE_OPT_STRENGTHREDUCTION_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
@@ -42,13 +43,32 @@ struct SRStats {
   unsigned Reduced = 0; ///< multiplications rewritten to additions
 };
 
+/// The full strength-reduction phase behind the unified pass-entry API:
+/// on phi-free code, builds SSA (copies kept), reduces, leaves SSA, and
+/// re-localizes expression names for PRE (§5.1). The SSA sandwich passes
+/// open their own scopes, so timer reports show them nested under this
+/// pass. Counters: strengthreduce.loops_visited, strengthreduce.basic_ivs,
+/// strengthreduce.reduced.
+class StrengthReductionPass {
+public:
+  static constexpr const char *name() { return "strengthreduce"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+  /// Stats of the most recent run (for drivers that branch on them).
+  const SRStats &lastStats() const { return Last; }
+
+private:
+  SRStats Last;
+};
+
+/// Deprecated free-function shims (kept for one PR).
 /// The SSA core: reduces candidates in a function already in SSA form.
 /// Preserves the CFG shape (adds instructions and phis, never blocks/edges).
 SRStats strengthReduceSSA(Function &F, FunctionAnalysisManager &AM);
 SRStats strengthReduceSSA(Function &F);
 
-/// The full phase on phi-free code: builds SSA (copies kept), reduces,
-/// leaves SSA, and re-localizes expression names for PRE (§5.1).
+/// The full phase on phi-free code.
 SRStats strengthReduce(Function &F, FunctionAnalysisManager &AM);
 SRStats strengthReduce(Function &F);
 

@@ -4,7 +4,6 @@
 
 #include "analysis/AnalysisManager.h"
 #include "analysis/CFG.h"
-#include "analysis/EdgeSplitting.h"
 #include "ir/Verifier.h"
 #include "opt/ConstantPropagation.h"
 #include "opt/CopyCoalescing.h"
@@ -13,12 +12,15 @@
 #include "opt/SimplifyCFG.h"
 #include "opt/StrengthReduction.h"
 #include "gvn/DVNT.h"
+#include "gvn/ValueNumbering.h"
 #include "pre/LocalizeNames.h"
+#include "reassoc/ForwardProp.h"
 #include "reassoc/Reassociate.h"
 #include "ssa/SSA.h"
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 
 using namespace epre;
@@ -39,6 +41,108 @@ const char *epre::optLevelName(OptLevel L) {
   return "?";
 }
 
+const char *epre::gvnEngineName(GVNEngine E) {
+  switch (E) {
+  case GVNEngine::AWZ:
+    return "awz";
+  case GVNEngine::DVNT:
+    return "dvnt";
+  }
+  return "?";
+}
+
+const char *epre::preStrategyName(PREStrategy S) {
+  switch (S) {
+  case PREStrategy::LazyCodeMotion:
+    return "lazy-code-motion";
+  case PREStrategy::MorelRenvoise:
+    return "morel-renvoise";
+  case PREStrategy::GlobalCSE:
+    return "gcse";
+  }
+  return "?";
+}
+
+const char *epre::inputNamingName(InputNaming N) {
+  switch (N) {
+  case InputNaming::Hashed:
+    return "hashed";
+  case InputNaming::Naive:
+    return "naive";
+  }
+  return "?";
+}
+
+bool epre::parseOptLevel(std::string_view Name, OptLevel &L) {
+  for (OptLevel C : {OptLevel::None, OptLevel::Baseline, OptLevel::Partial,
+                     OptLevel::Reassociation, OptLevel::Distribution})
+    if (Name == optLevelName(C)) {
+      L = C;
+      return true;
+    }
+  return false;
+}
+
+bool epre::parsePREStrategy(std::string_view Name, PREStrategy &S) {
+  if (Name == "lazy-code-motion" || Name == "lcm") {
+    S = PREStrategy::LazyCodeMotion;
+    return true;
+  }
+  if (Name == "morel-renvoise" || Name == "mr") {
+    S = PREStrategy::MorelRenvoise;
+    return true;
+  }
+  if (Name == "gcse" || Name == "cse") {
+    S = PREStrategy::GlobalCSE;
+    return true;
+  }
+  return false;
+}
+
+bool epre::parseGVNEngine(std::string_view Name, GVNEngine &E) {
+  for (GVNEngine C : {GVNEngine::AWZ, GVNEngine::DVNT})
+    if (Name == gvnEngineName(C)) {
+      E = C;
+      return true;
+    }
+  return false;
+}
+
+bool epre::parseInputNaming(std::string_view Name, InputNaming &N) {
+  for (InputNaming C : {InputNaming::Hashed, InputNaming::Naive})
+    if (Name == inputNamingName(C)) {
+      N = C;
+      return true;
+    }
+  return false;
+}
+
+std::string PipelineOptions::validate() const {
+  if (Level == OptLevel::Partial && Naming == InputNaming::Naive)
+    return "the 'partial' level requires the front end's hashed expression "
+           "naming (paper §2.2): with naive naming PRE's lexical universe "
+           "is empty and the level silently degenerates to baseline";
+  if (Level == OptLevel::Distribution && !AllowFPReassoc)
+    return "the 'distribution' level multiplies through floating-point "
+           "sums and is meaningless with AllowFPReassoc=false; use "
+           "'reassociation' or allow FP reassociation";
+  if (Level == OptLevel::None && EnableStrengthReduction)
+    return "EnableStrengthReduction does nothing at the 'none' level; "
+           "pick at least 'baseline'";
+  return "";
+}
+
+std::optional<PipelineOptions>
+PipelineOptions::create(const PipelineOptions &Proto, std::string *Err) {
+  std::string Problem = Proto.validate();
+  if (!Problem.empty()) {
+    if (Err)
+      *Err = std::move(Problem);
+    return std::nullopt;
+  }
+  return Proto;
+}
+
 namespace {
 
 void verifyStage(const Function &F, const PipelineOptions &Opts,
@@ -49,40 +153,39 @@ void verifyStage(const Function &F, const PipelineOptions &Opts,
 
 /// The paper's baseline sequence; every level ends with it.
 void runBaselineTail(Function &F, FunctionAnalysisManager &AM,
-                     const PipelineOptions &Opts, PipelineStats &Stats) {
-  propagateConstants(F, AM);
+                     const PipelineOptions &Opts, PassContext &Ctx) {
+  SCCPPass().run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::Relaxed, "constant propagation");
-  simplifyCFG(F, AM);
+  SimplifyCFGPass().run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::Relaxed, "cfg simplification");
 
   PeepholeOptions PO;
   PO.StrengthReduceMul = Opts.StrengthReduceMul;
-  runPeephole(F, AM, PO);
+  PeepholePass(PO).run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::Relaxed, "peephole");
 
   // Peephole can expose more constants (and vice versa); one more round
   // matches the paper's "sequence of passes" spirit without iterating to
   // an unbounded fixpoint.
-  propagateConstants(F, AM);
-  simplifyCFG(F, AM);
-  runPeephole(F, AM, PO);
+  SCCPPass().run(F, AM, Ctx);
+  SimplifyCFGPass().run(F, AM, Ctx);
+  PeepholePass(PO).run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::Relaxed, "second peephole");
 
-  eliminateDeadCode(F, AM);
+  DCEPass().run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::Relaxed, "dead code elimination");
 
-  Stats.CopiesCoalesced = coalesceCopies(F, AM);
+  CopyCoalescingPass().run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::Relaxed, "coalescing");
 
-  eliminateDeadCode(F, AM);
-  simplifyCFG(F, AM);
+  DCEPass().run(F, AM, Ctx);
+  SimplifyCFGPass().run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::Relaxed, "final cleanup");
 }
 
 void runReassociationPhase(Function &F, FunctionAnalysisManager &AM,
-                           const PipelineOptions &Opts,
-                           PipelineStats &Stats) {
-  buildSSA(F, AM);
+                           const PipelineOptions &Opts, PassContext &Ctx) {
+  SSABuildPass().run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::SSA, "SSA construction");
 
   // The reassociation passes extend this map in place as they create
@@ -90,52 +193,55 @@ void runReassociationPhase(Function &F, FunctionAnalysisManager &AM,
   // stale snapshot after the first setRank).
   RankMap Ranks = RankMap::compute(F, AM.cfg());
 
-  Stats.ForwardProp = propagateForward(F, AM, Ranks);
+  ForwardPropPass(Ranks).run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::NoSSA, "forward propagation");
 
   ReassociateOptions RO;
   RO.AllowFPReassoc = Opts.AllowFPReassoc;
   RO.Distribute = Opts.Level == OptLevel::Distribution;
 
-  Stats.SubsNormalized = normalizeNegation(F, Ranks, RO);
+  NegNormPass(Ranks, RO).run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::NoSSA, "negation normalization");
 
-  reassociate(F, Ranks, RO);
+  ReassociatePass(Ranks, RO).run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::NoSSA, "reassociation");
-  // Both passes rewrite expressions in place without telling the manager;
-  // flush it once here instead of threading it through them.
-  F.bumpVersion();
-  AM.finishPass(PreservedAnalyses::cfgShape());
 
-  if (Opts.Engine == GVNEngine::AWZ) {
-    Stats.GVN = runGlobalValueNumbering(F, AM);
-  } else {
-    DVNTStats DS = runDominatorValueNumbering(F, AM);
-    Stats.GVN.MergedDefs = DS.Redundant;
-  }
+  if (Opts.Engine == GVNEngine::AWZ)
+    GVNPass().run(F, AM, Ctx);
+  else
+    DVNTPass().run(F, AM, Ctx);
   verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
 }
 
 /// PRE handles one nesting level of redundancy per run: deleting the
 /// computation of an inner subexpression un-kills its parents. Iterate to
-/// a fixpoint (bounded by expression-tree depth).
+/// a fixpoint (bounded by expression-tree depth). Counters accumulate
+/// across rounds (pre.universe is a per-round sum; see observability doc).
 void runPREToFixpoint(Function &F, FunctionAnalysisManager &AM,
-                      const PipelineOptions &Opts, PipelineStats &Stats) {
+                      const PipelineOptions &Opts, PassContext &Ctx) {
+  PREPass P(Opts.Strategy, Opts.Solver);
   for (unsigned Round = 0; Round < 16; ++Round) {
-    PREStats S =
-        eliminatePartialRedundancies(F, AM, Opts.Strategy, Opts.Solver);
+    P.run(F, AM, Ctx);
     verifyStage(F, Opts, SSAMode::NoSSA, "PRE");
-    if (Round == 0) {
-      Stats.PRE = S;
-    } else {
-      Stats.PRE.Inserted += S.Inserted;
-      Stats.PRE.Deleted += S.Deleted;
-      Stats.PRE.EdgesSplit += S.EdgesSplit;
-      Stats.PRE.AvailSolve.accumulate(S.AvailSolve);
-      Stats.PRE.AntSolve.accumulate(S.AntSolve);
-    }
-    if (S.Inserted == 0 && S.Deleted == 0)
+    if (P.lastStats().Inserted == 0 && P.lastStats().Deleted == 0)
       break;
+  }
+}
+
+/// Surfaces the analysis manager's cache counters as analysis.<name>.*
+/// so the observability layer reports cache behaviour next to pass work.
+void publishAnalysisStats(const FunctionAnalysisManager &AM,
+                          StatsRegistry &R) {
+  const FunctionAnalysisManager::Stats &S = AM.stats();
+  for (unsigned I = 0; I < NumAnalysisIDs; ++I) {
+    AnalysisID ID = AnalysisID(I);
+    std::string Pass = std::string("analysis.") + analysisName(ID);
+    if (uint64_t V = S.hits(ID))
+      R.counter(Pass, "hits") += V;
+    if (uint64_t V = S.computes(ID))
+      R.counter(Pass, "computes") += V;
+    if (uint64_t V = S.invalidations(ID))
+      R.counter(Pass, "invalidations") += V;
   }
 }
 
@@ -144,48 +250,57 @@ void runPREToFixpoint(Function &F, FunctionAnalysisManager &AM,
 PipelineStats epre::optimizeFunction(Function &F,
                                      const PipelineOptions &Opts) {
   PipelineStats Stats;
-  Stats.OpsBefore = F.staticOperationCount();
-  if (Opts.Level == OptLevel::None) {
-    Stats.OpsAfter = Stats.OpsBefore;
-    return Stats;
+  {
+    // Every counter of this run lands in the per-function registry first;
+    // one merge into the module-level sink happens after the root scope
+    // closes, so emitters pay a single map update.
+    PassContext Ctx(&Stats.Registry, Opts.Instr);
+    PassScope Root(Ctx, "pipeline", F);
+    Ctx.addStat("ops_before", F.staticOperationCount());
+
+    if (Opts.Level != OptLevel::None) {
+      // One analysis manager per function: every pass below reads its
+      // analyses from here and declares what it preserved, so rounds that
+      // change nothing stop paying for full re-analysis.
+      FunctionAnalysisManager AM(F, Opts.DisableAnalysisCache);
+
+      UnreachableBlockElimPass().run(F, AM, Ctx);
+
+      switch (Opts.Level) {
+      case OptLevel::None:
+      case OptLevel::Baseline:
+        break;
+      case OptLevel::Partial:
+        // §5.1's "alternative approach": shadow-copy any expression name
+        // the front end left live across a block boundary, so PRE's
+        // universe never has to drop an expression.
+        LocalizeNamesPass().run(F, AM, Ctx);
+        verifyStage(F, Opts, SSAMode::NoSSA, "name localization");
+        runPREToFixpoint(F, AM, Opts, Ctx);
+        break;
+      case OptLevel::Reassociation:
+      case OptLevel::Distribution:
+        runReassociationPhase(F, AM, Opts, Ctx);
+        runPREToFixpoint(F, AM, Opts, Ctx);
+        break;
+      }
+
+      if (Opts.EnableStrengthReduction) {
+        StrengthReductionPass().run(F, AM, Ctx);
+        verifyStage(F, Opts, SSAMode::NoSSA, "strength reduction");
+        if (Opts.Level != OptLevel::Baseline)
+          runPREToFixpoint(F, AM, Opts, Ctx);
+      }
+
+      runBaselineTail(F, AM, Opts, Ctx);
+      publishAnalysisStats(AM, Stats.Registry);
+    }
+
+    Ctx.addStat("ops_after", F.staticOperationCount());
   }
 
-  // One analysis manager per function: every pass below reads its analyses
-  // from here and declares what it preserved, so rounds that change nothing
-  // stop paying for full re-analysis.
-  FunctionAnalysisManager AM(F, Opts.DisableAnalysisCache);
-
-  removeUnreachableBlocks(F, AM);
-
-  switch (Opts.Level) {
-  case OptLevel::None:
-    break;
-  case OptLevel::Baseline:
-    break;
-  case OptLevel::Partial:
-    // §5.1's "alternative approach": shadow-copy any expression name the
-    // front end left live across a block boundary, so PRE's universe never
-    // has to drop an expression.
-    localizeExpressionNames(F, AM);
-    verifyStage(F, Opts, SSAMode::NoSSA, "name localization");
-    runPREToFixpoint(F, AM, Opts, Stats);
-    break;
-  case OptLevel::Reassociation:
-  case OptLevel::Distribution:
-    runReassociationPhase(F, AM, Opts, Stats);
-    runPREToFixpoint(F, AM, Opts, Stats);
-    break;
-  }
-
-  if (Opts.EnableStrengthReduction) {
-    strengthReduce(F, AM);
-    verifyStage(F, Opts, SSAMode::NoSSA, "strength reduction");
-    if (Opts.Level != OptLevel::Baseline)
-      runPREToFixpoint(F, AM, Opts, Stats);
-  }
-
-  runBaselineTail(F, AM, Opts, Stats);
-  Stats.OpsAfter = F.staticOperationCount();
+  if (Opts.Instr)
+    Opts.Instr->stats().merge(Stats.Registry);
   return Stats;
 }
 
@@ -214,13 +329,33 @@ epre::runPipelineParallel(Module &M, const PipelineOptions &Opts,
   // Functions share nothing, so a shared atomic cursor is the whole
   // scheduler: each worker claims the next unprocessed function until the
   // module is drained.
+  //
+  // Instrumentation: PassInstrumentation is single-threaded by contract,
+  // so each function gets a private child sink, created by whichever
+  // worker claims it and merged below in module order — counters, timer
+  // report, and remark stream come out identical to the serial driver
+  // regardless of scheduling (timer slices keep a per-worker trace lane).
+  // Parent callbacks deliberately do not fire here: they would run
+  // concurrently from the workers. Each All[I] / Children[I] slot is
+  // written by exactly one worker and read only after the join, so the
+  // only shared mutable state is the two atomics.
+  std::vector<std::unique_ptr<PassInstrumentation>> Children(N);
   std::atomic<size_t> Next{0};
+  std::atomic<uint32_t> Lanes{0};
   auto Worker = [&] {
+    uint32_t Lane = 1 + Lanes.fetch_add(1, std::memory_order_relaxed);
     while (true) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= N)
         return;
-      All[I] = optimizeFunction(*M.Functions[I], Opts);
+      PipelineOptions Local = Opts;
+      if (Opts.Instr) {
+        Children[I] =
+            std::make_unique<PassInstrumentation>(Opts.Instr->options());
+        Children[I]->timers().setLane(Lane);
+        Local.Instr = Children[I].get();
+      }
+      All[I] = optimizeFunction(*M.Functions[I], Local);
     }
   };
   std::vector<std::thread> Threads;
@@ -229,5 +364,10 @@ epre::runPipelineParallel(Module &M, const PipelineOptions &Opts,
     Threads.emplace_back(Worker);
   for (std::thread &T : Threads)
     T.join();
+
+  if (Opts.Instr)
+    for (size_t I = 0; I < N; ++I)
+      if (Children[I])
+        Opts.Instr->merge(std::move(*Children[I]));
   return All;
 }

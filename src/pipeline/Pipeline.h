@@ -14,15 +14,26 @@
 ///  - \c Distribution: Reassociation plus distribution of multiplication
 ///    over addition.
 ///
+/// Every pass is invoked through the unified
+/// `run(Function&, FunctionAnalysisManager&, PassContext&)` entry point, so
+/// attaching a PassInstrumentation to PipelineOptions::Instr observes the
+/// whole pipeline (timers, counters, remarks, IR snapshots) without any
+/// per-pass wiring.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EPRE_PIPELINE_PIPELINE_H
 #define EPRE_PIPELINE_PIPELINE_H
 
 #include "analysis/AnalysisManager.h"
-#include "gvn/ValueNumbering.h"
+#include "analysis/Dataflow.h"
+#include "instrument/PassInstrumentation.h"
 #include "pre/PRE.h"
-#include "reassoc/ForwardProp.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace epre {
 
@@ -42,10 +53,38 @@ enum class GVNEngine {
   DVNT, ///< dominator-tree hash-based numbering (the paper's "missing pass")
 };
 
+const char *gvnEngineName(GVNEngine E);
+const char *preStrategyName(PREStrategy S);
+
+/// How the front end named expressions in the input handed to the
+/// pipeline. The Partial level consumes names as-is and therefore requires
+/// the §2.2 hashed discipline; the reassociation levels construct their
+/// own naming and accept either.
+enum class InputNaming {
+  Hashed, ///< one destination register per lexical expression (§2.2)
+  Naive,  ///< a fresh register per computation
+};
+
+const char *inputNamingName(InputNaming N);
+
+/// Round-trips for the names above: parse "baseline", "lcm",
+/// "morel-renvoise", "awz", "hashed", ... back into the enum. Return false
+/// on unknown spellings (match is case-sensitive, exactly the string the
+/// corresponding *Name function produces, plus the historical aliases
+/// "lcm" / "mr" / "gcse" for the PRE strategies).
+bool parseOptLevel(std::string_view Name, OptLevel &L);
+bool parsePREStrategy(std::string_view Name, PREStrategy &S);
+bool parseGVNEngine(std::string_view Name, GVNEngine &E);
+bool parseInputNaming(std::string_view Name, InputNaming &N);
+
 struct PipelineOptions {
   OptLevel Level = OptLevel::Baseline;
   PREStrategy Strategy = PREStrategy::LazyCodeMotion;
   GVNEngine Engine = GVNEngine::AWZ;
+  /// What naming discipline the input arrives in. Validation rejects the
+  /// Partial level on Naive input (PRE would silently drop most of its
+  /// universe).
+  InputNaming Naming = InputNaming::Hashed;
   /// Exploit F64 associativity (FORTRAN semantics). Off = bit-exact only.
   bool AllowFPReassoc = true;
   /// Let peephole turn integer multiplies by powers of two into shifts
@@ -63,16 +102,71 @@ struct PipelineOptions {
   /// cached FunctionAnalysisManager). Defaults to the compiled-in value,
   /// which -DEPRE_DISABLE_ANALYSIS_CACHE flips.
   bool DisableAnalysisCache = FunctionAnalysisManager::defaultDisabled();
+  /// Optional observability sink: timers, counters, remarks, IR snapshots.
+  /// Not owned. Must only be fed from one thread at a time; the parallel
+  /// driver takes care of that by giving every function a private child
+  /// sink and merging in module order.
+  PassInstrumentation *Instr = nullptr;
+
+  /// Returns "" when the combination is consistent, else a one-line
+  /// description of the first problem found.
+  std::string validate() const;
+
+  /// Validating factory: returns the options when consistent, or
+  /// std::nullopt with the problem description in \p Err (when non-null).
+  static std::optional<PipelineOptions> create(const PipelineOptions &Proto,
+                                               std::string *Err = nullptr);
 };
 
+/// Counters of one pipeline run, backed by the instrumentation layer's
+/// stats registry. Consumers read through the stable accessors below (or
+/// get()) instead of reaching into pass-specific structs; the counter
+/// names are part of the observability interface (docs/observability.md).
+///
+/// Counters accumulate over every invocation of a pass in the run: a pass
+/// that executes twice (e.g. PRE iterating to its fixpoint) contributes
+/// the sum of both executions.
 struct PipelineStats {
-  ForwardPropStats ForwardProp;
-  GVNStats GVN;
-  PREStats PRE;
-  unsigned CopiesCoalesced = 0;
-  unsigned SubsNormalized = 0;
-  unsigned OpsBefore = 0;
-  unsigned OpsAfter = 0;
+  StatsRegistry Registry;
+
+  uint64_t get(std::string_view Pass, std::string_view Counter) const {
+    return Registry.get(Pass, Counter);
+  }
+
+  uint64_t opsBefore() const { return get("pipeline", "ops_before"); }
+  uint64_t opsAfter() const { return get("pipeline", "ops_after"); }
+
+  uint64_t preUniverse() const { return get("pre", "universe"); }
+  uint64_t preDroppedUnsafe() const { return get("pre", "dropped_unsafe"); }
+  uint64_t preInserted() const { return get("pre", "inserted"); }
+  uint64_t preDeleted() const { return get("pre", "deleted"); }
+  uint64_t preEdgesSplit() const { return get("pre", "edges_split"); }
+  uint64_t preAvailIterations() const { return get("pre", "avail_iterations"); }
+  uint64_t preAntIterations() const { return get("pre", "ant_iterations"); }
+
+  uint64_t gvnRegisters() const { return get("gvn", "registers"); }
+  uint64_t gvnClasses() const { return get("gvn", "classes"); }
+  /// Definitions folded into another name, whichever engine ran.
+  uint64_t gvnMergedDefs() const {
+    return get("gvn", "merged_defs") + get("dvnt", "redundant");
+  }
+
+  uint64_t fwdOpsBefore() const { return get("fwdprop", "ops_before"); }
+  uint64_t fwdOpsAfter() const { return get("fwdprop", "ops_after"); }
+  uint64_t phisRemoved() const { return get("fwdprop", "phis_removed"); }
+  uint64_t treesCloned() const { return get("fwdprop", "trees_cloned"); }
+  double fwdExpansion() const {
+    uint64_t B = fwdOpsBefore();
+    return B ? double(fwdOpsAfter()) / double(B) : 1.0;
+  }
+
+  uint64_t subsNormalized() const { return get("negnorm", "rewritten"); }
+  uint64_t copiesCoalesced() const { return get("coalesce", "copies_removed"); }
+  uint64_t sccpFolds() const { return get("sccp", "folds"); }
+  uint64_t dceRemoved() const { return get("dce", "removed"); }
+
+  /// Commutative aggregation across functions (suite totals).
+  void merge(const PipelineStats &O) { Registry.merge(O.Registry); }
 };
 
 /// Runs the configured pipeline on \p F in place.
@@ -88,6 +182,12 @@ std::vector<PipelineStats> optimizeModule(Module &M,
 /// thread). Functions are fully independent — the pipeline touches nothing
 /// outside the Function it is handed — so this is safe, deterministic, and
 /// returns stats in module order, identical to optimizeModule.
+///
+/// When Opts.Instr is set, every function gets a private child sink which
+/// is merged into Opts.Instr in module order after the join, so counters
+/// and remarks are deterministic regardless of worker scheduling (timer
+/// slices keep their per-worker lane). Parent callbacks do not fire in
+/// parallel runs: they would otherwise run concurrently from the workers.
 std::vector<PipelineStats> runPipelineParallel(Module &M,
                                                const PipelineOptions &Opts,
                                                unsigned NumThreads = 0);

@@ -12,8 +12,10 @@
 
 using namespace epre;
 
-unsigned epre::localizeExpressionNames(Function &F,
-                                       FunctionAnalysisManager &AM) {
+namespace {
+
+unsigned localizeExpressionNamesImpl(Function &F,
+                                     FunctionAnalysisManager &AM) {
   // Registers with at least one expression definition (candidates for the
   // §2.2 "expression name" role).
   std::set<Reg> ExprNames;
@@ -135,6 +137,26 @@ unsigned epre::localizeExpressionNames(Function &F,
   // untouched.
   AM.finishPass(PreservedAnalyses::cfgShape());
   return unsigned(Unsafe.size());
+}
+
+} // namespace
+
+PreservedAnalyses epre::LocalizeNamesPass::run(Function &F,
+                                               FunctionAnalysisManager &AM,
+                                               PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  unsigned Names = localizeExpressionNamesImpl(F, AM);
+  Ctx.addStat("names", Names);
+  // The impl already settled AM (cfgShape) when it localized anything.
+  return Names ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all();
+}
+
+unsigned epre::localizeExpressionNames(Function &F,
+                                       FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  LocalizeNamesPass().run(F, AM, Ctx);
+  return unsigned(SR.get("localize", "names"));
 }
 
 unsigned epre::localizeExpressionNames(Function &F) {

@@ -22,12 +22,23 @@
 #define EPRE_PRE_LOCALIZENAMES_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 namespace epre {
 
-/// Returns the number of expression names localized.
+/// Expression-name localization behind the unified pass-entry API.
 /// Preserves the CFG shape (adds shadow copies only).
+/// Counters: localize.names.
+class LocalizeNamesPass {
+public:
+  static constexpr const char *name() { return "localize"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+};
+
+/// Deprecated free-function shims (kept for one PR). Return the number of
+/// expression names localized.
 unsigned localizeExpressionNames(Function &F, FunctionAnalysisManager &AM);
 unsigned localizeExpressionNames(Function &F);
 

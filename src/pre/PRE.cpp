@@ -7,6 +7,7 @@
 #include "analysis/EdgeSplitting.h"
 #include "ir/ExprKey.h"
 #include "support/BitVector.h"
+#include "support/StringUtil.h"
 
 #include <algorithm>
 #include <cassert>
@@ -30,6 +31,9 @@ public:
   PREImpl(Function &F, FunctionAnalysisManager &AM, PREStrategy Strategy,
           DataflowSolverKind Solver = DataflowSolverKind::Worklist)
       : F(F), AM(AM), G(AM.cfg()), Strategy(Strategy), Solver(Solver) {}
+
+  /// Optional remark emitter (instrumented runs only).
+  PassContext *Ctx = nullptr;
 
   /// Runs only the analysis half (universe, local sets, AVAIL/ANT solves);
   /// leaves the function untouched.
@@ -500,15 +504,15 @@ private:
       Kept.clear();
       Kept.reserve(B.Insts.size());
       for (Instruction &I : B.Insts) {
-        bool Drop = false;
+        bool DropLocal = false, DropGlobal = false;
         if (I.hasDst()) {
           auto It = ExprIndex.find(I.Dst);
           if (It != ExprIndex.end() && computes(I, It->second)) {
             unsigned E = It->second;
             if (CompClean.test(E))
-              Drop = true; // locally redundant recomputation
+              DropLocal = true; // locally redundant recomputation
             else if (DELETE[B.id()].test(E) && !Killed.test(E))
-              Drop = true; // globally (partially) redundant
+              DropGlobal = true; // globally (partially) redundant
             CompClean.set(E);
           }
         }
@@ -518,8 +522,15 @@ private:
             CompClean.reset(E);
           }
         }
-        if (Drop) {
+        if (DropLocal || DropGlobal) {
           ++Stats.Deleted;
+          if (Ctx && Ctx->remarksEnabled())
+            Ctx->remark(
+                RemarkKind::Delete, F, B.label(), opcodeName(I.Op),
+                strprintf(DropLocal
+                              ? "locally redundant recomputation of r%u removed"
+                              : "redundant computation of r%u removed",
+                          I.Dst));
           continue;
         }
         Kept.push_back(std::move(I));
@@ -578,6 +589,11 @@ private:
         for (unsigned Ex : Ordered) {
           B.insertBeforeTerminator(Universe[Ex].Proto);
           ++Stats.Inserted;
+          if (Ctx && Ctx->remarksEnabled())
+            Ctx->remark(RemarkKind::Insert, F, B.label(),
+                        opcodeName(Universe[Ex].Proto.Op),
+                        strprintf("computation of r%u inserted at block end",
+                                  Universe[Ex].Name));
         }
       });
     }
@@ -589,6 +605,17 @@ private:
       for (unsigned Ex : Ordered) {
         News.push_back(Universe[Ex].Proto);
         ++Stats.Inserted;
+        if (Ctx && Ctx->remarksEnabled())
+          Ctx->remark(
+              RemarkKind::Insert, F, F.block(E.To)->label(),
+              opcodeName(Universe[Ex].Proto.Op),
+              E.From == InvalidBlock
+                  ? strprintf("computation of r%u inserted on the entry edge",
+                              Universe[Ex].Name)
+                  : strprintf("computation of r%u inserted on edge ^%s -> ^%s",
+                              Universe[Ex].Name,
+                              F.block(E.From)->label().c_str(),
+                              F.block(E.To)->label().c_str()));
       }
       if (E.From == InvalidBlock) {
         BasicBlock *Entry = F.block(E.To);
@@ -640,17 +667,41 @@ private:
 
 } // namespace
 
+PreservedAnalyses epre::PREPass::run(Function &F, FunctionAnalysisManager &AM,
+                                     PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  PREImpl Impl(F, AM, Strategy, Solver);
+  Impl.Ctx = &Ctx;
+  Last = Impl.run();
+  Ctx.addStat("universe", Last.UniverseSize);
+  Ctx.addStat("dropped_unsafe", Last.DroppedUnsafe);
+  Ctx.addStat("inserted", Last.Inserted);
+  Ctx.addStat("deleted", Last.Deleted);
+  Ctx.addStat("edges_split", Last.EdgesSplit);
+  Ctx.addStat("avail_iterations", Last.AvailSolve.Iterations);
+  Ctx.addStat("ant_iterations", Last.AntSolve.Iterations);
+  if (!Last.Inserted && !Last.Deleted)
+    return PreservedAnalyses::all();
+  // The impl already settled AM with the matching set.
+  return Last.EdgesSplit ? PreservedAnalyses::none()
+                         : PreservedAnalyses::cfgShape();
+}
+
 PREStats epre::eliminatePartialRedundancies(Function &F,
                                             FunctionAnalysisManager &AM,
                                             PREStrategy Strategy,
                                             DataflowSolverKind Solver) {
-  return PREImpl(F, AM, Strategy, Solver).run();
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  PREPass P(Strategy, Solver);
+  P.run(F, AM, Ctx);
+  return P.lastStats();
 }
 
 PREStats epre::eliminatePartialRedundancies(Function &F, PREStrategy Strategy,
                                             DataflowSolverKind Solver) {
   FunctionAnalysisManager AM(F);
-  return PREImpl(F, AM, Strategy, Solver).run();
+  return eliminatePartialRedundancies(F, AM, Strategy, Solver);
 }
 
 PREDataflow epre::analyzePartialRedundancies(Function &F,

@@ -22,6 +22,7 @@
 
 #include "analysis/AnalysisManager.h"
 #include "analysis/Dataflow.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 #include "support/BitVector.h"
 
@@ -52,14 +53,38 @@ struct PREStats {
   DataflowStats AntSolve;      ///< cost of the anticipability solve
 };
 
-/// Runs PRE on phi-free code whose names obey the §2.2 discipline.
-/// Never lengthens any execution path.
+/// Partial redundancy elimination behind the unified pass-entry API. Runs
+/// on phi-free code whose names obey the §2.2 discipline; never lengthens
+/// any execution path. Preserves the CFG shape unless an insertion had to
+/// split a critical edge.
+///
+/// Counters: pre.universe, pre.dropped_unsafe, pre.inserted, pre.deleted,
+/// pre.edges_split, pre.avail_iterations, pre.ant_iterations.
+/// Remarks: Insert per placed computation, Delete per removed one.
+class PREPass {
+public:
+  static constexpr const char *name() { return "pre"; }
+  explicit PREPass(PREStrategy Strategy = PREStrategy::LazyCodeMotion,
+                   DataflowSolverKind Solver = DataflowSolverKind::Worklist)
+      : Strategy(Strategy), Solver(Solver) {}
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+  /// Stats of the most recent run; the fixpoint driver reads Inserted /
+  /// Deleted to detect convergence.
+  const PREStats &lastStats() const { return Last; }
+
+private:
+  PREStrategy Strategy;
+  DataflowSolverKind Solver;
+  PREStats Last;
+};
+
+/// Deprecated free-function shims (kept for one PR).
 PREStats eliminatePartialRedundancies(
     Function &F, PREStrategy Strategy = PREStrategy::LazyCodeMotion,
     DataflowSolverKind Solver = DataflowSolverKind::Worklist);
 
-/// As above, reading the CFG through \p AM. Preserves the CFG shape unless
-/// an insertion had to split a critical edge.
 PREStats eliminatePartialRedundancies(
     Function &F, FunctionAnalysisManager &AM,
     PREStrategy Strategy = PREStrategy::LazyCodeMotion,

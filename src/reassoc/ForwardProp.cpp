@@ -374,17 +374,33 @@ private:
 
 } // namespace
 
-ForwardPropStats epre::propagateForward(Function &F,
-                                        FunctionAnalysisManager &AM,
-                                        RankMap &Ranks) {
-  ForwardProp FP(F, AM, Ranks);
-  ForwardPropStats Stats = FP.run();
+PreservedAnalyses epre::ForwardPropPass::run(Function &F,
+                                             FunctionAnalysisManager &AM,
+                                             PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  ForwardProp FP(F, AM, *Ranks);
+  Last = FP.run();
+  Ctx.addStat("ops_before", Last.OpsBefore);
+  Ctx.addStat("ops_after", Last.OpsAfter);
+  Ctx.addStat("phis_removed", Last.PhisRemoved);
+  Ctx.addStat("trees_cloned", Last.TreesCloned);
   // Phis are gone and every block was rewritten; edge splits may have
   // added forwarding blocks.
   F.bumpVersion();
-  AM.finishPass(FP.splitEdges() ? PreservedAnalyses::none()
-                                : PreservedAnalyses::cfgShape());
-  return Stats;
+  PreservedAnalyses PA = FP.splitEdges() ? PreservedAnalyses::none()
+                                         : PreservedAnalyses::cfgShape();
+  AM.finishPass(PA);
+  return PA;
+}
+
+ForwardPropStats epre::propagateForward(Function &F,
+                                        FunctionAnalysisManager &AM,
+                                        RankMap &Ranks) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  ForwardPropPass P(Ranks);
+  P.run(F, AM, Ctx);
+  return P.lastStats();
 }
 
 ForwardPropStats epre::propagateForward(Function &F, RankMap &Ranks) {

@@ -25,6 +25,7 @@
 #define EPRE_REASSOC_FORWARDPROP_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 #include "reassoc/Ranks.h"
 
@@ -41,10 +42,29 @@ struct ForwardPropStats {
   }
 };
 
-/// Runs forward propagation on \p F (must be in SSA form with critical
-/// edges split). Extends \p Ranks with the ranks of cloned registers.
-/// Invalidates the CFG when it splits entering edges; preserves its shape
-/// otherwise.
+/// Forward propagation behind the unified pass-entry API. Runs on \p F in
+/// SSA form with critical edges split; extends the RankMap given at
+/// construction with the ranks of cloned registers. Invalidates the CFG
+/// when it splits entering edges; preserves its shape otherwise.
+///
+/// Counters: fwdprop.ops_before, fwdprop.ops_after, fwdprop.phis_removed,
+/// fwdprop.trees_cloned.
+class ForwardPropPass {
+public:
+  static constexpr const char *name() { return "fwdprop"; }
+  explicit ForwardPropPass(RankMap &Ranks) : Ranks(&Ranks) {}
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+  /// Stats of the most recent run.
+  const ForwardPropStats &lastStats() const { return Last; }
+
+private:
+  RankMap *Ranks;
+  ForwardPropStats Last;
+};
+
+/// Deprecated free-function shims (kept for one PR).
 ForwardPropStats propagateForward(Function &F, FunctionAnalysisManager &AM,
                                   RankMap &Ranks);
 ForwardPropStats propagateForward(Function &F, RankMap &Ranks);

@@ -2,6 +2,8 @@
 
 #include "reassoc/Reassociate.h"
 
+#include "support/StringUtil.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -60,6 +62,9 @@ class Reassociator {
 public:
   Reassociator(Function &F, RankMap &Ranks, const ReassociateOptions &Opts)
       : F(F), Ranks(Ranks), Opts(Opts) {}
+
+  /// Optional remark emitter (instrumented runs only).
+  PassContext *Ctx = nullptr;
 
   bool run() {
     bool Changed = false;
@@ -186,6 +191,11 @@ private:
         continue;
       }
       Changed = true;
+      if (Ctx && Ctx->remarksEnabled())
+        Ctx->remark(RemarkKind::Reorder, F, B.label(), opcodeName(Root.Op),
+                    strprintf("operands of r%u re-sorted by ascending rank "
+                              "(%u leaves)",
+                              Root.Dst, unsigned(It->second.size())));
       emitChain(Root.Op, Root.Ty, Root.Dst, It->second, Out);
     }
     B.Insts = std::move(Out);
@@ -266,6 +276,11 @@ private:
       }
       const Instruction &Root = B.Insts[Idx];
       Plan &P = It->second;
+      if (Ctx && Ctx->remarksEnabled())
+        Ctx->remark(RemarkKind::Reorder, F, B.label(), opcodeName(Root.Op),
+                    strprintf("multiplication r%u distributed over sum "
+                              "(%u rank groups)",
+                              Root.Dst, unsigned(P.Groups.size())));
       std::vector<Reg> Products;
       for (std::vector<Reg> &Group : P.Groups) {
         Reg GSum;
@@ -332,4 +347,36 @@ unsigned epre::normalizeNegation(Function &F, RankMap &Ranks,
 bool epre::reassociate(Function &F, RankMap &Ranks,
                        const ReassociateOptions &Opts) {
   return Reassociator(F, Ranks, Opts).run();
+}
+
+PreservedAnalyses epre::NegNormPass::run(Function &F,
+                                         FunctionAnalysisManager &AM,
+                                         PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  unsigned Rewritten = normalizeNegation(F, *Ranks, Opts);
+  Ctx.addStat("rewritten", Rewritten);
+  if (!Rewritten)
+    return PreservedAnalyses::all();
+  F.bumpVersion();
+  // Subtractions became neg+add pairs: instruction content only.
+  PreservedAnalyses PA = PreservedAnalyses::cfgShape();
+  AM.finishPass(PA);
+  return PA;
+}
+
+PreservedAnalyses epre::ReassociatePass::run(Function &F,
+                                             FunctionAnalysisManager &AM,
+                                             PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  Reassociator R(F, *Ranks, Opts);
+  R.Ctx = &Ctx;
+  bool Changed = R.run();
+  Ctx.addStat("changed", Changed);
+  if (!Changed)
+    return PreservedAnalyses::all();
+  F.bumpVersion();
+  // Trees are rebuilt in place; blocks and edges never change.
+  PreservedAnalyses PA = PreservedAnalyses::cfgShape();
+  AM.finishPass(PA);
+  return PA;
 }

@@ -22,6 +22,8 @@
 #ifndef EPRE_REASSOC_REASSOCIATE_H
 #define EPRE_REASSOC_REASSOCIATE_H
 
+#include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 #include "reassoc/Ranks.h"
 
@@ -35,15 +37,47 @@ struct ReassociateOptions {
   bool Distribute = false;
 };
 
-/// Rewrites x - y as x + (-y) throughout \p F, extending \p Ranks for the
-/// negation temporaries. Returns the number of subtractions rewritten.
-/// (Division is deliberately not rewritten as multiplication by reciprocal,
-/// to avoid precision problems — paper §3.1.)
+/// Negation normalization behind the unified pass-entry API: rewrites
+/// x - y as x + (-y) throughout the function, extending the RankMap given
+/// at construction for the negation temporaries. (Division is
+/// deliberately not rewritten as multiplication by reciprocal, to avoid
+/// precision problems — paper §3.1.)
+/// Counters: negnorm.rewritten.
+class NegNormPass {
+public:
+  static constexpr const char *name() { return "negnorm"; }
+  NegNormPass(RankMap &Ranks, const ReassociateOptions &Opts)
+      : Ranks(&Ranks), Opts(Opts) {}
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+private:
+  RankMap *Ranks;
+  ReassociateOptions Opts;
+};
+
+/// Rank-sorted reassociation behind the unified pass-entry API: sorts the
+/// operands of associative operations by rank (and distributes
+/// multiplication over addition when enabled).
+/// Counters: reassoc.changed. Remarks: Reorder per rebuilt tree.
+class ReassociatePass {
+public:
+  static constexpr const char *name() { return "reassoc"; }
+  ReassociatePass(RankMap &Ranks, const ReassociateOptions &Opts)
+      : Ranks(&Ranks), Opts(Opts) {}
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+private:
+  RankMap *Ranks;
+  ReassociateOptions Opts;
+};
+
+/// Deprecated free-function shims (kept for one PR). These do not settle
+/// an AnalysisManager; the caller owns invalidation.
 unsigned normalizeNegation(Function &F, RankMap &Ranks,
                            const ReassociateOptions &Opts);
 
-/// Sorts the operands of associative operations by rank (and distributes
-/// multiplication over addition when enabled). Returns true on change.
 bool reassociate(Function &F, RankMap &Ranks, const ReassociateOptions &Opts);
 
 } // namespace epre

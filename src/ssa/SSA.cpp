@@ -233,15 +233,29 @@ private:
 
 } // namespace
 
-SSAInfo epre::buildSSA(Function &F, FunctionAnalysisManager &AM,
-                       const SSAOptions &Opts) {
+PreservedAnalyses epre::SSABuildPass::run(Function &F,
+                                          FunctionAnalysisManager &AM,
+                                          PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
   SSABuilder B(F, AM, Opts);
-  SSAInfo Info = B.run();
+  Last = B.run();
+  Ctx.addStat("phis", Last.NumPhis);
+  Ctx.addStat("copies_folded", Last.NumCopiesFolded);
   F.bumpVersion();
   // Phi insertion and renaming rewrite instructions and registers but never
   // blocks or edges.
-  AM.finishPass(PreservedAnalyses::cfgShape());
-  return Info;
+  PreservedAnalyses PA = PreservedAnalyses::cfgShape();
+  AM.finishPass(PA);
+  return PA;
+}
+
+SSAInfo epre::buildSSA(Function &F, FunctionAnalysisManager &AM,
+                       const SSAOptions &Opts) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  SSABuildPass P(Opts);
+  P.run(F, AM, Ctx);
+  return P.lastInfo();
 }
 
 SSAInfo epre::buildSSA(Function &F, const SSAOptions &Opts) {
@@ -249,7 +263,9 @@ SSAInfo epre::buildSSA(Function &F, const SSAOptions &Opts) {
   return buildSSA(F, AM, Opts);
 }
 
-void epre::destroySSA(Function &F, FunctionAnalysisManager &AM) {
+namespace {
+
+void destroySSAImpl(Function &F, FunctionAnalysisManager &AM) {
   // Copies for single-successor predecessors and loop back edges are
   // placed inline at the end of the predecessor (keeping loop bodies in
   // one block, the paper's Figure 5 shape); other critical entering edges
@@ -383,6 +399,22 @@ void epre::destroySSA(Function &F, FunctionAnalysisManager &AM) {
   // Forwarding blocks reroute edges; even without them, phi removal and
   // copy insertion rewrite instructions everywhere.
   AM.finishPass(PreservedAnalyses::none());
+}
+
+} // namespace
+
+PreservedAnalyses epre::SSADestroyPass::run(Function &F,
+                                            FunctionAnalysisManager &AM,
+                                            PassContext &Ctx) {
+  PassScope Scope(Ctx, name(), F);
+  destroySSAImpl(F, AM);
+  return PreservedAnalyses::none();
+}
+
+void epre::destroySSA(Function &F, FunctionAnalysisManager &AM) {
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  SSADestroyPass().run(F, AM, Ctx);
 }
 
 void epre::destroySSA(Function &F) {

@@ -15,6 +15,7 @@
 #define EPRE_SSA_SSA_H
 
 #include "analysis/AnalysisManager.h"
+#include "instrument/PassInstrumentation.h"
 #include "ir/Function.h"
 
 #include <vector>
@@ -42,17 +43,42 @@ struct SSAOptions {
   bool FoldCopies = true;
 };
 
-/// Rewrites \p F into SSA form in place. Every register definition gets a
-/// fresh name; uses are rewired; phis are inserted at (pruned) iterated
-/// dominance frontiers. Variables that may be used before definition are
+/// SSA construction behind the unified pass-entry API. Rewrites \p F into
+/// SSA form in place: every register definition gets a fresh name, uses
+/// are rewired, phis are inserted at (pruned) iterated dominance
+/// frontiers. Variables that may be used before definition are
 /// zero-initialized in the entry block so the result is well defined.
+/// Counters: ssa.build.phis, ssa.build.copies_folded.
+class SSABuildPass {
+public:
+  static constexpr const char *name() { return "ssa.build"; }
+  explicit SSABuildPass(const SSAOptions &Opts = {}) : Opts(Opts) {}
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+  /// Side table of the most recent run.
+  const SSAInfo &lastInfo() const { return Last; }
+
+private:
+  SSAOptions Opts;
+  SSAInfo Last;
+};
+
+/// SSA destruction behind the unified pass-entry API. Replaces all phi
+/// nodes with copies in predecessor blocks, using parallel copy
+/// sequencing. Requires critical edges to have been split (asserts). The
+/// function is no longer in SSA form afterwards.
+class SSADestroyPass {
+public:
+  static constexpr const char *name() { return "ssa.destroy"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+};
+
+/// Deprecated free-function shims (kept for one PR).
 SSAInfo buildSSA(Function &F, FunctionAnalysisManager &AM,
                  const SSAOptions &Opts = {});
 SSAInfo buildSSA(Function &F, const SSAOptions &Opts = {});
-
-/// Replaces all phi nodes with copies in predecessor blocks, using parallel
-/// copy sequencing. Requires critical edges to have been split (asserts).
-/// The function is no longer in SSA form afterwards.
 void destroySSA(Function &F, FunctionAnalysisManager &AM);
 void destroySSA(Function &F);
 

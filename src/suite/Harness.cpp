@@ -30,11 +30,21 @@ Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
   }
   M.StaticOpsBefore = F->staticOperationCount();
 
-  PipelineOptions PO;
+  PipelineOptions Proto;
   if (Overrides)
-    PO = *Overrides;
-  PO.Level = Level;
-  M.Stats = optimizeFunction(*F, PO);
+    Proto = *Overrides;
+  Proto.Level = Level;
+  Proto.Naming = namingForLevel(Level) == NamingMode::Hashed
+                     ? InputNaming::Hashed
+                     : InputNaming::Naive;
+  std::string Err;
+  std::optional<PipelineOptions> PO = PipelineOptions::create(Proto, &Err);
+  if (!PO) {
+    M.CompileOk = false;
+    M.CompileError = "inconsistent pipeline options: " + Err;
+    return M;
+  }
+  M.Stats = optimizeFunction(*F, *PO);
   M.StaticOpsAfter = F->staticOperationCount();
 
   size_t LocalBytes = 0;
@@ -63,8 +73,11 @@ ForwardPropStats epre::measureForwardPropExpansion(const Routine &R) {
   Function *F = LR.M->find(R.Name);
   if (!F)
     return S;
-  buildSSA(*F);
-  CFG G = CFG::compute(*F);
-  RankMap Ranks = RankMap::compute(*F, G);
-  return propagateForward(*F, Ranks);
+  FunctionAnalysisManager AM(*F);
+  PassContext Ctx;
+  SSABuildPass().run(*F, AM, Ctx);
+  RankMap Ranks = RankMap::compute(*F, AM.cfg());
+  ForwardPropPass FP(Ranks);
+  FP.run(*F, AM, Ctx);
+  return FP.lastStats();
 }

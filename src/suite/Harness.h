@@ -13,6 +13,7 @@
 
 #include "frontend/Lower.h"
 #include "pipeline/Pipeline.h"
+#include "reassoc/ForwardProp.h"
 #include "suite/Suite.h"
 
 namespace epre {

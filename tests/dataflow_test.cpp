@@ -216,8 +216,8 @@ TEST(PipelineParallel, MatchesSerialOnMultiFunctionModule) {
   std::vector<PipelineStats> P = runPipelineParallel(*MParallel, PO, 4);
   ASSERT_EQ(S.size(), P.size());
   for (unsigned I = 0; I < S.size(); ++I) {
-    EXPECT_EQ(S[I].OpsAfter, P[I].OpsAfter) << "function " << I;
-    EXPECT_EQ(S[I].PRE.Deleted, P[I].PRE.Deleted) << "function " << I;
+    EXPECT_EQ(S[I].opsAfter(), P[I].opsAfter()) << "function " << I;
+    EXPECT_EQ(S[I].preDeleted(), P[I].preDeleted()) << "function " << I;
     EXPECT_EQ(printFunction(*MSerial->Functions[I]),
               printFunction(*MParallel->Functions[I]))
         << "function " << I;

@@ -162,12 +162,12 @@ TEST(Pipeline, StatsArePopulated) {
   PipelineOptions PO;
   PO.Level = OptLevel::Distribution;
   PipelineStats S = optimizeFunction(F, PO);
-  EXPECT_GT(S.OpsBefore, 0u);
-  EXPECT_GT(S.OpsAfter, 0u);
-  EXPECT_GT(S.ForwardProp.PhisRemoved, 0u);
-  EXPECT_GT(S.GVN.Classes, 0u);
-  EXPECT_GT(S.PRE.UniverseSize, 0u);
-  EXPECT_GT(S.PRE.Deleted, 0u);
+  EXPECT_GT(S.opsBefore(), 0u);
+  EXPECT_GT(S.opsAfter(), 0u);
+  EXPECT_GT(S.phisRemoved(), 0u);
+  EXPECT_GT(S.gvnClasses(), 0u);
+  EXPECT_GT(S.preUniverse(), 0u);
+  EXPECT_GT(S.preDeleted(), 0u);
 }
 
 TEST(Pipeline, InvertedComparisonNormalized) {

@@ -78,14 +78,14 @@ TEST(SuiteStats, PipelineStatisticsAreSane) {
   for (const Routine &R : benchmarkSuite()) {
     Measurement M = measureRoutine(R, OptLevel::Distribution);
     ASSERT_TRUE(M.ok()) << R.Name;
-    EXPECT_GT(M.Stats.OpsBefore, 0u) << R.Name;
-    EXPECT_GT(M.Stats.OpsAfter, 0u) << R.Name;
-    if (M.Stats.ForwardProp.PhisRemoved > 0)
+    EXPECT_GT(M.Stats.opsBefore(), 0u) << R.Name;
+    EXPECT_GT(M.Stats.opsAfter(), 0u) << R.Name;
+    if (M.Stats.phisRemoved() > 0)
       ++WithPhis;
-    if (M.Stats.PRE.Deleted + M.Stats.PRE.Inserted > 0)
+    if (M.Stats.preDeleted() + M.Stats.preInserted() > 0)
       ++WithPREWork;
     // GVN must always find some structure.
-    EXPECT_GT(M.Stats.GVN.Classes, 0u) << R.Name;
+    EXPECT_GT(M.Stats.gvnClasses(), 0u) << R.Name;
   }
   // Every routine in this suite has loops, hence phis; PRE finds work in
   // nearly all of them.
