@@ -10,6 +10,8 @@
 #include "analysis/Liveness.h"
 #include "frontend/Lower.h"
 #include "gvn/ValueNumbering.h"
+#include "instrument/Profile.h"
+#include "interp/Interpreter.h"
 #include "pipeline/Pipeline.h"
 #include "pre/PRE.h"
 #include "reassoc/ForwardProp.h"
@@ -25,6 +27,16 @@
 using namespace epre;
 
 namespace {
+
+/// Runs a pass class on \p F with a fresh analysis manager and a quiet
+/// context, returning the pass object (for lastStats()).
+template <typename PassT> PassT runPass(Function &F, PassT P = PassT()) {
+  FunctionAnalysisManager AM(F);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  P.run(F, AM, Ctx);
+  return P;
+}
 
 /// Generates a routine with \p NumLoops sequential loop nests, each with
 /// array addressing and shared invariant subexpressions.
@@ -61,7 +73,7 @@ void BM_SSABuild(benchmark::State &State) {
     State.PauseTiming();
     auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
     State.ResumeTiming();
-    buildSSA(*M->Functions[0]);
+    runPass(*M->Functions[0], SSABuildPass());
   }
 }
 BENCHMARK(BM_SSABuild)->Arg(4)->Arg(16)->Arg(64);
@@ -71,11 +83,11 @@ void BM_ForwardProp(benchmark::State &State) {
     State.PauseTiming();
     auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
     Function &F = *M->Functions[0];
-    buildSSA(F);
+    runPass(F, SSABuildPass());
     CFG G = CFG::compute(F);
     RankMap Ranks = RankMap::compute(F, G);
     State.ResumeTiming();
-    propagateForward(F, Ranks);
+    runPass(F, ForwardPropPass(Ranks));
   }
 }
 BENCHMARK(BM_ForwardProp)->Arg(4)->Arg(16)->Arg(64);
@@ -85,15 +97,15 @@ void BM_Reassociate(benchmark::State &State) {
     State.PauseTiming();
     auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
     Function &F = *M->Functions[0];
-    buildSSA(F);
+    runPass(F, SSABuildPass());
     CFG G = CFG::compute(F);
     RankMap Ranks = RankMap::compute(F, G);
-    propagateForward(F, Ranks);
+    runPass(F, ForwardPropPass(Ranks));
     ReassociateOptions RO;
     RO.Distribute = true;
-    normalizeNegation(F, Ranks, RO);
+    runPass(F, NegNormPass(Ranks, RO));
     State.ResumeTiming();
-    reassociate(F, Ranks, RO);
+    runPass(F, ReassociatePass(Ranks, RO));
   }
 }
 BENCHMARK(BM_Reassociate)->Arg(4)->Arg(16)->Arg(64);
@@ -103,12 +115,12 @@ void BM_GVN(benchmark::State &State) {
     State.PauseTiming();
     auto M = compileGen(unsigned(State.range(0)), NamingMode::Naive);
     Function &F = *M->Functions[0];
-    buildSSA(F);
+    runPass(F, SSABuildPass());
     CFG G = CFG::compute(F);
     RankMap Ranks = RankMap::compute(F, G);
-    propagateForward(F, Ranks);
+    runPass(F, ForwardPropPass(Ranks));
     State.ResumeTiming();
-    runGlobalValueNumbering(F);
+    runPass(F, GVNPass());
   }
 }
 BENCHMARK(BM_GVN)->Arg(4)->Arg(16)->Arg(64);
@@ -119,7 +131,7 @@ void BM_PRE(benchmark::State &State) {
     auto M = compileGen(unsigned(State.range(0)), NamingMode::Hashed);
     Function &F = *M->Functions[0];
     State.ResumeTiming();
-    eliminatePartialRedundancies(*M->Functions[0]);
+    runPass(*M->Functions[0], PREPass());
     benchmark::DoNotOptimize(F);
   }
 }
@@ -339,6 +351,54 @@ BENCHMARK(BM_PipelineEndToEndParallel)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- Interpreter profiling overhead ----------------------------------------
+//
+// The dynamic profiler's zero-cost-when-off contract: `interpret` without a
+// collector runs a template instantiation in which every profiling touch
+// sits behind `if constexpr (Profiling)` — the same machine code the
+// dispatch loop compiled to before the hook existed. BM_Interpret (off) vs
+// BM_InterpretProfiled (per-block counts, edge counts, per-class
+// attribution) is the measured pair; EXPERIMENTS.md records the ratio.
+
+void BM_Interpret(benchmark::State &State) {
+  LowerResult LR = compileMiniFortran(generateSource(unsigned(State.range(0))),
+                                      NamingMode::Naive);
+  assert(LR.ok());
+  Function &F = *LR.M->Functions[0];
+  const std::vector<RtValue> Args = {RtValue::ofF(1.5), RtValue::ofF(2.5),
+                                     RtValue::ofI(64)};
+  for (auto _ : State) {
+    MemoryImage Mem(LR.Routines[0].LocalMemBytes);
+    ExecResult E = interpret(F, Args, Mem);
+    assert(!E.Trapped);
+    benchmark::DoNotOptimize(E.DynOps);
+    State.SetItemsProcessed(State.items_processed() + int64_t(E.DynOps));
+  }
+}
+BENCHMARK(BM_Interpret)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_InterpretProfiled(benchmark::State &State) {
+  LowerResult LR = compileMiniFortran(generateSource(unsigned(State.range(0))),
+                                      NamingMode::Naive);
+  assert(LR.ok());
+  Function &F = *LR.M->Functions[0];
+  const std::vector<RtValue> Args = {RtValue::ofF(1.5), RtValue::ofF(2.5),
+                                     RtValue::ofI(64)};
+  for (auto _ : State) {
+    MemoryImage Mem(LR.Routines[0].LocalMemBytes);
+    ProfileCollector Prof;
+    ExecResult E = interpret(F, Args, Mem, {}, &Prof);
+    assert(!E.Trapped);
+    FunctionProfile P = Prof.finalize(F);
+    benchmark::DoNotOptimize(P.DynOps);
+    State.SetItemsProcessed(State.items_processed() + int64_t(E.DynOps));
+  }
+}
+BENCHMARK(BM_InterpretProfiled)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -29,6 +29,26 @@ using namespace epre;
 
 namespace {
 
+/// Runs a pass class on \p F with a fresh analysis manager and a quiet
+/// context, returning the pass object (for lastStats()).
+template <typename PassT> PassT runPass(Function &F, PassT P = PassT()) {
+  FunctionAnalysisManager AM(F);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  P.run(F, AM, Ctx);
+  return P;
+}
+
+/// Same, returning one of the pass's counters.
+template <typename PassT>
+uint64_t runPassStat(Function &F, const char *Counter, PassT P = PassT()) {
+  FunctionAnalysisManager AM(F);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  P.run(F, AM, Ctx);
+  return SR.get(PassT::name(), Counter);
+}
+
 const char *FooSource = R"(
 function foo(y, z)
   s = 0
@@ -72,7 +92,7 @@ int main() {
   uint64_t OpsBefore = run(F);
 
   // Figure 4: pruned SSA with copies folded into the phis.
-  buildSSA(F);
+  runPass(F, SSABuildPass());
   stage("Figure 4: pruned SSA form", F);
 
   // Ranks (the text below Figure 4 discusses them).
@@ -86,19 +106,19 @@ int main() {
 
   // Figures 5+6: copies inserted at predecessors, expressions propagated
   // forward to their uses (one combined step in this implementation).
-  ForwardPropStats FP = propagateForward(F, Ranks);
+  ForwardPropStats FP = runPass(F, ForwardPropPass(Ranks)).lastStats();
   stage("Figures 5-6: after inserting copies and forward propagation", F);
   std::printf("  static ops %u -> %u (x%.3f)\n\n", FP.OpsBefore, FP.OpsAfter,
               FP.expansion());
 
   // Figure 7: reassociation (rank-sorted operand order).
   ReassociateOptions RO;
-  normalizeNegation(F, Ranks, RO);
-  reassociate(F, Ranks, RO);
+  runPass(F, NegNormPass(Ranks, RO));
+  runPass(F, ReassociatePass(Ranks, RO));
   stage("Figure 7: after reassociation", F);
 
   // Figure 8: global value numbering + renaming.
-  GVNStats GS = runGlobalValueNumbering(F);
+  GVNStats GS = runPass(F, GVNPass()).lastStats();
   stage("Figure 8: after value numbering", F);
   std::printf("  %u registers in %u congruence classes; %u defs renamed\n\n",
               GS.Registers, GS.Classes, GS.MergedDefs);
@@ -106,7 +126,7 @@ int main() {
   // Figure 9: partial redundancy elimination.
   PREStats Total{};
   for (int I = 0; I < 8; ++I) {
-    PREStats S = eliminatePartialRedundancies(F);
+    PREStats S = runPass(F, PREPass()).lastStats();
     Total.Inserted += S.Inserted;
     Total.Deleted += S.Deleted;
     if (S.Inserted == 0 && S.Deleted == 0)
@@ -117,10 +137,11 @@ int main() {
               Total.Inserted, Total.Deleted);
 
   // Figure 10: coalescing removes the copies.
-  eliminateDeadCode(F);
-  unsigned Coalesced = coalesceCopies(F);
-  eliminateDeadCode(F);
-  simplifyCFG(F);
+  runPass(F, DCEPass());
+  unsigned Coalesced =
+      unsigned(runPassStat<CopyCoalescingPass>(F, "copies_removed"));
+  runPass(F, DCEPass());
+  runPass(F, SimplifyCFGPass());
   stage("Figure 10: after coalescing", F);
   std::printf("  coalescing removed %u copies\n", Coalesced);
   uint64_t OpsAfter = run(F);

@@ -25,6 +25,16 @@ using namespace epre;
 
 namespace {
 
+/// Runs a pass class on \p F with a fresh analysis manager and a quiet
+/// context, returning the pass object (for lastStats()).
+template <typename PassT> PassT runPass(Function &F, PassT P = PassT()) {
+  FunctionAnalysisManager AM(F);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  P.run(F, AM, Ctx);
+  return P;
+}
+
 /// Builds the §5.1 example:
 ///   ^entry: r10 = sqrt(r9); cbr p -> ^then, ^join
 ///   ^then:  r9 = <something else>; r10 = sqrt(r9)  (partially redundant!)
@@ -90,7 +100,7 @@ int main() {
   double Before0 = runIt(F, 0, 16.0);
   double Before1 = runIt(F, 1, 16.0);
 
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   std::printf("PRE: universe=%u, dropped-as-unsafe=%u, inserted=%u, "
               "deleted=%u\n",
               S.UniverseSize, S.DroppedUnsafe, S.Inserted, S.Deleted);

@@ -41,6 +41,17 @@ function grp(n, j, m)
 end
 )";
 
+
+/// Runs a pass class on \p F with a fresh analysis manager and a quiet
+/// context, returning the pass object (for lastStats()).
+template <typename PassT> PassT runPass(Function &F, PassT P = PassT()) {
+  FunctionAnalysisManager AM(F);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  P.run(F, AM, Ctx);
+  return P;
+}
+
 uint64_t measure(bool PrematureStrengthReduction) {
   LowerResult LR = compileMiniFortran(Src, NamingMode::Naive);
   if (!LR.ok()) {
@@ -53,7 +64,7 @@ uint64_t measure(bool PrematureStrengthReduction) {
     // reassociation gets a chance to group the constants.
     PeepholeOptions PH;
     PH.StrengthReduceMul = true;
-    runPeephole(F, PH);
+    runPass(F, PeepholePass(PH));
   }
   PipelineOptions PO;
   PO.Level = OptLevel::Distribution;

@@ -20,6 +20,16 @@
 ///   -stats              the aggregate statsJSON() document on stderr
 ///   -print-changed      dump IR after each pass that changed it
 ///
+/// Dynamic profiling (zero-argument functions are interpreted against a
+/// 4 KiB zeroed memory image; functions with parameters are skipped):
+///   -profile-out=FILE   run the OPTIMIZED module and write its dynamic
+///                       block/edge profile (epre-dynamic-profile-v1 JSON)
+///   -hot-remarks[=BASE] remarks sorted by dynamic impact on stderr: each
+///                       remark is weighted by its block's execution count
+///                       in a baseline profile (BASE, a -profile-out file;
+///                       without BASE, the UNOPTIMIZED input is profiled
+///                       as its own baseline). Implies -remarks.
+///
 /// Example:
 ///   ./build/examples/epre_opt in.iloc -passes=fwdprop,reassoc,gvn,pre \
 ///       -remarks=pre -time-passes
@@ -28,6 +38,8 @@
 
 #include "analysis/CFG.h"
 #include "gvn/DVNT.h"
+#include "instrument/Profile.h"
+#include "interp/Interpreter.h"
 #include "gvn/ValueNumbering.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -191,15 +203,40 @@ struct PassDriver {
   }
 };
 
+/// Interprets every zero-argument function of \p M against a fresh zeroed
+/// memory image and returns the per-function dynamic profiles. Functions
+/// with parameters cannot be driven standalone and are skipped with a note.
+ProfileDoc profileModule(Module &M) {
+  ProfileDoc Doc;
+  for (auto &F : M.Functions) {
+    if (!F->params().empty()) {
+      std::fprintf(stderr, "profile: skipping @%s (takes arguments)\n",
+                   F->name().c_str());
+      continue;
+    }
+    MemoryImage Mem(4096);
+    ProfileCollector Prof;
+    ExecResult E = interpret(*F, {}, Mem, ExecLimits(), &Prof);
+    if (E.Trapped)
+      std::fprintf(stderr, "profile: @%s trapped: %s\n", F->name().c_str(),
+                   E.TrapReason.c_str());
+    // Trapped runs still yield the profile of everything executed.
+    Doc.Profiles.push_back(Prof.finalize(*F));
+  }
+  return Doc;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   std::string File;
   std::string PassList;
   std::string TraceOut;
+  std::string ProfileOut;
+  std::string HotRemarkBaseline;
   bool HaveLevel = false;
   bool TimePasses = false, WantRemarks = false, RemarksJSON = false;
-  bool WantStats = false, PrintChanged = false;
+  bool WantStats = false, PrintChanged = false, HotRemarks = false;
   std::vector<std::string> RemarkFilter;
   PipelineOptions PO;
   PO.Verify = false; // filter input is hand-written; do not abort the tool
@@ -249,6 +286,13 @@ int main(int argc, char **argv) {
       WantStats = true;
     } else if (A == "-print-changed") {
       PrintChanged = true;
+    } else if (A.rfind("-profile-out=", 0) == 0) {
+      ProfileOut = A.substr(13);
+    } else if (A == "-hot-remarks") {
+      HotRemarks = WantRemarks = true;
+    } else if (A.rfind("-hot-remarks=", 0) == 0) {
+      HotRemarks = WantRemarks = true;
+      HotRemarkBaseline = A.substr(13);
     } else if (!A.empty() && A[0] != '-') {
       File = A;
     } else {
@@ -257,7 +301,8 @@ int main(int argc, char **argv) {
                    "  [-strategy=lcm|morel-renvoise|gcse] [-gvn=awz|dvnt]\n"
                    "  [-naming=hashed|naive] [-time-passes]\n"
                    "  [-trace-out=FILE] [-remarks[=p1,p2]] [-remarks-json]\n"
-                   "  [-stats] [-print-changed]\n",
+                   "  [-stats] [-print-changed] [-profile-out=FILE]\n"
+                   "  [-hot-remarks[=BASELINE.json]]\n",
                    argv[0]);
       return 2;
     }
@@ -288,6 +333,31 @@ int main(int argc, char **argv) {
   IO.PrintChangedIR = PrintChanged;
   PassInstrumentation PI(IO);
 
+  // Establish the hot-remark baseline before optimizing: either a saved
+  // -profile-out document, or a profiled run of the unoptimized input.
+  ProfileDoc Baseline;
+  if (HotRemarks) {
+    if (!HotRemarkBaseline.empty()) {
+      std::ifstream BF(HotRemarkBaseline);
+      std::stringstream BBuf;
+      if (!BF) {
+        std::fprintf(stderr, "error: cannot open %s\n",
+                     HotRemarkBaseline.c_str());
+        return 1;
+      }
+      BBuf << BF.rdbuf();
+      std::string Err;
+      if (!ProfileDoc::fromJSON(BBuf.str(), Baseline, &Err)) {
+        std::fprintf(stderr, "error: %s: %s\n", HotRemarkBaseline.c_str(),
+                     Err.c_str());
+        return 1;
+      }
+    } else {
+      ParseResult Pristine = parseModule(Buf.str());
+      Baseline = profileModule(*Pristine.M);
+    }
+  }
+
   if (HaveLevel) {
     std::string Err;
     std::optional<PipelineOptions> Valid = PipelineOptions::create(PO, &Err);
@@ -316,12 +386,28 @@ int main(int argc, char **argv) {
     Out << PI.timers().toChromeTrace();
     std::fprintf(stderr, "trace written to %s\n", TraceOut.c_str());
   }
-  if (WantRemarks)
+  if (HotRemarks) {
+    std::vector<HotRemark> Hot =
+        annotateHotness(PI.remarks().remarks(), Baseline);
+    std::fprintf(stderr, "%s", renderHotRemarks(Hot).c_str());
+  } else if (WantRemarks) {
     std::fprintf(stderr, "%s",
                  RemarksJSON ? PI.remarks().toJSON().c_str()
                              : PI.remarks().toText().c_str());
+  }
   if (WantStats)
     std::fprintf(stderr, "%s\n", PI.statsJSON().c_str());
+
+  if (!ProfileOut.empty()) {
+    ProfileDoc Doc = profileModule(*R.M);
+    std::ofstream Out(ProfileOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", ProfileOut.c_str());
+      return 1;
+    }
+    Out << Doc.toJSON() << "\n";
+    std::fprintf(stderr, "profile written to %s\n", ProfileOut.c_str());
+  }
 
   std::printf("%s", printModule(*R.M).c_str());
   return 0;

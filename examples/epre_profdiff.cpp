@@ -1,0 +1,98 @@
+//===- examples/epre_profdiff.cpp - Diff two dynamic profiles -------------===//
+///
+/// Compares two epre-dynamic-profile-v1 JSON documents (from
+/// `epre-opt -profile-out=`, `suite_report -profile-out=`, or the committed
+/// BENCH_dynamic_profile.json baseline) and reports where dynamic
+/// operations were gained or lost: per (routine, level), per Table-1 opcode
+/// class, and — when both documents carry block detail — per basic block.
+///
+///   epre-profdiff OLD.json NEW.json [-tolerance=PCT] [-gate] [-all]
+///
+///   -tolerance=PCT  growth allowed per entry before -gate fails (default 0)
+///   -gate           exit 1 when any entry's DynOps grew beyond tolerance
+///                   or a baseline entry is missing from NEW (the CI
+///                   regression gate), printing one line per offender
+///   -all            report unchanged entries too
+///
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Profile.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace epre;
+
+static bool loadDoc(const std::string &Path, ProfileDoc &Doc) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  if (!ProfileDoc::fromJSON(Buf.str(), Doc, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+int main(int argc, char **argv) {
+  std::string OldPath, NewPath;
+  double Tolerance = 0.0;
+  bool Gate = false, All = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("-tolerance=", 0) == 0) {
+      Tolerance = std::strtod(A.c_str() + 11, nullptr);
+    } else if (A == "-gate") {
+      Gate = true;
+    } else if (A == "-all") {
+      All = true;
+    } else if (!A.empty() && A[0] != '-' && OldPath.empty()) {
+      OldPath = A;
+    } else if (!A.empty() && A[0] != '-' && NewPath.empty()) {
+      NewPath = A;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s OLD.json NEW.json [-tolerance=PCT] [-gate] "
+                   "[-all]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (OldPath.empty() || NewPath.empty()) {
+    std::fprintf(stderr, "usage: %s OLD.json NEW.json [-tolerance=PCT] "
+                         "[-gate] [-all]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  ProfileDoc Old, New;
+  if (!loadDoc(OldPath, Old) || !loadDoc(NewPath, New))
+    return 1;
+
+  ProfileDiff Diff = ProfileDiff::compute(Old, New);
+  std::printf("%s", Diff.report(/*OnlyChanged=*/!All).c_str());
+
+  if (Gate) {
+    std::vector<std::string> Regressions = Diff.regressions(Tolerance);
+    if (!Regressions.empty()) {
+      std::fprintf(stderr,
+                   "REGRESSION: %zu entr%s grew beyond %.2f%% tolerance:\n",
+                   Regressions.size(),
+                   Regressions.size() == 1 ? "y" : "ies", Tolerance);
+      for (const std::string &R : Regressions)
+        std::fprintf(stderr, "  %s\n", R.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "gate passed: no entry grew beyond %.2f%%\n",
+                 Tolerance);
+  }
+  return 0;
+}

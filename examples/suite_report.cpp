@@ -3,19 +3,27 @@
 /// Runs the 50-routine benchmark suite at the four measured optimization
 /// levels with full instrumentation attached and emits ONE JSON document
 /// containing, per level: the per-pass wall-clock aggregate, every named
-/// counter, the per-pass remark counts, and the suite's total dynamic
-/// operation count. Optionally also writes the distribution-level pass
-/// trace as Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+/// counter, the per-pass remark counts, the suite's total dynamic operation
+/// count, and the Table-1-style per-class dynamic operation breakdown. A
+/// top-level "profiles" section carries the per-routine dynamic profile
+/// summaries and the §4.2 degradations detected across levels (routines
+/// where a higher level executes MORE operations than a lower one).
+/// Optionally also writes the distribution-level pass trace as Chrome
+/// trace_event JSON (load in chrome://tracing or Perfetto).
 ///
-///   suite_report [-o=FILE] [-trace-out=FILE]
+///   suite_report [-o=FILE] [-trace-out=FILE] [-profile-out=FILE]
 ///
-/// CI uploads both files as artifacts; scripts/bench.sh points here too.
+/// -profile-out= writes the per-routine profile document on its own in the
+/// epre-dynamic-profile-v1 schema; scripts/bench.sh uses it to produce
+/// BENCH_dynamic_profile.json, the baseline the CI regression gate
+/// (epre-profdiff -gate) compares against.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "suite/Harness.h"
 #include "suite/Suite.h"
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -25,14 +33,18 @@ using namespace epre;
 int main(int argc, char **argv) {
   std::string OutFile;
   std::string TraceOut;
+  std::string ProfileOut;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A.rfind("-o=", 0) == 0) {
       OutFile = A.substr(3);
     } else if (A.rfind("-trace-out=", 0) == 0) {
       TraceOut = A.substr(11);
+    } else if (A.rfind("-profile-out=", 0) == 0) {
+      ProfileOut = A.substr(13);
     } else {
-      std::fprintf(stderr, "usage: %s [-o=FILE] [-trace-out=FILE]\n",
+      std::fprintf(stderr,
+                   "usage: %s [-o=FILE] [-trace-out=FILE] [-profile-out=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -41,6 +53,8 @@ int main(int argc, char **argv) {
   const std::vector<Routine> &Suite = benchmarkSuite();
   const OptLevel Levels[] = {OptLevel::Baseline, OptLevel::Partial,
                              OptLevel::Reassociation, OptLevel::Distribution};
+
+  ProfileDoc SuiteDoc;
 
   // statsJSON() is a complete JSON value, so the per-level documents are
   // spliced into the top-level object verbatim.
@@ -57,8 +71,10 @@ int main(int argc, char **argv) {
     Overrides.Instr = &PI;
 
     uint64_t DynOps = 0, Failures = 0;
+    std::array<uint64_t, NumOpClasses> ClassOps{};
     for (const Routine &R : Suite) {
-      Measurement M = measureRoutine(R, L, &Overrides);
+      Measurement M =
+          measureRoutine(R, L, &Overrides, /*CollectProfile=*/true);
       if (!M.ok()) {
         std::fprintf(stderr, "%s @ %s: %s\n", R.Name.c_str(),
                      optLevelName(L),
@@ -68,6 +84,10 @@ int main(int argc, char **argv) {
         continue;
       }
       DynOps += M.DynOps;
+      for (unsigned C = 0; C < NumOpClasses; ++C)
+        ClassOps[C] += M.Profile.ClassOps[C];
+      M.Profile.Blocks.clear(); // keep per-routine summaries only
+      SuiteDoc.Profiles.push_back(std::move(M.Profile));
     }
 
     if (!FirstLevel)
@@ -76,7 +96,14 @@ int main(int argc, char **argv) {
     Doc += "\"";
     Doc += optLevelName(L);
     Doc += "\":{\"dynamic_ops_total\":" + std::to_string(DynOps) +
-           ",\"failures\":" + std::to_string(Failures) + ",\"report\":";
+           ",\"failures\":" + std::to_string(Failures) + ",\"classes\":{";
+    for (unsigned C = 0; C < NumOpClasses; ++C) {
+      if (C)
+        Doc += ",";
+      Doc += std::string("\"") + opClassName(OpClass(C)) +
+             "\":" + std::to_string(ClassOps[C]);
+    }
+    Doc += "},\"report\":";
     Doc += PI.statsJSON();
     Doc += "}";
 
@@ -92,7 +119,34 @@ int main(int argc, char **argv) {
     if (Failures)
       return 1;
   }
-  Doc += "}}";
+  Doc += "}";
+
+  // The §4.2 evidence: routines where more optimization executed more
+  // operations, with the per-routine profile summaries they came from.
+  std::vector<Degradation> Degradations = detectDegradations(SuiteDoc);
+  Doc += ",\"profiles\":" + SuiteDoc.toJSON(/*IncludeBlocks=*/false);
+  Doc += ",\"degradations\":[";
+  for (size_t I = 0; I < Degradations.size(); ++I) {
+    const Degradation &D = Degradations[I];
+    if (I)
+      Doc += ",";
+    Doc += "{\"routine\":\"" + D.Routine + "\",\"lower\":\"" +
+           optLevelName(D.Lower) + "\",\"higher\":\"" +
+           optLevelName(D.Higher) +
+           "\",\"lower_ops\":" + std::to_string(D.LowerOps) +
+           ",\"higher_ops\":" + std::to_string(D.HigherOps) + "}";
+  }
+  Doc += "]}";
+
+  if (!ProfileOut.empty()) {
+    std::ofstream P(ProfileOut);
+    if (!P) {
+      std::fprintf(stderr, "error: cannot write %s\n", ProfileOut.c_str());
+      return 1;
+    }
+    P << SuiteDoc.toJSON(/*IncludeBlocks=*/false) << "\n";
+    std::fprintf(stderr, "profile written to %s\n", ProfileOut.c_str());
+  }
 
   if (OutFile.empty()) {
     std::printf("%s\n", Doc.c_str());

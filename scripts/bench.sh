@@ -53,6 +53,14 @@ echo "wrote $OUT"
 # statistics: per-pass wall-clock aggregate, every named counter, and
 # per-pass remark counts for all four optimization levels in one JSON
 # document (suite_report also backs the CI observability artifacts).
+# The same run writes the per-routine dynamic profile document
+# (epre-dynamic-profile-v1): BENCH_dynamic_profile.json is the committed
+# baseline the CI operation-count regression gate diffs against with
+# `epre-profdiff -gate`. Dynamic ILOC operation counts are deterministic
+# (fixed suite inputs, integer counting), so the baseline only changes
+# when the optimizer's output changes — regenerate it with this script
+# and commit the new file alongside the change that moved the counts.
 STATS_OUT=${STATS_OUT:-BENCH_suite_stats.json}
+PROFILE_OUT=${PROFILE_OUT:-BENCH_dynamic_profile.json}
 cmake --build "$BUILD_DIR" -j --target suite_report >/dev/null
-"$BUILD_DIR"/examples/suite_report -o="$STATS_OUT"
+"$BUILD_DIR"/examples/suite_report -o="$STATS_OUT" -profile-out="$PROFILE_OUT"

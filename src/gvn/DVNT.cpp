@@ -184,16 +184,3 @@ PreservedAnalyses epre::DVNTPass::run(Function &F, FunctionAnalysisManager &AM,
   return PreservedAnalyses::none();
 }
 
-DVNTStats epre::runDominatorValueNumbering(Function &F,
-                                           FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  DVNTPass P;
-  P.run(F, AM, Ctx);
-  return P.lastStats();
-}
-
-DVNTStats epre::runDominatorValueNumbering(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return runDominatorValueNumbering(F, AM);
-}

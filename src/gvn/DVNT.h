@@ -57,11 +57,6 @@ DVNTStats valueNumberDominatorTreeSSA(Function &F,
                                       FunctionAnalysisManager &AM);
 DVNTStats valueNumberDominatorTreeSSA(Function &F);
 
-/// Deprecated free-function shims (kept for one PR).
-DVNTStats runDominatorValueNumbering(Function &F,
-                                     FunctionAnalysisManager &AM);
-DVNTStats runDominatorValueNumbering(Function &F);
-
 } // namespace epre
 
 #endif // EPRE_GVN_DVNT_H

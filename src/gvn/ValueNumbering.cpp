@@ -246,16 +246,3 @@ PreservedAnalyses epre::GVNPass::run(Function &F, FunctionAnalysisManager &AM,
   return PreservedAnalyses::none();
 }
 
-GVNStats epre::runGlobalValueNumbering(Function &F,
-                                       FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  GVNPass P;
-  P.run(F, AM, Ctx);
-  return P.lastStats();
-}
-
-GVNStats epre::runGlobalValueNumbering(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return runGlobalValueNumbering(F, AM);
-}

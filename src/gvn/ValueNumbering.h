@@ -57,10 +57,6 @@ private:
   GVNStats Last;
 };
 
-/// Deprecated free-function shims (kept for one PR).
-GVNStats runGlobalValueNumbering(Function &F, FunctionAnalysisManager &AM);
-GVNStats runGlobalValueNumbering(Function &F);
-
 /// The partition+rename core, for code already in SSA form. Exposed for
 /// unit tests. Phis are deduplicated after renaming; the function stays in
 /// SSA-with-shared-names form (destroySSA must follow before other passes).

@@ -1,0 +1,239 @@
+//===- instrument/JSONReader.cpp ------------------------------------------===//
+
+#include "instrument/JSONReader.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace epre;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text) : S(Text) {}
+
+  bool parse(JSONValue &Out, std::string *Err) {
+    if (!value(Out))
+      return fail(Err);
+    ws();
+    if (P != S.size()) {
+      Msg = "trailing content after document";
+      return fail(Err);
+    }
+    return true;
+  }
+
+private:
+  std::string_view S;
+  size_t P = 0;
+  std::string Msg;
+
+  bool fail(std::string *Err) {
+    if (Err && !Msg.empty())
+      *Err = strprintf("at offset %zu: %s", P, Msg.c_str());
+    return Msg.empty();
+  }
+
+  bool error(const char *What) {
+    if (Msg.empty())
+      Msg = What;
+    return false;
+  }
+
+  void ws() {
+    while (P < S.size() && std::isspace(static_cast<unsigned char>(S[P])))
+      ++P;
+  }
+
+  bool eat(char C) {
+    ws();
+    if (P < S.size() && S[P] == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JSONValue &V) {
+    ws();
+    if (P >= S.size())
+      return error("unexpected end of input");
+    char C = S[P];
+    if (C == '{')
+      return object(V);
+    if (C == '[')
+      return array(V);
+    if (C == '"') {
+      V.K = JSONValue::String;
+      return string(V.Str);
+    }
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return number(V);
+    if (S.compare(P, 4, "true") == 0) {
+      P += 4;
+      V.K = JSONValue::Bool;
+      V.B = true;
+      return true;
+    }
+    if (S.compare(P, 5, "false") == 0) {
+      P += 5;
+      V.K = JSONValue::Bool;
+      V.B = false;
+      return true;
+    }
+    if (S.compare(P, 4, "null") == 0) {
+      P += 4;
+      V.K = JSONValue::Null;
+      return true;
+    }
+    return error("expected a JSON value");
+  }
+
+  bool object(JSONValue &V) {
+    V.K = JSONValue::Object;
+    eat('{');
+    if (eat('}'))
+      return true;
+    do {
+      std::string Key;
+      ws();
+      if (!string(Key))
+        return false;
+      if (!eat(':'))
+        return error("expected ':' after object key");
+      JSONValue Member;
+      if (!value(Member))
+        return false;
+      V.Obj.emplace_back(std::move(Key), std::move(Member));
+    } while (eat(','));
+    if (!eat('}'))
+      return error("expected ',' or '}' in object");
+    return true;
+  }
+
+  bool array(JSONValue &V) {
+    V.K = JSONValue::Array;
+    eat('[');
+    if (eat(']'))
+      return true;
+    do {
+      JSONValue Elem;
+      if (!value(Elem))
+        return false;
+      V.Arr.push_back(std::move(Elem));
+    } while (eat(','));
+    if (!eat(']'))
+      return error("expected ',' or ']' in array");
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (P >= S.size() || S[P] != '"')
+      return error("expected a string");
+    ++P;
+    Out.clear();
+    while (P < S.size() && S[P] != '"') {
+      char C = S[P++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (P >= S.size())
+        return error("unterminated escape");
+      char E = S[P++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (P + 4 > S.size())
+          return error("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[P++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return error("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode the code point (the writer only escapes control
+        // characters, so the BMP subset below covers round-trips).
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xC0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3F));
+        } else {
+          Out += char(0xE0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3F));
+          Out += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return error("unknown escape character");
+      }
+    }
+    if (P >= S.size())
+      return error("unterminated string");
+    ++P; // closing quote
+    return true;
+  }
+
+  bool number(JSONValue &V) {
+    size_t Start = P;
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    bool Integral = true;
+    while (P < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[P])) || S[P] == '.' ||
+            S[P] == 'e' || S[P] == 'E' || S[P] == '+' || S[P] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(S[P])))
+        Integral = false;
+      ++P;
+    }
+    std::string Lit(S.substr(Start, P - Start));
+    if (Lit.empty() || Lit == "-")
+      return error("malformed number");
+    V.K = JSONValue::Number;
+    V.Num = std::strtod(Lit.c_str(), nullptr);
+    if (Integral && Lit[0] != '-') {
+      V.UInt = std::strtoull(Lit.c_str(), nullptr, 10);
+      V.IsUInt = true;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+bool epre::parseJSON(std::string_view Text, JSONValue &Out,
+                     std::string *Err) {
+  Out = JSONValue();
+  return Parser(Text).parse(Out, Err);
+}

@@ -1,0 +1,81 @@
+//===- instrument/JSONReader.h - Minimal JSON value parser -------*- C++ -*-===//
+///
+/// \file
+/// The read half of the instrumentation layer's JSON support: a small
+/// recursive-descent parser producing a JSONValue tree. JSONWriter emits
+/// the documents (profiles, stats); this reads them back for the profile
+/// diff tool and the dynamic-count regression gate. As with the writer, the
+/// build image has no external JSON dependency, and the read-only subset
+/// the tools need is small enough to live here.
+///
+/// Numbers are kept both as double and — when the literal is an unsigned
+/// integer — as uint64_t, so operation counts round-trip exactly beyond
+/// 2^53.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_INSTRUMENT_JSONREADER_H
+#define EPRE_INSTRUMENT_JSONREADER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace epre {
+
+/// One parsed JSON value. Object members preserve document order.
+struct JSONValue {
+  enum Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Null;
+  bool B = false;
+  double Num = 0;
+  /// Set (with IsUInt) when the literal was a non-negative integer that
+  /// fits uint64_t; counts are read from here, not from the double.
+  uint64_t UInt = 0;
+  bool IsUInt = false;
+  std::string Str;
+  std::vector<JSONValue> Arr;
+  std::vector<std::pair<std::string, JSONValue>> Obj;
+
+  bool isObject() const { return K == Object; }
+  bool isArray() const { return K == Array; }
+  bool isString() const { return K == String; }
+  bool isNumber() const { return K == Number; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JSONValue *get(std::string_view Key) const {
+    if (K != Object)
+      return nullptr;
+    for (const auto &[Name, V] : Obj)
+      if (Name == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Member \p Key read as an unsigned count; \p Default when absent or
+  /// not an unsigned integer.
+  uint64_t getU64(std::string_view Key, uint64_t Default = 0) const {
+    const JSONValue *V = get(Key);
+    return V && V->IsUInt ? V->UInt : Default;
+  }
+
+  /// Member \p Key read as a string; \p Default when absent.
+  std::string getString(std::string_view Key,
+                        std::string_view Default = "") const {
+    const JSONValue *V = get(Key);
+    return V && V->K == String ? V->Str : std::string(Default);
+  }
+};
+
+/// Parses one JSON document (the whole of \p Text up to trailing
+/// whitespace). Returns false with a position-annotated message in \p Err
+/// (when non-null) on malformed input.
+bool parseJSON(std::string_view Text, JSONValue &Out,
+               std::string *Err = nullptr);
+
+} // namespace epre
+
+#endif // EPRE_INSTRUMENT_JSONREADER_H

@@ -1,0 +1,419 @@
+//===- instrument/Profile.cpp ---------------------------------------------===//
+
+#include "instrument/Profile.h"
+
+#include "instrument/JSONReader.h"
+#include "instrument/JSONWriter.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace epre;
+
+const char *epre::opClassName(OpClass C) {
+  switch (C) {
+  case OpClass::Memory:
+    return "memory";
+  case OpClass::Branch:
+    return "branch";
+  case OpClass::IntArith:
+    return "int_arith";
+  case OpClass::FPArith:
+    return "fp_arith";
+  case OpClass::FPMult:
+    return "fp_mult";
+  case OpClass::FPDiv:
+    return "fp_div";
+  case OpClass::Call:
+    return "call";
+  }
+  return "?";
+}
+
+OpClass epre::classifyOp(Opcode Op, Type Ty) {
+  switch (Op) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return OpClass::Memory;
+  case Opcode::Br:
+  case Opcode::Cbr:
+  case Opcode::Ret:
+    return OpClass::Branch;
+  case Opcode::Call:
+    return OpClass::Call;
+  default:
+    break;
+  }
+  if (Ty == Type::F64) {
+    if (Op == Opcode::Mul)
+      return OpClass::FPMult;
+    if (Op == Opcode::Div)
+      return OpClass::FPDiv;
+    return OpClass::FPArith;
+  }
+  return OpClass::IntArith;
+}
+
+// --- FunctionProfile ------------------------------------------------------
+
+const BlockProfile *FunctionProfile::findBlock(std::string_view Label) const {
+  for (const BlockProfile &B : Blocks)
+    if (B.Label == Label)
+      return &B;
+  return nullptr;
+}
+
+static void writeClasses(JSONWriter &W,
+                         const std::array<uint64_t, NumOpClasses> &Ops) {
+  W.beginObject();
+  for (unsigned C = 0; C < NumOpClasses; ++C)
+    W.key(opClassName(OpClass(C))).value(Ops[C]);
+  W.endObject();
+}
+
+static bool readClasses(const JSONValue &V,
+                        std::array<uint64_t, NumOpClasses> &Ops) {
+  if (!V.isObject())
+    return false;
+  for (unsigned C = 0; C < NumOpClasses; ++C)
+    Ops[C] = V.getU64(opClassName(OpClass(C)));
+  return true;
+}
+
+void FunctionProfile::writeJSON(JSONWriter &W, bool IncludeBlocks) const {
+  W.beginObject();
+  W.key("function").value(Function);
+  if (!Level.empty())
+    W.key("level").value(Level);
+  W.key("dyn_ops").value(DynOps);
+  W.key("weighted_cost").value(WeightedCost);
+  W.key("classes");
+  writeClasses(W, ClassOps);
+  if (IncludeBlocks) {
+    W.key("blocks").beginArray();
+    for (const BlockProfile &B : Blocks) {
+      W.beginObject();
+      W.key("label").value(B.Label);
+      W.key("count").value(B.Count);
+      W.key("dyn_ops").value(B.DynOps);
+      W.key("weighted_cost").value(B.WeightedCost);
+      W.key("classes");
+      writeClasses(W, B.ClassOps);
+      W.key("edges").beginArray();
+      for (const BlockProfile::Edge &E : B.Edges) {
+        W.beginObject();
+        W.key("to").value(E.To);
+        W.key("count").value(E.Count);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+}
+
+bool FunctionProfile::fromJSON(const JSONValue &V, FunctionProfile &Out,
+                               std::string *Err) {
+  auto Fail = [&](const char *Why) {
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("profile entry is not an object");
+  Out = FunctionProfile();
+  Out.Function = V.getString("function");
+  if (Out.Function.empty())
+    return Fail("profile entry has no function name");
+  Out.Level = V.getString("level");
+  Out.DynOps = V.getU64("dyn_ops");
+  Out.WeightedCost = V.getU64("weighted_cost");
+  if (const JSONValue *C = V.get("classes"))
+    if (!readClasses(*C, Out.ClassOps))
+      return Fail("malformed classes object");
+  const JSONValue *Blocks = V.get("blocks");
+  if (!Blocks)
+    return true; // summary-only entry (the committed suite baseline)
+  if (!Blocks->isArray())
+    return Fail("blocks is not an array");
+  for (const JSONValue &BV : Blocks->Arr) {
+    if (!BV.isObject())
+      return Fail("block entry is not an object");
+    BlockProfile B;
+    B.Label = BV.getString("label");
+    B.Count = BV.getU64("count");
+    B.DynOps = BV.getU64("dyn_ops");
+    B.WeightedCost = BV.getU64("weighted_cost");
+    if (const JSONValue *C = BV.get("classes"))
+      if (!readClasses(*C, B.ClassOps))
+        return Fail("malformed block classes object");
+    if (const JSONValue *Edges = BV.get("edges")) {
+      if (!Edges->isArray())
+        return Fail("edges is not an array");
+      for (const JSONValue &EV : Edges->Arr)
+        B.Edges.push_back({EV.getString("to"), EV.getU64("count")});
+    }
+    Out.Blocks.push_back(std::move(B));
+  }
+  return true;
+}
+
+// --- ProfileDoc -----------------------------------------------------------
+
+const FunctionProfile *ProfileDoc::find(std::string_view Function,
+                                        std::string_view Level) const {
+  for (const FunctionProfile &P : Profiles)
+    if (P.Function == Function && (Level.empty() || P.Level == Level))
+      return &P;
+  return nullptr;
+}
+
+uint64_t ProfileDoc::totalDynOps() const {
+  uint64_t N = 0;
+  for (const FunctionProfile &P : Profiles)
+    N += P.DynOps;
+  return N;
+}
+
+std::string ProfileDoc::toJSON(bool IncludeBlocks) const {
+  JSONWriter W;
+  W.beginObject();
+  W.key("schema").value(Schema);
+  W.key("profiles").beginArray();
+  for (const FunctionProfile &P : Profiles)
+    P.writeJSON(W, IncludeBlocks);
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+bool ProfileDoc::fromJSON(std::string_view Text, ProfileDoc &Out,
+                          std::string *Err) {
+  Out = ProfileDoc();
+  JSONValue Root;
+  if (!parseJSON(Text, Root, Err))
+    return false;
+  auto Fail = [&](const char *Why) {
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+  if (!Root.isObject())
+    return Fail("profile document is not an object");
+  if (Root.getString("schema") != Schema)
+    return Fail("unrecognized profile schema");
+  const JSONValue *Profiles = Root.get("profiles");
+  if (!Profiles || !Profiles->isArray())
+    return Fail("document has no profiles array");
+  for (const JSONValue &PV : Profiles->Arr) {
+    FunctionProfile P;
+    if (!FunctionProfile::fromJSON(PV, P, Err))
+      return false;
+    Out.Profiles.push_back(std::move(P));
+  }
+  return true;
+}
+
+// --- ProfileCollector -----------------------------------------------------
+
+void ProfileCollector::reset(const Function &F) {
+  Blocks.assign(F.numBlocks(), PerBlock());
+}
+
+FunctionProfile ProfileCollector::finalize(const Function &F) const {
+  assert(Blocks.size() == F.numBlocks() &&
+         "collector was reset against a different function");
+  FunctionProfile P;
+  P.Function = F.name();
+  F.forEachBlock([&](const BasicBlock &B) {
+    const PerBlock &C = Blocks[B.id()];
+    BlockProfile BP;
+    BP.Label = B.label();
+    BP.Count = C.Count;
+    BP.DynOps = C.DynOps;
+    BP.WeightedCost = C.WeightedCost;
+    BP.ClassOps = C.ClassOps;
+    for (const auto &[To, Count] : C.Edges) {
+      const BasicBlock *Succ = F.block(To);
+      BP.Edges.push_back({Succ ? Succ->label() : "?", Count});
+    }
+    std::sort(BP.Edges.begin(), BP.Edges.end(),
+              [](const BlockProfile::Edge &A, const BlockProfile::Edge &B) {
+                return A.To < B.To;
+              });
+    P.DynOps += BP.DynOps;
+    P.WeightedCost += BP.WeightedCost;
+    for (unsigned I = 0; I < NumOpClasses; ++I)
+      P.ClassOps[I] += BP.ClassOps[I];
+    P.Blocks.push_back(std::move(BP));
+  });
+  return P;
+}
+
+// --- ProfileDiff ----------------------------------------------------------
+
+static std::string entryKey(const FunctionProfile &P) {
+  return P.Level.empty() ? P.Function : P.Function + " @ " + P.Level;
+}
+
+ProfileDiff ProfileDiff::compute(const ProfileDoc &Old,
+                                 const ProfileDoc &New) {
+  ProfileDiff D;
+  D.OldTotal = Old.totalDynOps();
+  D.NewTotal = New.totalDynOps();
+
+  auto Match = [](const ProfileDoc &Doc, const FunctionProfile &Key)
+      -> const FunctionProfile * {
+    for (const FunctionProfile &P : Doc.Profiles)
+      if (P.Function == Key.Function && P.Level == Key.Level)
+        return &P;
+    return nullptr;
+  };
+
+  for (const FunctionProfile &NP : New.Profiles) {
+    const FunctionProfile *OP = Match(Old, NP);
+    if (!OP) {
+      D.OnlyInNew.push_back(entryKey(NP));
+      continue;
+    }
+    ProfileDelta PD;
+    PD.Function = NP.Function;
+    PD.Level = NP.Level;
+    PD.OldOps = OP->DynOps;
+    PD.NewOps = NP.DynOps;
+    PD.OldCost = OP->WeightedCost;
+    PD.NewCost = NP.WeightedCost;
+    for (unsigned C = 0; C < NumOpClasses; ++C)
+      PD.ClassDelta[C] =
+          int64_t(NP.ClassOps[C]) - int64_t(OP->ClassOps[C]);
+    // Per-block attribution when both sides carry block detail.
+    for (const BlockProfile &NB : NP.Blocks) {
+      const BlockProfile *OB = OP->findBlock(NB.Label);
+      uint64_t OldOps = OB ? OB->DynOps : 0;
+      uint64_t OldCount = OB ? OB->Count : 0;
+      if (OldOps != NB.DynOps || OldCount != NB.Count)
+        PD.Blocks.push_back({NB.Label, OldOps, NB.DynOps, OldCount, NB.Count});
+    }
+    for (const BlockProfile &OB : OP->Blocks)
+      if (!NP.findBlock(OB.Label) && (OB.DynOps || OB.Count))
+        PD.Blocks.push_back({OB.Label, OB.DynOps, 0, OB.Count, 0});
+    D.Deltas.push_back(std::move(PD));
+  }
+  for (const FunctionProfile &OP : Old.Profiles)
+    if (!Match(New, OP))
+      D.OnlyInOld.push_back(entryKey(OP));
+  return D;
+}
+
+static std::string deltaKey(const ProfileDelta &D) {
+  return D.Level.empty() ? D.Function : D.Function + " @ " + D.Level;
+}
+
+static double pctChange(uint64_t Old, uint64_t New) {
+  if (Old == 0)
+    return New == 0 ? 0.0 : 100.0;
+  return (double(New) - double(Old)) * 100.0 / double(Old);
+}
+
+std::vector<std::string> ProfileDiff::regressions(double TolerancePct) const {
+  std::vector<std::string> Out;
+  for (const ProfileDelta &D : Deltas) {
+    if (D.NewOps <= D.OldOps)
+      continue;
+    double Pct = pctChange(D.OldOps, D.NewOps);
+    if (Pct <= TolerancePct)
+      continue;
+    std::string Line = strprintf(
+        "%s: dynamic ops %llu -> %llu (+%.2f%%, tolerance %.2f%%)",
+        deltaKey(D).c_str(), (unsigned long long)D.OldOps,
+        (unsigned long long)D.NewOps, Pct, TolerancePct);
+    // Attribute the growth to the classes that grew.
+    for (unsigned C = 0; C < NumOpClasses; ++C)
+      if (D.ClassDelta[C] > 0)
+        Line += strprintf("; %s +%lld", opClassName(OpClass(C)),
+                          (long long)D.ClassDelta[C]);
+    Out.push_back(std::move(Line));
+  }
+  // A routine that vanished from the new run makes the comparison
+  // meaningless for it; fail loudly rather than silently shrink coverage.
+  for (const std::string &Key : OnlyInOld)
+    Out.push_back(Key + ": present in baseline but missing from new profile");
+  return Out;
+}
+
+std::string ProfileDiff::report(bool OnlyChanged) const {
+  std::string Out;
+  for (const ProfileDelta &D : Deltas) {
+    bool Changed = D.OldOps != D.NewOps || D.OldCost != D.NewCost;
+    if (OnlyChanged && !Changed)
+      continue;
+    Out += strprintf("%s: dyn_ops %llu -> %llu (%+lld, %+.2f%%), "
+                     "weighted %llu -> %llu (%+lld)\n",
+                     deltaKey(D).c_str(), (unsigned long long)D.OldOps,
+                     (unsigned long long)D.NewOps, (long long)D.opsDelta(),
+                     pctChange(D.OldOps, D.NewOps),
+                     (unsigned long long)D.OldCost,
+                     (unsigned long long)D.NewCost, (long long)D.costDelta());
+    for (unsigned C = 0; C < NumOpClasses; ++C)
+      if (D.ClassDelta[C] != 0)
+        Out += strprintf("  class %-9s %+lld\n", opClassName(OpClass(C)),
+                         (long long)D.ClassDelta[C]);
+    for (const ProfileDelta::BlockDelta &B : D.Blocks)
+      Out += strprintf("  block ^%s: ops %llu -> %llu, count %llu -> %llu\n",
+                       B.Label.c_str(), (unsigned long long)B.OldOps,
+                       (unsigned long long)B.NewOps,
+                       (unsigned long long)B.OldCount,
+                       (unsigned long long)B.NewCount);
+  }
+  for (const std::string &Key : OnlyInOld)
+    Out += "only in old: " + Key + "\n";
+  for (const std::string &Key : OnlyInNew)
+    Out += "only in new: " + Key + "\n";
+  Out += strprintf("total: %llu -> %llu (%+.2f%%)\n",
+                   (unsigned long long)OldTotal,
+                   (unsigned long long)NewTotal,
+                   pctChange(OldTotal, NewTotal));
+  return Out;
+}
+
+// --- Hotness-annotated remarks --------------------------------------------
+
+std::vector<HotRemark> epre::annotateHotness(const std::vector<Remark> &Remarks,
+                                             const ProfileDoc &Baseline) {
+  std::vector<HotRemark> Out;
+  Out.reserve(Remarks.size());
+  for (const Remark &R : Remarks) {
+    HotRemark H;
+    H.R = R;
+    if (!R.Function.empty() && !R.Block.empty())
+      if (const FunctionProfile *FP = Baseline.find(R.Function))
+        if (const BlockProfile *BP = FP->findBlock(R.Block)) {
+          H.Count = BP->Count;
+          H.HasCount = true;
+        }
+    Out.push_back(std::move(H));
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const HotRemark &A, const HotRemark &B) {
+                     if (A.HasCount != B.HasCount)
+                       return A.HasCount;
+                     return A.Count > B.Count;
+                   });
+  return Out;
+}
+
+std::string epre::renderHotRemarks(const std::vector<HotRemark> &Remarks) {
+  std::string Out;
+  for (const HotRemark &H : Remarks) {
+    if (H.HasCount)
+      Out += strprintf("[count=%llu] ", (unsigned long long)H.Count);
+    else
+      Out += "[count=?] ";
+    Out += H.R.toText();
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,231 @@
+//===- instrument/Profile.h - Dynamic execution profiles ---------*- C++ -*-===//
+///
+/// \file
+/// The dynamic half of the observability story: execution profiles of
+/// interpreted runs. The interpreter fills a ProfileCollector (per-block
+/// and per-CFG-edge execution counts plus dynamic operation / weighted-cost
+/// attribution per Table-1-style opcode class); finalize() keys everything
+/// by stable block *labels*, so a profile survives printing and re-parsing
+/// the IR and can be joined against remark streams from a different
+/// compilation of the same source.
+///
+/// On top of the raw profile sit:
+///  - JSON (de)serialization (JSONWriter out, JSONReader back in),
+///  - ProfileDiff: attributes DynOps/WeightedCost deltas between two runs
+///    per function, per opcode class, and per block, with the regression
+///    gate CI runs against the committed BENCH_dynamic_profile.json,
+///  - hotness annotation: joins structured remarks with a baseline profile
+///    so remarks render sorted by dynamic impact ("PRE deleted a load
+///    executed 1.2M times").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_INSTRUMENT_PROFILE_H
+#define EPRE_INSTRUMENT_PROFILE_H
+
+#include "instrument/Remark.h"
+#include "ir/Function.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epre {
+
+class JSONWriter;
+struct JSONValue;
+
+/// The paper's Table-1-style dynamic operation categories. Every executed
+/// operation falls in exactly one class, so per-class counts sum to
+/// DynOps. Memory, branch and call operations classify by opcode; the
+/// remaining pure computations split by operand type: F64 multiplies and
+/// divides get their own columns (they dominate the weighted cost), every
+/// other F64 operation is FPArith, and all I64 computation — address
+/// arithmetic, comparisons, conversions, copies — is IntArith.
+enum class OpClass : uint8_t {
+  Memory,   ///< load, store
+  Branch,   ///< br, cbr, ret
+  IntArith, ///< any other operation typed I64
+  FPArith,  ///< F64 add/sub/neg/min/max/loadf and F64-typed conversions
+  FPMult,   ///< F64 multiply
+  FPDiv,    ///< F64 divide
+  Call,     ///< intrinsic calls
+};
+inline constexpr unsigned NumOpClasses = 7;
+
+const char *opClassName(OpClass C);
+
+/// Classifies one instruction by opcode and instruction type.
+OpClass classifyOp(Opcode Op, Type Ty);
+
+/// Dynamic execution profile of one basic block.
+struct BlockProfile {
+  std::string Label;        ///< block label, without the '^' sigil
+  uint64_t Count = 0;       ///< times the block was entered
+  uint64_t DynOps = 0;      ///< dynamic operations attributed to the block
+  uint64_t WeightedCost = 0;
+  std::array<uint64_t, NumOpClasses> ClassOps{};
+  /// Out-edge execution counts, keyed by successor label.
+  struct Edge {
+    std::string To;
+    uint64_t Count = 0;
+  };
+  std::vector<Edge> Edges;
+};
+
+/// Dynamic execution profile of one run of one function. Suite profiles
+/// tag each entry with the optimization level it was measured at.
+struct FunctionProfile {
+  std::string Function;
+  std::string Level; ///< optimization level tag; "" outside the suite
+  uint64_t DynOps = 0;
+  uint64_t WeightedCost = 0;
+  std::array<uint64_t, NumOpClasses> ClassOps{};
+  std::vector<BlockProfile> Blocks; ///< in block-id order at collection
+
+  const BlockProfile *findBlock(std::string_view Label) const;
+
+  /// Serializes into \p W as one JSON object. \p IncludeBlocks drops the
+  /// per-block detail (the committed suite baseline keeps only the
+  /// per-routine summaries).
+  void writeJSON(JSONWriter &W, bool IncludeBlocks = true) const;
+  static bool fromJSON(const JSONValue &V, FunctionProfile &Out,
+                       std::string *Err = nullptr);
+};
+
+/// A profile document: an ordered collection of function profiles, the
+/// unit the tools exchange (epre-opt -profile-out=, suite_report
+/// -profile-out=, epre-profdiff, the CI baseline).
+struct ProfileDoc {
+  static constexpr const char *Schema = "epre-dynamic-profile-v1";
+
+  std::vector<FunctionProfile> Profiles;
+
+  /// First entry matching \p Function (and \p Level when non-empty).
+  const FunctionProfile *find(std::string_view Function,
+                              std::string_view Level = "") const;
+
+  uint64_t totalDynOps() const;
+
+  std::string toJSON(bool IncludeBlocks = true) const;
+  static bool fromJSON(std::string_view Text, ProfileDoc &Out,
+                       std::string *Err = nullptr);
+};
+
+/// Fills per-block / per-edge counters during one interpreted run. The
+/// interpreter resets it, bumps the counters from its dispatch loop, and
+/// the caller finalizes against the executed Function to get the
+/// label-keyed FunctionProfile. Attach one collector to at most one run at
+/// a time.
+class ProfileCollector {
+public:
+  /// Sizes the tables for \p F and zeroes all counts (interpret() calls
+  /// this on entry).
+  void reset(const Function &F);
+
+  void enterBlock(BlockId B) { ++Blocks[B].Count; }
+
+  void countOp(BlockId B, unsigned Cost, OpClass C) {
+    PerBlock &P = Blocks[B];
+    ++P.DynOps;
+    P.WeightedCost += Cost;
+    ++P.ClassOps[unsigned(C)];
+  }
+
+  void takeEdge(BlockId From, BlockId To) {
+    for (auto &[Succ, Count] : Blocks[From].Edges)
+      if (Succ == To) {
+        ++Count;
+        return;
+      }
+    Blocks[From].Edges.push_back({To, 1});
+  }
+
+  /// Converts the id-keyed counters into a label-keyed profile of \p F
+  /// (which must be the function the run executed).
+  FunctionProfile finalize(const Function &F) const;
+
+private:
+  struct PerBlock {
+    uint64_t Count = 0;
+    uint64_t DynOps = 0;
+    uint64_t WeightedCost = 0;
+    std::array<uint64_t, NumOpClasses> ClassOps{};
+    std::vector<std::pair<BlockId, uint64_t>> Edges;
+  };
+  std::vector<PerBlock> Blocks;
+};
+
+// --- Profile diffing ------------------------------------------------------
+
+/// Per-function delta between two profile documents, attributed per opcode
+/// class and (when both sides carry block detail) per block.
+struct ProfileDelta {
+  std::string Function;
+  std::string Level;
+  uint64_t OldOps = 0, NewOps = 0;
+  uint64_t OldCost = 0, NewCost = 0;
+  std::array<int64_t, NumOpClasses> ClassDelta{};
+
+  struct BlockDelta {
+    std::string Label;
+    uint64_t OldOps = 0, NewOps = 0;
+    uint64_t OldCount = 0, NewCount = 0;
+  };
+  /// Blocks whose attributed DynOps changed (label present in either side).
+  std::vector<BlockDelta> Blocks;
+
+  int64_t opsDelta() const {
+    return int64_t(NewOps) - int64_t(OldOps);
+  }
+  int64_t costDelta() const {
+    return int64_t(NewCost) - int64_t(OldCost);
+  }
+};
+
+/// Diff of two profile documents. Entries are matched by (function, level).
+struct ProfileDiff {
+  std::vector<ProfileDelta> Deltas;     ///< matched entries, document order
+  std::vector<std::string> OnlyInOld;   ///< keys missing from the new run
+  std::vector<std::string> OnlyInNew;   ///< keys missing from the old run
+  uint64_t OldTotal = 0, NewTotal = 0;
+
+  static ProfileDiff compute(const ProfileDoc &Old, const ProfileDoc &New);
+
+  /// Entries whose NewOps exceed OldOps by more than \p TolerancePct
+  /// percent — the CI regression gate. Each string is one human-readable
+  /// per-routine line; an empty result means the gate passes.
+  std::vector<std::string> regressions(double TolerancePct) const;
+
+  /// Full human-readable report: per-entry op/cost deltas, the per-class
+  /// attribution for entries that changed, and per-block deltas when
+  /// available. \p OnlyChanged hides entries with identical counts.
+  std::string report(bool OnlyChanged = true) const;
+};
+
+// --- Hotness-annotated remarks --------------------------------------------
+
+/// One remark joined with the execution count of its block in a baseline
+/// profile. HasCount is false when the baseline has no matching
+/// function/block (e.g. a block PRE created by splitting an edge).
+struct HotRemark {
+  Remark R;
+  uint64_t Count = 0;
+  bool HasCount = false;
+};
+
+/// Joins \p Remarks against \p Baseline by (function, block label) and
+/// sorts descending by count (unmatched remarks last, original order
+/// preserved among ties) — LLVM-style hotness-sorted remarks.
+std::vector<HotRemark> annotateHotness(const std::vector<Remark> &Remarks,
+                                       const ProfileDoc &Baseline);
+
+/// Renders hot remarks one per line: "[count=N] <remark text>", with
+/// "[count=?]" for remarks the baseline cannot weight.
+std::string renderHotRemarks(const std::vector<HotRemark> &Remarks);
+
+} // namespace epre
+
+#endif // EPRE_INSTRUMENT_PROFILE_H

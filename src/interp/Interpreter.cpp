@@ -2,6 +2,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "instrument/Profile.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -50,15 +52,34 @@ unsigned epre::opcodeCost(Opcode Op) {
   }
 }
 
-ExecResult epre::interpret(const Function &F,
-                           const std::vector<RtValue> &Args, MemoryImage &Mem,
-                           const ExecLimits &Limits) {
+namespace {
+
+/// The dispatch loop, instantiated once without profiling (the default,
+/// measurement-speed path) and once with it. Every profiling touch sits
+/// behind `if constexpr`, so the non-profiling instantiation is the same
+/// code the interpreter ran before the hook existed.
+template <bool Profiling>
+ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
+                         MemoryImage &Mem, const ExecLimits &Limits,
+                         ProfileCollector *Prof) {
   ExecResult R;
   R.OpCounts.assign(unsigned(Opcode::Phi) + 1, 0);
+  R.TrapFunction = F.name();
 
+  // Trap before any block executed (argument checks).
   auto trap = [&](std::string Why) {
     R.Trapped = true;
-    R.TrapReason = std::move(Why);
+    R.TrapReason = Why + strprintf(" (in @%s)", F.name().c_str());
+    return R;
+  };
+  // Trap at instruction \p Idx of block \p B.
+  auto trapAt = [&](std::string Why, const BasicBlock &B, unsigned Idx) {
+    R.Trapped = true;
+    R.TrapBlock = B.label();
+    R.TrapInstIndex = Idx;
+    R.TrapReason =
+        Why + strprintf(" (in @%s, block ^%s, inst %u)", F.name().c_str(),
+                        B.label().c_str(), Idx);
     return R;
   };
 
@@ -75,13 +96,18 @@ ExecResult epre::interpret(const Function &F,
     Regs[F.params()[I]] = Args[I];
   }
 
+  if constexpr (Profiling)
+    Prof->reset(F);
+
   std::vector<RtValue> Ops;
   BlockId Cur = 0;
   BlockId Prev = InvalidBlock;
   while (true) {
     const BasicBlock *B = F.block(Cur);
     if (!B)
-      return trap("branch to erased block");
+      return trap(strprintf("branch to erased block b%u", Cur));
+    if constexpr (Profiling)
+      Prof->enterBlock(Cur);
 
     // Phis read their inputs in parallel at block entry.
     unsigned FirstNonPhi = B->firstNonPhi();
@@ -99,7 +125,7 @@ ExecResult epre::interpret(const Function &F,
           }
         }
         if (!Found)
-          return trap("phi has no entry for predecessor");
+          return trapAt("phi has no entry for predecessor", *B, I);
       }
       for (auto &[Dst, V] : PhiVals)
         Regs[Dst] = V;
@@ -107,19 +133,30 @@ ExecResult epre::interpret(const Function &F,
 
     for (unsigned Idx = FirstNonPhi; Idx < B->Insts.size(); ++Idx) {
       const Instruction &I = B->Insts[Idx];
-      if (++R.DynOps > Limits.MaxOps)
-        return trap("operation limit exceeded");
-      R.WeightedCost += opcodeCost(I.Op);
+      unsigned Cost = opcodeCost(I.Op);
+      ++R.DynOps;
+      R.WeightedCost += Cost;
       ++R.OpCounts[unsigned(I.Op)];
+      if constexpr (Profiling)
+        Prof->countOp(Cur, Cost, classifyOp(I.Op, I.Ty));
+      // The limit check comes after counting so DynOps == sum(OpCounts)
+      // holds on every exit path, including this trap.
+      if (R.DynOps > Limits.MaxOps)
+        return trapAt("operation limit exceeded", *B, Idx);
 
       switch (I.Op) {
       case Opcode::Br:
+        if constexpr (Profiling)
+          Prof->takeEdge(Cur, I.Succs[0]);
         Prev = Cur;
         Cur = I.Succs[0];
         break;
       case Opcode::Cbr: {
+        BlockId Target = Regs[I.Operands[0]].I != 0 ? I.Succs[0] : I.Succs[1];
+        if constexpr (Profiling)
+          Prof->takeEdge(Cur, Target);
         Prev = Cur;
-        Cur = Regs[I.Operands[0]].I != 0 ? I.Succs[0] : I.Succs[1];
+        Cur = Target;
         break;
       }
       case Opcode::Ret:
@@ -131,8 +168,9 @@ ExecResult epre::interpret(const Function &F,
       case Opcode::Load: {
         int64_t Addr = Regs[I.Operands[0]].I;
         if (!Mem.inBounds(Addr, 8))
-          return trap(strprintf("load out of bounds at %lld",
-                                (long long)Addr));
+          return trapAt(strprintf("load out of bounds at address %lld",
+                                  (long long)Addr),
+                        *B, Idx);
         Regs[I.Dst] = I.Ty == Type::F64 ? RtValue::ofF(Mem.loadF64(Addr))
                                         : RtValue::ofI(Mem.loadI64(Addr));
         break;
@@ -140,8 +178,9 @@ ExecResult epre::interpret(const Function &F,
       case Opcode::Store: {
         int64_t Addr = Regs[I.Operands[0]].I;
         if (!Mem.inBounds(Addr, 8))
-          return trap(strprintf("store out of bounds at %lld",
-                                (long long)Addr));
+          return trapAt(strprintf("store out of bounds at address %lld",
+                                  (long long)Addr),
+                        *B, Idx);
         const RtValue &V = Regs[I.Operands[1]];
         if (V.Ty == Type::F64)
           Mem.storeF64(Addr, V.F);
@@ -155,8 +194,8 @@ ExecResult epre::interpret(const Function &F,
           Ops.push_back(Regs[Op]);
         RtValue Out;
         if (!evalPure(I, Ops, Out))
-          return trap(std::string("arithmetic trap in ") +
-                      opcodeName(I.Op));
+          return trapAt(std::string("arithmetic trap in ") + opcodeName(I.Op),
+                        *B, Idx);
         Regs[I.Dst] = Out;
         break;
       }
@@ -165,4 +204,14 @@ ExecResult epre::interpret(const Function &F,
         break;
     }
   }
+}
+
+} // namespace
+
+ExecResult epre::interpret(const Function &F,
+                           const std::vector<RtValue> &Args, MemoryImage &Mem,
+                           const ExecLimits &Limits, ProfileCollector *Prof) {
+  if (Prof)
+    return interpretImpl<true>(F, Args, Mem, Limits, Prof);
+  return interpretImpl<false>(F, Args, Mem, Limits, nullptr);
 }

@@ -7,6 +7,12 @@
 /// counts. Phi instructions execute (with parallel-read semantics) but cost
 /// zero operations — measured code is always out of SSA form.
 ///
+/// Passing a ProfileCollector additionally records per-block and per-edge
+/// execution counts with per-block operation attribution (see
+/// instrument/Profile.h). The hook is compiled as a separate template
+/// instantiation, so the default non-profiling path carries no extra work
+/// in its dispatch loop.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EPRE_INTERP_INTERPRETER_H
@@ -17,10 +23,13 @@
 #include "support/StringUtil.h"
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace epre {
+
+class ProfileCollector;
 
 /// Byte-addressable data memory for a program run.
 class MemoryImage {
@@ -46,10 +55,23 @@ public:
   int64_t loadI64(int64_t Addr) const;
 
   /// Deterministic digest of the whole image (for differential testing).
+  /// Mixes the size, then full 8-byte words, then a zero-padded tail word —
+  /// one hashCombine per 8 bytes instead of one per byte. Words are read in
+  /// native byte order, like the store/load paths; the pinned-digest unit
+  /// test documents the little-endian value.
   uint64_t hash() const {
-    uint64_t H = 0x243f6a8885a308d3ULL;
-    for (uint8_t B : Bytes)
-      H = hashCombine(H, B);
+    uint64_t H = hashCombine(0x243f6a8885a308d3ULL, Bytes.size());
+    size_t I = 0;
+    for (; I + 8 <= Bytes.size(); I += 8) {
+      uint64_t W;
+      std::memcpy(&W, Bytes.data() + I, 8);
+      H = hashCombine(H, W);
+    }
+    if (I < Bytes.size()) {
+      uint64_t W = 0;
+      std::memcpy(&W, Bytes.data() + I, Bytes.size() - I);
+      H = hashCombine(H, W);
+    }
     return H;
   }
 
@@ -59,7 +81,15 @@ public:
 /// Outcome of one interpreted call.
 struct ExecResult {
   bool Trapped = false;
+  /// Human-readable trap cause, suffixed with the trap location
+  /// ("... (in @f, block ^b2, inst 3)") when execution had entered a block.
   std::string TrapReason;
+  /// Structured trap location. TrapBlock/TrapInstIndex are only meaningful
+  /// when TrapBlock is non-empty (pre-execution traps such as an argument
+  /// mismatch have a function but no block).
+  std::string TrapFunction;
+  std::string TrapBlock;
+  unsigned TrapInstIndex = 0;
   bool HasReturn = false;
   RtValue ReturnValue;
   /// Total dynamic operations executed (phis excluded).
@@ -68,7 +98,8 @@ struct ExecResult {
   /// weigh every ILOC operation equally, which hides e.g. the benefit of
   /// strength reduction; this metric does not.
   uint64_t WeightedCost = 0;
-  /// Dynamic operation count per opcode.
+  /// Dynamic operation count per opcode. Always sums to DynOps, even when
+  /// a trap cuts the run short.
   std::vector<uint64_t> OpCounts;
 
   bool ok() const { return !Trapped; }
@@ -84,9 +115,14 @@ struct ExecLimits {
   uint64_t MaxOps = 500'000'000;
 };
 
-/// Runs \p F on \p Args, reading and writing \p Mem.
+/// Runs \p F on \p Args, reading and writing \p Mem. When \p Prof is
+/// non-null it is reset for \p F and filled during the run; call
+/// Prof->finalize(F) afterwards for the label-keyed profile (valid for
+/// trapped runs too — the profile covers everything executed up to the
+/// trap).
 ExecResult interpret(const Function &F, const std::vector<RtValue> &Args,
-                     MemoryImage &Mem, const ExecLimits &Limits = {});
+                     MemoryImage &Mem, const ExecLimits &Limits = {},
+                     ProfileCollector *Prof = nullptr);
 
 } // namespace epre
 

@@ -355,14 +355,3 @@ PreservedAnalyses epre::SCCPPass::run(Function &F,
   return PA;
 }
 
-bool epre::propagateConstants(Function &F, FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  SCCPPass().run(F, AM, Ctx);
-  return SR.get("sccp", "changed") != 0;
-}
-
-bool epre::propagateConstants(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return propagateConstants(F, AM);
-}

@@ -35,11 +35,6 @@ public:
                         PassContext &Ctx);
 };
 
-/// Deprecated free-function shims (kept for one PR): forward to SCCPPass
-/// with instrumentation disabled. Return true if the function changed.
-bool propagateConstants(Function &F, FunctionAnalysisManager &AM);
-bool propagateConstants(Function &F);
-
 } // namespace epre
 
 #endif // EPRE_OPT_CONSTANTPROPAGATION_H

@@ -151,14 +151,3 @@ PreservedAnalyses epre::CopyCoalescingPass::run(Function &F,
   return Removed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all();
 }
 
-unsigned epre::coalesceCopies(Function &F, FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  CopyCoalescingPass().run(F, AM, Ctx);
-  return unsigned(SR.get("coalesce", "copies_removed"));
-}
-
-unsigned epre::coalesceCopies(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return coalesceCopies(F, AM);
-}

@@ -30,11 +30,6 @@ public:
                         PassContext &Ctx);
 };
 
-/// Deprecated free-function shims (kept for one PR). Return the number of
-/// copy instructions eliminated.
-unsigned coalesceCopies(Function &F, FunctionAnalysisManager &AM);
-unsigned coalesceCopies(Function &F);
-
 } // namespace epre
 
 #endif // EPRE_OPT_COPYCOALESCING_H

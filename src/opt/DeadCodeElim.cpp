@@ -136,14 +136,3 @@ PreservedAnalyses epre::DCEPass::run(Function &F, FunctionAnalysisManager &AM,
   return Changed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all();
 }
 
-bool epre::eliminateDeadCode(Function &F, FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  DCEPass().run(F, AM, Ctx);
-  return SR.get("dce", "changed") != 0;
-}
-
-bool epre::eliminateDeadCode(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return eliminateDeadCode(F, AM);
-}

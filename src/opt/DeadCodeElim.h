@@ -27,11 +27,6 @@ public:
                         PassContext &Ctx);
 };
 
-/// Deprecated free-function shims (kept for one PR). Return true if
-/// anything was deleted.
-bool eliminateDeadCode(Function &F, FunctionAnalysisManager &AM);
-bool eliminateDeadCode(Function &F);
-
 } // namespace epre
 
 #endif // EPRE_OPT_DEADCODEELIM_H

@@ -370,15 +370,3 @@ PreservedAnalyses epre::PeepholePass::run(Function &F,
   return PA;
 }
 
-bool epre::runPeephole(Function &F, FunctionAnalysisManager &AM,
-                       const PeepholeOptions &Opts) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  PeepholePass(Opts).run(F, AM, Ctx);
-  return SR.get("peephole", "changed") != 0;
-}
-
-bool epre::runPeephole(Function &F, const PeepholeOptions &Opts) {
-  FunctionAnalysisManager AM(F);
-  return runPeephole(F, AM, Opts);
-}

@@ -41,11 +41,6 @@ private:
   PeepholeOptions Opts;
 };
 
-/// Deprecated free-function shims (kept for one PR).
-bool runPeephole(Function &F, FunctionAnalysisManager &AM,
-                 const PeepholeOptions &Opts = {});
-bool runPeephole(Function &F, const PeepholeOptions &Opts = {});
-
 } // namespace epre
 
 #endif // EPRE_OPT_PEEPHOLE_H

@@ -301,18 +301,6 @@ PreservedAnalyses epre::UnreachableBlockElimPass::run(
   return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
 }
 
-bool epre::simplifyCFG(Function &F, FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  SimplifyCFGPass().run(F, AM, Ctx);
-  return SR.get("simplifycfg", "changed") != 0;
-}
-
-bool epre::simplifyCFG(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return simplifyCFG(F, AM);
-}
-
 bool epre::removeUnreachableBlocks(Function &F, FunctionAnalysisManager &AM) {
   StatsRegistry SR;
   PassContext Ctx(&SR);

@@ -17,7 +17,16 @@
 
 namespace epre {
 
-/// CFG simplification behind the unified pass-entry API.
+/// CFG simplification behind the unified pass-entry API. Runs the cleanup
+/// rules to a fixpoint:
+///  - cbr with identical targets, or with a constant condition defined by a
+///    loadi in the same block, becomes br;
+///  - blocks unreachable from entry are erased (phi inputs cleaned up);
+///  - single-predecessor phis become copies;
+///  - a block containing only `br ^t` is bypassed when target phis permit;
+///  - a block whose single successor has it as its single predecessor is
+///    merged with that successor.
+/// Invalidates everything when it changes the graph.
 /// Counters: simplifycfg.changed.
 class SimplifyCFGPass {
 public:
@@ -34,23 +43,6 @@ public:
   PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
                         PassContext &Ctx);
 };
-
-/// Deprecated free-function shim (kept for one PR).
-/// Runs CFG simplification to a fixpoint. Returns true if anything changed.
-///
-/// Rules applied:
-///  - cbr with identical targets, or with a constant condition defined by a
-///    loadi in the same block, becomes br;
-///  - blocks unreachable from entry are erased (phi inputs cleaned up);
-///  - single-predecessor phis become copies;
-///  - a block containing only `br ^t` is bypassed when target phis permit;
-///  - a block whose single successor has it as its single predecessor is
-///    merged with that successor.
-///
-/// Invalidates everything when it changes the graph; on the no-change exit
-/// the CFG in \p AM is fresh for subsequent passes.
-bool simplifyCFG(Function &F, FunctionAnalysisManager &AM);
-bool simplifyCFG(Function &F);
 
 /// Erases unreachable blocks only; used by passes that need a clean CFG
 /// without wanting full simplification. Returns true if blocks were erased.

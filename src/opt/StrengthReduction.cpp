@@ -322,24 +322,3 @@ PreservedAnalyses epre::StrengthReductionPass::run(Function &F,
   return PreservedAnalyses::none();
 }
 
-SRStats epre::strengthReduceSSA(Function &F, FunctionAnalysisManager &AM) {
-  return strengthReduceSSAImpl(F, AM);
-}
-
-SRStats epre::strengthReduceSSA(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return strengthReduceSSA(F, AM);
-}
-
-SRStats epre::strengthReduce(Function &F, FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  StrengthReductionPass P;
-  P.run(F, AM, Ctx);
-  return P.lastStats();
-}
-
-SRStats epre::strengthReduce(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return strengthReduce(F, AM);
-}

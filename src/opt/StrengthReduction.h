@@ -62,16 +62,6 @@ private:
   SRStats Last;
 };
 
-/// Deprecated free-function shims (kept for one PR).
-/// The SSA core: reduces candidates in a function already in SSA form.
-/// Preserves the CFG shape (adds instructions and phis, never blocks/edges).
-SRStats strengthReduceSSA(Function &F, FunctionAnalysisManager &AM);
-SRStats strengthReduceSSA(Function &F);
-
-/// The full phase on phi-free code.
-SRStats strengthReduce(Function &F, FunctionAnalysisManager &AM);
-SRStats strengthReduce(Function &F);
-
 } // namespace epre
 
 #endif // EPRE_OPT_STRENGTHREDUCTION_H

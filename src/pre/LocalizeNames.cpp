@@ -151,15 +151,3 @@ PreservedAnalyses epre::LocalizeNamesPass::run(Function &F,
   return Names ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all();
 }
 
-unsigned epre::localizeExpressionNames(Function &F,
-                                       FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  LocalizeNamesPass().run(F, AM, Ctx);
-  return unsigned(SR.get("localize", "names"));
-}
-
-unsigned epre::localizeExpressionNames(Function &F) {
-  FunctionAnalysisManager AM(F);
-  return localizeExpressionNames(F, AM);
-}

@@ -37,11 +37,6 @@ public:
                         PassContext &Ctx);
 };
 
-/// Deprecated free-function shims (kept for one PR). Return the number of
-/// expression names localized.
-unsigned localizeExpressionNames(Function &F, FunctionAnalysisManager &AM);
-unsigned localizeExpressionNames(Function &F);
-
 } // namespace epre
 
 #endif // EPRE_PRE_LOCALIZENAMES_H

@@ -687,23 +687,6 @@ PreservedAnalyses epre::PREPass::run(Function &F, FunctionAnalysisManager &AM,
                          : PreservedAnalyses::cfgShape();
 }
 
-PREStats epre::eliminatePartialRedundancies(Function &F,
-                                            FunctionAnalysisManager &AM,
-                                            PREStrategy Strategy,
-                                            DataflowSolverKind Solver) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  PREPass P(Strategy, Solver);
-  P.run(F, AM, Ctx);
-  return P.lastStats();
-}
-
-PREStats epre::eliminatePartialRedundancies(Function &F, PREStrategy Strategy,
-                                            DataflowSolverKind Solver) {
-  FunctionAnalysisManager AM(F);
-  return eliminatePartialRedundancies(F, AM, Strategy, Solver);
-}
-
 PREDataflow epre::analyzePartialRedundancies(Function &F,
                                              DataflowSolverKind Solver) {
   FunctionAnalysisManager AM(F);

@@ -80,16 +80,6 @@ private:
   PREStats Last;
 };
 
-/// Deprecated free-function shims (kept for one PR).
-PREStats eliminatePartialRedundancies(
-    Function &F, PREStrategy Strategy = PREStrategy::LazyCodeMotion,
-    DataflowSolverKind Solver = DataflowSolverKind::Worklist);
-
-PREStats eliminatePartialRedundancies(
-    Function &F, FunctionAnalysisManager &AM,
-    PREStrategy Strategy = PREStrategy::LazyCodeMotion,
-    DataflowSolverKind Solver = DataflowSolverKind::Worklist);
-
 /// The dataflow half of PRE — universe construction, local properties, and
 /// the AVAIL/ANT fixpoints — with no code motion. Exposed so the solver can
 /// be benchmarked in isolation and checked bit-for-bit across solver kinds.

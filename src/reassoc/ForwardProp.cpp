@@ -393,17 +393,3 @@ PreservedAnalyses epre::ForwardPropPass::run(Function &F,
   return PA;
 }
 
-ForwardPropStats epre::propagateForward(Function &F,
-                                        FunctionAnalysisManager &AM,
-                                        RankMap &Ranks) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  ForwardPropPass P(Ranks);
-  P.run(F, AM, Ctx);
-  return P.lastStats();
-}
-
-ForwardPropStats epre::propagateForward(Function &F, RankMap &Ranks) {
-  FunctionAnalysisManager AM(F);
-  return propagateForward(F, AM, Ranks);
-}

@@ -64,11 +64,6 @@ private:
   ForwardPropStats Last;
 };
 
-/// Deprecated free-function shims (kept for one PR).
-ForwardPropStats propagateForward(Function &F, FunctionAnalysisManager &AM,
-                                  RankMap &Ranks);
-ForwardPropStats propagateForward(Function &F, RankMap &Ranks);
-
 } // namespace epre
 
 #endif // EPRE_REASSOC_FORWARDPROP_H

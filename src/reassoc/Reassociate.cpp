@@ -318,8 +318,10 @@ private:
 
 } // namespace
 
-unsigned epre::normalizeNegation(Function &F, RankMap &Ranks,
-                                 const ReassociateOptions &Opts) {
+namespace {
+
+unsigned normalizeNegationImpl(Function &F, RankMap &Ranks,
+                               const ReassociateOptions &Opts) {
   unsigned Rewritten = 0;
   F.forEachBlock([&](BasicBlock &B) {
     std::vector<Instruction> Out;
@@ -344,16 +346,13 @@ unsigned epre::normalizeNegation(Function &F, RankMap &Ranks,
   return Rewritten;
 }
 
-bool epre::reassociate(Function &F, RankMap &Ranks,
-                       const ReassociateOptions &Opts) {
-  return Reassociator(F, Ranks, Opts).run();
-}
+} // namespace
 
 PreservedAnalyses epre::NegNormPass::run(Function &F,
                                          FunctionAnalysisManager &AM,
                                          PassContext &Ctx) {
   PassScope Scope(Ctx, name(), F);
-  unsigned Rewritten = normalizeNegation(F, *Ranks, Opts);
+  unsigned Rewritten = normalizeNegationImpl(F, *Ranks, Opts);
   Ctx.addStat("rewritten", Rewritten);
   if (!Rewritten)
     return PreservedAnalyses::all();

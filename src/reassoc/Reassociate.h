@@ -4,12 +4,12 @@
 /// The reassociation proper: after forward propagation has built per-use
 /// expression trees,
 ///
-///  1. `normalizeNegation` rewrites x - y into x + (-y) (Frailey), making
+///  1. `NegNormPass` rewrites x - y into x + (-y) (Frailey), making
 ///     subtraction chains associative;
-///  2. `reassociate` flattens each associative-operation tree and re-emits
-///     it left-to-right with operands sorted by ascending rank, so that
-///     low-rank (loop-invariant, constant) subexpressions cluster and PRE
-///     can hoist maximal subexpressions maximal distances;
+///  2. `ReassociatePass` flattens each associative-operation tree and
+///     re-emits it left-to-right with operands sorted by ascending rank, so
+///     that low-rank (loop-invariant, constant) subexpressions cluster and
+///     PRE can hoist maximal subexpressions maximal distances;
 ///  3. `distribute` (optional) multiplies a low-ranked multiplier through a
 ///     higher-ranked sum, rank group by rank group, exposing further
 ///     invariant products — followed by a re-sort.
@@ -72,13 +72,6 @@ private:
   RankMap *Ranks;
   ReassociateOptions Opts;
 };
-
-/// Deprecated free-function shims (kept for one PR). These do not settle
-/// an AnalysisManager; the caller owns invalidation.
-unsigned normalizeNegation(Function &F, RankMap &Ranks,
-                           const ReassociateOptions &Opts);
-
-bool reassociate(Function &F, RankMap &Ranks, const ReassociateOptions &Opts);
 
 } // namespace epre
 

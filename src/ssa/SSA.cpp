@@ -53,7 +53,7 @@ public:
 #ifndef NDEBUG
     F.forEachBlock([](const BasicBlock &B) {
       assert(B.firstNonPhi() == 0 &&
-             "buildSSA requires phi-free input; destroy SSA form first");
+             "SSA construction requires phi-free input; destroy SSA first");
     });
 #endif
     removeUnreachable(F, AM);
@@ -249,20 +249,6 @@ PreservedAnalyses epre::SSABuildPass::run(Function &F,
   return PA;
 }
 
-SSAInfo epre::buildSSA(Function &F, FunctionAnalysisManager &AM,
-                       const SSAOptions &Opts) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  SSABuildPass P(Opts);
-  P.run(F, AM, Ctx);
-  return P.lastInfo();
-}
-
-SSAInfo epre::buildSSA(Function &F, const SSAOptions &Opts) {
-  FunctionAnalysisManager AM(F);
-  return buildSSA(F, AM, Opts);
-}
-
 namespace {
 
 void destroySSAImpl(Function &F, FunctionAnalysisManager &AM) {
@@ -411,13 +397,3 @@ PreservedAnalyses epre::SSADestroyPass::run(Function &F,
   return PreservedAnalyses::none();
 }
 
-void epre::destroySSA(Function &F, FunctionAnalysisManager &AM) {
-  StatsRegistry SR;
-  PassContext Ctx(&SR);
-  SSADestroyPass().run(F, AM, Ctx);
-}
-
-void epre::destroySSA(Function &F) {
-  FunctionAnalysisManager AM(F);
-  destroySSA(F, AM);
-}

@@ -75,13 +75,6 @@ public:
                         PassContext &Ctx);
 };
 
-/// Deprecated free-function shims (kept for one PR).
-SSAInfo buildSSA(Function &F, FunctionAnalysisManager &AM,
-                 const SSAOptions &Opts = {});
-SSAInfo buildSSA(Function &F, const SSAOptions &Opts = {});
-void destroySSA(Function &F, FunctionAnalysisManager &AM);
-void destroySSA(Function &F);
-
 } // namespace epre
 
 #endif // EPRE_SSA_SSA_H

@@ -14,7 +14,8 @@ NamingMode epre::namingForLevel(OptLevel L) {
 }
 
 Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
-                                 const PipelineOptions *Overrides) {
+                                 const PipelineOptions *Overrides,
+                                 bool CollectProfile) {
   Measurement M;
   LowerResult LR = compileMiniFortran(R.Source, namingForLevel(Level));
   if (!LR.ok()) {
@@ -54,7 +55,9 @@ Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
   MemoryImage Mem(LocalBytes);
   std::vector<RtValue> Args = R.MakeArgs ? R.MakeArgs(Mem)
                                          : std::vector<RtValue>{};
-  ExecResult E = interpret(*F, Args, Mem);
+  ProfileCollector Prof;
+  ExecResult E = interpret(*F, Args, Mem, ExecLimits(),
+                           CollectProfile ? &Prof : nullptr);
   M.Trapped = E.Trapped;
   M.TrapReason = E.TrapReason;
   M.DynOps = E.DynOps;
@@ -62,7 +65,64 @@ Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
   M.HasReturn = E.HasReturn;
   M.ReturnValue = E.ReturnValue;
   M.MemHash = Mem.hash();
+  if (CollectProfile) {
+    M.Profile = Prof.finalize(*F);
+    M.Profile.Level = optLevelName(Level);
+    M.HasProfile = true;
+  }
   return M;
+}
+
+/// The four measured levels, lowest first (None is not measured).
+static const OptLevel MeasuredLevels[] = {
+    OptLevel::Baseline, OptLevel::Partial, OptLevel::Reassociation,
+    OptLevel::Distribution};
+
+static int levelRank(const std::string &Name) {
+  for (unsigned I = 0; I < 4; ++I)
+    if (Name == optLevelName(MeasuredLevels[I]))
+      return int(I);
+  return -1;
+}
+
+std::vector<Degradation> epre::detectDegradations(const ProfileDoc &Doc) {
+  std::vector<Degradation> Out;
+  for (const FunctionProfile &Hi : Doc.Profiles) {
+    int HiRank = levelRank(Hi.Level);
+    if (HiRank < 0)
+      continue;
+    for (const FunctionProfile &Lo : Doc.Profiles) {
+      if (Lo.Function != Hi.Function)
+        continue;
+      int LoRank = levelRank(Lo.Level);
+      if (LoRank < 0 || LoRank >= HiRank || Hi.DynOps <= Lo.DynOps)
+        continue;
+      Out.push_back({Hi.Function, MeasuredLevels[LoRank],
+                     MeasuredLevels[HiRank], Lo.DynOps, Hi.DynOps});
+    }
+  }
+  return Out;
+}
+
+SuiteDynamicProfile epre::profileSuite(const std::vector<Routine> &Suite,
+                                       const PipelineOptions *Overrides) {
+  SuiteDynamicProfile S;
+  for (OptLevel L : MeasuredLevels) {
+    for (const Routine &R : Suite) {
+      Measurement M = measureRoutine(R, L, Overrides, /*CollectProfile=*/true);
+      if (!M.ok()) {
+        ++S.Failures;
+        continue;
+      }
+      // Keep the summary only: per-routine totals and class breakdowns are
+      // what the regression baseline and Table-1 reporting need; per-block
+      // detail is available from measureRoutine when wanted.
+      M.Profile.Blocks.clear();
+      S.Doc.Profiles.push_back(std::move(M.Profile));
+    }
+  }
+  S.Degradations = detectDegradations(S.Doc);
+  return S;
 }
 
 ForwardPropStats epre::measureForwardPropExpansion(const Routine &R) {

@@ -9,7 +9,9 @@
 #ifndef EPRE_TESTS_TESTUTIL_H
 #define EPRE_TESTS_TESTUTIL_H
 
+#include "analysis/AnalysisManager.h"
 #include "frontend/Lower.h"
+#include "instrument/PassInstrumentation.h"
 #include "interp/Interpreter.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -25,6 +27,28 @@ namespace epre::test {
 /// reassociation levels build their own naming and take naive input.
 inline NamingMode namingFor(OptLevel L) {
   return L == OptLevel::Partial ? NamingMode::Hashed : NamingMode::Naive;
+}
+
+/// Runs a pass class on \p F with a fresh analysis manager and a quiet
+/// context, returning the pass object so callers can read lastStats().
+template <typename PassT> PassT runPass(Function &F, PassT P = PassT()) {
+  FunctionAnalysisManager AM(F);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  P.run(F, AM, Ctx);
+  return P;
+}
+
+/// Runs a pass class on \p F and returns one of its counters — the
+/// replacement for the removed bool/count-returning free functions
+/// (e.g. runPassStat<DCEPass>(F, "changed")).
+template <typename PassT>
+uint64_t runPassStat(Function &F, const char *Counter, PassT P = PassT()) {
+  FunctionAnalysisManager AM(F);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  P.run(F, AM, Ctx);
+  return SR.get(PassT::name(), Counter);
 }
 
 /// Observable outcome of one run.

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 using namespace epre;
+using epre::test::runPass;
 
 namespace {
 
@@ -89,7 +90,7 @@ void checkLivenessEquivalence(const std::string &Src, const std::string &Fn,
   ASSERT_TRUE(M);
   Function &F = *M->find(Fn);
   if (SSAForm)
-    buildSSA(F);
+    runPass(F, SSABuildPass());
   CFG G = CFG::compute(F);
   Liveness W = Liveness::compute(F, G, DataflowSolverKind::Worklist);
   Liveness R = Liveness::compute(F, G, DataflowSolverKind::RoundRobin);
@@ -109,10 +110,12 @@ void checkPRERewriteEquivalence(const std::string &Src, const std::string &Fn,
   auto M1 = compile(Src, NamingMode::Hashed);
   auto M2 = compile(Src, NamingMode::Hashed);
   ASSERT_TRUE(M1 && M2);
-  PREStats W = eliminatePartialRedundancies(*M1->find(Fn), Strategy,
-                                            DataflowSolverKind::Worklist);
-  PREStats R = eliminatePartialRedundancies(*M2->find(Fn), Strategy,
-                                            DataflowSolverKind::RoundRobin);
+  PREStats W = runPass(*M1->find(Fn),
+                       PREPass(Strategy, DataflowSolverKind::Worklist))
+                   .lastStats();
+  PREStats R = runPass(*M2->find(Fn),
+                       PREPass(Strategy, DataflowSolverKind::RoundRobin))
+                   .lastStats();
   EXPECT_EQ(W.Inserted, R.Inserted);
   EXPECT_EQ(W.Deleted, R.Deleted);
   EXPECT_EQ(W.EdgesSplit, R.EdgesSplit);

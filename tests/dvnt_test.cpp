@@ -9,11 +9,14 @@
 #include "pipeline/Pipeline.h"
 #include "ssa/SSA.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 using namespace epre;
+using epre::test::runPass;
 
 namespace {
 
@@ -173,7 +176,7 @@ func @f(%a:i64, %n:i64) -> i64 {
     MemoryImage Mem(0);
     int64_t Before =
         interpret(F, {RtValue::ofI(2), RtValue::ofI(N)}, Mem).ReturnValue.I;
-    DVNTStats S = runDominatorValueNumbering(F);
+    DVNTStats S = runPass(F, DVNTPass()).lastStats();
     EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
         << printFunction(F);
     EXPECT_GT(S.Redundant, 0u); // t2 commutes into t1

@@ -139,6 +139,28 @@ TEST(MemoryImage, HashDetectsChanges) {
   EXPECT_NE(A.hash(), B.hash());
 }
 
+TEST(MemoryImage, PinnedDigest) {
+  // The digest (size mixed first, then native-endian 8-byte words, then a
+  // zero-padded tail word) is a cross-run contract for differential
+  // testing; these constants pin the little-endian value.
+  MemoryImage Empty(0);
+  EXPECT_EQ(Empty.hash(), 0x23232730168c2889ULL);
+
+  MemoryImage A(24);
+  A.storeI64(8, 0x0123456789abcdefLL);
+  EXPECT_EQ(A.hash(), 0xdf1d98e5af5765d6ULL);
+
+  // A size that is not a multiple of 8 exercises the padded tail word.
+  MemoryImage Tail;
+  Tail.Bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  EXPECT_EQ(Tail.hash(), 0xdc9a054db371928dULL);
+
+  // Trailing zero bytes are not free: the size participates.
+  MemoryImage A2(32);
+  A2.storeI64(8, 0x0123456789abcdefLL);
+  EXPECT_NE(A2.hash(), A.hash());
+}
+
 TEST(Interpreter, CountsEveryOperation) {
   ParseResult R = parseModule(R"(
 func @f() -> i64 {
@@ -211,8 +233,43 @@ func @f(%a:i64) -> f64 {
   EXPECT_TRUE(Ok.ok());
   ExecResult Bad = interpret(*R.M->Functions[0], {RtValue::ofI(9)}, Mem);
   EXPECT_TRUE(Bad.Trapped); // 9+8 > 16
+  // The diagnostic carries the faulting address and the full location.
+  EXPECT_EQ(Bad.TrapReason,
+            "load out of bounds at address 9 (in @f, block ^e, inst 0)");
+  EXPECT_EQ(Bad.TrapFunction, "f");
+  EXPECT_EQ(Bad.TrapBlock, "e");
+  EXPECT_EQ(Bad.TrapInstIndex, 0u);
   ExecResult Neg = interpret(*R.M->Functions[0], {RtValue::ofI(-1)}, Mem);
   EXPECT_TRUE(Neg.Trapped);
+  EXPECT_NE(Neg.TrapReason.find("at address -1"), std::string::npos)
+      << Neg.TrapReason;
+}
+
+TEST(Interpreter, TrapReportsLocationOnDivByZero) {
+  ParseResult R = parseModule(R"(
+func @f(%a:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  br ^b1
+^b1:
+  %q:i64 = div %a, %z
+  ret %q
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  ExecResult E = interpret(*R.M->Functions[0], {RtValue::ofI(7)}, Mem);
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_EQ(E.TrapReason,
+            "arithmetic trap in div (in @f, block ^b1, inst 0)");
+  EXPECT_EQ(E.TrapFunction, "f");
+  EXPECT_EQ(E.TrapBlock, "b1");
+  EXPECT_EQ(E.TrapInstIndex, 0u);
+  // Counters stay consistent across the trap.
+  uint64_t Sum = 0;
+  for (uint64_t C : E.OpCounts)
+    Sum += C;
+  EXPECT_EQ(Sum, E.DynOps);
 }
 
 TEST(Interpreter, TrapsOnOpLimit) {
@@ -227,7 +284,25 @@ func @f() {
   ExecLimits Lim;
   Lim.MaxOps = 1000;
   ExecResult E = interpret(*R.M->Functions[0], {}, Mem, Lim);
-  EXPECT_TRUE(E.Trapped);
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_EQ(E.TrapReason,
+            "operation limit exceeded (in @f, block ^e, inst 0)");
+  EXPECT_EQ(E.TrapFunction, "f");
+  EXPECT_EQ(E.TrapBlock, "e");
+  // The op that crossed the limit is counted: DynOps == sum(OpCounts).
+  EXPECT_EQ(E.DynOps, Lim.MaxOps + 1);
+  EXPECT_EQ(E.OpCounts[unsigned(Opcode::Br)], Lim.MaxOps + 1);
+}
+
+TEST(Interpreter, PreExecutionTrapHasFunctionButNoBlock) {
+  ParseResult R = parseModule("func @f(%a:i64) { ^e: ret }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  ExecResult E = interpret(*R.M->Functions[0], {}, Mem);
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_EQ(E.TrapReason, "argument count mismatch (in @f)");
+  EXPECT_EQ(E.TrapFunction, "f");
+  EXPECT_TRUE(E.TrapBlock.empty());
 }
 
 TEST(Interpreter, ArgumentChecking) {

@@ -7,9 +7,12 @@
 #include "ir/Verifier.h"
 #include "ssa/SSA.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 using namespace epre;
+using epre::test::runPass;
 
 namespace {
 
@@ -165,7 +168,7 @@ func @f(%a:i64, %n:i64) -> i64 {
     MemoryImage Mem(0);
     int64_t Before =
         interpret(F, {RtValue::ofI(2), RtValue::ofI(N)}, Mem).ReturnValue.I;
-    GVNStats S = runGlobalValueNumbering(F);
+    GVNStats S = runPass(F, GVNPass()).lastStats();
     EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
         << printFunction(F);
     EXPECT_GT(S.MergedDefs, 0u);

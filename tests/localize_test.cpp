@@ -7,11 +7,15 @@
 #include "pre/LocalizeNames.h"
 #include "pre/PRE.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <set>
 
 using namespace epre;
+using epre::test::runPass;
+using epre::test::runPassStat;
 
 namespace {
 
@@ -63,7 +67,7 @@ TEST(LocalizeNames, EstablishesSec51) {
   auto M = parse(CrossBlock);
   Function &F = *M->Functions[0];
   EXPECT_FALSE(sec51Holds(F));
-  unsigned N = localizeExpressionNames(F);
+  unsigned N = unsigned(runPassStat<LocalizeNamesPass>(F, "names"));
   EXPECT_GE(N, 1u); // t, and x (redefined by the loadi) also qualifies
   EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
       << printFunction(F);
@@ -100,13 +104,13 @@ func @f(%p:i64, %x:i64) -> i64 {
   // Without localization the cross-block use makes PRE drop the name.
   {
     auto M2 = parse(Src);
-    PREStats S = eliminatePartialRedundancies(*M2->Functions[0]);
+    PREStats S = runPass(*M2->Functions[0], PREPass()).lastStats();
     EXPECT_EQ(S.Deleted, 0u);
     EXPECT_GE(S.DroppedUnsafe, 1u);
   }
   // With localization the redundant recomputation in ^a dies.
-  localizeExpressionNames(F);
-  PREStats S = eliminatePartialRedundancies(F);
+  runPass(F, LocalizeNamesPass());
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_EQ(S.DroppedUnsafe, 0u);
   EXPECT_EQ(S.Deleted, 1u);
   MemoryImage Mem(0);
@@ -125,7 +129,7 @@ func @f(%x:i64) -> i64 {
   ret %u
 }
 )");
-  EXPECT_EQ(localizeExpressionNames(*M->Functions[0]), 0u);
+  EXPECT_EQ(runPassStat<LocalizeNamesPass>(*M->Functions[0], "names"), 0u);
 }
 
 TEST(LocalizeNames, HandlesMultipleDefsAndUses) {
@@ -159,7 +163,7 @@ func @f(%p:i64, %x:i64, %y:i64) -> i64 {
                         Mem)
                   .ReturnValue.I;
   }
-  localizeExpressionNames(F);
+  runPass(F, LocalizeNamesPass());
   EXPECT_TRUE(sec51Holds(F)) << printFunction(F);
   MemoryImage Mem(0);
   EXPECT_EQ(interpret(F, {RtValue::ofI(0), RtValue::ofI(3),

@@ -10,11 +10,15 @@
 #include "opt/Peephole.h"
 #include "opt/SimplifyCFG.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 using namespace epre;
+using epre::test::runPass;
+using epre::test::runPassStat;
 
 namespace {
 
@@ -49,7 +53,7 @@ func @f() -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(propagateConstants(F));
+  EXPECT_TRUE(runPassStat<SCCPPass>(F, "changed"));
   const BasicBlock *E = F.entry();
   EXPECT_EQ(E->Insts[3].Op, Opcode::LoadI);
   EXPECT_EQ(E->Insts[3].IImm, 84);
@@ -75,7 +79,7 @@ func @f(%x:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(propagateConstants(F));
+  EXPECT_TRUE(runPassStat<SCCPPass>(F, "changed"));
   // Branch folded.
   EXPECT_EQ(countOp(F, Opcode::Cbr), 0u);
   // The add folded to 20 despite the (unreachable) other arm.
@@ -97,7 +101,7 @@ func @f() -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  propagateConstants(F);
+  runPass(F, SCCPPass());
   EXPECT_EQ(countOp(F, Opcode::Div), 1u); // preserved; still traps at run time
 }
 
@@ -120,7 +124,7 @@ func @f(%n:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  propagateConstants(F);
+  runPass(F, SCCPPass());
   bool Folded = false;
   for (const Instruction &I : F.block(2)->Insts)
     if (I.Op == Opcode::LoadI && I.IImm == 10)
@@ -144,7 +148,7 @@ func @f(%x:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(runPeephole(F));
+  EXPECT_TRUE(runPassStat<PeepholePass>(F, "changed"));
   // All four ops reduce to copies of %x; no arithmetic remains.
   EXPECT_EQ(countOp(F, Opcode::Add), 0u);
   EXPECT_EQ(countOp(F, Opcode::Mul), 0u);
@@ -165,7 +169,7 @@ func @f(%x:i64, %y:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(runPeephole(F));
+  EXPECT_TRUE(runPassStat<PeepholePass>(F, "changed"));
   EXPECT_EQ(countOp(F, Opcode::Sub), 1u);
   MemoryImage Mem(0);
   EXPECT_EQ(interpret(F, {RtValue::ofI(10), RtValue::ofI(3)}, Mem)
@@ -186,7 +190,7 @@ func @f(%x:i64, %y:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  runPeephole(F);
+  runPass(F, PeepholePass());
   MemoryImage Mem(0);
   EXPECT_EQ(interpret(F, {RtValue::ofI(10), RtValue::ofI(3)}, Mem)
                 .ReturnValue.I,
@@ -205,7 +209,7 @@ func @f(%x:i64) -> i64 {
   Function &F = *M->Functions[0];
   PeepholeOptions PO;
   PO.StrengthReduceMul = true;
-  runPeephole(F, PO);
+  runPass(F, PeepholePass(PO));
   EXPECT_EQ(countOp(F, Opcode::Mul), 0u);
   EXPECT_EQ(countOp(F, Opcode::Shl), 1u);
   MemoryImage Mem(0);
@@ -222,7 +226,7 @@ func @g(%x:i64) -> i64 {
 )");
   PeepholeOptions NoSR;
   NoSR.StrengthReduceMul = false;
-  runPeephole(*M2->Functions[0], NoSR);
+  runPass(*M2->Functions[0], PeepholePass(NoSR));
   EXPECT_EQ(countOp(*M2->Functions[0], Opcode::Mul), 1u);
 }
 
@@ -239,7 +243,7 @@ func @f(%x:f64) -> f64 {
 }
 )");
   Function &F = *M->Functions[0];
-  runPeephole(F);
+  runPass(F, PeepholePass());
   EXPECT_EQ(countOp(F, Opcode::Add), 1u); // kept
   EXPECT_EQ(countOp(F, Opcode::Mul), 0u); // folded
   MemoryImage Mem(0);
@@ -262,7 +266,7 @@ func @f(%x:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(eliminateDeadCode(F));
+  EXPECT_TRUE(runPassStat<DCEPass>(F, "changed"));
   EXPECT_EQ(countInsts(F), 2u); // the live add and the ret
 }
 
@@ -276,7 +280,7 @@ func @f(%a:i64, %v:f64) {
 }
 )");
   Function &F = *M->Functions[0];
-  eliminateDeadCode(F);
+  runPass(F, DCEPass());
   EXPECT_EQ(countOp(F, Opcode::Store), 1u);
   EXPECT_EQ(countOp(F, Opcode::Add), 0u);
 }
@@ -302,7 +306,7 @@ func @f(%n:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  eliminateDeadCode(F);
+  runPass(F, DCEPass());
   // The s accumulation is dead; the induction variable is still needed.
   bool HasS = false;
   for (const Instruction &I : F.block(1)->Insts)
@@ -326,7 +330,7 @@ func @f(%x:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_EQ(coalesceCopies(F), 1u);
+  EXPECT_EQ(runPassStat<CopyCoalescingPass>(F, "copies_removed"), 1u);
   EXPECT_EQ(countOp(F, Opcode::Copy), 0u);
   MemoryImage Mem(0);
   EXPECT_EQ(interpret(F, {RtValue::ofI(3)}, Mem).ReturnValue.I, 12);
@@ -346,7 +350,7 @@ func @f(%x:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  coalesceCopies(F);
+  runPass(F, CopyCoalescingPass());
   MemoryImage Mem(0);
   // t=6,u=6,t=12,r=18
   EXPECT_EQ(interpret(F, {RtValue::ofI(3)}, Mem).ReturnValue.I, 18);
@@ -363,7 +367,7 @@ func @f(%x:i64) -> i64 {
 )");
   Function &F = *M->Functions[0];
   Reg P = F.params()[0];
-  coalesceCopies(F);
+  runPass(F, CopyCoalescingPass());
   EXPECT_EQ(F.params()[0], P);
   MemoryImage Mem(0);
   EXPECT_EQ(interpret(F, {RtValue::ofI(4)}, Mem).ReturnValue.I, 8);
@@ -383,7 +387,7 @@ func @f() -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(simplifyCFG(F));
+  EXPECT_TRUE(runPassStat<SimplifyCFGPass>(F, "changed"));
   unsigned Blocks = 0;
   F.forEachBlock([&](BasicBlock &) { ++Blocks; });
   EXPECT_EQ(Blocks, 1u);
@@ -404,7 +408,7 @@ func @f(%p:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(simplifyCFG(F));
+  EXPECT_TRUE(runPassStat<SimplifyCFGPass>(F, "changed"));
   MemoryImage Mem(0);
   EXPECT_EQ(interpret(F, {RtValue::ofI(1)}, Mem).ReturnValue.I, 3);
   unsigned Blocks = 0;
@@ -427,7 +431,7 @@ func @f() -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(simplifyCFG(F));
+  EXPECT_TRUE(runPassStat<SimplifyCFGPass>(F, "changed"));
   unsigned Blocks = 0;
   F.forEachBlock([&](BasicBlock &) { ++Blocks; });
   EXPECT_EQ(Blocks, 1u);
@@ -451,7 +455,7 @@ func @f() -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(simplifyCFG(F));
+  EXPECT_TRUE(runPassStat<SimplifyCFGPass>(F, "changed"));
   EXPECT_EQ(countOp(F, Opcode::Cbr), 0u);
   MemoryImage Mem(0);
   EXPECT_EQ(interpret(F, {}, Mem).ReturnValue.I, 10);
@@ -468,7 +472,7 @@ func @f(%p:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  EXPECT_TRUE(simplifyCFG(F));
+  EXPECT_TRUE(runPassStat<SimplifyCFGPass>(F, "changed"));
   EXPECT_EQ(countOp(F, Opcode::Cbr), 0u);
 }
 

@@ -22,6 +22,8 @@
 #include "reassoc/Reassociate.h"
 #include "ssa/SSA.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -29,6 +31,8 @@
 #include <set>
 
 using namespace epre;
+using epre::test::runPass;
+using epre::test::runPassStat;
 
 namespace {
 
@@ -64,7 +68,7 @@ TEST(PaperExample, PhaseByPhase) {
   EXPECT_EQ(Expected, 5341.0);
 
   // Figure 4: pruned SSA, copies folded into the phis.
-  buildSSA(F);
+  runPass(F, SSABuildPass());
   ASSERT_TRUE(verifyFunction(F, SSAMode::SSA).empty()) << printFunction(F);
   unsigned Phis = 0, Copies = 0;
   F.forEachBlock([&](const BasicBlock &B) {
@@ -116,7 +120,7 @@ TEST(PaperExample, PhaseByPhase) {
 
   // Figures 5-6: forward propagation. No phis remain; every expression
   // use has a local definition (§5.1); behaviour unchanged.
-  ForwardPropStats FP = propagateForward(F, Ranks);
+  ForwardPropStats FP = runPass(F, ForwardPropPass(Ranks)).lastStats();
   ASSERT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
       << printFunction(F);
   EXPECT_EQ(FP.PhisRemoved, 3u);
@@ -125,14 +129,14 @@ TEST(PaperExample, PhaseByPhase) {
 
   // Figure 7: reassociation sorts low-ranked operands together.
   ReassociateOptions RO;
-  normalizeNegation(F, Ranks, RO);
-  reassociate(F, Ranks, RO);
+  runPass(F, NegNormPass(Ranks, RO));
+  runPass(F, ReassociatePass(Ranks, RO));
   ASSERT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty());
   EXPECT_EQ(runFoo(F), Expected);
 
   // Figure 8: value numbering — lexically identical expressions now share
   // names ("Each lexically-identical expression will have the same name").
-  runGlobalValueNumbering(F);
+  runPass(F, GVNPass());
   ASSERT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty());
   EXPECT_EQ(runFoo(F), Expected);
   std::map<ExprKey, std::set<Reg>, bool (*)(const ExprKey &, const ExprKey &)>
@@ -150,7 +154,7 @@ TEST(PaperExample, PhaseByPhase) {
   // Figure 9: PRE hoists the invariants and deletes redundancies.
   unsigned Deleted = 0;
   for (int I = 0; I < 8; ++I) {
-    PREStats S = eliminatePartialRedundancies(F);
+    PREStats S = runPass(F, PREPass()).lastStats();
     Deleted += S.Deleted;
     if (!S.Inserted && !S.Deleted)
       break;
@@ -160,11 +164,12 @@ TEST(PaperExample, PhaseByPhase) {
   EXPECT_EQ(runFoo(F), Expected);
 
   // Figure 10: coalescing removes the copies.
-  eliminateDeadCode(F);
-  unsigned Coalesced = coalesceCopies(F);
+  runPass(F, DCEPass());
+  unsigned Coalesced =
+      unsigned(runPassStat<CopyCoalescingPass>(F, "copies_removed"));
   EXPECT_GT(Coalesced, 0u);
-  eliminateDeadCode(F);
-  simplifyCFG(F);
+  runPass(F, DCEPass());
+  runPass(F, SimplifyCFGPass());
   ASSERT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty());
 
   // The final claim: "reduced the length of the loop by 1 operation

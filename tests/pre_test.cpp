@@ -6,9 +6,12 @@
 #include "ir/Verifier.h"
 #include "pre/PRE.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 using namespace epre;
+using epre::test::runPass;
 
 namespace {
 
@@ -50,7 +53,7 @@ func @f(%p:i64, %x:i64, %y:i64) -> i64 {
 )");
   Function &F = *M->Functions[0];
   EXPECT_EQ(countOp(F, Opcode::Add), 3u);
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
       << printFunction(F);
   EXPECT_EQ(S.Inserted, 1u);
@@ -101,7 +104,7 @@ func @f(%x:i64, %y:i64, %n:i64) -> i64 {
 
   PREStats S{};
   for (int I = 0; I < 4; ++I) {
-    PREStats T = eliminatePartialRedundancies(F);
+    PREStats T = runPass(F, PREPass()).lastStats();
     S.Inserted += T.Inserted;
     S.Deleted += T.Deleted;
     if (!T.Inserted && !T.Deleted)
@@ -133,7 +136,7 @@ func @f(%p:i64, %x:i64, %y:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_EQ(S.Inserted, 0u);
   EXPECT_EQ(S.Deleted, 0u);
 }
@@ -151,7 +154,7 @@ func @f(%x:i64, %y:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_EQ(S.Deleted, 1u);
   MemoryImage Mem(0);
   EXPECT_EQ(
@@ -172,7 +175,7 @@ func @f(%x:i64, %y:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_EQ(S.Deleted, 0u);
 }
 
@@ -195,7 +198,7 @@ func @f(%x:i64, %y:i64, %p:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty());
   MemoryImage Mem(0);
   for (int64_t P : {0, 1}) {
@@ -223,7 +226,7 @@ func @f(%p:i64, %x:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_GE(S.DroppedUnsafe, 1u);
   // The dangerous name must be untouched on both paths.
   MemoryImage Mem(0);
@@ -258,7 +261,7 @@ func @f(%p:i64, %q:i64, %x:i64, %y:i64) -> i64 {
   Function &F = *M->Functions[0];
   unsigned BlocksBefore = 0;
   F.forEachBlock([&](BasicBlock &) { ++BlocksBefore; });
-  PREStats S = eliminatePartialRedundancies(F);
+  PREStats S = runPass(F, PREPass()).lastStats();
   EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
       << printFunction(F);
   MemoryImage Mem(0);
@@ -311,7 +314,7 @@ func @f(%p:i64, %x:i64, %y:i64, %n:i64) -> i64 {
     std::vector<RtValue> Args = {RtValue::ofI(P), RtValue::ofI(3),
                                  RtValue::ofI(4), RtValue::ofI(20)};
     int64_t Before = interpret(F, Args, Mem).ReturnValue.I;
-    eliminatePartialRedundancies(F, GetParam());
+    runPass(F, PREPass(GetParam()));
     EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
         << printFunction(F);
     ExecResult R = interpret(F, Args, Mem);
@@ -356,7 +359,7 @@ func @f(%x:i64, %y:i64, %n:i64) -> i64 {
 }
 )");
   Function &F = *M->Functions[0];
-  PREStats S = eliminatePartialRedundancies(F, PREStrategy::GlobalCSE);
+  PREStats S = runPass(F, PREPass(PREStrategy::GlobalCSE)).lastStats();
   EXPECT_EQ(S.Inserted, 0u);
 }
 

@@ -1,0 +1,372 @@
+//===- tests/profile_test.cpp - Dynamic execution profiles ----------------===//
+///
+/// Covers the dynamic profiler end to end: the opcode-class partition, the
+/// block/edge counts the interpreter collects (golden values on the paper's
+/// Figure 2 example), the internal-consistency invariants (per-block counts
+/// sum exactly to DynOps; edge counts are flow-consistent), JSON
+/// round-tripping, the ProfileDiff regression gate (proven to fail on an
+/// injected regression), hotness-annotated remarks, and serial/parallel
+/// pipeline determinism observed through profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "instrument/PassInstrumentation.h"
+#include "instrument/Profile.h"
+#include "interp/Interpreter.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace epre;
+
+namespace {
+
+const char *FooSource = R"(
+function foo(y, z)
+  s = 0
+  x = y + z
+  do i = x, 100
+    s = i + s + x
+  end do
+  return s
+end
+)";
+
+Function *compileFoo(LowerResult &LR, NamingMode Mode) {
+  LR = compileMiniFortran(FooSource, Mode);
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  return LR.ok() ? LR.M->find("foo") : nullptr;
+}
+
+/// Interprets foo(1.0, 2.0) with a collector and returns the profile.
+FunctionProfile profileFoo(Function &F, ExecResult *ExecOut = nullptr) {
+  MemoryImage Mem(0);
+  ProfileCollector PC;
+  ExecResult E = interpret(F, {RtValue::ofF(1.0), RtValue::ofF(2.0)}, Mem,
+                           ExecLimits(), &PC);
+  EXPECT_TRUE(E.ok()) << E.TrapReason;
+  if (ExecOut)
+    *ExecOut = E;
+  return PC.finalize(F);
+}
+
+uint64_t classSum(const std::array<uint64_t, NumOpClasses> &C) {
+  uint64_t S = 0;
+  for (uint64_t V : C)
+    S += V;
+  return S;
+}
+
+TEST(Profile, ClassifyPartitionsEveryOpcode) {
+  // Every (opcode, type) combination lands in exactly one valid class:
+  // the partition is what guarantees class counts sum to DynOps.
+  for (unsigned Op = 0; Op <= unsigned(Opcode::Phi); ++Op)
+    for (Type Ty : {Type::I64, Type::F64}) {
+      OpClass C = classifyOp(Opcode(Op), Ty);
+      EXPECT_LT(unsigned(C), NumOpClasses) << opcodeName(Opcode(Op));
+    }
+  // The Table-1-style columns.
+  EXPECT_EQ(classifyOp(Opcode::Load, Type::F64), OpClass::Memory);
+  EXPECT_EQ(classifyOp(Opcode::Store, Type::I64), OpClass::Memory);
+  EXPECT_EQ(classifyOp(Opcode::Cbr, Type::I64), OpClass::Branch);
+  EXPECT_EQ(classifyOp(Opcode::Call, Type::F64), OpClass::Call);
+  EXPECT_EQ(classifyOp(Opcode::Mul, Type::F64), OpClass::FPMult);
+  EXPECT_EQ(classifyOp(Opcode::Div, Type::F64), OpClass::FPDiv);
+  EXPECT_EQ(classifyOp(Opcode::Add, Type::F64), OpClass::FPArith);
+  EXPECT_EQ(classifyOp(Opcode::Mul, Type::I64), OpClass::IntArith);
+  EXPECT_EQ(classifyOp(Opcode::Div, Type::I64), OpClass::IntArith);
+}
+
+TEST(Profile, Fig2GoldenBlockAndEdgeProfile) {
+  // The paper's running example, naive front end, foo(1.0, 2.0): the loop
+  // runs i = 3..100, so the body executes 98 times with 97 back edges.
+  // These are the golden dynamic counts of the whole profiler stack.
+  LowerResult LR;
+  Function *F = compileFoo(LR, NamingMode::Naive);
+  ASSERT_TRUE(F);
+  ExecResult E;
+  FunctionProfile P = profileFoo(*F, &E);
+
+  EXPECT_EQ(E.ReturnValue.F, 5341.0);
+  EXPECT_EQ(P.DynOps, 694u);
+  ASSERT_EQ(P.Blocks.size(), 3u);
+
+  const BlockProfile &Entry = P.Blocks[0];
+  EXPECT_EQ(Entry.Label, "entry");
+  EXPECT_EQ(Entry.Count, 1u);
+  EXPECT_EQ(Entry.DynOps, 7u);
+  ASSERT_EQ(Entry.Edges.size(), 1u);
+  EXPECT_EQ(Entry.Edges[0].To, "b1");
+  EXPECT_EQ(Entry.Edges[0].Count, 1u);
+
+  const BlockProfile &Loop = P.Blocks[1];
+  EXPECT_EQ(Loop.Label, "b1");
+  EXPECT_EQ(Loop.Count, 98u);
+  EXPECT_EQ(Loop.DynOps, 686u);
+  ASSERT_EQ(Loop.Edges.size(), 2u); // sorted by target label
+  EXPECT_EQ(Loop.Edges[0].To, "b1");
+  EXPECT_EQ(Loop.Edges[0].Count, 97u);
+  EXPECT_EQ(Loop.Edges[1].To, "b2");
+  EXPECT_EQ(Loop.Edges[1].Count, 1u);
+
+  const BlockProfile &Exit = P.Blocks[2];
+  EXPECT_EQ(Exit.Label, "b2");
+  EXPECT_EQ(Exit.Count, 1u);
+  EXPECT_EQ(Exit.Edges.size(), 0u);
+
+  // Class attribution: the naive loop is integer address arithmetic, the
+  // two F64 adds of the accumulation, and one branch per block entry.
+  EXPECT_EQ(P.ClassOps[unsigned(OpClass::Branch)], 100u);
+  EXPECT_EQ(P.ClassOps[unsigned(OpClass::IntArith)], 396u);
+  EXPECT_EQ(P.ClassOps[unsigned(OpClass::FPArith)], 198u);
+  EXPECT_EQ(P.ClassOps[unsigned(OpClass::Memory)], 0u);
+}
+
+TEST(Profile, BlockCountsSumExactlyToDynOps) {
+  for (NamingMode NM : {NamingMode::Naive, NamingMode::Hashed}) {
+    LowerResult LR;
+    Function *F = compileFoo(LR, NM);
+    ASSERT_TRUE(F);
+    ExecResult E;
+    FunctionProfile P = profileFoo(*F, &E);
+
+    // Function totals match the interpreter's own counters exactly.
+    EXPECT_EQ(P.DynOps, E.DynOps);
+    EXPECT_EQ(P.WeightedCost, E.WeightedCost);
+
+    // Per-block DynOps sum to the function total; per-block and function
+    // class counts each sum to the corresponding DynOps (the class
+    // partition is exhaustive).
+    uint64_t BlockSum = 0, CountSum = 0;
+    for (const BlockProfile &B : P.Blocks) {
+      BlockSum += B.DynOps;
+      CountSum += B.Count;
+      EXPECT_EQ(classSum(B.ClassOps), B.DynOps) << B.Label;
+    }
+    EXPECT_EQ(BlockSum, P.DynOps);
+    EXPECT_GT(CountSum, 0u);
+    EXPECT_EQ(classSum(P.ClassOps), P.DynOps);
+  }
+}
+
+TEST(Profile, EdgeCountsAreFlowConsistent) {
+  // Kirchhoff on the profile: for every block, in-edge counts (plus one
+  // for the entry block's external entry) equal the execution count, and
+  // out-edge counts equal the count except where the run left the
+  // function (the ret executes once, in exactly one block).
+  LowerResult LR;
+  Function *F = compileFoo(LR, NamingMode::Naive);
+  ASSERT_TRUE(F);
+  FunctionProfile P = profileFoo(*F);
+
+  std::map<std::string, uint64_t> InCount;
+  for (const BlockProfile &B : P.Blocks)
+    for (const BlockProfile::Edge &Ed : B.Edges)
+      InCount[Ed.To] += Ed.Count;
+
+  ASSERT_FALSE(P.Blocks.empty());
+  const std::string &EntryLabel = P.Blocks.front().Label;
+  unsigned ExitBlocks = 0;
+  for (const BlockProfile &B : P.Blocks) {
+    uint64_t In = InCount[B.Label] + (B.Label == EntryLabel ? 1 : 0);
+    EXPECT_EQ(In, B.Count) << "in-flow at ^" << B.Label;
+    uint64_t Out = 0;
+    for (const BlockProfile::Edge &Ed : B.Edges)
+      Out += Ed.Count;
+    if (Out == B.Count - 1)
+      ++ExitBlocks; // the block the single ret left from
+    else
+      EXPECT_EQ(Out, B.Count) << "out-flow at ^" << B.Label;
+  }
+  EXPECT_EQ(ExitBlocks, 1u);
+}
+
+TEST(Profile, JSONRoundTrip) {
+  LowerResult LR;
+  Function *F = compileFoo(LR, NamingMode::Naive);
+  ASSERT_TRUE(F);
+  ProfileDoc Doc;
+  Doc.Profiles.push_back(profileFoo(*F));
+  Doc.Profiles.back().Level = "baseline";
+
+  // Full-detail round trip: parse(serialize(doc)) reserializes to the
+  // identical byte string, blocks and edges included.
+  std::string Full = Doc.toJSON(true);
+  ProfileDoc Back;
+  std::string Err;
+  ASSERT_TRUE(ProfileDoc::fromJSON(Full, Back, &Err)) << Err;
+  EXPECT_EQ(Back.toJSON(true), Full);
+  ASSERT_EQ(Back.Profiles.size(), 1u);
+  EXPECT_EQ(Back.Profiles[0].Level, "baseline");
+  EXPECT_EQ(Back.Profiles[0].DynOps, Doc.Profiles[0].DynOps);
+  ASSERT_TRUE(Back.find("foo", "baseline"));
+  EXPECT_EQ(Back.find("foo", "baseline")->Blocks.size(),
+            Doc.Profiles[0].Blocks.size());
+
+  // Summary-only round trip (the committed suite baseline format).
+  std::string Summary = Doc.toJSON(false);
+  ProfileDoc SummaryBack;
+  ASSERT_TRUE(ProfileDoc::fromJSON(Summary, SummaryBack, &Err)) << Err;
+  EXPECT_EQ(SummaryBack.toJSON(false), Summary);
+  EXPECT_TRUE(SummaryBack.Profiles[0].Blocks.empty());
+  EXPECT_EQ(SummaryBack.totalDynOps(), Doc.totalDynOps());
+
+  // Schema violations are rejected, not misread.
+  EXPECT_FALSE(ProfileDoc::fromJSON("{\"schema\":\"bogus\"}", Back, &Err));
+  EXPECT_FALSE(ProfileDoc::fromJSON("not json at all", Back, &Err));
+}
+
+TEST(Profile, DiffGateFailsOnInjectedRegression) {
+  LowerResult LR;
+  Function *F = compileFoo(LR, NamingMode::Naive);
+  ASSERT_TRUE(F);
+  ProfileDoc Old;
+  Old.Profiles.push_back(profileFoo(*F));
+
+  // Identical runs pass any tolerance.
+  ProfileDoc Same = Old;
+  EXPECT_TRUE(ProfileDiff::compute(Old, Same).regressions(0.0).empty());
+
+  // Inject a 10% operation-count regression: the 5% gate must fail and
+  // attribute the growth, a 25% gate must still pass.
+  ProfileDoc New = Old;
+  FunctionProfile &NP = New.Profiles[0];
+  uint64_t Extra = NP.DynOps / 10;
+  NP.DynOps += Extra;
+  NP.ClassOps[unsigned(OpClass::IntArith)] += Extra;
+  ProfileDiff Diff = ProfileDiff::compute(Old, New);
+  std::vector<std::string> Bad = Diff.regressions(5.0);
+  ASSERT_EQ(Bad.size(), 1u);
+  EXPECT_NE(Bad[0].find("foo"), std::string::npos);
+  EXPECT_NE(Bad[0].find("int_arith"), std::string::npos) << Bad[0];
+  EXPECT_TRUE(Diff.regressions(25.0).empty());
+  EXPECT_EQ(Diff.Deltas.at(0).opsDelta(), int64_t(Extra));
+
+  // A routine that vanished from the new profile is always a regression
+  // (the gate cannot vouch for what it cannot see).
+  ProfileDoc Missing;
+  EXPECT_FALSE(ProfileDiff::compute(Old, Missing).regressions(99.0).empty());
+
+  // The report names the entry and the per-class attribution.
+  std::string Report = Diff.report(/*OnlyChanged=*/true);
+  EXPECT_NE(Report.find("foo"), std::string::npos);
+  EXPECT_NE(Report.find("int_arith"), std::string::npos);
+}
+
+TEST(Profile, HotRemarksGoldenOnFig2) {
+  // Baseline: the unoptimized (hashed-naming) foo, profiled on the same
+  // inputs the golden-remark test uses. The loop block ^b1 executes 98
+  // times; both PRE remarks land there, so both carry count=98 and keep
+  // their stream order (delete before insert — stable sort on ties).
+  LowerResult BaseLR;
+  Function *BaseF = compileFoo(BaseLR, NamingMode::Hashed);
+  ASSERT_TRUE(BaseF);
+  ProfileDoc Baseline;
+  Baseline.Profiles.push_back(profileFoo(*BaseF));
+
+  LowerResult LR;
+  Function *F = compileFoo(LR, NamingMode::Hashed);
+  ASSERT_TRUE(F);
+  InstrumentationOptions IO;
+  IO.CollectRemarks = true;
+  IO.RemarkPasses = {"pre"};
+  PassInstrumentation PI(IO);
+  PipelineOptions PO;
+  PO.Level = OptLevel::Partial;
+  PO.Instr = &PI;
+  optimizeFunction(*F, PO);
+
+  std::vector<HotRemark> Hot =
+      annotateHotness(PI.remarks().remarks(), Baseline);
+  ASSERT_EQ(Hot.size(), 2u);
+  EXPECT_TRUE(Hot[0].HasCount);
+  EXPECT_EQ(Hot[0].Count, 98u);
+  EXPECT_EQ(renderHotRemarks(Hot),
+            "[count=98] pre: delete: [foo:^b1] loadi — "
+            "redundant computation of r16 removed\n"
+            "[count=98] pre: insert: [foo:^b1] loadi — "
+            "computation of r16 inserted on edge ^entry -> ^b1\n");
+
+  // A remark in a block the baseline does not know sorts last, unweighted.
+  Remark Stray;
+  Stray.Kind = RemarkKind::Insert;
+  Stray.Pass = "pre";
+  Stray.Function = "foo";
+  Stray.Block = "made_up_block";
+  Stray.Opcode = "add";
+  Stray.Message = "synthetic";
+  std::vector<Remark> WithStray = PI.remarks().remarks();
+  WithStray.insert(WithStray.begin(), Stray);
+  std::vector<HotRemark> Hot2 = annotateHotness(WithStray, Baseline);
+  ASSERT_EQ(Hot2.size(), 3u);
+  EXPECT_FALSE(Hot2.back().HasCount);
+  EXPECT_EQ(Hot2.back().R.Block, "made_up_block");
+}
+
+TEST(Profile, SerialAndParallelPipelinesProfileIdentically) {
+  // Optimize the same multi-function module serially and with the
+  // parallel driver, then profile every function: the profiles must be
+  // bit-identical (the parallel driver changes scheduling, never code).
+  std::string Src;
+  for (int I = 0; I < 6; ++I) {
+    std::string One = FooSource;
+    One.replace(One.find("function foo"), 12,
+                "function gen" + std::to_string(I));
+    Src += One;
+  }
+  LowerResult Serial = compileMiniFortran(Src, NamingMode::Naive);
+  LowerResult Par = compileMiniFortran(Src, NamingMode::Naive);
+  ASSERT_TRUE(Serial.ok() && Par.ok());
+
+  PipelineOptions PO;
+  PO.Level = OptLevel::Distribution;
+  optimizeModule(*Serial.M, PO);
+  runPipelineParallel(*Par.M, PO, 4);
+
+  auto profileAll = [](Module &M) {
+    ProfileDoc Doc;
+    for (const auto &F : M.Functions) {
+      MemoryImage Mem(0);
+      ProfileCollector PC;
+      ExecResult E = interpret(*F, {RtValue::ofF(1.0), RtValue::ofF(2.0)},
+                               Mem, ExecLimits(), &PC);
+      EXPECT_TRUE(E.ok()) << F->name() << ": " << E.TrapReason;
+      Doc.Profiles.push_back(PC.finalize(*F));
+    }
+    return Doc;
+  };
+  ProfileDoc SerialDoc = profileAll(*Serial.M);
+  ProfileDoc ParDoc = profileAll(*Par.M);
+  EXPECT_EQ(SerialDoc.toJSON(true), ParDoc.toJSON(true));
+  EXPECT_TRUE(
+      ProfileDiff::compute(SerialDoc, ParDoc).regressions(0.0).empty());
+}
+
+TEST(Profile, TrappedRunKeepsPartialProfile) {
+  // A run that dies on the op limit still yields a consistent profile of
+  // everything executed up to the trap.
+  LowerResult LR;
+  Function *F = compileFoo(LR, NamingMode::Naive);
+  ASSERT_TRUE(F);
+  MemoryImage Mem(0);
+  ProfileCollector PC;
+  ExecLimits Lim;
+  Lim.MaxOps = 100;
+  ExecResult E = interpret(*F, {RtValue::ofF(1.0), RtValue::ofF(2.0)}, Mem,
+                           Lim, &PC);
+  ASSERT_TRUE(E.Trapped);
+  FunctionProfile P = PC.finalize(*F);
+  EXPECT_EQ(P.DynOps, E.DynOps);
+  uint64_t BlockSum = 0;
+  for (const BlockProfile &B : P.Blocks)
+    BlockSum += B.DynOps;
+  EXPECT_EQ(BlockSum, P.DynOps);
+  EXPECT_EQ(classSum(P.ClassOps), P.DynOps);
+}
+
+} // namespace

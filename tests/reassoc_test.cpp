@@ -10,11 +10,15 @@
 #include "reassoc/Reassociate.h"
 #include "ssa/SSA.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <set>
 
 using namespace epre;
+using epre::test::runPass;
+using epre::test::runPassStat;
 
 namespace {
 
@@ -86,7 +90,7 @@ func @f(%a:i64, %n:i64) -> i64 {
   Function &F = *M->Functions[0]; // hand-written SSA
   CFG G = CFG::compute(F);
   RankMap Ranks = RankMap::compute(F, G);
-  ForwardPropStats S = propagateForward(F, Ranks);
+  ForwardPropStats S = runPass(F, ForwardPropPass(Ranks)).lastStats();
   EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
       << printFunction(F);
   EXPECT_GT(S.PhisRemoved, 0u);
@@ -144,7 +148,7 @@ func @f(%a:i64, %n:i64) -> i64 {
         interpret(F, {RtValue::ofI(3), RtValue::ofI(N)}, Mem).ReturnValue.I;
     CFG G = CFG::compute(F);
     RankMap Ranks = RankMap::compute(F, G);
-    propagateForward(F, Ranks);
+    runPass(F, ForwardPropPass(Ranks));
     int64_t After =
         interpret(F, {RtValue::ofI(3), RtValue::ofI(N)}, Mem).ReturnValue.I;
     EXPECT_EQ(Before, After) << "N=" << N;
@@ -164,7 +168,7 @@ func @f(%a:i64, %b:i64) -> i64 {
   Ranks.setRank(F.params()[0], 1);
   Ranks.setRank(F.params()[1], 1);
   ReassociateOptions RO;
-  unsigned N = normalizeNegation(F, Ranks, RO);
+  unsigned N = unsigned(runPassStat(F, "rewritten", NegNormPass(Ranks, RO)));
   EXPECT_EQ(N, 1u);
   const BasicBlock *E = F.entry();
   ASSERT_EQ(E->Insts.size(), 3u);
@@ -203,7 +207,7 @@ func @f(%a:i64, %v:i64) -> i64 {
   Ranks.setRank(E->Insts[4].Dst, 5);
 
   ReassociateOptions RO;
-  EXPECT_TRUE(reassociate(F, Ranks, RO));
+  EXPECT_TRUE(runPassStat(F, "changed", ReassociatePass(Ranks, RO)));
   // First add must combine the two constants.
   const Instruction *FirstAdd = nullptr;
   for (const Instruction &I : F.entry()->Insts)
@@ -237,7 +241,7 @@ func @f(%a:i64, %b:i64) -> i64 {
     if (I.hasDst())
       Ranks.setRank(I.Dst, 2);
   ReassociateOptions RO;
-  EXPECT_FALSE(reassociate(F, Ranks, RO)); // shifts are untouchable
+  EXPECT_FALSE(runPassStat(F, "changed", ReassociatePass(Ranks, RO)));   // shifts are untouchable
 }
 
 TEST(Reassociate, FPGatedByOption) {
@@ -261,14 +265,14 @@ func @f(%a:f64, %v:f64) -> f64 {
   Setup(*M1->Functions[0], R1);
   ReassociateOptions NoFP;
   NoFP.AllowFPReassoc = false;
-  EXPECT_FALSE(reassociate(*M1->Functions[0], R1, NoFP));
+  EXPECT_FALSE(runPassStat(*M1->Functions[0], "changed", ReassociatePass(R1, NoFP)));
 
   auto M2 = parse(Src);
   RankMap R2;
   Setup(*M2->Functions[0], R2);
   ReassociateOptions FP;
   FP.AllowFPReassoc = true;
-  EXPECT_TRUE(reassociate(*M2->Functions[0], R2, FP));
+  EXPECT_TRUE(runPassStat(*M2->Functions[0], "changed", ReassociatePass(R2, FP)));
 }
 
 TEST(Distribute, LowRankMultiplierOverHighRankSum) {
@@ -296,7 +300,7 @@ func @f(%w:i64, %c:i64, %d:i64, %e2:i64) -> i64 {
 
   ReassociateOptions RO;
   RO.Distribute = true;
-  EXPECT_TRUE(reassociate(F, Ranks, RO));
+  EXPECT_TRUE(runPassStat(F, "changed", ReassociatePass(Ranks, RO)));
   // Two multiplies now (one per rank group).
   unsigned Muls = 0;
   for (const Instruction &I : F.entry()->Insts)
@@ -337,7 +341,7 @@ func @f(%w:i64, %c:i64, %d:i64) -> i64 {
   Ranks.setRank(E->Insts[1].Dst, 1);
   ReassociateOptions RO;
   RO.Distribute = true;
-  reassociate(F, Ranks, RO);
+  runPass(F, ReassociatePass(Ranks, RO));
   unsigned Muls = 0;
   for (const Instruction &I : F.entry()->Insts)
     Muls += I.Op == Opcode::Mul;

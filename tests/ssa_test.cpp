@@ -7,9 +7,12 @@
 #include "ssa/ParallelCopy.h"
 #include "ssa/SSA.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 using namespace epre;
+using epre::test::runPass;
 
 namespace {
 
@@ -60,7 +63,7 @@ ExecResult run(const Function &F, int64_t N) {
 TEST(SSA, BuildsValidSSA) {
   auto M = parse(LoopSrc);
   Function &F = *M->Functions[0];
-  SSAInfo Info = buildSSA(F);
+  SSAInfo Info = runPass(F, SSABuildPass()).lastInfo();
   EXPECT_TRUE(verifyFunction(F, SSAMode::SSA).empty())
       << printFunction(F);
   // s and i each need a phi at the loop header.
@@ -80,7 +83,7 @@ func @f(%x:i64) -> i64 {
 )";
   auto M = parse(Src);
   Function &F = *M->Functions[0];
-  SSAInfo Info = buildSSA(F);
+  SSAInfo Info = runPass(F, SSABuildPass()).lastInfo();
   EXPECT_EQ(Info.NumCopiesFolded, 2u);
   EXPECT_EQ(countCopies(F), 0u);
   // The add must now reference the parameter directly.
@@ -117,14 +120,14 @@ func @f(%p:i64) -> i64 {
   Function &F = *M->Functions[0];
   SSAOptions Pruned;
   Pruned.Pruned = true;
-  buildSSA(F, Pruned);
+  runPass(F, SSABuildPass(Pruned));
   EXPECT_EQ(countPhis(F), 0u);
 
   auto M2 = parse(Src);
   Function &F2 = *M2->Functions[0];
   SSAOptions Minimal;
   Minimal.Pruned = false;
-  buildSSA(F2, Minimal);
+  runPass(F2, SSABuildPass(Minimal));
   EXPECT_EQ(countPhis(F2), 1u); // minimal SSA still places it
 }
 
@@ -133,9 +136,9 @@ TEST(SSA, RoundTripPreservesBehaviour) {
     auto M = parse(LoopSrc);
     Function &F = *M->Functions[0];
     ExecResult Before = run(F, N);
-    buildSSA(F);
+    runPass(F, SSABuildPass());
     ExecResult Mid = run(F, N);
-    destroySSA(F);
+    runPass(F, SSADestroyPass());
     EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
         << printFunction(F);
     ExecResult After = run(F, N);
@@ -163,7 +166,7 @@ func @f(%p:i64) -> i64 {
   auto M = parse(Src);
   Function &F = *M->Functions[0];
   ExecResult R0 = run(F, 0), R1 = run(F, 1);
-  buildSSA(F);
+  runPass(F, SSABuildPass());
   EXPECT_TRUE(verifyFunction(F, SSAMode::SSA).empty())
       << printFunction(F);
   ExecResult S0 = run(F, 0), S1 = run(F, 1);
@@ -259,8 +262,8 @@ func @f(%n:i64) -> i64 {
     auto M = parse(Src);
     Function &F = *M->Functions[0];
     ExecResult Before = run(F, N);
-    buildSSA(F);
-    destroySSA(F);
+    runPass(F, SSABuildPass());
+    runPass(F, SSADestroyPass());
     ExecResult After = run(F, N);
     ASSERT_FALSE(Before.Trapped || After.Trapped);
     EXPECT_EQ(Before.ReturnValue.I, After.ReturnValue.I) << "N=" << N;

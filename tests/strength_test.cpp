@@ -8,9 +8,12 @@
 #include "opt/StrengthReduction.h"
 #include "pipeline/Pipeline.h"
 
+#include "TestUtil.h"
+
 #include <gtest/gtest.h>
 
 using namespace epre;
+using epre::test::runPass;
 
 namespace {
 
@@ -54,7 +57,7 @@ TEST(StrengthReduction, ReducesMulToAdd) {
   std::vector<RtValue> Args = {RtValue::ofI(7), RtValue::ofI(50)};
   int64_t Before = interpret(F, Args, Mem).ReturnValue.I;
 
-  SRStats S = strengthReduce(F);
+  SRStats S = runPass(F, StrengthReductionPass()).lastStats();
   EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty())
       << printFunction(F);
   EXPECT_EQ(S.BasicIVs, 1u); // i; s steps by a variant amount
@@ -91,7 +94,7 @@ func @f(%k:i64, %n:i64) -> i64 {
   MemoryImage Mem(0);
   std::vector<RtValue> Args = {RtValue::ofI(3), RtValue::ofI(10)};
   int64_t Before = interpret(F, Args, Mem).ReturnValue.I;
-  SRStats S = strengthReduce(F);
+  SRStats S = runPass(F, StrengthReductionPass()).lastStats();
   EXPECT_GE(S.Reduced, 1u);
   ExecResult R = interpret(F, Args, Mem);
   ASSERT_TRUE(R.ok());
@@ -124,7 +127,7 @@ func @f(%n:i64) -> i64 {
   MemoryImage Mem(0);
   int64_t Before =
       interpret(F, {RtValue::ofI(6)}, Mem).ReturnValue.I;
-  SRStats S = strengthReduce(F);
+  SRStats S = runPass(F, StrengthReductionPass()).lastStats();
   EXPECT_EQ(S.Reduced, 0u);
   EXPECT_EQ(interpret(F, {RtValue::ofI(6)}, Mem).ReturnValue.I, Before);
 }

@@ -114,4 +114,39 @@ TEST(SuiteAggregate, ReassociationHelpsOnNet) {
   EXPECT_LT(Degraded, Counted / 2);
 }
 
+TEST(SuiteProfile, DetectDegradationsFlagsHigherLevelGrowth) {
+  auto Entry = [](const char *Fn, const char *Level, uint64_t Ops) {
+    FunctionProfile P;
+    P.Function = Fn;
+    P.Level = Level;
+    P.DynOps = Ops;
+    return P;
+  };
+  ProfileDoc Doc;
+  // foo degrades at distribution relative to both lower levels.
+  Doc.Profiles.push_back(Entry("foo", "baseline", 100));
+  Doc.Profiles.push_back(Entry("foo", "partial", 80));
+  Doc.Profiles.push_back(Entry("foo", "distribution", 90));
+  // bar improves monotonically: no degradation.
+  Doc.Profiles.push_back(Entry("bar", "baseline", 50));
+  Doc.Profiles.push_back(Entry("bar", "partial", 40));
+  // Unmeasured level tags are ignored even when the counts grow.
+  Doc.Profiles.push_back(Entry("foo", "none", 1));
+  Doc.Profiles.push_back(Entry("bar", "custom", 9999));
+
+  std::vector<Degradation> Degs = detectDegradations(Doc);
+  ASSERT_EQ(Degs.size(), 1u);
+  EXPECT_EQ(Degs[0].Routine, "foo");
+  EXPECT_EQ(Degs[0].Lower, OptLevel::Partial);
+  EXPECT_EQ(Degs[0].Higher, OptLevel::Distribution);
+  EXPECT_EQ(Degs[0].LowerOps, 80u);
+  EXPECT_EQ(Degs[0].HigherOps, 90u);
+
+  // Equal counts are not a degradation; strictly more is.
+  Doc.Profiles.push_back(Entry("bar", "reassociation", 40));
+  EXPECT_EQ(detectDegradations(Doc).size(), 1u);
+  Doc.Profiles.push_back(Entry("bar", "distribution", 41));
+  EXPECT_EQ(detectDegradations(Doc).size(), 3u); // vs partial and reassoc
+}
+
 } // namespace
