@@ -1,0 +1,64 @@
+//===- fuzz/Bisect.cpp ----------------------------------------------------===//
+
+#include "fuzz/Bisect.h"
+
+#include "fuzz/ModuleOps.h"
+
+using namespace epre;
+using namespace epre::fuzz;
+
+BisectResult fuzz::bisectMiscompile(const FuzzProgram &P,
+                                    const OracleConfig &C,
+                                    const OracleOptions &O) {
+  BisectResult R;
+
+  // Length and trace of the full pipeline for this (program, config) pair.
+  {
+    std::unique_ptr<Module> M = parseModuleText(P.Text);
+    if (!M || M->Functions.empty())
+      return R;
+    PassPrefixResult Full =
+        optimizeFunctionPrefix(*M->Functions[0], C.PO, ~0u);
+    R.TotalPasses = Full.PassesRun;
+    R.Trace = std::move(Full.Trace);
+  }
+  if (R.TotalPasses == 0)
+    return R;
+
+  auto Fails = [&](unsigned N) {
+    return isMiscompile(runConfigOnce(P, C, O, N).Kind);
+  };
+
+  if (!Fails(R.TotalPasses))
+    return R; // not reproducible — nothing to bisect
+
+  // Smallest failing prefix, assuming once-failing-stays-failing.
+  unsigned Lo = 1, Hi = R.TotalPasses;
+  while (Lo < Hi) {
+    unsigned Mid = Lo + (Hi - Lo) / 2;
+    if (Fails(Mid))
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+
+  // The binary search is only sound for monotone predicates; confirm the
+  // boundary and fall back to a linear scan when a later pass masked and
+  // re-exposed the failure.
+  if (!Fails(Lo) || (Lo > 1 && Fails(Lo - 1))) {
+    R.Note = "non-monotone failure predicate; linear scan";
+    Lo = 0;
+    for (unsigned N = 1; N <= R.TotalPasses; ++N)
+      if (Fails(N)) {
+        Lo = N;
+        break;
+      }
+    if (Lo == 0)
+      return R; // flaky: full run failed but no prefix does
+  }
+
+  R.Bisected = true;
+  R.PrefixLength = Lo;
+  R.GuiltyPass = R.Trace[Lo - 1];
+  return R;
+}

@@ -1,0 +1,41 @@
+//===- fuzz/Bisect.h - Pass bisection for miscompiles -----------*- C++ -*-===//
+///
+/// \file
+/// Given a program that the oracle flags under some config, bisection finds
+/// the shortest pipeline prefix that already exhibits the failure by
+/// replaying prefixes through optimizeFunctionPrefix on fresh parses; the
+/// last pass of that prefix is the guilty one. The pipeline's pass sequence
+/// is deterministic in (function, options), so a binary search over prefix
+/// length is sound; non-monotone predicates (possible when a later pass
+/// masks an earlier miscompile) are detected and fall back to a linear
+/// scan for the first failing prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_FUZZ_BISECT_H
+#define EPRE_FUZZ_BISECT_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+#include <vector>
+
+namespace epre {
+namespace fuzz {
+
+struct BisectResult {
+  bool Bisected = false;     ///< false: the full run did not (re)fail
+  std::string GuiltyPass;    ///< name of the first pass whose prefix fails
+  unsigned PrefixLength = 0; ///< length of the shortest failing prefix
+  unsigned TotalPasses = 0;  ///< pass applications in the full pipeline
+  std::vector<std::string> Trace; ///< the full pipeline's pass names
+  std::string Note;          ///< e.g. the non-monotone fallback fired
+};
+
+BisectResult bisectMiscompile(const FuzzProgram &P, const OracleConfig &C,
+                              const OracleOptions &O);
+
+} // namespace fuzz
+} // namespace epre
+
+#endif // EPRE_FUZZ_BISECT_H

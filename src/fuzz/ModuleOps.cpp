@@ -1,0 +1,177 @@
+//===- fuzz/ModuleOps.cpp -------------------------------------------------===//
+
+#include "fuzz/ModuleOps.h"
+
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace epre;
+using namespace epre::fuzz;
+
+std::unique_ptr<Module> fuzz::parseModuleText(const std::string &Text,
+                                              std::string *Err) {
+  ParseResult R = parseModule(Text);
+  if (!R.ok()) {
+    if (Err)
+      *Err = R.Error;
+    return nullptr;
+  }
+  return std::move(R.M);
+}
+
+std::unique_ptr<Module> fuzz::cloneModule(const Module &M) {
+  std::string Text = printModule(M);
+  ParseResult R = parseModule(Text);
+  if (!R.ok()) {
+    std::fprintf(stderr, "cloneModule: module does not re-parse: %s\n%s",
+                 R.Error.c_str(), Text.c_str());
+    std::abort();
+  }
+  return std::move(R.M);
+}
+
+namespace {
+
+bool instructionsEqual(const Function &FA, const Function &FB,
+                       const Instruction &A, const Instruction &B,
+                       std::string &Why) {
+  if (A.Op != B.Op || A.Ty != B.Ty || A.Dst != B.Dst) {
+    Why = strprintf("opcode/type/dst differ (%s vs %s)", opcodeName(A.Op),
+                    opcodeName(B.Op));
+    return false;
+  }
+  if (A.Operands.size() != B.Operands.size()) {
+    Why = "operand counts differ";
+    return false;
+  }
+  for (unsigned I = 0; I < A.Operands.size(); ++I)
+    if (A.Operands[I] != B.Operands[I]) {
+      Why = strprintf("operand %u differs", I);
+      return false;
+    }
+  if (A.Op == Opcode::LoadI && A.IImm != B.IImm) {
+    Why = "integer immediates differ";
+    return false;
+  }
+  if (A.Op == Opcode::LoadF &&
+      std::memcmp(&A.FImm, &B.FImm, sizeof(double)) != 0) {
+    Why = "float immediates differ bitwise";
+    return false;
+  }
+  if (A.Op == Opcode::Call && A.Intr != B.Intr) {
+    Why = "intrinsics differ";
+    return false;
+  }
+  if (A.Succs.size() != B.Succs.size()) {
+    Why = "successor counts differ";
+    return false;
+  }
+  // Successors and phi blocks are compared by label, which is numbering
+  // independent.
+  for (unsigned I = 0; I < A.Succs.size(); ++I) {
+    const BasicBlock *SA = FA.block(A.Succs[I]);
+    const BasicBlock *SB = FB.block(B.Succs[I]);
+    if (!SA || !SB || SA->label() != SB->label()) {
+      Why = strprintf("successor %u differs", I);
+      return false;
+    }
+  }
+  if (A.PhiBlocks.size() != B.PhiBlocks.size()) {
+    Why = "phi incoming counts differ";
+    return false;
+  }
+  for (unsigned I = 0; I < A.PhiBlocks.size(); ++I) {
+    const BasicBlock *SA = FA.block(A.PhiBlocks[I]);
+    const BasicBlock *SB = FB.block(B.PhiBlocks[I]);
+    if (!SA || !SB || SA->label() != SB->label()) {
+      Why = strprintf("phi incoming block %u differs", I);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool functionsEqual(const Function &A, const Function &B, std::string &Why) {
+  if (A.name() != B.name()) {
+    Why = "function names differ";
+    return false;
+  }
+  if (A.params().size() != B.params().size()) {
+    Why = "parameter counts differ";
+    return false;
+  }
+  for (unsigned I = 0; I < A.params().size(); ++I)
+    if (A.params()[I] != B.params()[I] ||
+        A.regType(A.params()[I]) != B.regType(B.params()[I])) {
+      Why = strprintf("parameter %u differs", I);
+      return false;
+    }
+  if (A.returnType() != B.returnType()) {
+    Why = "return types differ";
+    return false;
+  }
+
+  std::vector<const BasicBlock *> BlocksA, BlocksB;
+  A.forEachBlock([&](const BasicBlock &BB) { BlocksA.push_back(&BB); });
+  B.forEachBlock([&](const BasicBlock &BB) { BlocksB.push_back(&BB); });
+  if (BlocksA.size() != BlocksB.size()) {
+    Why = "block counts differ";
+    return false;
+  }
+  for (unsigned I = 0; I < BlocksA.size(); ++I) {
+    const BasicBlock &BA = *BlocksA[I];
+    const BasicBlock &BB = *BlocksB[I];
+    if (BA.label() != BB.label()) {
+      Why = strprintf("block %u labels differ (^%s vs ^%s)", I,
+                      BA.label().c_str(), BB.label().c_str());
+      return false;
+    }
+    if (BA.Insts.size() != BB.Insts.size()) {
+      Why = strprintf("^%s: instruction counts differ", BA.label().c_str());
+      return false;
+    }
+    for (unsigned J = 0; J < BA.Insts.size(); ++J) {
+      std::string InstWhy;
+      if (!instructionsEqual(A, B, BA.Insts[J], BB.Insts[J], InstWhy)) {
+        Why = strprintf("^%s inst %u: %s", BA.label().c_str(), J,
+                        InstWhy.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool fuzz::modulesStructurallyEqual(const Module &A, const Module &B,
+                                    std::string *Why) {
+  std::string W;
+  if (A.Functions.size() != B.Functions.size()) {
+    W = "function counts differ";
+  } else {
+    for (unsigned I = 0; I < A.Functions.size() && W.empty(); ++I) {
+      std::string FnWhy;
+      if (!functionsEqual(*A.Functions[I], *B.Functions[I], FnWhy))
+        W = "@" + A.Functions[I]->name() + ": " + FnWhy;
+    }
+  }
+  if (W.empty())
+    return true;
+  if (Why)
+    *Why = W;
+  return false;
+}
+
+unsigned fuzz::moduleInstructionCount(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.Functions)
+    F->forEachBlock(
+        [&](const BasicBlock &B) { N += unsigned(B.Insts.size()); });
+  return N;
+}

@@ -1,0 +1,45 @@
+//===- fuzz/ModuleOps.h - Module cloning and comparison ---------*- C++ -*-===//
+///
+/// \file
+/// Utilities the fuzzer needs around whole modules: cloning (Module is
+/// move-only, so a clone goes print -> parse, which is also exactly the
+/// serialization path the round-trip property test exercises) and a strict
+/// structural equality used to detect printer/parser drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_FUZZ_MODULEOPS_H
+#define EPRE_FUZZ_MODULEOPS_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+
+namespace epre {
+namespace fuzz {
+
+/// Parses \p Text; on failure returns null and fills \p Err (when non-null).
+std::unique_ptr<Module> parseModuleText(const std::string &Text,
+                                        std::string *Err = nullptr);
+
+/// Clones \p M by printing and re-parsing it. Aborts if the module does not
+/// round-trip (which would be a printer/parser bug, not a caller error).
+std::unique_ptr<Module> cloneModule(const Module &M);
+
+/// Structural equality: same function names, parameter/return signatures,
+/// block labels, and per-instruction opcode, type, destination, operands,
+/// immediates (F64 compared bitwise), intrinsic, successors, and phi
+/// incoming blocks. Register numbering must match exactly. On inequality,
+/// \p Why (when non-null) receives a one-line description of the first
+/// difference.
+bool modulesStructurallyEqual(const Module &A, const Module &B,
+                              std::string *Why = nullptr);
+
+/// Total instruction count across all live blocks of all functions.
+unsigned moduleInstructionCount(const Module &M);
+
+} // namespace fuzz
+} // namespace epre
+
+#endif // EPRE_FUZZ_MODULEOPS_H

@@ -1,0 +1,296 @@
+//===- fuzz/Reduce.cpp ----------------------------------------------------===//
+
+#include "fuzz/Reduce.h"
+
+#include "fuzz/ModuleOps.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+using namespace epre;
+using namespace epre::fuzz;
+
+namespace {
+
+/// One candidate edit, described positionally against the current program
+/// (positions are indices into the live-block sequence, so they survive the
+/// re-parse the edit is applied to).
+struct Edit {
+  enum Kind {
+    CbrToBr,
+    ForwardBlock,   ///< redirect edges over a branch-only block
+    ForwardCopy,    ///< rewrite uses of a copy's dst to its src, drop the copy
+    DeleteInsts,
+    ReplaceOperand
+  } K = CbrToBr;
+  unsigned Block = 0;
+  unsigned Inst = 0;     ///< first instruction (or the instruction)
+  unsigned Len = 0;      ///< DeleteInsts: chunk length
+  unsigned Operand = 0;  ///< ReplaceOperand: operand index
+  Reg NewReg = NoReg;    ///< ReplaceOperand: replacement register
+  unsigned KeepSucc = 0; ///< CbrToBr: surviving successor index
+};
+
+std::vector<BasicBlock *> liveBlocks(Function &F) {
+  std::vector<BasicBlock *> Blocks;
+  F.forEachBlock([&](BasicBlock &B) { Blocks.push_back(&B); });
+  return Blocks;
+}
+
+/// Well-founded size: every accepted edit must strictly decrease it.
+/// Instructions dominate, then blocks, then the operand-register sum (which
+/// makes operand replacement by a lower-numbered register progress).
+uint64_t sizeOf(Module &M) {
+  uint64_t Insts = 0, Blocks = 0, OperandSum = 0;
+  for (auto &F : M.Functions)
+    F->forEachBlock([&](const BasicBlock &B) {
+      ++Blocks;
+      Insts += B.Insts.size();
+      for (const Instruction &I : B.Insts)
+        for (Reg R : I.Operands)
+          OperandSum += R;
+    });
+  return Insts * 1000000 + Blocks * 10000 +
+         std::min<uint64_t>(OperandSum, 9999);
+}
+
+void dropUnreachable(Function &F) {
+  std::vector<uint8_t> Seen(F.numBlocks(), 0);
+  std::vector<BlockId> Work{0};
+  Seen[0] = 1;
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    BasicBlock *BB = F.block(B);
+    if (!BB || !BB->hasTerminator())
+      continue;
+    for (BlockId S : BB->successors())
+      if (S < Seen.size() && !Seen[S] && F.block(S)) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  for (BlockId B = 1; B < F.numBlocks(); ++B)
+    if (F.block(B) && !Seen[B])
+      F.eraseBlock(B);
+}
+
+/// Applies \p E to a fresh parse of \p Text; returns the printed result, or
+/// nullopt when the edit does not apply structurally.
+std::optional<std::string> applyEdit(const std::string &Text, const Edit &E) {
+  std::unique_ptr<Module> M = parseModuleText(Text);
+  if (!M || M->Functions.empty())
+    return std::nullopt;
+  Function &F = *M->Functions[0];
+  std::vector<BasicBlock *> Blocks = liveBlocks(F);
+  if (E.Block >= Blocks.size())
+    return std::nullopt;
+  BasicBlock &B = *Blocks[E.Block];
+
+  switch (E.K) {
+  case Edit::CbrToBr: {
+    if (!B.hasTerminator() || B.terminator().Op != Opcode::Cbr)
+      return std::nullopt;
+    BlockId Target = B.terminator().Succs[E.KeepSucc];
+    B.Insts.back() = Instruction::makeBr(Target);
+    dropUnreachable(F);
+    break;
+  }
+  case Edit::ForwardBlock: {
+    if (B.id() == 0 || B.Insts.size() != 1 ||
+        B.terminator().Op != Opcode::Br)
+      return std::nullopt;
+    BlockId From = B.id(), To = B.terminator().Succs[0];
+    if (From == To)
+      return std::nullopt;
+    for (BasicBlock *Pred : Blocks) {
+      if (Pred == &B)
+        continue;
+      for (Instruction &I : Pred->Insts) {
+        for (BlockId &S : I.Succs)
+          if (S == From)
+            S = To;
+        for (BlockId &PB : I.PhiBlocks)
+          if (PB == From)
+            PB = To;
+      }
+    }
+    dropUnreachable(F);
+    break;
+  }
+  case Edit::ForwardCopy: {
+    if (E.Inst >= B.Insts.size())
+      return std::nullopt;
+    const Instruction Copy = B.Insts[E.Inst];
+    if (Copy.Op != Opcode::Copy)
+      return std::nullopt;
+    Reg D = Copy.Dst, S = Copy.Operands[0];
+    // Only forward single-definition registers: pre-SSA code may redefine
+    // a register, and then the uses are not all the copy's.
+    unsigned Defs = 0;
+    for (BasicBlock *BB : Blocks)
+      for (const Instruction &I : BB->Insts)
+        if (I.Dst == D)
+          ++Defs;
+    if (Defs != 1)
+      return std::nullopt;
+    B.Insts.erase(B.Insts.begin() + E.Inst);
+    for (BasicBlock *BB : Blocks)
+      for (Instruction &I : BB->Insts)
+        for (Reg &R : I.Operands)
+          if (R == D)
+            R = S;
+    break;
+  }
+  case Edit::DeleteInsts: {
+    if (E.Inst + E.Len > B.Insts.size())
+      return std::nullopt;
+    for (unsigned I = E.Inst; I < E.Inst + E.Len; ++I)
+      if (B.Insts[I].isTerminator())
+        return std::nullopt;
+    B.Insts.erase(B.Insts.begin() + E.Inst, B.Insts.begin() + E.Inst + E.Len);
+    break;
+  }
+  case Edit::ReplaceOperand: {
+    if (E.Inst >= B.Insts.size())
+      return std::nullopt;
+    Instruction &I = B.Insts[E.Inst];
+    if (E.Operand >= I.Operands.size() || E.NewReg >= F.numRegs())
+      return std::nullopt;
+    if (F.regType(I.Operands[E.Operand]) != F.regType(E.NewReg))
+      return std::nullopt;
+    I.Operands[E.Operand] = E.NewReg;
+    break;
+  }
+  }
+  F.bumpVersion();
+  return printModule(*M);
+}
+
+/// Enumerates candidate edits against \p M, in shrink-fastest-first order.
+std::vector<Edit> enumerateEdits(Module &M) {
+  std::vector<Edit> Edits;
+  if (M.Functions.empty())
+    return Edits;
+  Function &F = *M.Functions[0];
+  std::vector<BasicBlock *> Blocks = liveBlocks(F);
+
+  // 1. Branch rewrites: each can disconnect a whole subgraph.
+  for (unsigned B = 0; B < Blocks.size(); ++B)
+    if (Blocks[B]->hasTerminator() &&
+        Blocks[B]->terminator().Op == Opcode::Cbr)
+      for (unsigned S = 0; S < 2; ++S)
+        Edits.push_back({Edit::CbrToBr, B, 0, 0, 0, NoReg, S});
+
+  // 2. Structural simplifications that unlock further deletions: skip
+  // branch-only blocks, and forward copies of single-definition registers.
+  for (unsigned B = 0; B < Blocks.size(); ++B) {
+    if (B > 0 && Blocks[B]->Insts.size() == 1 &&
+        Blocks[B]->hasTerminator() && Blocks[B]->terminator().Op == Opcode::Br)
+      Edits.push_back({Edit::ForwardBlock, B, 0, 0, 0, NoReg, 0});
+    for (unsigned I = 0; I < Blocks[B]->Insts.size(); ++I)
+      if (Blocks[B]->Insts[I].Op == Opcode::Copy)
+        Edits.push_back({Edit::ForwardCopy, B, I, 0, 0, NoReg, 0});
+  }
+
+  // 3. Instruction chunks, large to small. Deleting the only definition of
+  // a still-used register is allowed here: the re-parse validity check
+  // rejects such candidates ("used but never defined").
+  for (unsigned Chunk : {8u, 4u, 2u, 1u})
+    for (unsigned B = 0; B < Blocks.size(); ++B) {
+      size_t N = Blocks[B]->Insts.size();
+      if (N < Chunk)
+        continue;
+      for (unsigned I = 0; I + Chunk <= N; I += Chunk)
+        Edits.push_back({Edit::DeleteInsts, B, I, Chunk, 0, NoReg, 0});
+    }
+
+  // 4. Operand simplification: try the lowest-numbered same-typed registers
+  // (parameters first by construction). Only downward replacements, so the
+  // size metric keeps decreasing.
+  for (unsigned B = 0; B < Blocks.size(); ++B)
+    for (unsigned I = 0; I < Blocks[B]->Insts.size(); ++I) {
+      const Instruction &In = Blocks[B]->Insts[I];
+      if (In.isPhi())
+        continue;
+      for (unsigned Op = 0; Op < In.Operands.size(); ++Op) {
+        unsigned Candidates = 0;
+        for (Reg R = 1; R < In.Operands[Op] && Candidates < 3; ++R)
+          if (F.regType(R) == F.regType(In.Operands[Op])) {
+            Edits.push_back({Edit::ReplaceOperand, B, I, 0, Op, R, 0});
+            ++Candidates;
+          }
+      }
+    }
+  return Edits;
+}
+
+} // namespace
+
+ReduceResult fuzz::reduceMiscompile(const FuzzProgram &P,
+                                    const OracleConfig &C,
+                                    const OracleOptions &O,
+                                    const ReduceOptions &R) {
+  ReduceResult Out;
+  Out.Text = P.Text;
+  {
+    std::unique_ptr<Module> M = parseModuleText(P.Text);
+    if (!M)
+      return Out;
+    Out.InstsBefore = moduleInstructionCount(*M);
+    Out.BlocksBefore = unsigned(liveBlocks(*M->Functions[0]).size());
+  }
+
+  Out.Signature = runConfigOnce(P, C, O).Kind;
+  if (!isMiscompile(Out.Signature))
+    return Out;
+  Out.Reduced = true;
+
+  std::string Current = P.Text;
+  uint64_t CurrentSize;
+  {
+    std::unique_ptr<Module> M = parseModuleText(Current);
+    CurrentSize = sizeOf(*M);
+  }
+
+  bool Progress = true;
+  while (Progress && Out.Tried < R.MaxCandidates) {
+    Progress = false;
+    std::unique_ptr<Module> M = parseModuleText(Current);
+    for (const Edit &E : enumerateEdits(*M)) {
+      if (Out.Tried >= R.MaxCandidates)
+        break;
+      ++Out.Tried;
+      std::optional<std::string> CandText = applyEdit(Current, E);
+      if (!CandText)
+        continue;
+      std::unique_ptr<Module> Cand = parseModuleText(*CandText);
+      if (!Cand || Cand->Functions.empty())
+        continue;
+      if (sizeOf(*Cand) >= CurrentSize)
+        continue;
+      if (!verifyModule(*Cand, SSAMode::Relaxed).empty())
+        continue;
+      FuzzProgram Q = P;
+      Q.Text = *CandText;
+      if (runConfigOnce(Q, C, O).Kind != Out.Signature)
+        continue;
+      Current = std::move(*CandText);
+      CurrentSize = sizeOf(*Cand);
+      ++Out.Kept;
+      Progress = true;
+      break; // re-enumerate against the new program
+    }
+  }
+
+  Out.Text = Current;
+  {
+    std::unique_ptr<Module> M = parseModuleText(Current);
+    Out.InstsAfter = moduleInstructionCount(*M);
+    Out.BlocksAfter = unsigned(liveBlocks(*M->Functions[0]).size());
+  }
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===- fuzz/Reduce.h - Delta-debugging test-case reduction ------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a miscompiling program while preserving verifier validity and
+/// the failure signature (the oracle's MismatchKind under the failing
+/// config). The reducer works blocks -> instructions -> operands:
+///
+///  1. rewrite conditional branches to unconditional ones and drop the
+///     blocks that become unreachable (removes whole subgraphs at once);
+///  2. delete instruction chunks, halving the chunk size down to single
+///     instructions (classic ddmin);
+///  3. replace instruction operands with lower-numbered same-typed
+///     registers (untangles expression webs so more deletions apply).
+///
+/// Every candidate is applied to a fresh parse of the current text, must
+/// strictly shrink a well-founded size metric, must re-parse and verify
+/// (Relaxed), and must still fail with the same signature — so the loop
+/// terminates and never drifts onto a different bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_FUZZ_REDUCE_H
+#define EPRE_FUZZ_REDUCE_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+
+namespace epre {
+namespace fuzz {
+
+struct ReduceOptions {
+  /// Total candidate-evaluation budget; each evaluation costs one
+  /// reference interpretation plus one optimized run.
+  unsigned MaxCandidates = 12000;
+};
+
+struct ReduceResult {
+  bool Reduced = false;   ///< false: the program did not (re)fail
+  std::string Text;       ///< reduced program (== input text when !Reduced)
+  MismatchKind Signature = MismatchKind::None;
+  unsigned InstsBefore = 0, InstsAfter = 0;
+  unsigned BlocksBefore = 0, BlocksAfter = 0;
+  unsigned Tried = 0, Kept = 0;
+};
+
+ReduceResult reduceMiscompile(const FuzzProgram &P, const OracleConfig &C,
+                              const OracleOptions &O,
+                              const ReduceOptions &R = {});
+
+} // namespace fuzz
+} // namespace epre
+
+#endif // EPRE_FUZZ_REDUCE_H

@@ -33,6 +33,26 @@ int64_t MemoryImage::loadI64(int64_t Addr) const {
   return V;
 }
 
+const char *epre::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::ArgumentMismatch:
+    return "argument-mismatch";
+  case TrapKind::ErasedBlock:
+    return "erased-block";
+  case TrapKind::MissingPhiEntry:
+    return "missing-phi-entry";
+  case TrapKind::FuelExhausted:
+    return "fuel-exhausted";
+  case TrapKind::MemoryOutOfBounds:
+    return "memory-out-of-bounds";
+  case TrapKind::ArithmeticTrap:
+    return "arithmetic-trap";
+  }
+  return "none";
+}
+
 unsigned epre::opcodeCost(Opcode Op) {
   switch (Op) {
   case Opcode::Mul:
@@ -67,14 +87,17 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
   R.TrapFunction = F.name();
 
   // Trap before any block executed (argument checks).
-  auto trap = [&](std::string Why) {
+  auto trap = [&](TrapKind Kind, std::string Why) {
     R.Trapped = true;
+    R.Kind = Kind;
     R.TrapReason = Why + strprintf(" (in @%s)", F.name().c_str());
     return R;
   };
   // Trap at instruction \p Idx of block \p B.
-  auto trapAt = [&](std::string Why, const BasicBlock &B, unsigned Idx) {
+  auto trapAt = [&](TrapKind Kind, std::string Why, const BasicBlock &B,
+                    unsigned Idx) {
     R.Trapped = true;
+    R.Kind = Kind;
     R.TrapBlock = B.label();
     R.TrapInstIndex = Idx;
     R.TrapReason =
@@ -84,7 +107,7 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
   };
 
   if (Args.size() != F.params().size())
-    return trap("argument count mismatch");
+    return trap(TrapKind::ArgumentMismatch, "argument count mismatch");
 
   // Register file, zero-initialized with each register's declared type.
   std::vector<RtValue> Regs(F.numRegs());
@@ -92,7 +115,7 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
     Regs[RG].Ty = F.regType(RG);
   for (unsigned I = 0; I < Args.size(); ++I) {
     if (Args[I].Ty != F.regType(F.params()[I]))
-      return trap("argument type mismatch");
+      return trap(TrapKind::ArgumentMismatch, "argument type mismatch");
     Regs[F.params()[I]] = Args[I];
   }
 
@@ -105,7 +128,8 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
   while (true) {
     const BasicBlock *B = F.block(Cur);
     if (!B)
-      return trap(strprintf("branch to erased block b%u", Cur));
+      return trap(TrapKind::ErasedBlock,
+                  strprintf("branch to erased block b%u", Cur));
     if constexpr (Profiling)
       Prof->enterBlock(Cur);
 
@@ -125,7 +149,8 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
           }
         }
         if (!Found)
-          return trapAt("phi has no entry for predecessor", *B, I);
+          return trapAt(TrapKind::MissingPhiEntry,
+                        "phi has no entry for predecessor", *B, I);
       }
       for (auto &[Dst, V] : PhiVals)
         Regs[Dst] = V;
@@ -142,7 +167,8 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
       // The limit check comes after counting so DynOps == sum(OpCounts)
       // holds on every exit path, including this trap.
       if (R.DynOps > Limits.MaxOps)
-        return trapAt("operation limit exceeded", *B, Idx);
+        return trapAt(TrapKind::FuelExhausted, "operation limit exceeded", *B,
+                      Idx);
 
       switch (I.Op) {
       case Opcode::Br:
@@ -168,7 +194,8 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
       case Opcode::Load: {
         int64_t Addr = Regs[I.Operands[0]].I;
         if (!Mem.inBounds(Addr, 8))
-          return trapAt(strprintf("load out of bounds at address %lld",
+          return trapAt(TrapKind::MemoryOutOfBounds,
+                        strprintf("load out of bounds at address %lld",
                                   (long long)Addr),
                         *B, Idx);
         Regs[I.Dst] = I.Ty == Type::F64 ? RtValue::ofF(Mem.loadF64(Addr))
@@ -178,7 +205,8 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
       case Opcode::Store: {
         int64_t Addr = Regs[I.Operands[0]].I;
         if (!Mem.inBounds(Addr, 8))
-          return trapAt(strprintf("store out of bounds at address %lld",
+          return trapAt(TrapKind::MemoryOutOfBounds,
+                        strprintf("store out of bounds at address %lld",
                                   (long long)Addr),
                         *B, Idx);
         const RtValue &V = Regs[I.Operands[1]];
@@ -194,7 +222,8 @@ ExecResult interpretImpl(const Function &F, const std::vector<RtValue> &Args,
           Ops.push_back(Regs[Op]);
         RtValue Out;
         if (!evalPure(I, Ops, Out))
-          return trapAt(std::string("arithmetic trap in ") + opcodeName(I.Op),
+          return trapAt(TrapKind::ArithmeticTrap,
+                        std::string("arithmetic trap in ") + opcodeName(I.Op),
                         *B, Idx);
         Regs[I.Dst] = Out;
         break;

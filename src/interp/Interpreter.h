@@ -78,9 +78,27 @@ public:
   std::vector<uint8_t> Bytes;
 };
 
+/// Machine-checkable classification of a trap. The differential fuzzer keys
+/// on this: a resource trap (FuelExhausted) is an inconclusive verdict, not a
+/// divergence, while the behavioral kinds must match exactly between the
+/// unoptimized and optimized runs.
+enum class TrapKind : uint8_t {
+  None,            ///< Did not trap.
+  ArgumentMismatch,///< Call-boundary arity or type error (pre-execution).
+  ErasedBlock,     ///< Branch to a tombstoned block.
+  MissingPhiEntry, ///< Phi had no incoming entry for the taken predecessor.
+  FuelExhausted,   ///< ExecLimits::MaxOps hit — a resource limit, not UB.
+  MemoryOutOfBounds,///< Load/store outside the MemoryImage.
+  ArithmeticTrap,  ///< Division/remainder/F2I/Abs domain error (ir/Eval.h).
+};
+
+const char *trapKindName(TrapKind K);
+
 /// Outcome of one interpreted call.
 struct ExecResult {
   bool Trapped = false;
+  /// Structured trap classification; None unless Trapped.
+  TrapKind Kind = TrapKind::None;
   /// Human-readable trap cause, suffixed with the trap location
   /// ("... (in @f, block ^b2, inst 3)") when execution had entered a block.
   std::string TrapReason;

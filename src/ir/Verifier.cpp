@@ -201,6 +201,14 @@ std::vector<std::string> epre::verifyFunction(const Function &F,
   return VerifierImpl(F, Mode).run();
 }
 
+std::vector<std::string> epre::verifyModule(const Module &M, SSAMode Mode) {
+  std::vector<std::string> Errors;
+  for (const auto &F : M.Functions)
+    for (const std::string &E : verifyFunction(*F, Mode))
+      Errors.push_back("@" + F->name() + ": " + E);
+  return Errors;
+}
+
 void epre::verifyOrDie(const Function &F, SSAMode Mode, const char *When) {
   std::vector<std::string> Errors = verifyFunction(F, Mode);
   if (Errors.empty())

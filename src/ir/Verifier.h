@@ -41,6 +41,11 @@ std::vector<std::string> verifyFunction(const Function &F,
 /// that just ran, for the error message.
 void verifyOrDie(const Function &F, SSAMode Mode, const char *When);
 
+/// Verifies every function in \p M; each violation is prefixed with the
+/// offending function's name.
+std::vector<std::string> verifyModule(const Module &M,
+                                      SSAMode Mode = SSAMode::Relaxed);
+
 } // namespace epre
 
 #endif // EPRE_IR_VERIFIER_H

@@ -145,6 +145,25 @@ PipelineOptions::create(const PipelineOptions &Proto, std::string *Err) {
 
 namespace {
 
+/// Admission control for pipeline prefix execution (optimizeFunctionPrefix):
+/// every pass application asks the gate before running, and the gate records
+/// the name of each admitted pass. optimizeFunction runs with an unlimited
+/// budget, so the gate reduces to trace bookkeeping there.
+struct PassGate {
+  unsigned Budget = ~0u;
+  unsigned Count = 0;
+  std::vector<std::string> Trace;
+
+  bool admit(const char *Name) {
+    if (Count >= Budget)
+      return false;
+    ++Count;
+    Trace.push_back(Name);
+    return true;
+  }
+  bool open() const { return Count < Budget; }
+};
+
 void verifyStage(const Function &F, const PipelineOptions &Opts,
                  SSAMode Mode, const char *Stage) {
   if (Opts.Verify)
@@ -153,74 +172,114 @@ void verifyStage(const Function &F, const PipelineOptions &Opts,
 
 /// The paper's baseline sequence; every level ends with it.
 void runBaselineTail(Function &F, FunctionAnalysisManager &AM,
-                     const PipelineOptions &Opts, PassContext &Ctx) {
-  SCCPPass().run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::Relaxed, "constant propagation");
-  SimplifyCFGPass().run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::Relaxed, "cfg simplification");
+                     const PipelineOptions &Opts, PassContext &Ctx,
+                     PassGate &Gate) {
+  if (Gate.admit("sccp")) {
+    SCCPPass().run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::Relaxed, "constant propagation");
+  }
+  if (Gate.admit("simplifycfg")) {
+    SimplifyCFGPass().run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::Relaxed, "cfg simplification");
+  }
 
   PeepholeOptions PO;
   PO.StrengthReduceMul = Opts.StrengthReduceMul;
-  PeepholePass(PO).run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::Relaxed, "peephole");
+  if (Gate.admit("peephole")) {
+    PeepholePass(PO).run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::Relaxed, "peephole");
+  }
 
   // Peephole can expose more constants (and vice versa); one more round
   // matches the paper's "sequence of passes" spirit without iterating to
   // an unbounded fixpoint.
-  SCCPPass().run(F, AM, Ctx);
-  SimplifyCFGPass().run(F, AM, Ctx);
-  PeepholePass(PO).run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::Relaxed, "second peephole");
+  if (Gate.admit("sccp"))
+    SCCPPass().run(F, AM, Ctx);
+  if (Gate.admit("simplifycfg"))
+    SimplifyCFGPass().run(F, AM, Ctx);
+  if (Gate.admit("peephole")) {
+    PeepholePass(PO).run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::Relaxed, "second peephole");
+  }
 
-  DCEPass().run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::Relaxed, "dead code elimination");
+  if (Gate.admit("dce")) {
+    DCEPass().run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::Relaxed, "dead code elimination");
+  }
 
-  CopyCoalescingPass().run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::Relaxed, "coalescing");
+  if (Gate.admit("coalesce")) {
+    CopyCoalescingPass().run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::Relaxed, "coalescing");
+  }
 
-  DCEPass().run(F, AM, Ctx);
-  SimplifyCFGPass().run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::Relaxed, "final cleanup");
+  if (Gate.admit("dce"))
+    DCEPass().run(F, AM, Ctx);
+  if (Gate.admit("simplifycfg")) {
+    SimplifyCFGPass().run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::Relaxed, "final cleanup");
+  }
 }
 
 void runReassociationPhase(Function &F, FunctionAnalysisManager &AM,
-                           const PipelineOptions &Opts, PassContext &Ctx) {
-  SSABuildPass().run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::SSA, "SSA construction");
+                           const PipelineOptions &Opts, PassContext &Ctx,
+                           PassGate &Gate) {
+  if (Gate.admit("ssa.build")) {
+    SSABuildPass().run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::SSA, "SSA construction");
+  }
+  // A prefix cut here leaves the function in SSA form, which the verifier
+  // (Relaxed) and the interpreter both accept.
+  if (!Gate.open())
+    return;
 
   // The reassociation passes extend this map in place as they create
   // registers, so it lives outside the manager (the cached slot would be a
   // stale snapshot after the first setRank).
   RankMap Ranks = RankMap::compute(F, AM.cfg());
 
-  ForwardPropPass(Ranks).run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::NoSSA, "forward propagation");
+  if (Gate.admit("fwdprop")) {
+    ForwardPropPass(Ranks).run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::NoSSA, "forward propagation");
+  }
 
   ReassociateOptions RO;
   RO.AllowFPReassoc = Opts.AllowFPReassoc;
   RO.Distribute = Opts.Level == OptLevel::Distribution;
 
-  NegNormPass(Ranks, RO).run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::NoSSA, "negation normalization");
+  if (Gate.admit("negnorm")) {
+    NegNormPass(Ranks, RO).run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::NoSSA, "negation normalization");
+  }
 
-  ReassociatePass(Ranks, RO).run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::NoSSA, "reassociation");
+  if (Gate.admit("reassoc")) {
+    ReassociatePass(Ranks, RO).run(F, AM, Ctx);
+    verifyStage(F, Opts, SSAMode::NoSSA, "reassociation");
+  }
 
-  if (Opts.Engine == GVNEngine::AWZ)
-    GVNPass().run(F, AM, Ctx);
-  else
+  if (Opts.Engine == GVNEngine::AWZ) {
+    if (Gate.admit("gvn")) {
+      GVNPass().run(F, AM, Ctx);
+      verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
+    }
+  } else if (Gate.admit("dvnt")) {
     DVNTPass().run(F, AM, Ctx);
-  verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
+    verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
+  }
 }
 
 /// PRE handles one nesting level of redundancy per run: deleting the
 /// computation of an inner subexpression un-kills its parents. Iterate to
 /// a fixpoint (bounded by expression-tree depth). Counters accumulate
 /// across rounds (pre.universe is a per-round sum; see observability doc).
+/// Each round is one gated pass application, so bisection can land between
+/// rounds.
 void runPREToFixpoint(Function &F, FunctionAnalysisManager &AM,
-                      const PipelineOptions &Opts, PassContext &Ctx) {
+                      const PipelineOptions &Opts, PassContext &Ctx,
+                      PassGate &Gate) {
   PREPass P(Opts.Strategy, Opts.Solver);
   for (unsigned Round = 0; Round < 16; ++Round) {
+    if (!Gate.admit("pre"))
+      break;
     P.run(F, AM, Ctx);
     verifyStage(F, Opts, SSAMode::NoSSA, "PRE");
     if (P.lastStats().Inserted == 0 && P.lastStats().Deleted == 0)
@@ -245,10 +304,10 @@ void publishAnalysisStats(const FunctionAnalysisManager &AM,
   }
 }
 
-} // namespace
-
-PipelineStats epre::optimizeFunction(Function &F,
-                                     const PipelineOptions &Opts) {
+/// The shared body of optimizeFunction (unlimited gate) and
+/// optimizeFunctionPrefix (budgeted gate).
+PipelineStats optimizeFunctionGated(Function &F, const PipelineOptions &Opts,
+                                    PassGate &Gate) {
   PipelineStats Stats;
   {
     // Every counter of this run lands in the per-function registry first;
@@ -264,7 +323,8 @@ PipelineStats epre::optimizeFunction(Function &F,
       // change nothing stop paying for full re-analysis.
       FunctionAnalysisManager AM(F, Opts.DisableAnalysisCache);
 
-      UnreachableBlockElimPass().run(F, AM, Ctx);
+      if (Gate.admit("unreachable-elim"))
+        UnreachableBlockElimPass().run(F, AM, Ctx);
 
       switch (Opts.Level) {
       case OptLevel::None:
@@ -274,25 +334,29 @@ PipelineStats epre::optimizeFunction(Function &F,
         // §5.1's "alternative approach": shadow-copy any expression name
         // the front end left live across a block boundary, so PRE's
         // universe never has to drop an expression.
-        LocalizeNamesPass().run(F, AM, Ctx);
-        verifyStage(F, Opts, SSAMode::NoSSA, "name localization");
-        runPREToFixpoint(F, AM, Opts, Ctx);
+        if (Gate.admit("localize")) {
+          LocalizeNamesPass().run(F, AM, Ctx);
+          verifyStage(F, Opts, SSAMode::NoSSA, "name localization");
+        }
+        runPREToFixpoint(F, AM, Opts, Ctx, Gate);
         break;
       case OptLevel::Reassociation:
       case OptLevel::Distribution:
-        runReassociationPhase(F, AM, Opts, Ctx);
-        runPREToFixpoint(F, AM, Opts, Ctx);
+        runReassociationPhase(F, AM, Opts, Ctx, Gate);
+        runPREToFixpoint(F, AM, Opts, Ctx, Gate);
         break;
       }
 
       if (Opts.EnableStrengthReduction) {
-        StrengthReductionPass().run(F, AM, Ctx);
-        verifyStage(F, Opts, SSAMode::NoSSA, "strength reduction");
+        if (Gate.admit("strengthreduce")) {
+          StrengthReductionPass().run(F, AM, Ctx);
+          verifyStage(F, Opts, SSAMode::NoSSA, "strength reduction");
+        }
         if (Opts.Level != OptLevel::Baseline)
-          runPREToFixpoint(F, AM, Opts, Ctx);
+          runPREToFixpoint(F, AM, Opts, Ctx, Gate);
       }
 
-      runBaselineTail(F, AM, Opts, Ctx);
+      runBaselineTail(F, AM, Opts, Ctx, Gate);
       publishAnalysisStats(AM, Stats.Registry);
     }
 
@@ -302,6 +366,26 @@ PipelineStats epre::optimizeFunction(Function &F,
   if (Opts.Instr)
     Opts.Instr->stats().merge(Stats.Registry);
   return Stats;
+}
+
+} // namespace
+
+PipelineStats epre::optimizeFunction(Function &F,
+                                     const PipelineOptions &Opts) {
+  PassGate Gate;
+  return optimizeFunctionGated(F, Opts, Gate);
+}
+
+PassPrefixResult epre::optimizeFunctionPrefix(Function &F,
+                                              const PipelineOptions &Opts,
+                                              unsigned MaxPasses) {
+  PassGate Gate;
+  Gate.Budget = MaxPasses;
+  optimizeFunctionGated(F, Opts, Gate);
+  PassPrefixResult R;
+  R.PassesRun = Gate.Count;
+  R.Trace = std::move(Gate.Trace);
+  return R;
 }
 
 std::vector<PipelineStats> epre::optimizeModule(Module &M,

@@ -172,6 +172,29 @@ struct PipelineStats {
 /// Runs the configured pipeline on \p F in place.
 PipelineStats optimizeFunction(Function &F, const PipelineOptions &Opts);
 
+/// Outcome of a prefix-bounded pipeline run (see optimizeFunctionPrefix).
+struct PassPrefixResult {
+  /// Pass applications actually executed (each PRE fixpoint round counts as
+  /// one application).
+  unsigned PassesRun = 0;
+  /// Names of the executed passes, in execution order (the pass name()
+  /// constants: "sccp", "pre", "ssa.build", ...). Trace.size() == PassesRun.
+  std::vector<std::string> Trace;
+};
+
+/// Runs exactly the first \p MaxPasses pass applications of the pipeline
+/// optimizeFunction would run for \p Opts, then stops; the function is left
+/// in whatever intermediate state the prefix produced (still verifier-clean
+/// in Relaxed mode — possibly SSA form if the cut lands inside the
+/// reassociation phase). Pass MaxPasses = ~0u for the full pipeline; the
+/// returned trace then names every pass application, which is what the
+/// fuzzer's bisection replays. A given (function, options) pair runs the
+/// same sequence every time, so prefixes of the full trace are faithful
+/// replays.
+PassPrefixResult optimizeFunctionPrefix(Function &F,
+                                        const PipelineOptions &Opts,
+                                        unsigned MaxPasses);
+
 /// Runs the configured pipeline on every function of \p M; returns the
 /// per-function stats in module order.
 std::vector<PipelineStats> optimizeModule(Module &M,

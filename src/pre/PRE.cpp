@@ -211,7 +211,8 @@ private:
   void solveAvailability() {
     BitDataflowProblem P;
     P.Dir = DataflowDirection::Forward;
-    P.Meet = MeetOp::Intersect;
+    P.Meet = fault::preDropAvailabilityMeet() ? MeetOp::Union
+                                              : MeetOp::Intersect;
     P.NumBits = numExprs();
     P.Gen = &COMP;
     P.Preserve = &TRANSP;
@@ -692,3 +693,13 @@ PREDataflow epre::analyzePartialRedundancies(Function &F,
   FunctionAnalysisManager AM(F);
   return PREImpl(F, AM, PREStrategy::LazyCodeMotion, Solver).analyze();
 }
+
+namespace {
+bool PREDropAvailMeet = false;
+} // namespace
+
+void epre::fault::setPREDropAvailabilityMeet(bool Enable) {
+  PREDropAvailMeet = Enable;
+}
+
+bool epre::fault::preDropAvailabilityMeet() { return PREDropAvailMeet; }

@@ -97,6 +97,20 @@ struct PREDataflow {
 PREDataflow analyzePartialRedundancies(
     Function &F, DataflowSolverKind Solver = DataflowSolverKind::Worklist);
 
+namespace fault {
+
+/// Testing-only miscompile switch for the fuzzer's end-to-end check
+/// (docs/fuzzing.md): when enabled, PRE's availability solve uses a union
+/// meet instead of the required intersection, i.e. it treats an expression
+/// as available at a join if it reaches on *any* path rather than on every
+/// path. GlobalCSE then deletes computations that are not actually
+/// available, and LCM/Morel-Renvoise misplace insertions — a classic PRE
+/// placement bug. Process-global; never enable outside tests/tools.
+void setPREDropAvailabilityMeet(bool Enable);
+bool preDropAvailabilityMeet();
+
+} // namespace fault
+
 } // namespace epre
 
 #endif // EPRE_PRE_PRE_H

@@ -305,6 +305,62 @@ TEST(Interpreter, PreExecutionTrapHasFunctionButNoBlock) {
   EXPECT_TRUE(E.TrapBlock.empty());
 }
 
+TEST(Interpreter, TrapKindClassifiesFuelExhaustion) {
+  ParseResult R = parseModule("func @f() { ^e: br ^e }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  ExecLimits Lim;
+  Lim.MaxOps = 16; // caller-configurable: tiny budgets work too
+  ExecResult E = interpret(*R.M->Functions[0], {}, Mem, Lim);
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_EQ(E.Kind, TrapKind::FuelExhausted);
+  EXPECT_STREQ(trapKindName(E.Kind), "fuel-exhausted");
+}
+
+TEST(Interpreter, TrapKindClassifiesArithmeticAndMemory) {
+  ParseResult R = parseModule(R"(
+func @f(%a:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %q:i64 = div %a, %z
+  ret %q
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  ExecResult E = interpret(*R.M->Functions[0], {RtValue::ofI(1)}, Mem);
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_EQ(E.Kind, TrapKind::ArithmeticTrap);
+  EXPECT_STREQ(trapKindName(E.Kind), "arithmetic-trap");
+
+  ParseResult R2 = parseModule(R"(
+func @g(%a:i64) -> i64 {
+^e:
+  %v:i64 = load %a
+  ret %v
+}
+)");
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  MemoryImage Mem2(8);
+  ExecResult E2 = interpret(*R2.M->Functions[0], {RtValue::ofI(64)}, Mem2);
+  ASSERT_TRUE(E2.Trapped);
+  EXPECT_EQ(E2.Kind, TrapKind::MemoryOutOfBounds);
+
+  // A clean run reports TrapKind::None.
+  ExecResult Ok = interpret(*R2.M->Functions[0], {RtValue::ofI(0)}, Mem2);
+  ASSERT_FALSE(Ok.Trapped);
+  EXPECT_EQ(Ok.Kind, TrapKind::None);
+}
+
+TEST(Interpreter, TrapKindClassifiesArgumentMismatch) {
+  ParseResult R = parseModule("func @f(%a:i64) { ^e: ret }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryImage Mem(0);
+  ExecResult E = interpret(*R.M->Functions[0], {}, Mem);
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_EQ(E.Kind, TrapKind::ArgumentMismatch);
+}
+
 TEST(Interpreter, ArgumentChecking) {
   ParseResult R = parseModule("func @f(%a:i64) { ^e: ret }");
   ASSERT_TRUE(R.ok()) << R.Error;

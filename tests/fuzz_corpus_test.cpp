@@ -1,0 +1,97 @@
+//===- tests/fuzz_corpus_test.cpp - Seed corpus through the full oracle ---===//
+///
+/// \file
+/// Replays every tests/corpus/*.iloc program — hand-written CFG nasties
+/// (diamonds, critical edges, nested and irreducible loops, memory
+/// dependences) — through the full differential oracle matrix. The corpus
+/// is integer-only, so every configuration, including the FP-reassociating
+/// ones, must be bit-exact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ModuleOps.h"
+#include "fuzz/Oracle.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace epre;
+using namespace epre::fuzz;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  for (const auto &E :
+       std::filesystem::directory_iterator(EPRE_CORPUS_DIR))
+    if (E.path().extension() == ".iloc")
+      Files.push_back(E.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+/// Same argument synthesis as the epre-fuzz driver's -replay mode.
+FuzzProgram loadCorpusProgram(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  FuzzProgram P;
+  P.Text = SS.str();
+  P.Shape = "corpus";
+  P.MemBytes = 4096;
+
+  std::unique_ptr<Module> M = parseModuleText(P.Text);
+  EXPECT_NE(M, nullptr) << Path;
+  if (!M)
+    return P;
+  const Function &F = *M->Functions[0];
+  int64_t NextI = 7;
+  double NextF = 1.5;
+  for (Reg R : F.params()) {
+    if (F.regType(R) == Type::I64) {
+      P.Args.push_back(RtValue::ofI(NextI));
+      NextI = -NextI + 5;
+    } else {
+      P.Args.push_back(RtValue::ofF(NextF));
+      NextF = -NextF + 0.75;
+    }
+  }
+  return P;
+}
+
+TEST(FuzzCorpus, HasEntries) {
+  EXPECT_GE(corpusFiles().size(), 6u);
+}
+
+TEST(FuzzCorpus, EntriesAreVerifierClean) {
+  for (const std::string &Path : corpusFiles()) {
+    std::string Err;
+    std::unique_ptr<Module> M = parseModuleText(
+        loadCorpusProgram(Path).Text, &Err);
+    ASSERT_NE(M, nullptr) << Path << ": " << Err;
+    EXPECT_TRUE(verifyModule(*M, SSAMode::Relaxed).empty()) << Path;
+  }
+}
+
+TEST(FuzzCorpus, FullOracleMatrixIsClean) {
+  OracleOptions OO;
+  std::vector<OracleConfig> Configs = oracleConfigs(/*Quick=*/false);
+  for (const std::string &Path : corpusFiles()) {
+    FuzzProgram P = loadCorpusProgram(Path);
+    OracleResult OR = runDifferentialOracle(P, OO, Configs);
+    EXPECT_FALSE(OR.Inconclusive) << Path;
+    EXPECT_FALSE(OR.Mismatch) << Path;
+    for (const OracleFinding &F : OR.Findings)
+      ADD_FAILURE() << Path << " [" << F.Config
+                    << "] " << mismatchKindName(F.Kind) << ": " << F.Detail;
+    EXPECT_EQ(OR.ConfigsRun, Configs.size()) << Path;
+  }
+}
+
+} // namespace

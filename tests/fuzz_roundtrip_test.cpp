@@ -1,0 +1,76 @@
+//===- tests/fuzz_roundtrip_test.cpp - print->parse->print property -------===//
+///
+/// \file
+/// Round-trip property over generated modules: printing a parsed module and
+/// re-parsing that text must reach a textual fixpoint after one iteration,
+/// and the fixpoint parses must be structurally equal. (The first print of
+/// a freshly generated module may renumber registers relative to the
+/// parser's first-occurrence numbering, so the property is asserted from
+/// the second print onward.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzGen.h"
+#include "fuzz/ModuleOps.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace epre;
+using namespace epre::fuzz;
+
+namespace {
+
+TEST(FuzzRoundTrip, PrintParsePrintReachesFixpoint) {
+  for (const std::string &Shape : generatorShapeNames()) {
+    GeneratorOptions GO;
+    ASSERT_TRUE(shapeOptions(Shape, GO)) << Shape;
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+      FuzzProgram P = generateProgram(Seed, GO, Shape);
+
+      std::string Err;
+      std::unique_ptr<Module> M2 = parseModuleText(P.Text, &Err);
+      ASSERT_NE(M2, nullptr)
+          << Shape << " seed " << Seed << ": " << Err;
+      EXPECT_TRUE(verifyModule(*M2, SSAMode::Relaxed).empty())
+          << Shape << " seed " << Seed;
+
+      std::string T2 = printModule(*M2);
+      std::unique_ptr<Module> M3 = parseModuleText(T2, &Err);
+      ASSERT_NE(M3, nullptr)
+          << Shape << " seed " << Seed << ": " << Err;
+      std::string T3 = printModule(*M3);
+
+      EXPECT_EQ(T2, T3) << Shape << " seed " << Seed;
+
+      std::string Why;
+      EXPECT_TRUE(modulesStructurallyEqual(*M2, *M3, &Why))
+          << Shape << " seed " << Seed << ": " << Why;
+    }
+  }
+}
+
+TEST(FuzzRoundTrip, GenerationIsDeterministic) {
+  GeneratorOptions GO;
+  ASSERT_TRUE(shapeOptions("branchy", GO));
+  FuzzProgram A = generateProgram(42, GO, "branchy");
+  FuzzProgram B = generateProgram(42, GO, "branchy");
+  EXPECT_EQ(A.Text, B.Text);
+  EXPECT_EQ(A.Args.size(), B.Args.size());
+  FuzzProgram C = generateProgram(43, GO, "branchy");
+  EXPECT_NE(A.Text, C.Text);
+}
+
+TEST(FuzzRoundTrip, CloneIsStructurallyEqual) {
+  GeneratorOptions GO;
+  ASSERT_TRUE(shapeOptions("phiweb", GO));
+  FuzzProgram P = generateProgram(7, GO, "phiweb");
+  std::unique_ptr<Module> M = parseModuleText(P.Text);
+  ASSERT_NE(M, nullptr);
+  std::unique_ptr<Module> C = cloneModule(*M);
+  std::string Why;
+  EXPECT_TRUE(modulesStructurallyEqual(*M, *C, &Why)) << Why;
+}
+
+} // namespace
