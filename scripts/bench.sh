@@ -64,3 +64,45 @@ STATS_OUT=${STATS_OUT:-BENCH_suite_stats.json}
 PROFILE_OUT=${PROFILE_OUT:-BENCH_dynamic_profile.json}
 cmake --build "$BUILD_DIR" -j --target suite_report >/dev/null
 "$BUILD_DIR"/examples/suite_report -o="$STATS_OUT" -profile-out="$PROFILE_OUT"
+
+# Interpreter old-vs-new: BENCH_interp.json records the legacy tree-walk
+# against the predecoded direct-threaded engine (plus predecode cost,
+# profiled overhead, and fuzz-execution throughput). Publication is gated:
+# the predecoded engine must be >= 3x faster than the legacy engine at
+# BM_Interpret/64 (the ISSUE 6 acceptance floor; target band is 5-10x), so
+# a regression that erodes the speedup refuses to overwrite the record.
+INTERP_OUT=${INTERP_OUT:-BENCH_interp.json}
+cmake --build "$BUILD_DIR" -j --target bench_interp >/dev/null
+
+TMP_INTERP=$(mktemp "${TMPDIR:-/tmp}/bench_interp.XXXXXX.json")
+trap 'rm -f "$TMP_INTERP"' EXIT
+
+"$BUILD_DIR"/bench/bench_interp \
+  --benchmark_out="$TMP_INTERP" \
+  --benchmark_out_format=json
+
+grep -q '"epre_build_type": "Release"' "$TMP_INTERP" ||
+  refuse "bench_interp was not built with -DCMAKE_BUILD_TYPE=Release"
+grep -q '"epre_assertions": "disabled"' "$TMP_INTERP" ||
+  refuse "bench_interp was built with assertions enabled (no NDEBUG)"
+
+SPEEDUP=$(awk '
+  /"name": "BM_InterpretLegacy\/64"/ { want = 1 }
+  /"name": "BM_Interpret\/64"/       { want = 2 }
+  /"real_time":/ && want {
+    gsub(/[^0-9.eE+-]/, "", $2)
+    if (want == 1) legacy = $2; else pre = $2
+    want = 0
+  }
+  END {
+    if (legacy == "" || pre == "" || pre + 0 == 0) { print "nan"; exit }
+    printf "%.2f", legacy / pre
+  }' "$TMP_INTERP")
+
+echo "interpreter speedup at BM_Interpret/64: ${SPEEDUP}x (legacy / predecoded)"
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s + 0 >= 3.0) }' ||
+  refuse "predecoded interpreter is only ${SPEEDUP}x faster (gate: >= 3x)"
+
+mv "$TMP_INTERP" "$INTERP_OUT"
+trap - EXIT
+echo "wrote $INTERP_OUT"

@@ -113,18 +113,9 @@ bool fuzz::findOracleConfig(const std::string &Name, bool Quick,
   return false;
 }
 
-namespace {
-
-/// Reference execution: parse, no optimization, bounded fuel.
-struct RefRun {
-  ExecResult R;
-  MemoryImage Mem;
-  bool ParseOk = false;
-  std::string ParseError;
-};
-
-RefRun runReference(const FuzzProgram &P, const OracleOptions &O) {
-  RefRun Out;
+ReferenceRun fuzz::runReference(const FuzzProgram &P,
+                                const OracleOptions &O) {
+  ReferenceRun Out;
   Out.Mem = MemoryImage(P.MemBytes);
   std::string Err;
   std::unique_ptr<Module> M = parseModuleText(P.Text, &Err);
@@ -138,6 +129,8 @@ RefRun runReference(const FuzzProgram &P, const OracleOptions &O) {
   Out.R = interpret(*M->Functions[0], P.Args, Out.Mem, Limits);
   return Out;
 }
+
+namespace {
 
 bool f64Close(double Ref, double Got, double Tol) {
   if (std::memcmp(&Ref, &Got, sizeof(double)) == 0)
@@ -181,9 +174,15 @@ std::string compareMemory(const FuzzProgram &P, const MemoryImage &Ref,
 ConfigOutcome fuzz::runConfigOnce(const FuzzProgram &P, const OracleConfig &C,
                                   const OracleOptions &O,
                                   unsigned PrefixPasses) {
+  return runConfigOnce(P, C, O, runReference(P, O), PrefixPasses);
+}
+
+ConfigOutcome fuzz::runConfigOnce(const FuzzProgram &P, const OracleConfig &C,
+                                  const OracleOptions &O,
+                                  const ReferenceRun &Ref,
+                                  unsigned PrefixPasses) {
   ConfigOutcome Out;
 
-  RefRun Ref = runReference(P, O);
   if (!Ref.ParseOk) {
     Out.Kind = MismatchKind::Inconclusive;
     Out.Detail = "reference parse failed: " + Ref.ParseError;
@@ -286,8 +285,11 @@ OracleResult fuzz::runDifferentialOracle(
     const FuzzProgram &P, const OracleOptions &O,
     const std::vector<OracleConfig> &Configs) {
   OracleResult R;
+  // One reference execution shared by the whole config matrix: the old code
+  // re-parsed and re-interpreted the unoptimized program once per config.
+  ReferenceRun Ref = runReference(P, O);
   for (const OracleConfig &C : Configs) {
-    ConfigOutcome Out = runConfigOnce(P, C, O);
+    ConfigOutcome Out = runConfigOnce(P, C, O, Ref);
     ++R.ConfigsRun;
     if (Out.Kind == MismatchKind::Inconclusive) {
       R.Inconclusive = true;

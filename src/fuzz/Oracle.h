@@ -18,9 +18,12 @@
 ///    warning, not a miscompile — it is a quality regression, not
 ///    unsoundness.
 ///
-/// Every run re-parses the program text, so configurations never share
-/// mutable IR, and a prefix-bounded variant of the per-config run is
-/// exposed for the bisector.
+/// Every config run re-parses the program text, so configurations never
+/// share mutable IR, and a prefix-bounded variant of the per-config run is
+/// exposed for the bisector. The reference execution is deterministic in
+/// (program, options), so runDifferentialOracle computes it once and shares
+/// it across the whole config matrix instead of re-parsing and re-running
+/// it per config.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +31,7 @@
 #define EPRE_FUZZ_ORACLE_H
 
 #include "fuzz/FuzzGen.h"
+#include "interp/Interpreter.h"
 #include "pipeline/Pipeline.h"
 
 #include <string>
@@ -87,11 +91,30 @@ struct ConfigOutcome {
   bool WeakDynOpsViolation = false;
 };
 
-/// Runs \p C on a fresh parse of \p P and compares against the (cached-free,
-/// also freshly parsed) reference. \p PrefixPasses bounds the pipeline to a
-/// prefix (see optimizeFunctionPrefix); ~0u means the full pipeline. The
-/// weak DynOps check only applies to full runs: a prefix can legitimately
-/// sit mid-expansion (e.g. after forward propagation, before cleanup).
+/// The unoptimized reference execution of a program: parse outcome, final
+/// result, and final memory image. Compute once with runReference() and
+/// reuse across every config comparison of the same program.
+struct ReferenceRun {
+  ExecResult R;
+  MemoryImage Mem;
+  bool ParseOk = false;
+  std::string ParseError;
+};
+
+/// Parses and executes \p P unoptimized under \p O's reference fuel.
+ReferenceRun runReference(const FuzzProgram &P, const OracleOptions &O);
+
+/// Runs \p C on a fresh parse of \p P and compares against the precomputed
+/// reference \p Ref. \p PrefixPasses bounds the pipeline to a prefix (see
+/// optimizeFunctionPrefix); ~0u means the full pipeline. The weak DynOps
+/// check only applies to full runs: a prefix can legitimately sit
+/// mid-expansion (e.g. after forward propagation, before cleanup).
+ConfigOutcome runConfigOnce(const FuzzProgram &P, const OracleConfig &C,
+                            const OracleOptions &O, const ReferenceRun &Ref,
+                            unsigned PrefixPasses = ~0u);
+
+/// Convenience overload that computes the reference itself (used by the
+/// bisector, which runs one config at a time anyway).
 ConfigOutcome runConfigOnce(const FuzzProgram &P, const OracleConfig &C,
                             const OracleOptions &O,
                             unsigned PrefixPasses = ~0u);

@@ -19,22 +19,53 @@ bool RtValue::identical(const RtValue &O) const {
   return A == B;
 }
 
-namespace {
+// Spelled out branch-by-branch instead of calling std::fmin (see Eval.h):
+// for signed zeros the C standard leaves fmin's result unspecified, and in
+// practice glibc's runtime entry and GCC's inlined builtin disagree — even
+// between an out-of-line definition and its inlined copy in the same TU.
+// fmin/fmax semantics otherwise: a single NaN loses to the number; signed
+// zeros resolve to -0.0 for min and +0.0 for max (IEEE 754-2019
+// minimum/maximumNumber's preference), deterministically.
+double epre::evalFMin(double A, double B) {
+  if (std::isnan(A))
+    return B; // NaN if both are
+  if (std::isnan(B))
+    return A;
+  if (A < B)
+    return A;
+  if (B < A)
+    return B;
+  return std::signbit(A) ? A : B;
+}
 
-bool evalCall(const Instruction &I, const std::vector<RtValue> &Ops,
-              RtValue &Out) {
+double epre::evalFMax(double A, double B) {
+  if (std::isnan(A))
+    return B;
+  if (std::isnan(B))
+    return A;
+  if (A > B)
+    return A;
+  if (B > A)
+    return B;
+  return std::signbit(A) ? B : A;
+}
+
+bool epre::evalIntrinsic(Intrinsic Intr, Type Ty, const RtValue *Args,
+                         unsigned N, RtValue &Out) {
+  if (N == 0)
+    return false;
   // Integer ABS is the only intrinsic with an integer variant.
-  if (I.Intr == Intrinsic::Abs && I.Ty == Type::I64) {
-    int64_t V = Ops[0].I;
+  if (Intr == Intrinsic::Abs && Ty == Type::I64) {
+    int64_t V = Args[0].I;
     if (V == std::numeric_limits<int64_t>::min())
       return false;
     Out = RtValue::ofI(V < 0 ? -V : V);
     return true;
   }
-  double A = Ops[0].F;
-  double B = Ops.size() > 1 ? Ops[1].F : 0.0;
+  double A = Args[0].F;
+  double B = N > 1 ? Args[1].F : 0.0;
   double R = 0.0;
-  switch (I.Intr) {
+  switch (Intr) {
   case Intrinsic::Sqrt:
     R = std::sqrt(A);
     break;
@@ -67,8 +98,6 @@ bool evalCall(const Instruction &I, const std::vector<RtValue> &Ops,
   return true;
 }
 
-} // namespace
-
 bool epre::evalPure(const Instruction &I, const std::vector<RtValue> &Ops,
                     RtValue &Out) {
   const int64_t Min64 = std::numeric_limits<int64_t>::min();
@@ -83,7 +112,7 @@ bool epre::evalPure(const Instruction &I, const std::vector<RtValue> &Ops,
     Out = Ops[0];
     return true;
   case Opcode::Call:
-    return evalCall(I, Ops, Out);
+    return evalIntrinsic(I.Intr, I.Ty, Ops.data(), unsigned(Ops.size()), Out);
   case Opcode::I2F:
     Out = RtValue::ofF(double(Ops[0].I));
     return true;
@@ -134,8 +163,8 @@ bool epre::evalPure(const Instruction &I, const std::vector<RtValue> &Ops,
     case Opcode::Sub: R = A - B; break;
     case Opcode::Mul: R = A * B; break;
     case Opcode::Div: R = A / B; break;
-    case Opcode::Min: R = std::fmin(A, B); break;
-    case Opcode::Max: R = std::fmax(A, B); break;
+    case Opcode::Min: R = evalFMin(A, B); break;
+    case Opcode::Max: R = evalFMax(A, B); break;
     case Opcode::Neg: R = -A; break;
     default:
       return false;

@@ -45,6 +45,23 @@ struct RtValue {
 bool evalPure(const Instruction &I, const std::vector<RtValue> &Ops,
               RtValue &Out);
 
+/// Evaluates intrinsic \p Intr at result type \p Ty over \p N argument
+/// values. The single source of truth for Opcode::Call semantics: evalPure
+/// and the predecoded interpreter's call handler both route here, so they
+/// cannot drift. Returns false on a domain error (integer Abs of INT64_MIN)
+/// or when no argument is supplied.
+bool evalIntrinsic(Intrinsic Intr, Type Ty, const RtValue *Args, unsigned N,
+                   RtValue &Out);
+
+/// F64 min/max as one out-of-line definition. std::fmin's result for signed
+/// zeros is implementation-detail-dependent: glibc's runtime entry returns
+/// the *second* operand of fmin(-0.0, +0.0) while GCC's inlined builtin
+/// returns the first, so two translation units calling "std::fmin" can
+/// disagree bit-for-bit. Every engine (evalPure, the predecoded executor)
+/// must call these so the behavior has exactly one compiled definition.
+double evalFMin(double A, double B);
+double evalFMax(double A, double B);
+
 } // namespace epre
 
 #endif // EPRE_IR_EVAL_H

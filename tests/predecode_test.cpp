@@ -1,0 +1,463 @@
+//===- tests/predecode_test.cpp - Predecoded-engine identity suite --------===//
+///
+/// \file
+/// The differential identity suite for the predecoded bytecode interpreter:
+/// the predecoded engine must be bit-for-bit identical to the legacy
+/// tree-walk in every observable — return value, memory-image hash, DynOps,
+/// per-opcode OpCounts, WeightedCost, trap kind/location/message, and (when
+/// profiling) the finalized FunctionProfile. Exercised over the committed
+/// corpus, the paper's Fig. 2 running example, 1000+ fuzz-generated
+/// programs, hand-written trap programs for every TrapKind, and fuel sweeps
+/// that force the block-residual accounting onto its careful path at every
+/// boundary (N-1, N, N+1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "fuzz/FuzzGen.h"
+#include "fuzz/ModuleOps.h"
+#include "instrument/Profile.h"
+#include "interp/Predecode.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace epre;
+using namespace epre::fuzz;
+
+namespace {
+
+std::string profileJSON(const FunctionProfile &P) {
+  ProfileDoc D;
+  D.Profiles.push_back(P);
+  return D.toJSON(/*IncludeBlocks=*/true);
+}
+
+/// Runs \p F on both engines under identical conditions and asserts every
+/// observable matches. Returns the legacy result for follow-up assertions.
+ExecResult expectIdentical(const Function &F, const std::vector<RtValue> &Args,
+                           size_t MemBytes, uint64_t MaxOps,
+                           bool WithProfile = false) {
+  ExecLimits Limits;
+  Limits.MaxOps = MaxOps;
+
+  MemoryImage MemL(MemBytes), MemP(MemBytes);
+  ProfileCollector PCL, PCP;
+  ExecResult L = interpretLegacy(F, Args, MemL, Limits,
+                                 WithProfile ? &PCL : nullptr);
+  ExecResult P =
+      interpret(F, Args, MemP, Limits, WithProfile ? &PCP : nullptr);
+
+  EXPECT_EQ(L.Trapped, P.Trapped);
+  EXPECT_EQ(int(L.Kind), int(P.Kind));
+  EXPECT_EQ(L.TrapReason, P.TrapReason);
+  EXPECT_EQ(L.TrapFunction, P.TrapFunction);
+  EXPECT_EQ(L.TrapBlock, P.TrapBlock);
+  EXPECT_EQ(L.TrapInstIndex, P.TrapInstIndex);
+  EXPECT_EQ(L.HasReturn, P.HasReturn);
+  if (L.HasReturn && P.HasReturn)
+    EXPECT_TRUE(L.ReturnValue.identical(P.ReturnValue))
+        << L.ReturnValue.I << " vs " << P.ReturnValue.I;
+  EXPECT_EQ(L.DynOps, P.DynOps);
+  EXPECT_EQ(L.WeightedCost, P.WeightedCost);
+  EXPECT_EQ(L.OpCounts, P.OpCounts);
+  EXPECT_EQ(MemL.hash(), MemP.hash());
+
+  // The documented invariant holds on every exit path of both engines.
+  uint64_t SumL = 0, SumP = 0;
+  for (uint64_t C : L.OpCounts)
+    SumL += C;
+  for (uint64_t C : P.OpCounts)
+    SumP += C;
+  EXPECT_EQ(L.DynOps, SumL);
+  EXPECT_EQ(P.DynOps, SumP);
+
+  // Argument-mismatch traps return before the collectors are reset against
+  // F, so there is no profile to finalize on either engine.
+  if (WithProfile && L.Kind != TrapKind::ArgumentMismatch)
+    EXPECT_EQ(profileJSON(PCL.finalize(F)), profileJSON(PCP.finalize(F)));
+  return L;
+}
+
+/// Fuel sweep around and below the program's clean-run operation count:
+/// exact fit, one short (trap on the last instruction), one past, midpoints
+/// and tiny budgets. Forces the careful-path handoff at every boundary.
+void fuelSweep(const Function &F, const std::vector<RtValue> &Args,
+               size_t MemBytes, uint64_t CleanDynOps) {
+  std::vector<uint64_t> Budgets = {CleanDynOps, CleanDynOps + 1, 1, 2, 3};
+  if (CleanDynOps > 0)
+    Budgets.push_back(CleanDynOps - 1);
+  if (CleanDynOps > 2)
+    Budgets.push_back(CleanDynOps / 2);
+  if (CleanDynOps > 4)
+    Budgets.push_back(CleanDynOps / 4 + 1);
+  for (uint64_t B : Budgets) {
+    SCOPED_TRACE("MaxOps=" + std::to_string(B));
+    expectIdentical(F, Args, MemBytes, B, /*WithProfile=*/true);
+  }
+}
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  for (const auto &E : std::filesystem::directory_iterator(EPRE_CORPUS_DIR))
+    if (E.path().extension() == ".iloc")
+      Files.push_back(E.path().string());
+  std::sort(Files.begin(), Files.end());
+  EXPECT_FALSE(Files.empty());
+  return Files;
+}
+
+std::vector<RtValue> defaultArgs(const Function &F) {
+  std::vector<RtValue> Args;
+  int64_t NextI = 7;
+  double NextF = 1.5;
+  for (Reg R : F.params()) {
+    if (F.regType(R) == Type::I64) {
+      Args.push_back(RtValue::ofI(NextI));
+      NextI = -NextI + 5;
+    } else {
+      Args.push_back(RtValue::ofF(NextF));
+      NextF = NextF * -1.75 + 0.5;
+    }
+  }
+  return Args;
+}
+
+TEST(PredecodeIdentity, CorpusPrograms) {
+  for (const std::string &Path : corpusFiles()) {
+    SCOPED_TRACE(Path);
+    std::ifstream In(Path);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    std::unique_ptr<Module> M = parseModuleText(SS.str());
+    ASSERT_NE(M, nullptr);
+    for (auto &FP : M->Functions) {
+      const Function &F = *FP;
+      std::vector<RtValue> Args = defaultArgs(F);
+      ExecResult Clean =
+          expectIdentical(F, Args, 4096, 1'000'000, /*WithProfile=*/true);
+      fuelSweep(F, Args, 4096, Clean.DynOps);
+    }
+  }
+}
+
+TEST(PredecodeIdentity, Fig2RunningExample) {
+  const char *FooSource = R"(
+function foo(y, z)
+  s = 0
+  x = y + z
+  do i = x, 100
+    s = i + s + x
+  end do
+  return s
+end
+)";
+  for (NamingMode Mode : {NamingMode::Naive, NamingMode::Hashed}) {
+    LowerResult LR = compileMiniFortran(FooSource, Mode);
+    ASSERT_TRUE(LR.ok()) << LR.Error;
+    Function *F = LR.M->find("foo");
+    ASSERT_NE(F, nullptr);
+    std::vector<RtValue> Args = {RtValue::ofF(1.0), RtValue::ofF(2.0)};
+    ExecResult Clean =
+        expectIdentical(*F, Args, 0, 1'000'000, /*WithProfile=*/true);
+    EXPECT_FALSE(Clean.Trapped);
+    fuelSweep(*F, Args, 0, Clean.DynOps);
+  }
+}
+
+TEST(PredecodeIdentity, FuzzGeneratedPrograms) {
+  // >= 1000 generated programs across every shape preset; every 8th one
+  // additionally gets the full fuel sweep (careful-path coverage).
+  std::vector<std::string> Shapes = generatorShapeNames();
+  ASSERT_FALSE(Shapes.empty());
+  unsigned PerShape = (1000 + unsigned(Shapes.size()) - 1) /
+                      unsigned(Shapes.size());
+  unsigned Total = 0;
+  for (const std::string &Shape : Shapes) {
+    GeneratorOptions Opts;
+    ASSERT_TRUE(shapeOptions(Shape, Opts));
+    for (unsigned Seed = 0; Seed < PerShape; ++Seed, ++Total) {
+      FuzzProgram Prog = generateProgram(1000 + Seed, Opts, Shape);
+      std::unique_ptr<Module> M = parseModuleText(Prog.Text);
+      ASSERT_NE(M, nullptr) << Shape << " seed " << Seed;
+      SCOPED_TRACE(Shape + " seed " + std::to_string(Seed));
+      const Function &F = *M->Functions[0];
+      ExecResult Clean = expectIdentical(F, Prog.Args, Prog.MemBytes,
+                                         2'000'000, Seed % 4 == 0);
+      if (Seed % 8 == 0)
+        fuelSweep(F, Prog.Args, Prog.MemBytes, Clean.DynOps);
+    }
+  }
+  EXPECT_GE(Total, 1000u);
+}
+
+//===--------------------------------------------------------------------===//
+// Trap programs: every TrapKind, both engines, including fused positions.
+//===--------------------------------------------------------------------===//
+
+void expectTrapIdentity(const std::string &Text,
+                        const std::vector<RtValue> &Args, size_t MemBytes,
+                        TrapKind Expected) {
+  std::unique_ptr<Module> M = parseModuleText(Text);
+  ASSERT_NE(M, nullptr) << Text;
+  const Function &F = *M->Functions[0];
+  ExecResult L = expectIdentical(F, Args, MemBytes, 100'000, true);
+  EXPECT_TRUE(L.Trapped);
+  EXPECT_EQ(int(Expected), int(L.Kind)) << L.TrapReason;
+  fuelSweep(F, Args, MemBytes, L.DynOps);
+}
+
+TEST(PredecodeTraps, LoadOutOfBounds) {
+  expectTrapIdentity(R"(func @t(%r1:i64) -> i64 {
+^entry:
+  %r2:i64 = loadi 4096
+  %r3:i64 = add %r1, %r2
+  %r4:i64 = load %r3
+  ret %r4
+})",
+                     {RtValue::ofI(100)}, 64, TrapKind::MemoryOutOfBounds);
+}
+
+TEST(PredecodeTraps, FusedAddLoadOutOfBounds) {
+  // The add+load pair fuses; the trap must still attribute to the load's
+  // original instruction index with exact counts.
+  const char *Text = R"(func @t(%r1:i64) -> i64 {
+^entry:
+  %r2:i64 = loadi 8
+  %r3:i64 = add %r1, %r2
+  %r4:i64 = load %r3
+  ret %r4
+})";
+  std::unique_ptr<Module> M = parseModuleText(Text);
+  ASSERT_NE(M, nullptr);
+  Predecoder PD;
+  Arena A;
+  BytecodeFunction BF;
+  ASSERT_TRUE(PD.predecode(*M->Functions[0], A, BF));
+  EXPECT_GE(BF.FusedCount, 1u);
+  expectTrapIdentity(Text, {RtValue::ofI(1 << 20)}, 64,
+                     TrapKind::MemoryOutOfBounds);
+  // And the in-bounds case through the same fused pair.
+  ExecResult Ok =
+      expectIdentical(*M->Functions[0], {RtValue::ofI(0)}, 64, 1000, true);
+  EXPECT_FALSE(Ok.Trapped);
+}
+
+TEST(PredecodeTraps, StoreOutOfBounds) {
+  expectTrapIdentity(R"(func @t(%r1:i64) -> i64 {
+^entry:
+  store %r1 -> %r1
+  ret %r1
+})",
+                     {RtValue::ofI(-8)}, 64, TrapKind::MemoryOutOfBounds);
+}
+
+TEST(PredecodeTraps, DivByZeroAndModByZero) {
+  expectTrapIdentity(R"(func @t(%r1:i64) -> i64 {
+^entry:
+  %r2:i64 = loadi 0
+  %r3:i64 = div %r1, %r2
+  ret %r3
+})",
+                     {RtValue::ofI(5)}, 0, TrapKind::ArithmeticTrap);
+  expectTrapIdentity(R"(func @t(%r1:i64) -> i64 {
+^entry:
+  %r2:i64 = loadi 0
+  %r3:i64 = mod %r1, %r2
+  ret %r3
+})",
+                     {RtValue::ofI(5)}, 0, TrapKind::ArithmeticTrap);
+  // INT64_MIN / -1 and INT64_MIN % -1 also trap.
+  expectTrapIdentity(R"(func @t(%r1:i64, %r2:i64) -> i64 {
+^entry:
+  %r3:i64 = div %r1, %r2
+  ret %r3
+})",
+                     {RtValue::ofI(INT64_MIN), RtValue::ofI(-1)}, 0,
+                     TrapKind::ArithmeticTrap);
+}
+
+TEST(PredecodeTraps, F2IOutOfRange) {
+  expectTrapIdentity(R"(func @t(%r1:f64) -> i64 {
+^entry:
+  %r2:i64 = f2i %r1
+  ret %r2
+})",
+                     {RtValue::ofF(1e300)}, 0, TrapKind::ArithmeticTrap);
+}
+
+TEST(PredecodeTraps, IntAbsMinTraps) {
+  expectTrapIdentity(R"(func @t(%r1:i64) -> i64 {
+^entry:
+  %r2:i64 = call abs(%r1)
+  ret %r2
+})",
+                     {RtValue::ofI(INT64_MIN)}, 0, TrapKind::ArithmeticTrap);
+}
+
+TEST(PredecodeTraps, ArgumentMismatch) {
+  std::unique_ptr<Module> M = parseModuleText(R"(func @t(%r1:i64) -> i64 {
+^entry:
+  ret %r1
+})");
+  ASSERT_NE(M, nullptr);
+  const Function &F = *M->Functions[0];
+  // Wrong count.
+  ExecResult L = expectIdentical(F, {}, 0, 1000, true);
+  EXPECT_EQ(int(L.Kind), int(TrapKind::ArgumentMismatch));
+  EXPECT_EQ(L.DynOps, 0u);
+  // Wrong type.
+  L = expectIdentical(F, {RtValue::ofF(1.0)}, 0, 1000, true);
+  EXPECT_EQ(int(L.Kind), int(TrapKind::ArgumentMismatch));
+}
+
+TEST(PredecodeTraps, ErasedBlock) {
+  Function F("t");
+  F.addParam(Type::I64);
+  F.addBlock("entry");
+  F.addBlock("gone");
+  F.entry()->Insts.push_back(Instruction::makeBr(1));
+  F.block(1)->Insts.push_back(Instruction::makeRet());
+  F.eraseBlock(1);
+  ExecResult L = expectIdentical(F, {RtValue::ofI(0)}, 0, 1000, true);
+  EXPECT_EQ(int(L.Kind), int(TrapKind::ErasedBlock));
+  EXPECT_EQ(L.DynOps, 1u); // the branch executed and counted
+  EXPECT_TRUE(L.TrapBlock.empty());
+}
+
+TEST(PredecodeTraps, MissingPhiEntry) {
+  Function F("t");
+  Reg P = F.addParam(Type::I64);
+  Reg D = F.makeReg(Type::I64);
+  F.addBlock("entry");
+  F.addBlock("join");
+  F.entry()->Insts.push_back(Instruction::makeBr(1));
+  Instruction Phi = Instruction::makePhi(Type::I64, D);
+  Phi.addPhiIncoming(P, 1); // entry for block 1, but we arrive from block 0
+  F.block(1)->Insts.push_back(Phi);
+  F.block(1)->Insts.push_back(Instruction::makeRet(Type::I64, D));
+  ExecResult L = expectIdentical(F, {RtValue::ofI(3)}, 0, 1000, true);
+  EXPECT_EQ(int(L.Kind), int(TrapKind::MissingPhiEntry));
+  EXPECT_EQ(L.TrapBlock, "join");
+  EXPECT_EQ(L.TrapInstIndex, 0u);
+  EXPECT_EQ(L.DynOps, 1u);
+}
+
+TEST(PredecodeTraps, FuelBoundaryExact) {
+  // ret-only program: 1 op. N-1 traps, N and N+1 succeed.
+  std::unique_ptr<Module> M = parseModuleText(R"(func @t() -> i64 {
+^entry:
+  %r1:i64 = loadi 42
+  ret %r1
+})");
+  ASSERT_NE(M, nullptr);
+  const Function &F = *M->Functions[0];
+  ExecResult L = expectIdentical(F, {}, 0, 2, true);
+  EXPECT_FALSE(L.Trapped);
+  EXPECT_EQ(L.DynOps, 2u);
+  L = expectIdentical(F, {}, 0, 1, true);
+  EXPECT_EQ(int(L.Kind), int(TrapKind::FuelExhausted));
+  EXPECT_EQ(L.DynOps, 2u); // the trapped op is counted, not executed
+  L = expectIdentical(F, {}, 0, 3, true);
+  EXPECT_FALSE(L.Trapped);
+}
+
+//===--------------------------------------------------------------------===//
+// Engine plumbing: fusion, fallback shapes, dispatch mode.
+//===--------------------------------------------------------------------===//
+
+TEST(Predecode, FusesHotPairs) {
+  std::unique_ptr<Module> M = parseModuleText(R"(func @t(%r1:i64, %r2:i64) -> i64 {
+^entry:
+  %r3:i64 = mul %r1, %r2
+  %r4:i64 = add %r3, %r1
+  %r5:i64 = cmpgt %r4, %r2
+  cbr %r5, ^a, ^b
+^a:
+  ret %r4
+^b:
+  ret %r2
+})");
+  ASSERT_NE(M, nullptr);
+  Predecoder PD;
+  Arena A;
+  BytecodeFunction BF;
+  ASSERT_TRUE(PD.predecode(*M->Functions[0], A, BF));
+  EXPECT_EQ(BF.FusedCount, 2u); // mul+add and cmp+cbr
+  expectIdentical(*M->Functions[0], {RtValue::ofI(6), RtValue::ofI(7)}, 0,
+                  1000, true);
+  expectIdentical(*M->Functions[0], {RtValue::ofI(-6), RtValue::ofI(7)}, 0,
+                  1000, true);
+}
+
+TEST(Predecode, FallsBackOnUnsupportedShapes) {
+  // No terminator: the legacy engine re-runs the block until fuel runs out;
+  // the predecoder refuses and interpret() must match via fallback.
+  {
+    Function F("t");
+    Reg A0 = F.addParam(Type::I64);
+    Reg D = F.makeReg(Type::I64);
+    F.addBlock("entry");
+    F.entry()->Insts.push_back(
+        Instruction::makeBinary(Opcode::Add, Type::I64, D, A0, A0));
+    Predecoder PD;
+    Arena A;
+    BytecodeFunction BF;
+    EXPECT_FALSE(PD.predecode(F, A, BF));
+    ExecResult L = expectIdentical(F, {RtValue::ofI(1)}, 0, 25, true);
+    EXPECT_EQ(int(L.Kind), int(TrapKind::FuelExhausted));
+  }
+  // Phi after the first non-phi: also refused, also identical.
+  {
+    Function F("t");
+    Reg A0 = F.addParam(Type::I64);
+    Reg D = F.makeReg(Type::I64);
+    F.addBlock("entry");
+    F.entry()->Insts.push_back(
+        Instruction::makeBinary(Opcode::Add, Type::I64, D, A0, A0));
+    Instruction Phi = Instruction::makePhi(Type::I64, D);
+    Phi.addPhiIncoming(A0, 0);
+    F.entry()->Insts.push_back(Phi);
+    F.entry()->Insts.push_back(Instruction::makeRet(Type::I64, D));
+    Predecoder PD;
+    Arena A;
+    BytecodeFunction BF;
+    EXPECT_FALSE(PD.predecode(F, A, BF));
+    expectIdentical(F, {RtValue::ofI(1)}, 0, 1000, true);
+  }
+}
+
+TEST(Predecode, DispatchModeIsExposed) {
+  std::string Mode = interpDispatchMode();
+#if defined(EPRE_NO_COMPUTED_GOTO)
+  EXPECT_EQ(Mode, "switch");
+#else
+  EXPECT_TRUE(Mode == "computed-goto" || Mode == "switch") << Mode;
+#endif
+}
+
+TEST(Predecode, ArenaIsReusedAcrossRuns) {
+  std::unique_ptr<Module> M = parseModuleText(R"(func @t(%r1:i64) -> i64 {
+^entry:
+  %r2:i64 = add %r1, %r1
+  ret %r2
+})");
+  ASSERT_NE(M, nullptr);
+  Predecoder PD;
+  Arena Code, Scratch;
+  BytecodeFunction BF;
+  ASSERT_TRUE(PD.predecode(*M->Functions[0], Code, BF));
+  MemoryImage Mem(0);
+  (void)executeBytecode(BF, {RtValue::ofI(1)}, Mem, ExecLimits(), nullptr,
+                        Scratch);
+  size_t Reserved = Scratch.bytesReserved();
+  for (int I = 0; I < 100; ++I)
+    (void)executeBytecode(BF, {RtValue::ofI(I)}, Mem, ExecLimits(), nullptr,
+                          Scratch);
+  EXPECT_EQ(Scratch.bytesReserved(), Reserved); // no growth after warm-up
+}
+
+} // namespace
