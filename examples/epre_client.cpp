@@ -1,0 +1,337 @@
+//===- examples/epre_client.cpp - Compile-server client -------------------===//
+///
+/// Client for the epre-served daemon (docs/serving.md). Three modes:
+///
+/// One-shot: compile FILE and print the optimized ILOC on stdout.
+///   epre-client -socket PATH FILE [-lang iloc|fortran] [-O LEVEL]
+///               [-strategy S] [-gvn E] [-naming N]
+///
+/// Trace generation (no daemon needed): write a replay trace drawn from
+/// the 50-routine Mini-FORTRAN suite with a duplicate-function ratio.
+///   epre-client -gen-trace FILE [-requests N] [-dup-ratio R] [-seed S]
+///
+/// Replay: send a trace against the daemon in request batches, report
+/// sustained compiles/sec and the daemon's cache counters.
+///   epre-client -socket PATH -replay FILE [-batch N] [-min-hits N]
+///
+/// Control commands: -ping, -server-stats, -shutdown.
+/// Exit status: nonzero on connection/protocol/compile errors, or when
+/// -min-hits N is given and the daemon reports fewer cache hits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instrument/JSONReader.h"
+#include "instrument/JSONWriter.h"
+#include "serve/Protocol.h"
+#include "serve/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace epre;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s -socket PATH FILE [-lang iloc|fortran] [-O LEVEL]\n"
+      "       [-strategy S] [-gvn E] [-naming N]\n"
+      "   or: %s -gen-trace FILE [-requests N] [-dup-ratio R] [-seed S]\n"
+      "   or: %s -socket PATH -replay FILE [-batch N] [-min-hits N]\n"
+      "   or: %s -socket PATH -ping | -server-stats | -shutdown\n",
+      Argv0, Argv0, Argv0, Argv0);
+  return 2;
+}
+
+int connectTo(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return -1;
+  }
+  std::strcpy(Addr.sun_path, Path.c_str());
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Sends one document, receives one document. Empty return = failure.
+std::string roundTrip(int Fd, const std::string &Request) {
+  std::string Err, Response;
+  if (!writeFrame(Fd, Request, &Err) ||
+      readFrame(Fd, Response, &Err) != FrameStatus::Ok) {
+    std::fprintf(stderr, "epre-client: %s\n", Err.c_str());
+    return "";
+  }
+  return Response;
+}
+
+/// Renders the batch-level options object from the CLI strings (already
+/// validated server-side; empty strings are omitted and default there).
+void writeOptions(JSONWriter &W, const std::string &Level,
+                  const std::string &Strategy, const std::string &Gvn,
+                  const std::string &Naming) {
+  W.key("options").beginObject();
+  if (!Level.empty())
+    W.key("level").value(Level);
+  if (!Strategy.empty())
+    W.key("strategy").value(Strategy);
+  if (!Gvn.empty())
+    W.key("gvn").value(Gvn);
+  if (!Naming.empty())
+    W.key("naming").value(Naming);
+  W.endObject();
+}
+
+bool responseOk(const JSONValue &Doc) {
+  const JSONValue *Ok = Doc.get("ok");
+  return Ok && Ok->K == JSONValue::Bool && Ok->B;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Socket, File, Lang = "iloc";
+  std::string Level, Strategy, Gvn, Naming;
+  std::string GenTrace, Replay;
+  unsigned Requests = 100, Batch = 16;
+  double DupRatio = 0.8;
+  uint64_t Seed = 1;
+  long long MinHits = -1;
+  bool Ping = false, ServerStats = false, Shutdown = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto next = [&](std::string &Out) {
+      if (I + 1 >= argc)
+        return false;
+      Out = argv[++I];
+      return true;
+    };
+    std::string V;
+    if (A == "-socket" && next(V))
+      Socket = V;
+    else if (A == "-lang" && next(V))
+      Lang = V;
+    else if (A == "-O" && next(V))
+      Level = V;
+    else if (A == "-strategy" && next(V))
+      Strategy = V;
+    else if (A == "-gvn" && next(V))
+      Gvn = V;
+    else if (A == "-naming" && next(V))
+      Naming = V;
+    else if (A == "-gen-trace" && next(V))
+      GenTrace = V;
+    else if (A == "-replay" && next(V))
+      Replay = V;
+    else if (A == "-requests" && next(V))
+      Requests = unsigned(std::strtoul(V.c_str(), nullptr, 10));
+    else if (A == "-dup-ratio" && next(V))
+      DupRatio = std::strtod(V.c_str(), nullptr);
+    else if (A == "-seed" && next(V))
+      Seed = std::strtoull(V.c_str(), nullptr, 10);
+    else if (A == "-batch" && next(V))
+      Batch = std::max(1u, unsigned(std::strtoul(V.c_str(), nullptr, 10)));
+    else if (A == "-min-hits" && next(V))
+      MinHits = std::strtoll(V.c_str(), nullptr, 10);
+    else if (A == "-ping")
+      Ping = true;
+    else if (A == "-server-stats")
+      ServerStats = true;
+    else if (A == "-shutdown")
+      Shutdown = true;
+    else if (!A.empty() && A[0] != '-')
+      File = A;
+    else
+      return usage(argv[0]);
+  }
+
+  if (!GenTrace.empty()) {
+    TraceOptions TO;
+    TO.Requests = Requests;
+    TO.DupRatio = DupRatio;
+    TO.Seed = Seed;
+    std::ofstream Out(GenTrace);
+    if (!Out) {
+      std::fprintf(stderr, "epre-client: cannot write %s\n",
+                   GenTrace.c_str());
+      return 1;
+    }
+    Out << generateSuiteTraceText(TO);
+    std::fprintf(stderr,
+                 "epre-client: wrote %u requests (dup-ratio %.2f) to %s\n",
+                 Requests, DupRatio, GenTrace.c_str());
+    return 0;
+  }
+
+  if (Socket.empty())
+    return usage(argv[0]);
+  std::signal(SIGPIPE, SIG_IGN);
+  int Fd = connectTo(Socket);
+  if (Fd < 0) {
+    std::fprintf(stderr, "epre-client: cannot connect to %s\n",
+                 Socket.c_str());
+    return 1;
+  }
+
+  if (Ping || ServerStats || Shutdown) {
+    JSONWriter W;
+    W.beginObject();
+    W.key("v").value(uint64_t(1));
+    W.key("cmd").value(Ping ? "ping" : ServerStats ? "stats" : "shutdown");
+    W.endObject();
+    std::string Resp = roundTrip(Fd, W.take());
+    ::close(Fd);
+    if (Resp.empty())
+      return 1;
+    std::printf("%s\n", Resp.c_str());
+    JSONValue Doc;
+    return parseJSON(Resp, Doc) && responseOk(Doc) ? 0 : 1;
+  }
+
+  if (!Replay.empty()) {
+    std::ifstream In(Replay);
+    if (!In) {
+      std::fprintf(stderr, "epre-client: cannot open %s\n", Replay.c_str());
+      ::close(Fd);
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::vector<std::string> Lines = parseTraceLines(Buf.str());
+    if (Lines.empty()) {
+      std::fprintf(stderr, "epre-client: %s holds no requests\n",
+                   Replay.c_str());
+      ::close(Fd);
+      return 1;
+    }
+
+    uint64_t Hits = 0, Misses = 0, Compiled = 0;
+    auto Start = std::chrono::steady_clock::now();
+    for (size_t Pos = 0; Pos < Lines.size(); Pos += Batch) {
+      JSONWriter W;
+      W.beginObject();
+      W.key("v").value(uint64_t(1));
+      W.key("cmd").value("compile");
+      writeOptions(W, Level, Strategy, Gvn, Naming);
+      W.key("requests").beginArray();
+      for (size_t I = Pos; I < std::min(Lines.size(), Pos + Batch); ++I)
+        W.raw(Lines[I]);
+      W.endArray();
+      W.endObject();
+      std::string Resp = roundTrip(Fd, W.take());
+      if (Resp.empty()) {
+        ::close(Fd);
+        return 1;
+      }
+      JSONValue Doc;
+      std::string Err;
+      if (!parseJSON(Resp, Doc, &Err) || !responseOk(Doc)) {
+        std::fprintf(stderr, "epre-client: bad response: %s\n",
+                     Err.empty() ? Doc.getString("error", "?").c_str()
+                                 : Err.c_str());
+        ::close(Fd);
+        return 1;
+      }
+      if (const JSONValue *Rs = Doc.get("responses"))
+        for (const JSONValue &R : Rs->Arr) {
+          if (!responseOk(R)) {
+            std::fprintf(stderr, "epre-client: request %s failed: %s\n",
+                         R.getString("id", "?").c_str(),
+                         R.getString("error", "?").c_str());
+            ::close(Fd);
+            return 1;
+          }
+          ++Compiled;
+        }
+      if (const JSONValue *C = Doc.get("cache")) {
+        Hits = C->getU64("hits");
+        Misses = C->getU64("misses");
+      }
+    }
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    std::printf("replayed %llu requests in %.3fs: %.1f compiles/sec "
+                "(daemon totals: %llu hits, %llu misses)\n",
+                (unsigned long long)Compiled, Secs,
+                Secs > 0 ? double(Compiled) / Secs : 0.0,
+                (unsigned long long)Hits, (unsigned long long)Misses);
+    ::close(Fd);
+    if (MinHits >= 0 && Hits < uint64_t(MinHits)) {
+      std::fprintf(stderr,
+                   "epre-client: expected >= %lld cache hits, daemon "
+                   "reports %llu\n",
+                   MinHits, (unsigned long long)Hits);
+      return 1;
+    }
+    return 0;
+  }
+
+  // One-shot compile.
+  if (File.empty()) {
+    ::close(Fd);
+    return usage(argv[0]);
+  }
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "epre-client: cannot open %s\n", File.c_str());
+    ::close(Fd);
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JSONWriter W;
+  W.beginObject();
+  W.key("v").value(uint64_t(1));
+  W.key("cmd").value("compile");
+  writeOptions(W, Level, Strategy, Gvn, Naming);
+  W.key("requests").beginArray().beginObject();
+  W.key("id").value("cli");
+  W.key("lang").value(Lang);
+  W.key("source").value(Buf.str());
+  W.endObject().endArray();
+  W.endObject();
+  std::string Resp = roundTrip(Fd, W.take());
+  ::close(Fd);
+  if (Resp.empty())
+    return 1;
+  JSONValue Doc;
+  std::string Err;
+  if (!parseJSON(Resp, Doc, &Err)) {
+    std::fprintf(stderr, "epre-client: bad response: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!responseOk(Doc)) {
+    std::fprintf(stderr, "epre-client: %s\n",
+                 Doc.getString("error", "request failed").c_str());
+    return 1;
+  }
+  const JSONValue *Rs = Doc.get("responses");
+  if (!Rs || !Rs->isArray() || Rs->Arr.empty() || !responseOk(Rs->Arr[0])) {
+    std::fprintf(stderr, "epre-client: compile failed: %s\n",
+                 Rs && !Rs->Arr.empty()
+                     ? Rs->Arr[0].getString("error", "?").c_str()
+                     : "empty response");
+    return 1;
+  }
+  std::printf("%s", Rs->Arr[0].getString("iloc").c_str());
+  return 0;
+}

@@ -6,7 +6,7 @@
 /// command line, textual IR on stdout.
 ///
 ///   epre_opt [FILE] -passes=ssa,fwdprop,reassoc,gvn,pre,...
-///   epre_opt [FILE] -O=distribution [-strategy=lcm] [-gvn=awz]
+///   epre_opt [FILE] -O=distribution [-strategy=lcm] [-gvn=awz] [-j N]
 ///
 /// Passes: ssa destroyssa fwdprop negnorm reassoc distribute osr gvn dvnt
 ///         pre pre-mr cse constprop peephole dce coalesce simplifycfg verify
@@ -58,6 +58,7 @@
 #include "ssa/SSA.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -237,6 +238,7 @@ int main(int argc, char **argv) {
   bool HaveLevel = false;
   bool TimePasses = false, WantRemarks = false, RemarksJSON = false;
   bool WantStats = false, PrintChanged = false, HotRemarks = false;
+  unsigned Jobs = 1;
   std::vector<std::string> RemarkFilter;
   PipelineOptions PO;
   PO.Verify = false; // filter input is hand-written; do not abort the tool
@@ -270,6 +272,18 @@ int main(int argc, char **argv) {
                      A.substr(8).c_str());
         return 2;
       }
+    } else if (A.rfind("-j", 0) == 0 && A.size() > 2 &&
+               A.find_first_not_of("0123456789", 2) == std::string::npos) {
+      Jobs = unsigned(std::stoul(A.substr(2)));
+    } else if (A == "-j" && I + 1 < argc) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(argv[I + 1], &End, 10);
+      if (!End || *End != '\0') {
+        std::fprintf(stderr, "error: -j needs a number\n");
+        return 2;
+      }
+      Jobs = unsigned(V);
+      ++I;
     } else if (A == "-time-passes") {
       TimePasses = true;
     } else if (A.rfind("-trace-out=", 0) == 0) {
@@ -296,14 +310,21 @@ int main(int argc, char **argv) {
     } else if (!A.empty() && A[0] != '-') {
       File = A;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [FILE] -passes=p1,p2,... | -O=LEVEL\n"
-                   "  [-strategy=lcm|morel-renvoise|gcse] [-gvn=awz|dvnt]\n"
-                   "  [-naming=hashed|naive] [-time-passes]\n"
-                   "  [-trace-out=FILE] [-remarks[=p1,p2]] [-remarks-json]\n"
-                   "  [-stats] [-print-changed] [-profile-out=FILE]\n"
-                   "  [-hot-remarks[=BASELINE.json]]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [FILE] -passes=p1,p2,... | -O=LEVEL\n"
+          "  [-strategy=lcm|morel-renvoise|gcse] [-gvn=awz|dvnt]\n"
+          "  [-naming=hashed|naive] [-j N] [-time-passes]\n"
+          "  [-trace-out=FILE] [-remarks[=p1,p2]] [-remarks-json]\n"
+          "  [-stats] [-print-changed] [-profile-out=FILE]\n"
+          "  [-hot-remarks[=BASELINE.json]]\n"
+          "\n"
+          "  -j N: optimize N functions in parallel in -O mode (default 1;\n"
+          "        -j 0 = one worker per hardware thread). Output is\n"
+          "        deterministic at any -j: the parallel driver merges each\n"
+          "        function's counters/remarks in module order, so printed\n"
+          "        IR, -stats, and -remarks are bit-identical to -j 1.\n",
+          argv[0]);
       return 2;
     }
   }
@@ -366,9 +387,15 @@ int main(int argc, char **argv) {
       return 2;
     }
     Valid->Instr = &PI;
-    for (auto &F : R.M->Functions)
-      optimizeFunction(*F, *Valid);
+    if (Jobs == 1)
+      for (auto &F : R.M->Functions)
+        optimizeFunction(*F, *Valid);
+    else
+      runPipelineParallel(*R.M, *Valid, Jobs);
   } else {
+    if (Jobs != 1)
+      std::fprintf(stderr,
+                   "note: -j applies to -O mode only; -passes runs serial\n");
     for (auto &F : R.M->Functions) {
       StatsRegistry FR;
       PassDriver Driver(*F, FR, &PI);

@@ -36,6 +36,23 @@ refuse() {
   exit 1
 }
 
+# A refusal gate that diffs against a committed baseline must fail LOUDLY
+# when that baseline file is missing — a silently regenerated-from-nothing
+# baseline would make the gate vacuously green and hide a regression.
+# First-time bootstrap (a brand-new BENCH_*.json) is an explicit opt-in.
+require_baseline() {
+  [ -f "$1" ] && return 0
+  if [ "${EPRE_BOOTSTRAP_BASELINES:-0}" = "1" ]; then
+    echo "warning: baseline $1 is missing; bootstrapping a fresh one" >&2
+    return 0
+  fi
+  echo "error: refusal-gate baseline $1 is missing" >&2
+  echo "       The gate that diffs against it cannot run; restore the" >&2
+  echo "       committed file, or re-run with EPRE_BOOTSTRAP_BASELINES=1" >&2
+  echo "       to intentionally create a new baseline." >&2
+  exit 1
+}
+
 grep -q '"epre_build_type": "Release"' "$TMP_OUT" ||
   refuse "benchmark binary was not built with -DCMAKE_BUILD_TYPE=Release"
 grep -q '"epre_assertions": "disabled"' "$TMP_OUT" ||
@@ -62,6 +79,9 @@ echo "wrote $OUT"
 # and commit the new file alongside the change that moved the counts.
 STATS_OUT=${STATS_OUT:-BENCH_suite_stats.json}
 PROFILE_OUT=${PROFILE_OUT:-BENCH_dynamic_profile.json}
+# CI's epre-profdiff gate diffs against the committed copy of this file;
+# regenerating it from nothing would silently un-anchor that gate.
+require_baseline "$PROFILE_OUT"
 cmake --build "$BUILD_DIR" -j --target suite_report >/dev/null
 "$BUILD_DIR"/examples/suite_report -o="$STATS_OUT" -profile-out="$PROFILE_OUT"
 
@@ -106,3 +126,44 @@ awk -v s="$SPEEDUP" 'BEGIN { exit !(s + 0 >= 3.0) }' ||
 mv "$TMP_INTERP" "$INTERP_OUT"
 trap - EXIT
 echo "wrote $INTERP_OUT"
+
+# Compile-as-a-service throughput: BENCH_serve.json records cold
+# single-shot compiles/sec against warm-cache replay of the duplicate-heavy
+# suite trace (docs/serving.md). Publication is refused unless warm replay
+# sustains >= 5x cold throughput (the ISSUE 7 acceptance floor) — a cache
+# regression cannot silently overwrite the record.
+SERVE_OUT=${SERVE_OUT:-BENCH_serve.json}
+cmake --build "$BUILD_DIR" -j --target bench_serve >/dev/null
+
+TMP_SERVE=$(mktemp "${TMPDIR:-/tmp}/bench_serve.XXXXXX.json")
+trap 'rm -f "$TMP_SERVE"' EXIT
+
+"$BUILD_DIR"/bench/bench_serve \
+  --benchmark_out="$TMP_SERVE" \
+  --benchmark_out_format=json
+
+grep -q '"epre_build_type": "Release"' "$TMP_SERVE" ||
+  refuse "bench_serve was not built with -DCMAKE_BUILD_TYPE=Release"
+grep -q '"epre_assertions": "disabled"' "$TMP_SERVE" ||
+  refuse "bench_serve was built with assertions enabled (no NDEBUG)"
+
+SERVE_SPEEDUP=$(awk '
+  /"name": "BM_ServeColdSingleShot"/ { want = 1 }
+  /"name": "BM_ServeWarmReplay"/     { want = 2 }
+  /"items_per_second":/ && want {
+    gsub(/[^0-9.eE+-]/, "", $2)
+    if (want == 1) cold = $2; else warm = $2
+    want = 0
+  }
+  END {
+    if (cold == "" || warm == "" || cold + 0 == 0) { print "nan"; exit }
+    printf "%.2f", warm / cold
+  }' "$TMP_SERVE")
+
+echo "serve warm-replay speedup: ${SERVE_SPEEDUP}x (warm items/sec / cold items/sec)"
+awk -v s="$SERVE_SPEEDUP" 'BEGIN { exit !(s + 0 >= 5.0) }' ||
+  refuse "warm-cache replay is only ${SERVE_SPEEDUP}x cold throughput (gate: >= 5x)"
+
+mv "$TMP_SERVE" "$SERVE_OUT"
+trap - EXIT
+echo "wrote $SERVE_OUT"

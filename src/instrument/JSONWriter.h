@@ -90,6 +90,15 @@ public:
     return *this;
   }
 
+  /// Splices an already-rendered JSON value verbatim (comma placement still
+  /// handled). The serve layer uses this to embed cached response fragments
+  /// without re-parsing them; the caller vouches for their validity.
+  JSONWriter &raw(std::string_view JSON) {
+    comma();
+    Out += JSON;
+    return *this;
+  }
+
   /// The document so far. Valid JSON once every begin has been ended.
   const std::string &str() const { return Out; }
   std::string take() { return std::move(Out); }

@@ -4,26 +4,11 @@
 
 #include "instrument/JSONWriter.h"
 #include "ir/IRPrinter.h"
+#include "support/Hash.h"
 
 #include <cstdio>
 
 using namespace epre;
-
-namespace {
-
-/// FNV-1a over the printed IR: cheap, stable, and collision-safe enough to
-/// gate debug dumps (a miss only costs one redundant dump or one missed
-/// one, never correctness).
-uint64_t hashString(const std::string &S) {
-  uint64_t H = 1469598103934665603ull;
-  for (unsigned char C : S) {
-    H ^= C;
-    H *= 1099511628211ull;
-  }
-  return H;
-}
-
-} // namespace
 
 void PassInstrumentation::snapshot(const std::string &Text) {
   if (SnapshotSink)

@@ -33,6 +33,7 @@
 
 #include "ir/Eval.h"
 #include "ir/Function.h"
+#include "support/Hash.h"
 #include "support/StringUtil.h"
 
 #include <cstdint>
@@ -67,26 +68,11 @@ public:
   double loadF64(int64_t Addr) const;
   int64_t loadI64(int64_t Addr) const;
 
-  /// Deterministic digest of the whole image (for differential testing).
-  /// Mixes the size, then full 8-byte words, then a zero-padded tail word —
-  /// one hashCombine per 8 bytes instead of one per byte. Words are read in
-  /// native byte order, like the store/load paths; the pinned-digest unit
-  /// test documents the little-endian value.
-  uint64_t hash() const {
-    uint64_t H = hashCombine(0x243f6a8885a308d3ULL, Bytes.size());
-    size_t I = 0;
-    for (; I + 8 <= Bytes.size(); I += 8) {
-      uint64_t W;
-      std::memcpy(&W, Bytes.data() + I, 8);
-      H = hashCombine(H, W);
-    }
-    if (I < Bytes.size()) {
-      uint64_t W = 0;
-      std::memcpy(&W, Bytes.data() + I, Bytes.size() - I);
-      H = hashCombine(H, W);
-    }
-    return H;
-  }
+  /// Deterministic digest of the whole image (for differential testing):
+  /// the shared chunked traversal of support/Hash.h with the
+  /// hashCombine-chained mixing step. The pinned-digest unit test documents
+  /// the little-endian values; see Hash.h for the contract.
+  uint64_t hash() const { return hashMemoryImage(Bytes.data(), Bytes.size()); }
 
   std::vector<uint8_t> Bytes;
 };

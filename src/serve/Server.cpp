@@ -1,0 +1,138 @@
+//===- serve/Server.cpp ---------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "serve/Protocol.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace epre;
+
+ServeDaemon::~ServeDaemon() {
+  closeListen();
+  for (std::thread &T : ConnThreads)
+    if (T.joinable())
+      T.join();
+}
+
+bool ServeDaemon::start(std::string *Err) {
+  if (Cfg.SocketPath.empty()) {
+    if (Err)
+      *Err = "no socket path configured";
+    return false;
+  }
+  sockaddr_un Addr{};
+  if (Cfg.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = strprintf("socket path longer than %zu bytes",
+                       sizeof(Addr.sun_path) - 1);
+    return false;
+  }
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Err)
+      *Err = strprintf("socket: %s", std::strerror(errno));
+    return false;
+  }
+  ::unlink(Cfg.SocketPath.c_str()); // stale socket from a previous run
+  Addr.sun_family = AF_UNIX;
+  std::strcpy(Addr.sun_path, Cfg.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    if (Err)
+      *Err = strprintf("bind %s: %s", Cfg.SocketPath.c_str(),
+                       std::strerror(errno));
+    closeListen();
+    return false;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    if (Err)
+      *Err = strprintf("listen: %s", std::strerror(errno));
+    closeListen();
+    return false;
+  }
+  return true;
+}
+
+bool ServeDaemon::run() {
+  bool Clean = true;
+  while (!Stopping.load(std::memory_order_acquire)) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // accept fails with EINVAL once the listen socket is shut down —
+      // that is the orderly stop path (requestStop, or a signal handler
+      // calling ::shutdown on listenFd()), not an error.
+      Clean = Stopping.load(std::memory_order_acquire) || errno == EINVAL;
+      Stopping.store(true, std::memory_order_release);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      LiveConns.push_back(Fd);
+      ConnThreads.emplace_back([this, Fd] { serveConnection(Fd); });
+    }
+  }
+
+  // Orderly drain: wake blocked reads on live connections, then join.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (int Fd : LiveConns)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  for (std::thread &T : ConnThreads)
+    if (T.joinable())
+      T.join();
+  ConnThreads.clear();
+
+  closeListen();
+  if (!Cfg.SocketPath.empty())
+    ::unlink(Cfg.SocketPath.c_str());
+  if (!Cfg.StatsOutPath.empty()) {
+    std::ofstream Out(Cfg.StatsOutPath);
+    if (Out)
+      Out << Svc.statsJSON() << "\n";
+  }
+  return Clean;
+}
+
+void ServeDaemon::requestStop() {
+  Stopping.store(true, std::memory_order_release);
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+}
+
+void ServeDaemon::serveConnection(int Fd) {
+  std::string Payload;
+  while (true) {
+    FrameStatus St = readFrame(Fd, Payload);
+    if (St != FrameStatus::Ok)
+      break;
+    std::string Response = Svc.handle(Payload);
+    if (!writeFrame(Fd, Response))
+      break;
+    if (Svc.shutdownRequested()) {
+      requestStop();
+      break;
+    }
+  }
+  ::close(Fd);
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  LiveConns.erase(std::remove(LiveConns.begin(), LiveConns.end(), Fd),
+                  LiveConns.end());
+}
+
+void ServeDaemon::closeListen() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}

@@ -1,0 +1,84 @@
+//===- serve/Server.h - Unix-domain socket daemon ----------------*- C++ -*-===//
+///
+/// \file
+/// The socket shell around CompileService: binds a Unix-domain stream
+/// socket, accepts connections, and runs one frame-in/frame-out loop per
+/// connection on its own thread. All compile logic lives in the service;
+/// this layer only moves frames and owns the daemon lifecycle:
+///
+///  - start() binds and listens (so callers know the socket exists before
+///    pointing clients at it), run() serves until stopped;
+///  - a "shutdown" command, requestStop(), or closing the listen socket
+///    from a signal handler all converge on the same orderly exit: stop
+///    accepting, shut down live connections, join their threads, unlink
+///    the socket path;
+///  - stats-out: on exit the service's cache-counter document is written
+///    to the configured path (the daemon's flight recorder).
+///
+/// The in-process tests drive a ServeDaemon from a background thread and
+/// talk to it over real sockets, which is exactly what epre-served does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_SERVE_SERVER_H
+#define EPRE_SERVE_SERVER_H
+
+#include "serve/Service.h"
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace epre {
+
+struct ServerConfig {
+  std::string SocketPath;
+  /// Where to write the service statsJSON() document on shutdown ("" =
+  /// nowhere).
+  std::string StatsOutPath;
+  ServiceConfig Service;
+};
+
+class ServeDaemon {
+public:
+  explicit ServeDaemon(const ServerConfig &C)
+      : Cfg(C), Svc(C.Service) {}
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon &) = delete;
+  ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+  /// Binds and listens on the configured socket path (unlinking any stale
+  /// socket first). Returns false with a diagnostic on failure.
+  bool start(std::string *Err);
+
+  /// Serves until a shutdown command or requestStop(). Joins every
+  /// connection thread, unlinks the socket, and writes stats-out before
+  /// returning. Returns false if a fatal accept error ended the loop.
+  bool run();
+
+  /// Stops the accept loop from another thread (or after fork from a
+  /// signal handler via listenFd() + ::shutdown, which is async-signal
+  /// safe; this method itself is not).
+  void requestStop();
+
+  int listenFd() const { return ListenFd; }
+  CompileService &service() { return Svc; }
+
+private:
+  void serveConnection(int Fd);
+  void closeListen();
+
+  ServerConfig Cfg;
+  CompileService Svc;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::mutex ConnMu;
+  std::vector<int> LiveConns;          ///< fds of in-flight connections
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace epre
+
+#endif // EPRE_SERVE_SERVER_H

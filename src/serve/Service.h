@@ -1,0 +1,83 @@
+//===- serve/Service.h - The compile server's request engine -----*- C++ -*-===//
+///
+/// \file
+/// CompileService is the transport-independent core of `epre-served`: one
+/// JSON request document in, one JSON response document out. The socket
+/// daemon (Server.h) feeds it frames; the unit tests and the throughput
+/// benchmark call it directly, so every byte of the serving logic is
+/// exercised without a socket.
+///
+/// A compile batch flows through three stages:
+///
+///  1. Admit: parse each source (ILOC or Mini-FORTRAN), verify every
+///     function, print it back to canonical ILOC text, and hash that text.
+///     The hash plus the options fingerprint is the cache key; hits are
+///     answered from the ResultCache without touching the pipeline.
+///  2. Compile: the missed functions of the whole batch — deduplicated by
+///     key, so a duplicate-heavy batch compiles each body once — are moved
+///     into a scratch module and sharded across the worker pool with
+///     runPipelineParallel. Functions whose names collide across requests
+///     are split into successive rounds so the merged remark stream
+///     partitions unambiguously by function name.
+///  3. Respond: per-request responses are assembled in request order from
+///     the cached/compiled per-function payloads (optimized ILOC, remark
+///     JSON, counter JSON), so output is deterministic regardless of worker
+///     scheduling, and a cache hit is bit-identical to a fresh compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_SERVE_SERVICE_H
+#define EPRE_SERVE_SERVICE_H
+
+#include "serve/Protocol.h"
+#include "serve/ResultCache.h"
+
+#include <atomic>
+#include <string>
+
+namespace epre {
+
+struct ServiceConfig {
+  /// ResultCache byte budget (LRU-evicted; see ResultCache.h).
+  size_t CacheBytes = 64u << 20;
+  /// Worker threads per compile batch (runPipelineParallel's NumThreads);
+  /// 0 = one per hardware thread.
+  unsigned Workers = 0;
+  /// Cache shard count; 0 = the ResultCache default.
+  unsigned CacheShards = 0;
+};
+
+class CompileService {
+public:
+  explicit CompileService(const ServiceConfig &C)
+      : Cfg(C), Cache(C.CacheBytes, C.CacheShards) {}
+
+  /// Full dispatch: parses \p RequestJSON, runs the command, returns the
+  /// response document. Never throws; protocol misuse yields an
+  /// {"ok":false,...} response. A shutdown command flips
+  /// shutdownRequested() after building its acknowledgement.
+  std::string handle(const std::string &RequestJSON);
+
+  /// The compile path, for callers that already hold a parsed request.
+  std::string compileBatch(const ServeRequest &R);
+
+  ResultCache &cache() { return Cache; }
+  const ServiceConfig &config() const { return Cfg; }
+
+  /// {"v":1,"counters":{"cache.hits":N,...}} — the -stats-out document,
+  /// built from the ResultCache counters exported into a StatsRegistry.
+  std::string statsJSON() const;
+
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+private:
+  ServiceConfig Cfg;
+  ResultCache Cache;
+  std::atomic<bool> Shutdown{false};
+};
+
+} // namespace epre
+
+#endif // EPRE_SERVE_SERVICE_H

@@ -1,0 +1,68 @@
+//===- serve/Trace.cpp ----------------------------------------------------===//
+
+#include "serve/Trace.h"
+
+#include "instrument/JSONWriter.h"
+#include "suite/Suite.h"
+#include "support/StringUtil.h"
+
+#include <random>
+
+using namespace epre;
+
+std::vector<std::string> epre::generateSuiteTrace(const TraceOptions &O) {
+  const std::vector<Routine> &Suite = benchmarkSuite();
+  std::mt19937_64 Rng(O.Seed);
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+
+  std::vector<std::string> Lines;
+  Lines.reserve(O.Requests);
+  // Indices into Suite of routines already sent at least once.
+  std::vector<size_t> Sent;
+  size_t NextFresh = 0;
+  for (unsigned I = 0; I < O.Requests; ++I) {
+    size_t Pick;
+    bool Dup = !Sent.empty() &&
+               (Coin(Rng) < O.DupRatio || NextFresh >= Suite.size());
+    if (Dup) {
+      Pick = Sent[std::uniform_int_distribution<size_t>(
+          0, Sent.size() - 1)(Rng)];
+    } else {
+      Pick = NextFresh++;
+      Sent.push_back(Pick);
+    }
+    const Routine &R = Suite[Pick];
+    JSONWriter W;
+    W.beginObject();
+    W.key("id").value(strprintf("t%u", I));
+    W.key("lang").value("fortran");
+    W.key("routine").value(R.Name); // informational; replay keys on source
+    W.key("source").value(R.Source);
+    W.endObject();
+    Lines.push_back(W.take());
+  }
+  return Lines;
+}
+
+std::string epre::generateSuiteTraceText(const TraceOptions &O) {
+  std::string Out;
+  for (const std::string &L : generateSuiteTrace(O)) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::vector<std::string> epre::parseTraceLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    if (End > Pos)
+      Lines.push_back(Text.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Lines;
+}

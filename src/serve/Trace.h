@@ -1,0 +1,47 @@
+//===- serve/Trace.h - Replay-traffic trace generation -----------*- C++ -*-===//
+///
+/// \file
+/// Generates the replayed heavy-traffic traces the throughput benchmark and
+/// the client's -replay mode consume: a JSON-lines file, one compile
+/// request object per line ({"id":...,"lang":"fortran","source":...}),
+/// drawn from the 50-routine Mini-FORTRAN suite with a configurable
+/// duplicate ratio. A hot edit/compile loop re-sends mostly byte-identical
+/// functions; DupRatio models that redundancy, and the generator is fully
+/// deterministic in its seed so benchmark runs and CI replays agree on the
+/// exact request sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_SERVE_TRACE_H
+#define EPRE_SERVE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace epre {
+
+struct TraceOptions {
+  /// Total compile requests in the trace.
+  unsigned Requests = 100;
+  /// Probability that a request repeats an earlier request's source
+  /// byte-for-byte (0 = all distinct until the suite is exhausted, then
+  /// cycles; 1 = one unique routine repeated throughout).
+  double DupRatio = 0.8;
+  uint64_t Seed = 1;
+};
+
+/// One generated request line, already JSON-encoded.
+std::vector<std::string> generateSuiteTrace(const TraceOptions &O);
+
+/// The same trace as one JSON-lines document (what -gen-trace writes).
+std::string generateSuiteTraceText(const TraceOptions &O);
+
+/// Splits a JSON-lines trace back into request lines (blank lines
+/// skipped). The inverse of generateSuiteTraceText, also accepts
+/// hand-written traces.
+std::vector<std::string> parseTraceLines(const std::string &Text);
+
+} // namespace epre
+
+#endif // EPRE_SERVE_TRACE_H

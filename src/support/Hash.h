@@ -1,0 +1,98 @@
+//===- support/Hash.h - Shared chunked 64-bit hashing ------------*- C++ -*-===//
+///
+/// \file
+/// The repo's one home for content hashing. Two digests used to live as
+/// ad-hoc copies — the PassInstrumentation printed-IR snapshot hash and the
+/// interpreter's MemoryImage differential-testing digest — each with its own
+/// byte loop. Both now share the single chunked traversal below (mix the
+/// size first, then full native-endian 8-byte words, then one zero-padded
+/// tail word), parameterized on the combining step:
+///
+///  - hashBytes() / hashString(): FNV-1a, 64-bit, one multiply per 8-byte
+///    word. Used for printed-IR change detection and as the
+///    content-addressed key of the serve layer's ResultCache. Not pinned:
+///    callers only compare digests computed within one process ecosystem.
+///
+///  - hashMemoryImage(): the hashCombine-chained digest of a memory image.
+///    This one IS pinned (tests/eval_interp_test.cpp documents the
+///    little-endian constants) — it is a cross-run contract for
+///    differential testing, so its mixing step and seed must not change.
+///
+/// Words are read in native byte order, matching the MemoryImage store/load
+/// paths. Mixing the size first keeps images/strings that differ only by
+/// trailing zero bytes from colliding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_SUPPORT_HASH_H
+#define EPRE_SUPPORT_HASH_H
+
+#include "support/StringUtil.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace epre {
+
+/// FNV-1a 64-bit parameters (the historical constants every caller in this
+/// repo already used).
+inline constexpr uint64_t FNV1aBasis = 1469598103934665603ull;
+inline constexpr uint64_t FNV1aPrime = 1099511628211ull;
+
+/// One FNV-1a combining step over a whole 8-byte word.
+inline uint64_t fnv1aStep(uint64_t H, uint64_t W) {
+  return (H ^ W) * FNV1aPrime;
+}
+
+namespace hash_detail {
+
+/// The shared chunked traversal: full 8-byte words in native byte order,
+/// then one zero-padded tail word when the size is not a multiple of 8.
+/// \p Mix defines the combining step; \p H is the already-seeded state.
+template <class MixFn>
+uint64_t chunked(const void *Data, size_t Size, uint64_t H, MixFn Mix) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t W;
+    std::memcpy(&W, P + I, 8);
+    H = Mix(H, W);
+  }
+  if (I < Size) {
+    uint64_t W = 0;
+    std::memcpy(&W, P + I, Size - I);
+    H = Mix(H, W);
+  }
+  return H;
+}
+
+} // namespace hash_detail
+
+/// Chunked FNV-1a-64 over a byte range: the size is mixed first, then the
+/// words. Deterministic across runs; cheap (one xor-multiply per 8 bytes).
+inline uint64_t hashBytes(const void *Data, size_t Size,
+                          uint64_t Seed = FNV1aBasis) {
+  return hash_detail::chunked(Data, Size, fnv1aStep(Seed, Size),
+                              [](uint64_t H, uint64_t W) {
+                                return fnv1aStep(H, W);
+                              });
+}
+
+/// hashBytes over a string's characters (printed IR, cache key material).
+inline uint64_t hashString(std::string_view S) {
+  return hashBytes(S.data(), S.size());
+}
+
+/// The MemoryImage digest: size mixed into a fixed seed with hashCombine,
+/// then hashCombine per word. Pinned contract — see the file comment.
+inline uint64_t hashMemoryImage(const uint8_t *Data, size_t Size) {
+  uint64_t H = hashCombine(0x243f6a8885a308d3ULL, Size);
+  return hash_detail::chunked(Data, Size, H, [](uint64_t A, uint64_t B) {
+    return hashCombine(A, B);
+  });
+}
+
+} // namespace epre
+
+#endif // EPRE_SUPPORT_HASH_H

@@ -1,10 +1,12 @@
 //===- tests/support_test.cpp - BitVector and string utilities ------------===//
 
 #include "support/BitVector.h"
+#include "support/Hash.h"
 #include "support/StringUtil.h"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 #include <set>
 
@@ -292,6 +294,58 @@ TEST(StringUtil, HashCombineDistinguishes) {
   EXPECT_NE(hashCombine(1, 0), hashCombine(2, 0));
   EXPECT_NE(hashCombine(hashCombine(0, 1), 2),
             hashCombine(hashCombine(0, 2), 1));
+}
+
+TEST(Hash, StringDeterministicAndSensitive) {
+  EXPECT_EQ(hashString("abc"), hashString("abc"));
+  EXPECT_NE(hashString("abc"), hashString("abd"));
+  EXPECT_NE(hashString(""), hashString(std::string(1, '\0')));
+  // The size is mixed in before the data, so inputs that differ only by
+  // trailing zero bytes (which pad into identical tail words) still differ.
+  std::string A = "abcdefgh";
+  std::string B = A + std::string(1, '\0');
+  EXPECT_NE(hashString(A), hashString(B));
+}
+
+TEST(Hash, ChunkBoundaries) {
+  // 7/8/9-byte inputs exercise tail-only, exact-word, and word+tail paths;
+  // all must be distinct and agree with a byte-identical second call.
+  std::string S = "abcdefghi";
+  std::set<uint64_t> Digests;
+  for (size_t N = 0; N <= S.size(); ++N) {
+    uint64_t H = hashString(std::string_view(S).substr(0, N));
+    EXPECT_EQ(H, hashBytes(S.data(), N));
+    Digests.insert(H);
+  }
+  EXPECT_EQ(Digests.size(), S.size() + 1);
+}
+
+TEST(Hash, BytesMatchesManualFNV1a) {
+  // hashBytes is chunked FNV-1a: seed, mix the size, then one step per
+  // zero-padded native-endian word. Pin the recipe against a hand rolled
+  // computation so the shared helper cannot silently drift.
+  const char Data[] = {'x', 'y', 'z'};
+  uint64_t W = 0;
+  std::memcpy(&W, Data, 3);
+  uint64_t Expect = fnv1aStep(fnv1aStep(FNV1aBasis, 3), W);
+  EXPECT_EQ(hashBytes(Data, 3), Expect);
+}
+
+TEST(Hash, MemoryImageDigestIsTheHashCombineChain) {
+  // hashMemoryImage is a pinned cross-run contract (the interpreter's
+  // differential-testing digest; tests/eval_interp_test.cpp pins concrete
+  // values). Verify the shared chunked traversal reproduces the original
+  // formulation: seed combined with the size, then hashCombine per word.
+  uint8_t Img[12];
+  for (size_t I = 0; I < sizeof(Img); ++I)
+    Img[I] = uint8_t(I * 7 + 1);
+  uint64_t H = hashCombine(0x243f6a8885a308d3ULL, sizeof(Img));
+  uint64_t W0 = 0, W1 = 0;
+  std::memcpy(&W0, Img, 8);
+  std::memcpy(&W1, Img + 8, 4);
+  H = hashCombine(hashCombine(H, W0), W1);
+  EXPECT_EQ(hashMemoryImage(Img, sizeof(Img)), H);
+  EXPECT_NE(hashMemoryImage(Img, 8), hashMemoryImage(Img, 12));
 }
 
 } // namespace
