@@ -9,7 +9,8 @@
 ///   epre_opt [FILE] -O=distribution [-strategy=lcm] [-gvn=awz] [-j N]
 ///
 /// Passes: ssa destroyssa fwdprop negnorm reassoc distribute osr gvn dvnt
-///         pre pre-mr cse constprop peephole dce coalesce simplifycfg verify
+///         pre pre-mr pre-spec cse constprop peephole dce coalesce
+///         simplifycfg verify
 ///
 /// Observability (both modes):
 ///   -time-passes        hierarchical wall-clock report on stderr
@@ -24,6 +25,10 @@
 /// 4 KiB zeroed memory image; functions with parameters are skipped):
 ///   -profile-out=FILE   run the OPTIMIZED module and write its dynamic
 ///                       block/edge profile (epre-dynamic-profile-v1 JSON)
+///   -profile-in=FILE    attach a saved profile as the pipeline's
+///                       profile-guided input (required by
+///                       -strategy=speculative and the pre-spec pass;
+///                       docs/speculative-pre.md)
 ///   -hot-remarks[=BASE] remarks sorted by dynamic impact on stderr: each
 ///                       remark is weighted by its block's execution count
 ///                       in a baseline profile (BASE, a -profile-out file;
@@ -97,8 +102,12 @@ struct PassDriver {
   RankMap Ranks;
   bool HaveRanks = false;
 
-  PassDriver(Function &F, StatsRegistry &SR, PassInstrumentation *PI)
-      : F(F), AM(F), Ctx(&SR, PI) {}
+  PassDriver(Function &F, StatsRegistry &SR, PassInstrumentation *PI,
+             const ProfileDoc *Profile = nullptr)
+      : F(F), AM(F), Ctx(&SR, PI) {
+    if (Profile)
+      AM.setProfileSource(Profile->find(F.name()));
+  }
 
   bool run(const std::string &Name) {
     if (Name == "ssa") {
@@ -157,15 +166,24 @@ struct PassDriver {
                    S.Registers, S.Classes, S.MergedDefs);
       return true;
     }
-    if (Name == "pre" || Name == "pre-mr" || Name == "cse") {
-      PREStrategy Strat = Name == "pre" ? PREStrategy::LazyCodeMotion
+    if (Name == "pre" || Name == "pre-mr" || Name == "pre-spec" ||
+        Name == "cse") {
+      PREStrategy Strat = Name == "pre"      ? PREStrategy::LazyCodeMotion
                           : Name == "pre-mr" ? PREStrategy::MorelRenvoise
-                                             : PREStrategy::GlobalCSE;
+                          : Name == "pre-spec" ? PREStrategy::Speculative
+                                               : PREStrategy::GlobalCSE;
+      if (Strat == PREStrategy::Speculative && !AM.profileSource()) {
+        std::fprintf(stderr,
+                     "error: pre-spec needs a dynamic profile for this "
+                     "function; pass -profile-in=FILE\n");
+        return false;
+      }
       PREPass P(Strat);
       P.run(F, AM, Ctx);
       const PREStats &S = P.lastStats();
-      std::fprintf(stderr, "%s: universe %u, +%u/-%u\n", Name.c_str(),
-                   S.UniverseSize, S.Inserted, S.Deleted);
+      std::fprintf(stderr, "%s: universe %u, +%u/-%u (%u speculated)\n",
+                   Name.c_str(), S.UniverseSize, S.Inserted, S.Deleted,
+                   S.Speculated);
       return true;
     }
     if (Name == "constprop")
@@ -234,6 +252,7 @@ int main(int argc, char **argv) {
   std::string PassList;
   std::string TraceOut;
   std::string ProfileOut;
+  std::string ProfileInFile;
   std::string HotRemarkBaseline;
   bool HaveLevel = false;
   bool TimePasses = false, WantRemarks = false, RemarksJSON = false;
@@ -302,6 +321,8 @@ int main(int argc, char **argv) {
       PrintChanged = true;
     } else if (A.rfind("-profile-out=", 0) == 0) {
       ProfileOut = A.substr(13);
+    } else if (A.rfind("-profile-in=", 0) == 0) {
+      ProfileInFile = A.substr(12);
     } else if (A == "-hot-remarks") {
       HotRemarks = WantRemarks = true;
     } else if (A.rfind("-hot-remarks=", 0) == 0) {
@@ -313,11 +334,11 @@ int main(int argc, char **argv) {
       std::fprintf(
           stderr,
           "usage: %s [FILE] -passes=p1,p2,... | -O=LEVEL\n"
-          "  [-strategy=lcm|morel-renvoise|gcse] [-gvn=awz|dvnt]\n"
-          "  [-naming=hashed|naive] [-j N] [-time-passes]\n"
+          "  [-strategy=lcm|morel-renvoise|gcse|speculative]\n"
+          "  [-gvn=awz|dvnt] [-naming=hashed|naive] [-j N] [-time-passes]\n"
           "  [-trace-out=FILE] [-remarks[=p1,p2]] [-remarks-json]\n"
           "  [-stats] [-print-changed] [-profile-out=FILE]\n"
-          "  [-hot-remarks[=BASELINE.json]]\n"
+          "  [-profile-in=FILE] [-hot-remarks[=BASELINE.json]]\n"
           "\n"
           "  -j N: optimize N functions in parallel in -O mode (default 1;\n"
           "        -j 0 = one worker per hardware thread). Output is\n"
@@ -354,23 +375,26 @@ int main(int argc, char **argv) {
   IO.PrintChangedIR = PrintChanged;
   PassInstrumentation PI(IO);
 
+  // Profile-guided input: the document the pipeline consumes (speculative
+  // PRE). PO.ProfileIn points at it for the whole run.
+  ProfileDoc ProfileIn;
+  if (!ProfileInFile.empty()) {
+    std::string Err;
+    if (!ProfileDoc::loadFromFile(ProfileInFile, ProfileIn, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    PO.ProfileIn = &ProfileIn;
+  }
+
   // Establish the hot-remark baseline before optimizing: either a saved
   // -profile-out document, or a profiled run of the unoptimized input.
   ProfileDoc Baseline;
   if (HotRemarks) {
     if (!HotRemarkBaseline.empty()) {
-      std::ifstream BF(HotRemarkBaseline);
-      std::stringstream BBuf;
-      if (!BF) {
-        std::fprintf(stderr, "error: cannot open %s\n",
-                     HotRemarkBaseline.c_str());
-        return 1;
-      }
-      BBuf << BF.rdbuf();
       std::string Err;
-      if (!ProfileDoc::fromJSON(BBuf.str(), Baseline, &Err)) {
-        std::fprintf(stderr, "error: %s: %s\n", HotRemarkBaseline.c_str(),
-                     Err.c_str());
+      if (!ProfileDoc::loadFromFile(HotRemarkBaseline, Baseline, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
         return 1;
       }
     } else {
@@ -398,7 +422,7 @@ int main(int argc, char **argv) {
                    "note: -j applies to -O mode only; -passes runs serial\n");
     for (auto &F : R.M->Functions) {
       StatsRegistry FR;
-      PassDriver Driver(*F, FR, &PI);
+      PassDriver Driver(*F, FR, &PI, PO.ProfileIn);
       for (const std::string &P : splitList(PassList))
         if (!Driver.run(P))
           return 1;

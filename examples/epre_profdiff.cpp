@@ -6,13 +6,18 @@
 /// operations were gained or lost: per (routine, level), per Table-1 opcode
 /// class, and — when both documents carry block detail — per basic block.
 ///
-///   epre-profdiff OLD.json NEW.json [-tolerance=PCT] [-gate] [-all]
+///   epre-profdiff OLD.json NEW.json [-tolerance=PCT] [-gate]
+///                 [-min-improved=N] [-all]
 ///
-///   -tolerance=PCT  growth allowed per entry before -gate fails (default 0)
-///   -gate           exit 1 when any entry's DynOps grew beyond tolerance
-///                   or a baseline entry is missing from NEW (the CI
-///                   regression gate), printing one line per offender
-///   -all            report unchanged entries too
+///   -tolerance=PCT   growth allowed per entry before -gate fails (default 0)
+///   -gate            exit 1 when any entry's DynOps grew beyond tolerance
+///                    or a baseline entry is missing from NEW (the CI
+///                    regression gate), printing one line per offender
+///   -min-improved=N  with -gate, additionally require at least N matched
+///                    entries whose DynOps strictly decreased (the
+///                    speculative-PRE leg: the profile-guided run must
+///                    actually beat the baseline, not just avoid regressing)
+///   -all             report unchanged entries too
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,23 +25,14 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 using namespace epre;
 
 static bool loadDoc(const std::string &Path, ProfileDoc &Doc) {
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
-    return false;
-  }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
   std::string Err;
-  if (!ProfileDoc::fromJSON(Buf.str(), Doc, &Err)) {
-    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+  if (!ProfileDoc::loadFromFile(Path, Doc, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
     return false;
   }
   return true;
@@ -45,11 +41,14 @@ static bool loadDoc(const std::string &Path, ProfileDoc &Doc) {
 int main(int argc, char **argv) {
   std::string OldPath, NewPath;
   double Tolerance = 0.0;
+  unsigned MinImproved = 0;
   bool Gate = false, All = false;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A.rfind("-tolerance=", 0) == 0) {
       Tolerance = std::strtod(A.c_str() + 11, nullptr);
+    } else if (A.rfind("-min-improved=", 0) == 0) {
+      MinImproved = unsigned(std::strtoul(A.c_str() + 14, nullptr, 10));
     } else if (A == "-gate") {
       Gate = true;
     } else if (A == "-all") {
@@ -61,14 +60,14 @@ int main(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s OLD.json NEW.json [-tolerance=PCT] [-gate] "
-                   "[-all]\n",
+                   "[-min-improved=N] [-all]\n",
                    argv[0]);
       return 2;
     }
   }
   if (OldPath.empty() || NewPath.empty()) {
     std::fprintf(stderr, "usage: %s OLD.json NEW.json [-tolerance=PCT] "
-                         "[-gate] [-all]\n",
+                         "[-gate] [-min-improved=N] [-all]\n",
                  argv[0]);
     return 2;
   }
@@ -90,6 +89,23 @@ int main(int argc, char **argv) {
       for (const std::string &R : Regressions)
         std::fprintf(stderr, "  %s\n", R.c_str());
       return 1;
+    }
+    if (MinImproved) {
+      unsigned Improved = 0;
+      for (const ProfileDelta &D : Diff.Deltas)
+        if (D.NewOps < D.OldOps)
+          ++Improved;
+      if (Improved < MinImproved) {
+        std::fprintf(stderr,
+                     "GATE FAILED: only %u entr%s improved (DynOps strictly "
+                     "decreased); at least %u required\n",
+                     Improved, Improved == 1 ? "y" : "ies", MinImproved);
+        return 1;
+      }
+      std::fprintf(stderr, "gate passed: %u entries improved (>= %u), none "
+                           "grew beyond %.2f%%\n",
+                   Improved, MinImproved, Tolerance);
+      return 0;
     }
     std::fprintf(stderr, "gate passed: no entry grew beyond %.2f%%\n",
                  Tolerance);

@@ -12,11 +12,20 @@
 /// trace_event JSON (load in chrome://tracing or Perfetto).
 ///
 ///   suite_report [-o=FILE] [-trace-out=FILE] [-profile-out=FILE]
+///                [-speculative-out=FILE] [-profile-in=FILE]
 ///
 /// -profile-out= writes the per-routine profile document on its own in the
 /// epre-dynamic-profile-v1 schema; scripts/bench.sh uses it to produce
 /// BENCH_dynamic_profile.json, the baseline the CI regression gate
 /// (epre-profdiff -gate) compares against.
+///
+/// -speculative-out= additionally runs all four levels with the
+/// profile-guided speculative PRE strategy and writes that run's profile
+/// document, level-tagged identically to the baseline so epre-profdiff can
+/// compare the two directly (the CI speculative leg gates on it with
+/// -min-improved). Each routine trains on its own unoptimized execution
+/// unless -profile-in= supplies a block-level profile document to use as
+/// the pipeline's profile-guided input instead.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +43,8 @@ int main(int argc, char **argv) {
   std::string OutFile;
   std::string TraceOut;
   std::string ProfileOut;
+  std::string SpeculativeOut;
+  std::string ProfileInFile;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A.rfind("-o=", 0) == 0) {
@@ -42,12 +53,28 @@ int main(int argc, char **argv) {
       TraceOut = A.substr(11);
     } else if (A.rfind("-profile-out=", 0) == 0) {
       ProfileOut = A.substr(13);
+    } else if (A.rfind("-speculative-out=", 0) == 0) {
+      SpeculativeOut = A.substr(17);
+    } else if (A.rfind("-profile-in=", 0) == 0) {
+      ProfileInFile = A.substr(12);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [-o=FILE] [-trace-out=FILE] [-profile-out=FILE]\n",
+                   "usage: %s [-o=FILE] [-trace-out=FILE] [-profile-out=FILE] "
+                   "[-speculative-out=FILE] [-profile-in=FILE]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  ProfileDoc ProfileIn;
+  bool HaveProfileIn = false;
+  if (!ProfileInFile.empty()) {
+    std::string Err;
+    if (!ProfileDoc::loadFromFile(ProfileInFile, ProfileIn, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    HaveProfileIn = true;
   }
 
   const std::vector<Routine> &Suite = benchmarkSuite();
@@ -69,6 +96,8 @@ int main(int argc, char **argv) {
 
     PipelineOptions Overrides;
     Overrides.Instr = &PI;
+    if (HaveProfileIn)
+      Overrides.ProfileIn = &ProfileIn;
 
     uint64_t DynOps = 0, Failures = 0;
     std::array<uint64_t, NumOpClasses> ClassOps{};
@@ -146,6 +175,28 @@ int main(int argc, char **argv) {
     }
     P << SuiteDoc.toJSON(/*IncludeBlocks=*/false) << "\n";
     std::fprintf(stderr, "profile written to %s\n", ProfileOut.c_str());
+  }
+
+  if (!SpeculativeOut.empty()) {
+    PipelineOptions SpecOverrides;
+    SpecOverrides.Strategy = PREStrategy::Speculative;
+    if (HaveProfileIn)
+      SpecOverrides.ProfileIn = &ProfileIn;
+    SuiteDynamicProfile SP = profileSuite(benchmarkSuite(), &SpecOverrides);
+    if (SP.Failures) {
+      std::fprintf(stderr, "error: %u routine runs failed under the "
+                           "speculative strategy\n",
+                   SP.Failures);
+      return 1;
+    }
+    std::ofstream P(SpeculativeOut);
+    if (!P) {
+      std::fprintf(stderr, "error: cannot write %s\n", SpeculativeOut.c_str());
+      return 1;
+    }
+    P << SP.Doc.toJSON(/*IncludeBlocks=*/false) << "\n";
+    std::fprintf(stderr, "speculative profile written to %s\n",
+                 SpeculativeOut.c_str());
   }
 
   if (OutFile.empty()) {

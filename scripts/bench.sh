@@ -85,6 +85,31 @@ require_baseline "$PROFILE_OUT"
 cmake --build "$BUILD_DIR" -j --target suite_report >/dev/null
 "$BUILD_DIR"/examples/suite_report -o="$STATS_OUT" -profile-out="$PROFILE_OUT"
 
+# Speculative-PRE baseline: the suite rerun with -strategy=speculative,
+# each routine self-trained on its own driver inputs
+# (docs/speculative-pre.md). CI diffs a regenerated copy against
+# the LCM profile with `epre-profdiff -gate -min-improved=5`, and against
+# this committed baseline for drift. Publication is refused unless
+# speculation still strictly improves >= 5 routines over lazy code motion
+# without regressing any beyond 2% — the ISSUE 8 acceptance floor.
+SPECULATIVE_OUT=${SPECULATIVE_OUT:-BENCH_speculative.json}
+require_baseline "$SPECULATIVE_OUT"
+cmake --build "$BUILD_DIR" -j --target epre_profdiff >/dev/null
+
+TMP_SPEC=$(mktemp "${TMPDIR:-/tmp}/bench_speculative.XXXXXX.json")
+trap 'rm -f "$TMP_SPEC"' EXIT
+
+"$BUILD_DIR"/examples/suite_report -speculative-out="$TMP_SPEC" \
+  -o=/dev/null >/dev/null
+
+"$BUILD_DIR"/examples/epre-profdiff "$PROFILE_OUT" "$TMP_SPEC" \
+  -gate -tolerance=2 -min-improved=5 ||
+  refuse "speculative PRE no longer beats LCM on >= 5 routines within tolerance"
+
+mv "$TMP_SPEC" "$SPECULATIVE_OUT"
+trap - EXIT
+echo "wrote $SPECULATIVE_OUT"
+
 # Interpreter old-vs-new: BENCH_interp.json records the legacy tree-walk
 # against the predecoded direct-threaded engine (plus predecode cost,
 # profiled overhead, and fuzz-execution throughput). Publication is gated:

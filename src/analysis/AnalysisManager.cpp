@@ -15,6 +15,8 @@ const char *analysisName(AnalysisID ID) {
     return "loops";
   case AnalysisID::RankAnalysis:
     return "ranks";
+  case AnalysisID::ProfileAnalysis:
+    return "profile";
   }
   return "?";
 }

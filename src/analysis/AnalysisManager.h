@@ -34,6 +34,7 @@
 #include "analysis/CFG.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/ProfileInfo.h"
 #include "ir/Function.h"
 #include "reassoc/Ranks.h"
 
@@ -50,8 +51,9 @@ enum class AnalysisID : unsigned {
   DomTreeAnalysis,
   LoopAnalysis,
   RankAnalysis,
+  ProfileAnalysis,
 };
-inline constexpr unsigned NumAnalysisIDs = 4;
+inline constexpr unsigned NumAnalysisIDs = 5;
 
 /// The set of analyses a pass left intact. Derived analyses are only
 /// considered preserved when their inputs are too (normalized on use):
@@ -69,12 +71,14 @@ public:
 
   /// The pass kept the block graph intact (no blocks or edges added or
   /// removed) but may have rewritten instructions: the pure graph analyses
-  /// (CFG, dominators, loops) survive, rank assignments do not.
+  /// (CFG, dominators, loops) and the label-joined profile mapping survive,
+  /// rank assignments do not.
   static PreservedAnalyses cfgShape() {
     return none()
         .preserve(AnalysisID::CFGAnalysis)
         .preserve(AnalysisID::DomTreeAnalysis)
-        .preserve(AnalysisID::LoopAnalysis);
+        .preserve(AnalysisID::LoopAnalysis)
+        .preserve(AnalysisID::ProfileAnalysis);
   }
 
   PreservedAnalyses &preserve(AnalysisID ID) {
@@ -95,6 +99,7 @@ public:
     if (!PA.isPreserved(AnalysisID::CFGAnalysis)) {
       PA.abandon(AnalysisID::DomTreeAnalysis);
       PA.abandon(AnalysisID::RankAnalysis);
+      PA.abandon(AnalysisID::ProfileAnalysis);
     }
     if (!PA.isPreserved(AnalysisID::DomTreeAnalysis))
       PA.abandon(AnalysisID::LoopAnalysis);
@@ -178,6 +183,28 @@ public:
     return *Ranks;
   }
 
+  /// Attaches the dynamic profile this function's profile-guided passes
+  /// should consume (nullptr detaches). The source outlives the manager;
+  /// the mapped ProfileInfo is invalidated so the next profileInfo() call
+  /// joins the new source.
+  void setProfileSource(const FunctionProfile *Src) {
+    ProfileSrc = Src;
+    drop(AnalysisID::ProfileAnalysis);
+  }
+
+  const FunctionProfile *profileSource() const { return ProfileSrc; }
+
+  /// The attached profile joined onto the current blocks/edges by label.
+  /// Without a source every weight is 0 and attached() is false.
+  const ProfileInfo &profileInfo() {
+    const CFG &Graph = cfg();
+    if (fresh(AnalysisID::ProfileAnalysis, Prof.has_value()))
+      return *Prof;
+    Prof.emplace(ProfileInfo::compute(F, Graph, ProfileSrc));
+    stamp(AnalysisID::ProfileAnalysis);
+    return *Prof;
+  }
+
   /// A pass just finished having preserved \p PA: re-stamp what survived to
   /// the current IR version and drop the rest.
   void finishPass(PreservedAnalyses PA) {
@@ -232,6 +259,11 @@ private:
         ++S.Invalidations[unsigned(ID)];
       Ranks.reset();
       break;
+    case AnalysisID::ProfileAnalysis:
+      if (Prof)
+        ++S.Invalidations[unsigned(ID)];
+      Prof.reset();
+      break;
     }
   }
 
@@ -239,12 +271,14 @@ private:
 
   Function &F;
   bool Disabled;
+  const FunctionProfile *ProfileSrc = nullptr;
   std::optional<CFG> G;
   std::optional<DominatorTree> DT;
   std::optional<LoopInfo> LI;
   std::optional<RankMap> Ranks;
-  std::array<uint64_t, NumAnalysisIDs> Stamp = {StaleStamp, StaleStamp,
-                                                StaleStamp, StaleStamp};
+  std::optional<ProfileInfo> Prof;
+  std::array<uint64_t, NumAnalysisIDs> Stamp = {
+      StaleStamp, StaleStamp, StaleStamp, StaleStamp, StaleStamp};
   Stats S;
 };
 

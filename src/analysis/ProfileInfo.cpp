@@ -1,0 +1,68 @@
+//===- analysis/ProfileInfo.cpp -------------------------------------------===//
+
+#include "analysis/ProfileInfo.h"
+
+#include "instrument/Profile.h"
+
+#include <map>
+#include <string>
+
+using namespace epre;
+
+ProfileInfo ProfileInfo::compute(const Function &F, const CFG &G,
+                                 const FunctionProfile *Src) {
+  ProfileInfo PI;
+  unsigned NB = F.numBlocks();
+  PI.BlockW.assign(NB, 0);
+  PI.Known.assign(NB, 0);
+  PI.EdgeW.assign(NB, {});
+  PI.SingleSucc.assign(NB, 0);
+  F.forEachBlock([&](const BasicBlock &B) {
+    if (G.isReachable(B.id()) && G.succs(B.id()).size() == 1)
+      PI.SingleSucc[B.id()] = 1;
+  });
+  if (!Src || Src->Blocks.empty())
+    return PI;
+
+  // Labels are unique within a function, so one pass over the blocks joins
+  // against the profile; a label the profile lacks stays at weight 0.
+  std::map<std::string, BlockId, std::less<>> ByLabel;
+  F.forEachBlock([&](const BasicBlock &B) {
+    if (G.isReachable(B.id()))
+      ByLabel.emplace(B.label(), B.id());
+  });
+  for (const BlockProfile &BP : Src->Blocks) {
+    auto It = ByLabel.find(BP.Label);
+    if (It == ByLabel.end())
+      continue;
+    BlockId B = It->second;
+    PI.Attached = true;
+    PI.Known[B] = 1;
+    PI.BlockW[B] = BP.Count;
+    PI.TotalW += BP.Count;
+    for (const BlockProfile::Edge &E : BP.Edges) {
+      auto ToIt = ByLabel.find(E.To);
+      if (ToIt == ByLabel.end())
+        continue;
+      // Keep only edges that still exist; a stale edge must not lend its
+      // weight to an unrelated successor.
+      bool StillThere = false;
+      for (BlockId S : G.succs(B))
+        if (S == ToIt->second)
+          StillThere = true;
+      if (StillThere)
+        PI.EdgeW[B].push_back({ToIt->second, E.Count});
+    }
+  }
+  PI.EntryW = PI.BlockW[G.rpo().front()];
+  return PI;
+}
+
+uint64_t ProfileInfo::edgeWeight(BlockId From, BlockId To) const {
+  if (From >= EdgeW.size())
+    return 0;
+  for (const auto &[Succ, Count] : EdgeW[From])
+    if (Succ == To)
+      return Count;
+  return From < SingleSucc.size() && SingleSucc[From] ? blockWeight(From) : 0;
+}

@@ -2,7 +2,9 @@
 
 #include "fuzz/Oracle.h"
 
+#include "analysis/CFG.h"
 #include "fuzz/ModuleOps.h"
+#include "instrument/Profile.h"
 #include "interp/Interpreter.h"
 #include "ir/Verifier.h"
 #include "support/StringUtil.h"
@@ -100,6 +102,16 @@ std::vector<OracleConfig> fuzz::oracleConfigs(bool Quick) {
                        E::DVNT, true, false, WL, true));
   Configs.push_back(Mk("dist/dvnt/sr", L::Distribution, S::LazyCodeMotion,
                        E::DVNT, true, true, WL, true));
+  // Profile-guided speculative placement, driven by a synthetic
+  // uniform-weight profile built per program (see OracleConfig).
+  OracleConfig Spec = Mk("partial/speculative", L::Partial, S::Speculative,
+                         E::AWZ, true, false, WL, false);
+  Spec.SyntheticProfile = true;
+  Configs.push_back(Spec);
+  OracleConfig SpecR = Mk("reassoc/dvnt/speculative", L::Reassociation,
+                          S::Speculative, E::DVNT, true, false, WL, true);
+  SpecR.SyntheticProfile = true;
+  Configs.push_back(SpecR);
   return Configs;
 }
 
@@ -138,6 +150,27 @@ bool f64Close(double Ref, double Got, double Tol) {
   if (std::isnan(Ref) && std::isnan(Got))
     return true;
   return std::fabs(Ref - Got) <= Tol * (1.0 + std::fabs(Ref));
+}
+
+/// Synthetic uniform-weight profile of \p F: every reachable block and
+/// every CFG edge counts the same, so speculative PRE sees a fully-known
+/// profile and its min cut is free to speculate anywhere structure allows.
+FunctionProfile uniformProfile(const Function &F) {
+  constexpr uint64_t W = 16;
+  CFG G = CFG::compute(F);
+  FunctionProfile FP;
+  FP.Function = F.name();
+  F.forEachBlock([&](const BasicBlock &B) {
+    if (!G.isReachable(B.id()))
+      return;
+    BlockProfile BP;
+    BP.Label = B.label();
+    BP.Count = W;
+    for (BlockId Succ : G.succs(B.id()))
+      BP.Edges.push_back({F.block(Succ)->label(), W});
+    FP.Blocks.push_back(std::move(BP));
+  });
+  return FP;
 }
 
 /// Compares the two memory images; empty Detail means they agree.
@@ -197,10 +230,16 @@ ConfigOutcome fuzz::runConfigOnce(const FuzzProgram &P, const OracleConfig &C,
 
   std::unique_ptr<Module> M = parseModuleText(P.Text);
   Function &F = *M->Functions[0];
+  ProfileDoc Synthetic;
+  PipelineOptions PO = C.PO;
+  if (C.SyntheticProfile) {
+    Synthetic.Profiles.push_back(uniformProfile(F));
+    PO.ProfileIn = &Synthetic;
+  }
   if (PrefixPasses == ~0u)
-    optimizeFunction(F, C.PO);
+    optimizeFunction(F, PO);
   else
-    optimizeFunctionPrefix(F, C.PO, PrefixPasses);
+    optimizeFunctionPrefix(F, PO, PrefixPasses);
 
   std::vector<std::string> Errors = verifyFunction(F, SSAMode::Relaxed);
   if (!Errors.empty()) {

@@ -47,9 +47,14 @@ struct OracleConfig {
   /// True when the config may legally change F64 results (FP
   /// reassociation); switches the comparison to the tolerant mode.
   bool FPLoose = false;
+  /// Attach a synthetic uniform-weight profile of the program to the
+  /// pipeline (required by the speculative configs: every block and edge
+  /// gets the same nonzero count, so the min-cut placement exercises
+  /// arbitrary speculation decisions while staying deterministic).
+  bool SyntheticProfile = false;
 };
 
-/// The full configuration matrix (15 configs), or the CI-budget subset
+/// The full configuration matrix (17 configs), or the CI-budget subset
 /// (6 configs) when \p Quick.
 std::vector<OracleConfig> oracleConfigs(bool Quick = false);
 

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
+#include <iterator>
 
 using namespace epre;
 
@@ -192,10 +194,15 @@ std::string ProfileDoc::toJSON(bool IncludeBlocks) const {
 
 bool ProfileDoc::fromJSON(std::string_view Text, ProfileDoc &Out,
                           std::string *Err) {
-  Out = ProfileDoc();
   JSONValue Root;
   if (!parseJSON(Text, Root, Err))
     return false;
+  return fromJSONValue(Root, Out, Err);
+}
+
+bool ProfileDoc::fromJSONValue(const JSONValue &Root, ProfileDoc &Out,
+                               std::string *Err) {
+  Out = ProfileDoc();
   auto Fail = [&](const char *Why) {
     if (Err)
       *Err = Why;
@@ -213,6 +220,25 @@ bool ProfileDoc::fromJSON(std::string_view Text, ProfileDoc &Out,
     if (!FunctionProfile::fromJSON(PV, P, Err))
       return false;
     Out.Profiles.push_back(std::move(P));
+  }
+  return true;
+}
+
+bool ProfileDoc::loadFromFile(const std::string &Path, ProfileDoc &Out,
+                              std::string *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Err)
+      *Err = Path + ": cannot open profile file";
+    return false;
+  }
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  std::string Problem;
+  if (!fromJSON(Text, Out, &Problem)) {
+    if (Err)
+      *Err = Path + ": " + (Problem.empty() ? "malformed profile" : Problem);
+    return false;
   }
   return true;
 }

@@ -112,6 +112,17 @@ struct ProfileDoc {
   std::string toJSON(bool IncludeBlocks = true) const;
   static bool fromJSON(std::string_view Text, ProfileDoc &Out,
                        std::string *Err = nullptr);
+  /// Parses an already-decoded JSON value (e.g. the optional profile field
+  /// of a serve request) with the same schema checks as fromJSON.
+  static bool fromJSONValue(const JSONValue &Root, ProfileDoc &Out,
+                            std::string *Err = nullptr);
+
+  /// Reads and parses \p Path. Returns false with a one-line description
+  /// ("<path>: <problem>") in \p Err on unreadable files or malformed
+  /// documents — the one loader every tool shares (epre-opt,
+  /// epre-profdiff, suite_report).
+  static bool loadFromFile(const std::string &Path, ProfileDoc &Out,
+                           std::string *Err = nullptr);
 };
 
 /// Fills per-block / per-edge counters during one interpreted run. The

@@ -105,6 +105,39 @@ private:
     return std::nullopt;
   }
 
+  /// Materializes the shift-amount constant for a mul-by-power-of-two
+  /// rewrite, placing it next to the *multiplier's* definition rather than
+  /// next to the use: when the multiplier constant was hoisted out of a
+  /// loop (e.g. by PRE), the shift amount must not re-grow the loop body
+  /// by a per-iteration constant load. A multiplier defined in the current
+  /// block keeps the old behaviour (the load lands just before the shl);
+  /// a cross-block multiplier gets the load inserted right after its
+  /// unique definition, which strictly dominates every rewritten use, and
+  /// the register is cached so further rewrites of the same multiplier
+  /// reuse it.
+  Reg materializeShiftAmount(Reg MulConst, int Shift,
+                             std::vector<Instruction> &Out) {
+    if (LocalDef.count(MulConst)) {
+      Reg ShiftReg = F.makeReg(Type::I64);
+      Out.push_back(Instruction::makeLoadI(ShiftReg, Shift));
+      return ShiftReg;
+    }
+    auto Cached = HoistedShift.find(MulConst);
+    if (Cached != HoistedShift.end())
+      return Cached->second;
+    auto It = UniqueDef.find(MulConst); // present: defOf already resolved it
+    BasicBlock *DefB = F.block(It->second.second);
+    Reg ShiftReg = F.makeReg(Type::I64);
+    for (size_t P = 0; P < DefB->Insts.size(); ++P)
+      if (DefB->Insts[P].hasDst() && DefB->Insts[P].Dst == MulConst) {
+        DefB->Insts.insert(DefB->Insts.begin() + P + 1,
+                           Instruction::makeLoadI(ShiftReg, Shift));
+        break;
+      }
+    HoistedShift.emplace(MulConst, ShiftReg);
+    return ShiftReg;
+  }
+
   bool runOnBlock(BasicBlock &B) {
     CurBlock = B.id();
     bool Changed = false;
@@ -226,8 +259,7 @@ private:
           }
           if (Opts.StrengthReduceMul && *C > 1 && (*C & (*C - 1)) == 0) {
             int Shift = __builtin_ctzll(uint64_t(*C));
-            Reg ShiftReg = F.makeReg(Type::I64);
-            Out.push_back(Instruction::makeLoadI(ShiftReg, Shift));
+            Reg ShiftReg = materializeShiftAmount(I.Operands[Side], Shift, Out);
             I = Instruction::makeBinary(Opcode::Shl, Ty, I.Dst,
                                         I.Operands[1 - Side], ShiftReg);
             return true;
@@ -350,6 +382,9 @@ private:
   std::map<Reg, unsigned> AllDefs;
   std::map<Reg, size_t> LocalDef;
   std::vector<Instruction> CurOut;
+  /// Shift-amount registers already materialized next to a cross-block
+  /// multiplier constant, keyed by the multiplier register.
+  std::map<Reg, Reg> HoistedShift;
 };
 
 } // namespace

@@ -4,6 +4,7 @@
 
 #include "analysis/AnalysisManager.h"
 #include "analysis/CFG.h"
+#include "instrument/Profile.h"
 #include "ir/Verifier.h"
 #include "opt/ConstantPropagation.h"
 #include "opt/CopyCoalescing.h"
@@ -59,6 +60,8 @@ const char *epre::preStrategyName(PREStrategy S) {
     return "morel-renvoise";
   case PREStrategy::GlobalCSE:
     return "gcse";
+  case PREStrategy::Speculative:
+    return "speculative";
   }
   return "?";
 }
@@ -96,6 +99,10 @@ bool epre::parsePREStrategy(std::string_view Name, PREStrategy &S) {
     S = PREStrategy::GlobalCSE;
     return true;
   }
+  if (Name == "speculative" || Name == "lospre") {
+    S = PREStrategy::Speculative;
+    return true;
+  }
   return false;
 }
 
@@ -129,6 +136,11 @@ std::string PipelineOptions::validate() const {
   if (Level == OptLevel::None && EnableStrengthReduction)
     return "EnableStrengthReduction does nothing at the 'none' level; "
            "pick at least 'baseline'";
+  if (Strategy == PREStrategy::Speculative && !ProfileIn)
+    return "the 'speculative' PRE strategy places computations by profiled "
+           "edge weights and needs a dynamic profile attached "
+           "(PipelineOptions::ProfileIn / -profile-in=); without one every "
+           "expression would silently fall back to lazy code motion";
   return "";
 }
 
@@ -322,6 +334,8 @@ PipelineStats optimizeFunctionGated(Function &F, const PipelineOptions &Opts,
       // analyses from here and declares what it preserved, so rounds that
       // change nothing stop paying for full re-analysis.
       FunctionAnalysisManager AM(F, Opts.DisableAnalysisCache);
+      if (Opts.ProfileIn)
+        AM.setProfileSource(Opts.ProfileIn->find(F.name()));
 
       if (Gate.admit("unreachable-elim"))
         UnreachableBlockElimPass().run(F, AM, Ctx);

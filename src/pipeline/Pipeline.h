@@ -37,6 +37,8 @@
 
 namespace epre {
 
+struct ProfileDoc;
+
 enum class OptLevel {
   None,          ///< leave the code as the front end produced it
   Baseline,      ///< the paper's "baseline" column
@@ -102,6 +104,13 @@ struct PipelineOptions {
   /// cached FunctionAnalysisManager). Defaults to the compiled-in value,
   /// which -DEPRE_DISABLE_ANALYSIS_CACHE flips.
   bool DisableAnalysisCache = FunctionAnalysisManager::defaultDisabled();
+  /// Dynamic profile the pipeline may consume (profile-guided input, the
+  /// other direction from Instr's profile *output*): each function's entry
+  /// is attached to its analysis manager as the ProfileInfo source, keyed
+  /// by function name. Not owned; must outlive the pipeline run. Required
+  /// by PREStrategy::Speculative (validate() rejects the combination
+  /// without it); other strategies ignore it.
+  const ProfileDoc *ProfileIn = nullptr;
   /// Optional observability sink: timers, counters, remarks, IR snapshots.
   /// Not owned. Must only be fed from one thread at a time; the parallel
   /// driver takes care of that by giving every function a private child

@@ -26,6 +26,119 @@ struct ExprInfo {
   Instruction Proto; ///< a representative definition (all are identical)
 };
 
+/// Dinic max-flow over a small per-expression network (Speculative
+/// strategy). Arcs are stored paired so Arcs[I ^ 1] is the reverse arc;
+/// capacities are profiled execution counts, far below the Unbounded
+/// sentinel, so sums never overflow.
+class MaxFlow {
+public:
+  static constexpr uint64_t Unbounded = uint64_t(1) << 62;
+
+  explicit MaxFlow(unsigned NumNodes)
+      : Head(NumNodes, -1), Level(NumNodes), It(NumNodes) {}
+
+  void addArc(unsigned From, unsigned To, uint64_t Cap) {
+    unsigned Id = unsigned(Arcs.size());
+    Arcs.push_back({To, Head[From], Cap});
+    Head[From] = int(Id);
+    Arcs.push_back({From, Head[To], 0});
+    Head[To] = int(Id + 1);
+  }
+
+  uint64_t solve(unsigned S, unsigned T) {
+    uint64_t Flow = 0;
+    while (bfs(S, T)) {
+      It = Head;
+      while (uint64_t Pushed = dfs(S, T, Unbounded))
+        Flow += Pushed;
+    }
+    return Flow;
+  }
+
+  /// After solve(): the source side of the minimum cut (residual
+  /// reachability from \p S). An original arc (u,v) is in the cut iff
+  /// u is on the source side and v is not.
+  std::vector<char> sourceSide(unsigned S) const {
+    std::vector<char> Reach(Head.size(), 0);
+    std::vector<unsigned> Work{S};
+    Reach[S] = 1;
+    while (!Work.empty()) {
+      unsigned U = Work.back();
+      Work.pop_back();
+      for (int A = Head[U]; A != -1; A = Arcs[A].Next)
+        if (Arcs[A].Cap > 0 && !Reach[Arcs[A].To]) {
+          Reach[Arcs[A].To] = 1;
+          Work.push_back(Arcs[A].To);
+        }
+    }
+    return Reach;
+  }
+
+private:
+  struct Arc {
+    unsigned To;
+    int Next;
+    uint64_t Cap; ///< remaining (residual) capacity
+  };
+
+  bool bfs(unsigned S, unsigned T) {
+    std::fill(Level.begin(), Level.end(), -1);
+    std::deque<unsigned> Q{S};
+    Level[S] = 0;
+    while (!Q.empty()) {
+      unsigned U = Q.front();
+      Q.pop_front();
+      for (int A = Head[U]; A != -1; A = Arcs[A].Next)
+        if (Arcs[A].Cap > 0 && Level[Arcs[A].To] < 0) {
+          Level[Arcs[A].To] = Level[U] + 1;
+          Q.push_back(Arcs[A].To);
+        }
+    }
+    return Level[T] >= 0;
+  }
+
+  uint64_t dfs(unsigned U, unsigned T, uint64_t Limit) {
+    if (U == T)
+      return Limit;
+    for (int &A = It[U]; A != -1; A = Arcs[A].Next) {
+      Arc &E = Arcs[A];
+      if (E.Cap == 0 || Level[E.To] != Level[U] + 1)
+        continue;
+      if (uint64_t Pushed = dfs(E.To, T, std::min(Limit, E.Cap))) {
+        E.Cap -= Pushed;
+        Arcs[A ^ 1].Cap += Pushed;
+        return Pushed;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Arc> Arcs;
+  std::vector<int> Head;
+  std::vector<int> Level;
+  std::vector<int> It;
+};
+
+/// Only expressions that cannot trap may be computed on a path where the
+/// program would not have computed them. In this IR the trapping shapes
+/// are integer division/remainder (÷0, INT64_MIN/-1), F2I (NaN / out of
+/// range), and intrinsic calls (i64 abs of INT64_MIN) — see evalPure.
+/// Everything else (including FP divide: IEEE inf/NaN, no trap) is safe:
+/// a speculatively computed value is either dead or bit-equal to what the
+/// deleted occurrence would have produced.
+bool speculationSafe(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Div:
+  case Opcode::Mod:
+    return I.Ty != Type::I64;
+  case Opcode::F2I:
+  case Opcode::Call:
+    return false;
+  default:
+    return true;
+  }
+}
+
 class PREImpl {
 public:
   PREImpl(Function &F, FunctionAnalysisManager &AM, PREStrategy Strategy,
@@ -78,6 +191,9 @@ public:
       break;
     case PREStrategy::GlobalCSE:
       placeGlobalCSE();
+      break;
+    case PREStrategy::Speculative:
+      placeSpeculative();
       break;
     }
     applyDeletions();
@@ -488,6 +604,130 @@ private:
     });
   }
 
+  // --- Placement: profile-guided speculative min cut ------------------------
+
+  /// Dynamic cost of carrying an insertion on edge \p EI, in executed
+  /// operations under profile \p PI (index 0 is the virtual entry edge:
+  /// one insertion per invocation). A critical edge costs double: it has
+  /// to be split, and the split block's jump executes on every traversal
+  /// alongside the inserted evaluation. Charging the jump per expression
+  /// is conservative when several expressions share one split block.
+  uint64_t insertEdgeCost(const ProfileInfo &PI, unsigned EI) const {
+    const Edge &E = Edges[EI];
+    if (E.From == InvalidBlock)
+      return PI.entryWeight();
+    uint64_t W = PI.edgeWeight(E.From, E.To);
+    if (G.preds(E.To).size() > 1 && G.succs(E.From).size() > 1)
+      W *= 2;
+    return W;
+  }
+
+  /// Lospre-style placement (docs/speculative-pre.md): start from the LCM
+  /// solution, then re-place each speculation-safe expression by a min cut
+  /// of a network whose finite capacities are profiled execution counts —
+  /// CFG-edge arcs cost what inserting there would execute, occurrence
+  /// arcs cost what keeping the original computation executes. The cut is
+  /// adopted only when strictly cheaper than LCM's weighted cost, so
+  /// missing profiles, cold expressions, and ties all keep the safe LCM
+  /// placement.
+  void placeSpeculative() {
+    placeLazyCodeMotion();
+    const ProfileInfo &PI = AM.profileInfo();
+    if (!PI.attached())
+      return;
+
+    unsigned NB = F.numBlocks();
+    unsigned NE = numExprs();
+    // Node numbering: every block is split so availability can terminate
+    // inside it. S feeds every source of unavailability (function entry,
+    // exits of blocks that kill without recomputing); T collects the
+    // upward-exposed occurrences.
+    const unsigned S = 0, T = 1;
+    auto InNode = [](BlockId B) { return 2 + 2 * B; };
+    auto OutNode = [](BlockId B) { return 3 + 2 * B; };
+    BlockId Entry = G.rpo().front();
+
+    for (unsigned E = 0; E < NE; ++E) {
+      if (!speculationSafe(Universe[E].Proto))
+        continue;
+
+      // Weighted cost of the upward-exposed occurrences: the most any
+      // placement could have to pay, and the speculation budget. A cold
+      // expression (no matched counts) stays on the LCM placement.
+      uint64_t OccWeight = 0;
+      for (BlockId B : G.rpo())
+        if (ANTLOC[B].test(E))
+          OccWeight += PI.blockWeight(B);
+      if (OccWeight == 0)
+        continue;
+
+      // Unknown edges (label drift: the CFG changed after the profile was
+      // collected) count as free here and unbounded in the network below.
+      // Both choices bias the same way — toward keeping the LCM placement
+      // in regions the profile cannot price.
+      uint64_t LCMCost = 0;
+      for (unsigned EI = 0; EI < Edges.size(); ++EI)
+        if (Edges[EI].Insert.test(E) &&
+            (Edges[EI].From == InvalidBlock ||
+             PI.edgeKnown(Edges[EI].From, Edges[EI].To)))
+          LCMCost += insertEdgeCost(PI, EI);
+      for (BlockId B : G.rpo())
+        if (ANTLOC[B].test(E) && !DELETE[B].test(E))
+          LCMCost += PI.blockWeight(B);
+      if (LCMCost == 0)
+        continue; // already free on this profile; nothing to gain
+
+      MaxFlow Net(2 + 2 * NB);
+      Net.addArc(S, InNode(Entry), PI.blockKnown(Entry) ? PI.entryWeight()
+                                                        : MaxFlow::Unbounded);
+      for (BlockId B : G.rpo()) {
+        if (ANTLOC[B].test(E))
+          Net.addArc(InNode(B), T, PI.blockWeight(B));
+        if (COMP[B].test(E)) {
+          // Computed clean at exit: unavailability ends here, no out arc.
+        } else if (TRANSP[B].test(E)) {
+          Net.addArc(InNode(B), OutNode(B), MaxFlow::Unbounded);
+        } else {
+          Net.addArc(S, OutNode(B), MaxFlow::Unbounded);
+        }
+      }
+      for (unsigned EI = 1; EI < Edges.size(); ++EI)
+        Net.addArc(OutNode(Edges[EI].From), InNode(Edges[EI].To),
+                   PI.edgeKnown(Edges[EI].From, Edges[EI].To)
+                       ? insertEdgeCost(PI, EI)
+                       : MaxFlow::Unbounded);
+
+      uint64_t CutCost = Net.solve(S, T);
+      if (CutCost >= LCMCost)
+        continue; // speculation does not pay on this profile; keep LCM
+
+      // Adopt the cut: insertions are the saturated source-to-sink-side
+      // arcs; an occurrence is deleted exactly when the cut separates it
+      // from every remaining source of unavailability.
+      std::vector<char> Reach = Net.sourceSide(S);
+      for (Edge &Ed : Edges)
+        Ed.Insert.reset(E);
+      for (BlockId B : G.rpo())
+        DELETE[B].reset(E);
+      if (!Reach[InNode(Entry)])
+        Edges[0].Insert.set(E);
+      for (unsigned EI = 1; EI < Edges.size(); ++EI)
+        if (Reach[OutNode(Edges[EI].From)] && !Reach[InNode(Edges[EI].To)])
+          Edges[EI].Insert.set(E);
+      for (BlockId B : G.rpo())
+        if (ANTLOC[B].test(E) && !Reach[InNode(B)])
+          DELETE[B].set(E);
+      ++Stats.Speculated;
+      if (Ctx && Ctx->remarksEnabled())
+        Ctx->remark(RemarkKind::Insert, F, F.block(Entry)->label(),
+                    opcodeName(Universe[E].Proto.Op),
+                    strprintf("speculative placement of r%u adopted: "
+                              "weighted cost %llu -> %llu",
+                              Universe[E].Name, (unsigned long long)LCMCost,
+                              (unsigned long long)CutCost));
+    }
+  }
+
   // --- Rewrite --------------------------------------------------------------
 
   void applyDeletions() {
@@ -679,6 +919,7 @@ PreservedAnalyses epre::PREPass::run(Function &F, FunctionAnalysisManager &AM,
   Ctx.addStat("inserted", Last.Inserted);
   Ctx.addStat("deleted", Last.Deleted);
   Ctx.addStat("edges_split", Last.EdgesSplit);
+  Ctx.addStat("speculated", Last.Speculated);
   Ctx.addStat("avail_iterations", Last.AvailSolve.Iterations);
   Ctx.addStat("ant_iterations", Last.AntSolve.Iterations);
   if (!Last.Inserted && !Last.Deleted)

@@ -41,6 +41,16 @@ enum class PREStrategy {
   /// redundant computations (available on every path), insert nothing.
   /// The middle rung of the §5.3 hierarchy; used for the ablation bench.
   GlobalCSE,
+  /// Profile-guided speculative placement (lospre-style): per expression,
+  /// a min cut of a flow network capacitated by profiled edge weights
+  /// picks the cheapest set of insertion edges, allowing evaluation on
+  /// paths where the expression is not anticipated when the profile says
+  /// total weighted evaluations shrink. Requires a profile attached via
+  /// FunctionAnalysisManager::setProfileSource; expressions (or whole
+  /// functions) without profile coverage fall back to lazy code motion.
+  /// Only non-trapping expressions are speculated
+  /// (docs/speculative-pre.md).
+  Speculative,
 };
 
 struct PREStats {
@@ -49,6 +59,9 @@ struct PREStats {
   unsigned Inserted = 0;       ///< computations inserted on edges
   unsigned Deleted = 0;        ///< redundant computations removed
   unsigned EdgesSplit = 0;     ///< critical edges split for insertion
+  /// Expressions whose min-cut placement beat LCM's weighted cost and was
+  /// adopted (Speculative strategy only).
+  unsigned Speculated = 0;
   DataflowStats AvailSolve;    ///< cost of the availability solve
   DataflowStats AntSolve;      ///< cost of the anticipability solve
 };
@@ -59,7 +72,8 @@ struct PREStats {
 /// split a critical edge.
 ///
 /// Counters: pre.universe, pre.dropped_unsafe, pre.inserted, pre.deleted,
-/// pre.edges_split, pre.avail_iterations, pre.ant_iterations.
+/// pre.edges_split, pre.speculated, pre.avail_iterations,
+/// pre.ant_iterations.
 /// Remarks: Insert per placed computation, Delete per removed one.
 class PREPass {
 public:

@@ -3,6 +3,7 @@
 #include "serve/Protocol.h"
 
 #include "instrument/JSONReader.h"
+#include "instrument/Profile.h"
 #include "support/StringUtil.h"
 
 #include <cerrno>
@@ -141,6 +142,7 @@ bool epre::parseServeRequest(const std::string &JSON, ServeRequest &Out,
   }
 
   Out.Options = serveDefaultOptions();
+  Out.Profile.reset();
   Out.Requests.clear();
   if (Out.Cmd != ServeRequest::Command::Compile)
     return true;
@@ -179,6 +181,16 @@ bool epre::parseServeRequest(const std::string &JSON, ServeRequest &Out,
     if (const JSONValue *B = O->get("strength-reduction");
         B && B->K == JSONValue::Bool)
       Out.Options.EnableStrengthReduction = B->B;
+    if (const JSONValue *P = O->get("profile")) {
+      auto Doc = std::make_shared<ProfileDoc>();
+      std::string ProfErr;
+      if (!ProfileDoc::fromJSONValue(*P, *Doc, &ProfErr)) {
+        setErr(Err, "invalid profile: " + ProfErr);
+        return false;
+      }
+      Out.Profile = std::move(Doc);
+      Out.Options.ProfileIn = Out.Profile.get();
+    }
     std::string OptErr;
     std::optional<PipelineOptions> Valid =
         PipelineOptions::create(Out.Options, &OptErr);

@@ -13,13 +13,18 @@
 ///   {"v":1, "cmd":"compile",
 ///    "options":{"level":"distribution","strategy":"lcm","gvn":"awz",
 ///               "naming":"hashed","fp-reassoc":true,
-///               "strength-reduce-mul":true,"strength-reduction":false},
+///               "strength-reduce-mul":true,"strength-reduction":false,
+///               "profile":{...epre-dynamic-profile-v1 document...}},
 ///    "requests":[{"id":"r0","lang":"iloc","source":"func @f() ..."},
 ///                {"id":"r1","lang":"fortran","source":"function g(x)..."}]}
 /// \endcode
 /// cmd is one of "compile", "stats", "ping", "shutdown"; "options" and its
 /// members are optional and default to PipelineOptions defaults at the
-/// Distribution level. Responses are built by CompileService (Service.h).
+/// Distribution level. "profile" embeds a dynamic profile document as the
+/// pipeline's profile-guided input (required by "strategy":"speculative");
+/// its content is part of the result-cache options fingerprint, so results
+/// compiled under different profiles never alias. Responses are built by
+/// CompileService (Service.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +34,7 @@
 #include "pipeline/Pipeline.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -67,6 +73,10 @@ struct ServeRequest {
   /// off: input is verified up front instead, so bad input cannot abort
   /// the daemon).
   PipelineOptions Options;
+  /// Owns the request's embedded profile document when one was sent;
+  /// Options.ProfileIn points into it. Shared so copies of the request
+  /// keep the pointer valid for the whole compile.
+  std::shared_ptr<ProfileDoc> Profile;
   std::vector<CompileRequest> Requests;
 };
 

@@ -2,7 +2,9 @@
 
 #include "serve/ResultCache.h"
 
+#include "instrument/Profile.h"
 #include "support/Hash.h"
+#include "support/StringUtil.h"
 
 #include <algorithm>
 
@@ -31,6 +33,15 @@ uint64_t epre::optionsFingerprint(const PipelineOptions &Opts) {
   // to a fresh compile under the same options — so it participates.
   S += ";solver=";
   S += Opts.Solver == DataflowSolverKind::Worklist ? "worklist" : "roundrobin";
+  // The attached profile steers speculative placement, so its *content*
+  // (not its address) separates cache entries: the same source compiled
+  // under two profiles must never alias, and "no profile" is its own key.
+  S += ";profile=";
+  if (Opts.ProfileIn)
+    S += strprintf("%016llx",
+                   (unsigned long long)hashString(Opts.ProfileIn->toJSON()));
+  else
+    S += "none";
   return hashString(S);
 }
 

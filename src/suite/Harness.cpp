@@ -31,6 +31,11 @@ Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
   }
   M.StaticOpsBefore = F->staticOperationCount();
 
+  size_t LocalBytes = 0;
+  for (const RoutineInfo &RI : LR.Routines)
+    if (RI.Name == R.Name)
+      LocalBytes = RI.LocalMemBytes;
+
   PipelineOptions Proto;
   if (Overrides)
     Proto = *Overrides;
@@ -38,6 +43,22 @@ Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
   Proto.Naming = namingForLevel(Level) == NamingMode::Hashed
                      ? InputNaming::Hashed
                      : InputNaming::Naive;
+
+  // Speculative PRE needs a dynamic profile. When the caller did not
+  // supply one, the routine profiles itself: run the unoptimized lowering
+  // on the routine's own driver inputs and feed that block/edge profile
+  // to the pipeline — the suite analogue of a training run.
+  ProfileDoc SelfProfile;
+  if (Proto.Strategy == PREStrategy::Speculative && !Proto.ProfileIn) {
+    MemoryImage ProfMem(LocalBytes);
+    std::vector<RtValue> ProfArgs =
+        R.MakeArgs ? R.MakeArgs(ProfMem) : std::vector<RtValue>{};
+    ProfileCollector PC;
+    interpret(*F, ProfArgs, ProfMem, ExecLimits(), &PC);
+    SelfProfile.Profiles.push_back(PC.finalize(*F));
+    Proto.ProfileIn = &SelfProfile;
+  }
+
   std::string Err;
   std::optional<PipelineOptions> PO = PipelineOptions::create(Proto, &Err);
   if (!PO) {
@@ -47,11 +68,6 @@ Measurement epre::measureRoutine(const Routine &R, OptLevel Level,
   }
   M.Stats = optimizeFunction(*F, *PO);
   M.StaticOpsAfter = F->staticOperationCount();
-
-  size_t LocalBytes = 0;
-  for (const RoutineInfo &RI : LR.Routines)
-    if (RI.Name == R.Name)
-      LocalBytes = RI.LocalMemBytes;
   MemoryImage Mem(LocalBytes);
   std::vector<RtValue> Args = R.MakeArgs ? R.MakeArgs(Mem)
                                          : std::vector<RtValue>{};

@@ -48,6 +48,10 @@ NamingMode namingForLevel(OptLevel L);
 
 /// Compiles, optimizes and runs \p R at \p Level. With \p CollectProfile
 /// the run is profiled (Measurement::Profile; ~10% slower execution).
+/// When \p Overrides selects PREStrategy::Speculative without attaching a
+/// ProfileIn document, the routine trains on itself: the unoptimized
+/// lowering is interpreted once on the same driver inputs and its
+/// block/edge profile becomes the pipeline's profile-guided input.
 Measurement measureRoutine(const Routine &R, OptLevel Level,
                            const PipelineOptions *Overrides = nullptr,
                            bool CollectProfile = false);

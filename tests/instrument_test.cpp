@@ -12,6 +12,7 @@
 #include "frontend/Lower.h"
 #include "instrument/JSONWriter.h"
 #include "instrument/PassInstrumentation.h"
+#include "instrument/Profile.h"
 #include "ir/IRPrinter.h"
 #include "opt/ConstantPropagation.h"
 #include "pipeline/Pipeline.h"
@@ -405,8 +406,9 @@ TEST(Instrument, OptionRoundTripsAndValidation) {
     EXPECT_TRUE(parseOptLevel(optLevelName(L), Got));
     EXPECT_EQ(Got, L);
   }
-  for (PREStrategy S : {PREStrategy::LazyCodeMotion,
-                        PREStrategy::MorelRenvoise, PREStrategy::GlobalCSE}) {
+  for (PREStrategy S :
+       {PREStrategy::LazyCodeMotion, PREStrategy::MorelRenvoise,
+        PREStrategy::GlobalCSE, PREStrategy::Speculative}) {
     PREStrategy Got;
     EXPECT_TRUE(parsePREStrategy(preStrategyName(S), Got));
     EXPECT_EQ(Got, S);
@@ -424,6 +426,8 @@ TEST(Instrument, OptionRoundTripsAndValidation) {
   PREStrategy S;
   EXPECT_TRUE(parsePREStrategy("lcm", S)); // historical alias
   EXPECT_EQ(S, PREStrategy::LazyCodeMotion);
+  EXPECT_TRUE(parsePREStrategy("lospre", S)); // literature alias
+  EXPECT_EQ(S, PREStrategy::Speculative);
   OptLevel L;
   EXPECT_FALSE(parseOptLevel("turbo", L));
   GVNEngine E;
@@ -450,6 +454,17 @@ TEST(Instrument, OptionRoundTripsAndValidation) {
   BadSR.Level = OptLevel::None;
   BadSR.EnableStrengthReduction = true;
   EXPECT_NE(BadSR.validate(), "");
+
+  // Speculative placement is profile-guided by definition: without a
+  // profile attached the combination is rejected, with one it validates.
+  PipelineOptions Spec;
+  Spec.Level = OptLevel::Partial;
+  Spec.Strategy = PREStrategy::Speculative;
+  EXPECT_FALSE(PipelineOptions::create(Spec, &Err).has_value());
+  EXPECT_NE(Err.find("profile"), std::string::npos);
+  ProfileDoc Doc;
+  Spec.ProfileIn = &Doc;
+  EXPECT_TRUE(PipelineOptions::create(Spec).has_value());
 }
 
 TEST(Instrument, ParallelMergeIsDeterministic) {

@@ -1,5 +1,6 @@
 //===- tests/pre_test.cpp - Partial redundancy elimination ----------------===//
 
+#include "instrument/Profile.h"
 #include "interp/Interpreter.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -326,7 +327,8 @@ func @f(%p:i64, %x:i64, %y:i64, %n:i64) -> i64 {
 INSTANTIATE_TEST_SUITE_P(AllStrategies, PREStrategies,
                          testing::Values(PREStrategy::LazyCodeMotion,
                                          PREStrategy::MorelRenvoise,
-                                         PREStrategy::GlobalCSE),
+                                         PREStrategy::GlobalCSE,
+                                         PREStrategy::Speculative),
                          [](const testing::TestParamInfo<PREStrategy> &I) {
                            switch (I.param) {
                            case PREStrategy::LazyCodeMotion:
@@ -335,6 +337,9 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, PREStrategies,
                              return "MorelRenvoise";
                            case PREStrategy::GlobalCSE:
                              return "GlobalCSE";
+                           case PREStrategy::Speculative:
+                             // No profile attached: must fall back to LCM.
+                             return "SpeculativeNoProfile";
                            }
                            return "?";
                          });
@@ -361,6 +366,161 @@ func @f(%x:i64, %y:i64, %n:i64) -> i64 {
   Function &F = *M->Functions[0];
   PREStats S = runPass(F, PREPass(PREStrategy::GlobalCSE)).lastStats();
   EXPECT_EQ(S.Inserted, 0u);
+}
+
+// --- Speculative (profile-guided) placement --------------------------------
+
+/// x+y computed only on the hot arm of a branch inside the loop. LCM cannot
+/// move it (not anticipated at the loop header: the cold arm never computes
+/// it), so the hot path pays one add per iteration. The shared source for
+/// both speculative tests; OpName selects the hot arm's expression.
+std::string branchyLoop(const char *HotExpr) {
+  std::string S = R"(
+func @f(%p:i64, %x:i64, %y:i64, %n:i64) -> i64 {
+^e:
+  %z:i64 = loadi 0
+  %s:i64 = copy %z
+  %i:i64 = copy %z
+  br ^l
+^l:
+  cbr %p, ^hot, ^cold
+^hot:
+)";
+  S += "  ";
+  S += HotExpr;
+  S += R"(
+  %s:i64 = add %s, %t
+  br ^lt
+^cold:
+  %s:i64 = add %s, %i
+  br ^lt
+^lt:
+  %one:i64 = loadi 1
+  %i:i64 = add %i, %one
+  %c:i64 = cmplt %i, %n
+  cbr %c, ^l, ^ex
+^ex:
+  ret %s
+}
+)";
+  return S;
+}
+
+/// A profile of branchyLoop in which the hot arm is taken every iteration
+/// and the cold arm never runs.
+FunctionProfile hotArmProfile() {
+  FunctionProfile FP;
+  FP.Function = "f";
+  auto Add = [&](const char *L, uint64_t C,
+                 std::vector<BlockProfile::Edge> Edges = {}) {
+    BlockProfile B;
+    B.Label = L;
+    B.Count = C;
+    B.Edges = std::move(Edges);
+    FP.Blocks.push_back(std::move(B));
+  };
+  Add("e", 1, {{"l", 1}});
+  Add("l", 100, {{"hot", 100}, {"cold", 0}});
+  Add("hot", 100, {{"lt", 100}});
+  Add("cold", 0, {{"lt", 0}});
+  Add("lt", 100, {{"l", 99}, {"ex", 1}});
+  Add("ex", 1);
+  return FP;
+}
+
+PREStats runWithProfile(Function &F, PREStrategy Strategy,
+                        const FunctionProfile &FP) {
+  FunctionAnalysisManager AM(F);
+  AM.setProfileSource(&FP);
+  StatsRegistry SR;
+  PassContext Ctx(&SR);
+  PREPass P(Strategy);
+  P.run(F, AM, Ctx);
+  return P.lastStats();
+}
+
+TEST(PRE, SpeculativeHoistsHotPartialRedundancy) {
+  std::string Src = branchyLoop("%t:i64 = add %x, %y");
+  std::vector<RtValue> Hot = {RtValue::ofI(1), RtValue::ofI(3),
+                              RtValue::ofI(4), RtValue::ofI(50)};
+  std::vector<RtValue> Cold = {RtValue::ofI(0), RtValue::ofI(3),
+                               RtValue::ofI(4), RtValue::ofI(50)};
+
+  // A block still computing x + y locally (params()[1] is %x).
+  auto computesXPlusY = [](const Function &Fn, std::string_view Label) {
+    bool Found = false;
+    Fn.forEachBlock([&](const BasicBlock &B) {
+      if (B.label() != Label)
+        return;
+      for (const Instruction &I : B.Insts)
+        Found |= I.Op == Opcode::Add && I.Operands[0] == Fn.params()[1];
+    });
+    return Found;
+  };
+
+  // LCM refuses to move x + y (inserting would lengthen the cold path); it
+  // may still hoist the loadi 1, which is anticipated on every path.
+  {
+    auto M = parse(Src.c_str());
+    Function &L = *M->Functions[0];
+    runPass(L, PREPass());
+    EXPECT_TRUE(computesXPlusY(L, "hot")) << printFunction(L);
+  }
+
+  auto M = parse(Src.c_str());
+  Function &F = *M->Functions[0];
+  MemoryImage Mem(0);
+  ExecResult HotBefore = interpret(F, Hot, Mem);
+  ExecResult ColdBefore = interpret(F, Cold, Mem);
+
+  FunctionProfile FP = hotArmProfile();
+  PREStats S = runWithProfile(F, PREStrategy::Speculative, FP);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty()) << printFunction(F);
+  EXPECT_EQ(S.Speculated, 1u);
+  EXPECT_GE(S.Inserted, 1u);
+  EXPECT_GE(S.Deleted, 1u);
+  EXPECT_FALSE(computesXPlusY(F, "hot")) << printFunction(F);
+
+  // Same results on both arms; the hot run is strictly cheaper because the
+  // add left the loop.
+  ExecResult HotAfter = interpret(F, Hot, Mem);
+  ExecResult ColdAfter = interpret(F, Cold, Mem);
+  ASSERT_TRUE(HotAfter.ok());
+  ASSERT_TRUE(ColdAfter.ok());
+  EXPECT_EQ(HotAfter.ReturnValue.I, HotBefore.ReturnValue.I);
+  EXPECT_EQ(ColdAfter.ReturnValue.I, ColdBefore.ReturnValue.I);
+  EXPECT_LT(HotAfter.DynOps, HotBefore.DynOps);
+}
+
+TEST(PRE, SpeculativeNeverMovesTrappingOps) {
+  // Same shape, but the hot arm computes an i64 division by %y. Hoisting it
+  // above the branch would introduce a ÷0 trap on runs that stay on the
+  // cold arm — speculationSafe must keep it in place no matter what the
+  // profile promises.
+  std::string Src = branchyLoop("%t:i64 = div %x, %y");
+  auto M = parse(Src.c_str());
+  Function &F = *M->Functions[0];
+
+  FunctionProfile FP = hotArmProfile();
+  PREStats S = runWithProfile(F, PREStrategy::Speculative, FP);
+  EXPECT_TRUE(verifyFunction(F, SSAMode::NoSSA).empty()) << printFunction(F);
+  EXPECT_EQ(S.Speculated, 0u);
+  // The division stays exactly where it was: in ^hot, nowhere else.
+  EXPECT_EQ(countOp(F, Opcode::Div), 1u);
+  bool DivInHot = false;
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts)
+      if (I.Op == Opcode::Div)
+        DivInHot = B.label() == "hot";
+  });
+  EXPECT_TRUE(DivInHot) << printFunction(F);
+
+  // Cold-arm run with a zero divisor: still trap-free after the pass.
+  MemoryImage Mem(0);
+  ExecResult R = interpret(F, {RtValue::ofI(0), RtValue::ofI(3),
+                               RtValue::ofI(0), RtValue::ofI(20)},
+                           Mem);
+  ASSERT_TRUE(R.ok()) << R.TrapReason << "\n" << printFunction(F);
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include "instrument/PassInstrumentation.h"
 #include "instrument/Profile.h"
 #include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
 #include "pipeline/Pipeline.h"
 
 #include <gtest/gtest.h>
@@ -345,6 +346,47 @@ TEST(Profile, SerialAndParallelPipelinesProfileIdentically) {
   EXPECT_EQ(SerialDoc.toJSON(true), ParDoc.toJSON(true));
   EXPECT_TRUE(
       ProfileDiff::compute(SerialDoc, ParDoc).regressions(0.0).empty());
+}
+
+TEST(Profile, SerialAndParallelAgreeUnderSpeculativePRE) {
+  // Same identity check with the profile-guided strategy: every worker
+  // joins the same attached ProfileDoc onto its function, so scheduling
+  // must not leak into speculative placement decisions.
+  std::string Src;
+  for (int I = 0; I < 6; ++I) {
+    std::string One = FooSource;
+    One.replace(One.find("function foo"), 12,
+                "function gen" + std::to_string(I));
+    Src += One;
+  }
+  LowerResult Train = compileMiniFortran(Src, NamingMode::Hashed);
+  LowerResult Serial = compileMiniFortran(Src, NamingMode::Hashed);
+  LowerResult Par = compileMiniFortran(Src, NamingMode::Hashed);
+  ASSERT_TRUE(Train.ok() && Serial.ok() && Par.ok());
+
+  // Train on the unoptimized lowering, as a real profile-guided build
+  // would.
+  ProfileDoc TrainDoc;
+  for (const auto &F : Train.M->Functions) {
+    MemoryImage Mem(0);
+    ProfileCollector PC;
+    ExecResult E = interpret(*F, {RtValue::ofF(1.0), RtValue::ofF(2.0)}, Mem,
+                             ExecLimits(), &PC);
+    ASSERT_TRUE(E.ok()) << F->name() << ": " << E.TrapReason;
+    TrainDoc.Profiles.push_back(PC.finalize(*F));
+  }
+
+  PipelineOptions PO;
+  PO.Level = OptLevel::Partial;
+  PO.Strategy = PREStrategy::Speculative;
+  PO.ProfileIn = &TrainDoc;
+  optimizeModule(*Serial.M, PO);
+  runPipelineParallel(*Par.M, PO, 4);
+
+  for (size_t I = 0; I < Serial.M->Functions.size(); ++I)
+    EXPECT_EQ(printFunction(*Serial.M->Functions[I]),
+              printFunction(*Par.M->Functions[I]))
+        << Serial.M->Functions[I]->name();
 }
 
 TEST(Profile, TrappedRunKeepsPartialProfile) {

@@ -14,6 +14,7 @@
 #include "serve/Trace.h"
 
 #include "instrument/JSONReader.h"
+#include "instrument/Profile.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "support/Hash.h"
@@ -169,6 +170,42 @@ TEST(OptionsFingerprint, CoversOutputAffectingFields) {
   O = Base;
   O.Solver = DataflowSolverKind::RoundRobin;
   EXPECT_NE(optionsFingerprint(O), FP);
+}
+
+/// A one-function, one-block profile document for fingerprint/protocol
+/// tests; \p Count varies the content.
+ProfileDoc tinyProfile(const char *Fn, uint64_t Count) {
+  ProfileDoc D;
+  FunctionProfile FP;
+  FP.Function = Fn;
+  BlockProfile B;
+  B.Label = "e";
+  B.Count = Count;
+  FP.Blocks.push_back(std::move(B));
+  D.Profiles.push_back(std::move(FP));
+  return D;
+}
+
+TEST(OptionsFingerprint, ProfileContentParticipates) {
+  PipelineOptions Base = serveDefaultOptions();
+  uint64_t NoProfile = optionsFingerprint(Base);
+
+  ProfileDoc D = tinyProfile("f", 10);
+  PipelineOptions O = Base;
+  O.ProfileIn = &D;
+  uint64_t WithProfile = optionsFingerprint(O);
+  EXPECT_NE(WithProfile, NoProfile);
+
+  // The fingerprint keys on content, not identity: an equal copy at a
+  // different address hashes the same...
+  ProfileDoc Copy = D;
+  PipelineOptions O2 = Base;
+  O2.ProfileIn = &Copy;
+  EXPECT_EQ(optionsFingerprint(O2), WithProfile);
+
+  // ...and a single changed count separates the entries.
+  Copy.Profiles[0].Blocks[0].Count = 11;
+  EXPECT_NE(optionsFingerprint(O2), WithProfile);
 }
 
 TEST(OptionsFingerprint, IgnoresObservabilityPlumbing) {
@@ -370,6 +407,41 @@ TEST(Protocol, RejectsMalformedDocuments) {
       "{\"cmd\":\"compile\",\"options\":{\"level\":\"bogus\"},"
       "\"requests\":[]}",
       R, &Err));
+}
+
+TEST(Protocol, ParsesEmbeddedProfile) {
+  ProfileDoc D = tinyProfile("a", 5);
+  ServeRequest R;
+  std::string Err;
+  ASSERT_TRUE(parseServeRequest(
+      compileDoc({SourceA},
+                 "{\"strategy\":\"speculative\",\"profile\":" + D.toJSON() +
+                     "}"),
+      R, &Err))
+      << Err;
+  EXPECT_EQ(R.Options.Strategy, PREStrategy::Speculative);
+  ASSERT_NE(R.Options.ProfileIn, nullptr);
+  EXPECT_EQ(R.Options.ProfileIn, R.Profile.get())
+      << "Options.ProfileIn must point at the request-owned document";
+  ASSERT_EQ(R.Profile->Profiles.size(), 1u);
+  EXPECT_EQ(R.Profile->Profiles[0].Function, "a");
+}
+
+TEST(Protocol, RejectsSpeculativeWithoutProfile) {
+  ServeRequest R;
+  std::string Err;
+  EXPECT_FALSE(parseServeRequest(
+      compileDoc({SourceA}, "{\"strategy\":\"speculative\"}"), R, &Err));
+  EXPECT_NE(Err.find("profile"), std::string::npos) << Err;
+}
+
+TEST(Protocol, RejectsMalformedProfile) {
+  ServeRequest R;
+  std::string Err;
+  EXPECT_FALSE(parseServeRequest(
+      compileDoc({SourceA}, "{\"profile\":{\"schema\":\"bogus\"}}"), R,
+      &Err));
+  EXPECT_NE(Err.find("profile"), std::string::npos) << Err;
 }
 
 //===----------------------------------------------------------------------===//
