@@ -11,18 +11,29 @@
 ///   epre-client -gen-trace FILE [-requests N] [-dup-ratio R] [-seed S]
 ///
 /// Replay: send a trace against the daemon in request batches, report
-/// sustained compiles/sec and the daemon's cache counters.
+/// sustained compiles/sec, client-observed frame-latency percentiles
+/// (overall and split by cache-hit vs cache-miss frames), and the
+/// daemon's cache counters.
 ///   epre-client -socket PATH -replay FILE [-batch N] [-min-hits N]
 ///
-/// Control commands: -ping, -server-stats, -shutdown.
+/// Control commands:
+///   -ping           liveness check (raw JSON response)
+///   -server-stats   live metrics as an aligned table: counters, uptime,
+///                   inflight gauge, and latency-histogram percentiles
+///                   (add -json for the raw metrics document)
+///   -metrics        live metrics as Prometheus text exposition
+///                   (add -json for the raw metrics document)
+///   -shutdown       orderly daemon shutdown
 /// Exit status: nonzero on connection/protocol/compile errors, or when
 /// -min-hits N is given and the daemon reports fewer cache hits.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "instrument/Histogram.h"
 #include "instrument/JSONReader.h"
 #include "instrument/JSONWriter.h"
 #include "serve/Protocol.h"
+#include "serve/Telemetry.h"
 #include "serve/Trace.h"
 
 #include <chrono>
@@ -48,7 +59,8 @@ int usage(const char *Argv0) {
       "       [-strategy S] [-gvn E] [-naming N]\n"
       "   or: %s -gen-trace FILE [-requests N] [-dup-ratio R] [-seed S]\n"
       "   or: %s -socket PATH -replay FILE [-batch N] [-min-hits N]\n"
-      "   or: %s -socket PATH -ping | -server-stats | -shutdown\n",
+      "   or: %s -socket PATH -ping | -server-stats [-json] |\n"
+      "       -metrics [-json] | -shutdown\n",
       Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
@@ -104,6 +116,65 @@ bool responseOk(const JSONValue &Doc) {
   return Ok && Ok->K == JSONValue::Bool && Ok->B;
 }
 
+/// "312ns" / "4.2us" / "1.83ms" / "2.41s" — human units for the tables.
+std::string fmtNs(uint64_t Ns) {
+  char Buf[32];
+  if (Ns < 1000)
+    std::snprintf(Buf, sizeof Buf, "%lluns", (unsigned long long)Ns);
+  else if (Ns < 1000 * 1000)
+    std::snprintf(Buf, sizeof Buf, "%.1fus", double(Ns) / 1e3);
+  else if (Ns < 1000ull * 1000 * 1000)
+    std::snprintf(Buf, sizeof Buf, "%.2fms", double(Ns) / 1e6);
+  else
+    std::snprintf(Buf, sizeof Buf, "%.2fs", double(Ns) / 1e9);
+  return Buf;
+}
+
+/// The -server-stats rendering of a metrics document: counters, uptime,
+/// inflight gauge, and one percentile row per latency histogram.
+void printMetricsTable(const JSONValue &Doc) {
+  double Up = double(Doc.getU64("uptime_ns")) / 1e9;
+  long long Inflight = 0;
+  if (const JSONValue *I = Doc.get("inflight"); I && I->isNumber())
+    Inflight = (long long)I->Num;
+  std::printf("epre-served metrics: uptime %.1fs, %lld request(s) in flight\n",
+              Up, Inflight);
+
+  if (const JSONValue *Cs = Doc.get("counters"); Cs && Cs->isObject()) {
+    size_t Width = std::strlen("counter");
+    for (const auto &[Name, V] : Cs->Obj)
+      Width = std::max(Width, Name.size());
+    std::printf("\n%-*s  %12s\n", int(Width), "counter", "value");
+    for (const auto &[Name, V] : Cs->Obj)
+      if (V.IsUInt)
+        std::printf("%-*s  %12llu\n", int(Width), Name.c_str(),
+                    (unsigned long long)V.UInt);
+  }
+
+  if (const JSONValue *Hs = Doc.get("histograms"); Hs && Hs->isObject()) {
+    std::printf("\n%-16s %8s %9s %9s %9s %9s\n", "histogram", "count", "p50",
+                "p90", "p99", "max");
+    for (const auto &[Name, V] : Hs->Obj) {
+      Histogram H;
+      if (!Histogram::fromJSONValue(V, H, nullptr))
+        continue;
+      std::printf("%-16s %8llu %9s %9s %9s %9s\n", Name.c_str(),
+                  (unsigned long long)H.count(),
+                  fmtNs(H.percentile(0.50)).c_str(),
+                  fmtNs(H.percentile(0.90)).c_str(),
+                  fmtNs(H.percentile(0.99)).c_str(), fmtNs(H.max()).c_str());
+    }
+  }
+}
+
+/// One "p50 A  p90 B  p99 C  max D" percentile line for the replay report.
+void printLatencyLine(const char *Label, const Histogram &H) {
+  std::printf("%s (%llu frames): p50 %s  p90 %s  p99 %s  max %s\n", Label,
+              (unsigned long long)H.count(), fmtNs(H.percentile(0.50)).c_str(),
+              fmtNs(H.percentile(0.90)).c_str(),
+              fmtNs(H.percentile(0.99)).c_str(), fmtNs(H.max()).c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -114,7 +185,8 @@ int main(int argc, char **argv) {
   double DupRatio = 0.8;
   uint64_t Seed = 1;
   long long MinHits = -1;
-  bool Ping = false, ServerStats = false, Shutdown = false;
+  bool Ping = false, ServerStats = false, Shutdown = false, Metrics = false,
+       Json = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -155,6 +227,10 @@ int main(int argc, char **argv) {
       Ping = true;
     else if (A == "-server-stats")
       ServerStats = true;
+    else if (A == "-metrics")
+      Metrics = true;
+    else if (A == "-json")
+      Json = true;
     else if (A == "-shutdown")
       Shutdown = true;
     else if (!A.empty() && A[0] != '-')
@@ -191,19 +267,36 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  if (Ping || ServerStats || Shutdown) {
+  if (Ping || ServerStats || Shutdown || Metrics) {
+    // -server-stats and -metrics both read the `metrics` verb (the richer
+    // superset of the legacy `stats` document) and differ only in
+    // rendering: aligned table vs Prometheus text, raw JSON under -json.
     JSONWriter W;
     W.beginObject();
     W.key("v").value(uint64_t(1));
-    W.key("cmd").value(Ping ? "ping" : ServerStats ? "stats" : "shutdown");
+    W.key("cmd").value(Ping ? "ping" : Shutdown ? "shutdown" : "metrics");
     W.endObject();
     std::string Resp = roundTrip(Fd, W.take());
     ::close(Fd);
     if (Resp.empty())
       return 1;
-    std::printf("%s\n", Resp.c_str());
     JSONValue Doc;
-    return parseJSON(Resp, Doc) && responseOk(Doc) ? 0 : 1;
+    std::string Err;
+    if (!parseJSON(Resp, Doc, &Err)) {
+      std::fprintf(stderr, "epre-client: bad response: %s\n", Err.c_str());
+      return 1;
+    }
+    if (!responseOk(Doc)) {
+      std::printf("%s\n", Resp.c_str());
+      return 1;
+    }
+    if (Ping || Shutdown || Json)
+      std::printf("%s\n", Resp.c_str());
+    else if (Metrics)
+      std::printf("%s", metricsToPrometheus(Doc).c_str());
+    else
+      printMetricsTable(Doc);
+    return 0;
   }
 
   if (!Replay.empty()) {
@@ -224,6 +317,10 @@ int main(int argc, char **argv) {
     }
 
     uint64_t Hits = 0, Misses = 0, Compiled = 0;
+    // Client-observed latency per protocol frame, split by whether the
+    // whole frame was answered from the daemon's cache (the same
+    // hit-frame definition the daemon's own histograms use).
+    Histogram FrameNs, HitFrameNs, MissFrameNs;
     auto Start = std::chrono::steady_clock::now();
     for (size_t Pos = 0; Pos < Lines.size(); Pos += Batch) {
       JSONWriter W;
@@ -236,7 +333,12 @@ int main(int argc, char **argv) {
         W.raw(Lines[I]);
       W.endArray();
       W.endObject();
+      auto FrameStart = std::chrono::steady_clock::now();
       std::string Resp = roundTrip(Fd, W.take());
+      uint64_t FrameDurNs =
+          uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - FrameStart)
+                       .count());
       if (Resp.empty()) {
         ::close(Fd);
         return 1;
@@ -250,6 +352,7 @@ int main(int argc, char **argv) {
         ::close(Fd);
         return 1;
       }
+      unsigned CachedFns = 0, TotalFns = 0;
       if (const JSONValue *Rs = Doc.get("responses"))
         for (const JSONValue &R : Rs->Arr) {
           if (!responseOk(R)) {
@@ -260,7 +363,19 @@ int main(int argc, char **argv) {
             return 1;
           }
           ++Compiled;
+          if (const JSONValue *Fns = R.get("functions"))
+            for (const JSONValue &F : Fns->Arr) {
+              ++TotalFns;
+              if (const JSONValue *C = F.get("cached");
+                  C && C->K == JSONValue::Bool && C->B)
+                ++CachedFns;
+            }
         }
+      FrameNs.record(FrameDurNs);
+      if (TotalFns > 0 && CachedFns == TotalFns)
+        HitFrameNs.record(FrameDurNs);
+      else
+        MissFrameNs.record(FrameDurNs);
       if (const JSONValue *C = Doc.get("cache")) {
         Hits = C->getU64("hits");
         Misses = C->getU64("misses");
@@ -274,6 +389,11 @@ int main(int argc, char **argv) {
                 (unsigned long long)Compiled, Secs,
                 Secs > 0 ? double(Compiled) / Secs : 0.0,
                 (unsigned long long)Hits, (unsigned long long)Misses);
+    printLatencyLine("frame latency", FrameNs);
+    if (HitFrameNs.count())
+      printLatencyLine("  cache-hit  frames", HitFrameNs);
+    if (MissFrameNs.count())
+      printLatencyLine("  cache-miss frames", MissFrameNs);
     ::close(Fd);
     if (MinHits >= 0 && Hits < uint64_t(MinHits)) {
       std::fprintf(stderr,

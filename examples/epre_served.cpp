@@ -9,19 +9,36 @@
 /// documented in docs/serving.md.
 ///
 ///   epre-served -socket PATH [-workers N] [-cache-bytes N]
-///               [-cache-shards N] [-stats-out FILE]
+///               [-cache-shards N] [-stats-out FILE] [-stats-interval SEC]
+///               [-access-log FILE] [-trace-out FILE] [-slow-ms N]
 ///
-///   -socket PATH      Unix-domain socket to listen on (required)
-///   -workers N        compile workers per batch (default 0 = one per
-///                     hardware thread)
-///   -cache-bytes N    ResultCache byte budget (default 64 MiB; 0 disables
-///                     retention — every request compiles)
-///   -cache-shards N   cache shard count (default 8)
-///   -stats-out FILE   write the cache-counter JSON document here on
-///                     shutdown
+///   -socket PATH        Unix-domain socket to listen on (required)
+///   -workers N          compile workers per batch (default 0 = one per
+///                       hardware thread)
+///   -cache-bytes N      ResultCache byte budget (default 64 MiB; 0
+///                       disables retention — every request compiles)
+///   -cache-shards N     cache shard count (default 8)
+///   -stats-out FILE     write the metrics JSON document here every
+///                       -stats-interval seconds and on shutdown (atomic
+///                       temp-file + rename writes)
+///   -stats-interval SEC periodic -stats-out flush period (default 5;
+///                       0 = only at exit)
+///   -access-log FILE    append one JSONL record per request (trace id,
+///                       peer, batch, cache outcomes, phase latencies)
+///   -trace-out FILE     write one Chrome trace of every request span —
+///                       with per-function pass timers nested inside —
+///                       on shutdown (enables span collection)
+///   -slow-ms N          flag requests slower than N ms as slow and
+///                       inline their span tree into the access log
+///                       (default 0 = off)
+///
+/// Live metrics (counters, latency histograms, inflight gauge) are served
+/// over the socket by the `metrics` verb; `epre-client -metrics` renders
+/// them as Prometheus text.
 ///
 /// Shutdown: a client "shutdown" command, SIGINT, or SIGTERM all drain
-/// connections, unlink the socket, write -stats-out, and exit 0.
+/// connections, unlink the socket, write -stats-out/-trace-out, and
+/// exit 0.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,7 +67,9 @@ void onSignal(int) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s -socket PATH [-workers N] [-cache-bytes N]\n"
-               "       [-cache-shards N] [-stats-out FILE]\n",
+               "       [-cache-shards N] [-stats-out FILE]"
+               " [-stats-interval SEC]\n"
+               "       [-access-log FILE] [-trace-out FILE] [-slow-ms N]\n",
                Argv0);
   return 2;
 }
@@ -94,6 +113,27 @@ int main(int argc, char **argv) {
       Cfg.StatsOutPath = A.substr(11);
     } else if (A == "-stats-out" && I + 1 < argc) {
       Cfg.StatsOutPath = argv[++I];
+    } else if (A.rfind("-stats-interval=", 0) == 0 &&
+               parseUnsigned(A.substr(16), N)) {
+      Cfg.StatsFlushSeconds = unsigned(N);
+    } else if (A == "-stats-interval" && I + 1 < argc &&
+               parseUnsigned(argv[I + 1], N)) {
+      Cfg.StatsFlushSeconds = unsigned(N);
+      ++I;
+    } else if (A.rfind("-access-log=", 0) == 0) {
+      Cfg.Service.Telemetry.AccessLogPath = A.substr(12);
+    } else if (A == "-access-log" && I + 1 < argc) {
+      Cfg.Service.Telemetry.AccessLogPath = argv[++I];
+    } else if (A.rfind("-trace-out=", 0) == 0) {
+      Cfg.TraceOutPath = A.substr(11);
+    } else if (A == "-trace-out" && I + 1 < argc) {
+      Cfg.TraceOutPath = argv[++I];
+    } else if (A.rfind("-slow-ms=", 0) == 0 && parseUnsigned(A.substr(9), N)) {
+      Cfg.Service.Telemetry.SlowThresholdNs = N * 1000000ull;
+    } else if (A == "-slow-ms" && I + 1 < argc &&
+               parseUnsigned(argv[I + 1], N)) {
+      Cfg.Service.Telemetry.SlowThresholdNs = N * 1000000ull;
+      ++I;
     } else {
       return usage(argv[0]);
     }

@@ -1,0 +1,144 @@
+//===- instrument/Histogram.cpp -------------------------------------------===//
+
+#include "instrument/Histogram.h"
+
+#include "instrument/JSONReader.h"
+#include "instrument/JSONWriter.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace epre;
+
+void Histogram::merge(const Histogram &O) {
+  for (unsigned B = 0; B < NumBuckets; ++B)
+    Buckets[B] += O.Buckets[B];
+  N += O.N;
+  Total += O.Total;
+  MinV = std::min(MinV, O.MinV);
+  MaxV = std::max(MaxV, O.MaxV);
+}
+
+namespace {
+
+/// The bucket holding the ceil(Q*N)-th smallest sample; NumBuckets when the
+/// histogram is empty.
+unsigned rankBucket(const Histogram &H, double Q) {
+  uint64_t Count = H.count();
+  if (Count == 0)
+    return Histogram::NumBuckets;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  uint64_t Rank = uint64_t(std::ceil(Q * double(Count)));
+  Rank = std::min(std::max<uint64_t>(Rank, 1), Count);
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+    Cum += H.bucketCount(B);
+    if (Cum >= Rank)
+      return B;
+  }
+  return Histogram::NumBuckets - 1; // unreachable: Cum reaches Count
+}
+
+} // namespace
+
+uint64_t Histogram::percentile(double Q) const {
+  unsigned B = rankBucket(*this, Q);
+  if (B >= NumBuckets)
+    return 0;
+  // Clamp the bucket's upper bound into the observed range: a one-sample
+  // histogram reports the sample exactly, and p99 never exceeds max().
+  return std::min(std::max(bucketUpperBound(B), min()), max());
+}
+
+void Histogram::percentileBounds(double Q, uint64_t &Lo, uint64_t &Hi) const {
+  unsigned B = rankBucket(*this, Q);
+  if (B >= NumBuckets) {
+    Lo = Hi = 0;
+    return;
+  }
+  Lo = bucketLowerBound(B);
+  Hi = bucketUpperBound(B);
+}
+
+void Histogram::writeJSON(JSONWriter &W) const {
+  W.beginObject();
+  W.key("count").value(N);
+  W.key("sum").value(Total);
+  W.key("min").value(min());
+  W.key("max").value(MaxV);
+  W.key("p50").value(percentile(0.50));
+  W.key("p90").value(percentile(0.90));
+  W.key("p99").value(percentile(0.99));
+  W.key("buckets").beginArray();
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    if (!Buckets[B])
+      continue;
+    W.beginArray().value(bucketUpperBound(B)).value(Buckets[B]).endArray();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+std::string Histogram::toJSON() const {
+  JSONWriter W;
+  writeJSON(W);
+  return W.take();
+}
+
+bool Histogram::fromJSONValue(const JSONValue &V, Histogram &Out,
+                              std::string *Err) {
+  auto Fail = [&](const char *Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("histogram must be an object");
+  Histogram H;
+  H.N = V.getU64("count");
+  H.Total = V.getU64("sum");
+  if (H.N) {
+    H.MinV = V.getU64("min");
+    H.MaxV = V.getU64("max");
+  }
+  const JSONValue *Bs = V.get("buckets");
+  if (!Bs || !Bs->isArray())
+    return Fail("histogram needs a 'buckets' array");
+  uint64_t BucketTotal = 0;
+  for (const JSONValue &E : Bs->Arr) {
+    if (!E.isArray() || E.Arr.size() != 2 || !E.Arr[0].IsUInt ||
+        !E.Arr[1].IsUInt)
+      return Fail("each bucket must be [upper_bound, count]");
+    // The upper bound maps back onto its bucket index (the bounds are
+    // bijective with the indices by construction).
+    unsigned B = bucketIndex(E.Arr[0].UInt);
+    if (bucketUpperBound(B) != E.Arr[0].UInt)
+      return Fail("bucket upper bound is not a schema boundary");
+    H.Buckets[B] += E.Arr[1].UInt;
+    BucketTotal += E.Arr[1].UInt;
+  }
+  if (BucketTotal != H.N)
+    return Fail("bucket counts do not sum to 'count'");
+  Out = H;
+  return true;
+}
+
+bool Histogram::operator==(const Histogram &O) const {
+  if (N != O.N || Total != O.Total || min() != O.min() || max() != O.max())
+    return false;
+  for (unsigned B = 0; B < NumBuckets; ++B)
+    if (Buckets[B] != O.Buckets[B])
+      return false;
+  return true;
+}
+
+Histogram ConcurrentHistogram::snapshot() const {
+  Histogram H;
+  for (unsigned B = 0; B < Histogram::NumBuckets; ++B)
+    H.Buckets[B] = Buckets[B].load(std::memory_order_relaxed);
+  H.N = N.load(std::memory_order_relaxed);
+  H.Total = Total.load(std::memory_order_relaxed);
+  H.MinV = MinV.load(std::memory_order_relaxed);
+  H.MaxV = MaxV.load(std::memory_order_relaxed);
+  return H;
+}

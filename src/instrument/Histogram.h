@@ -1,0 +1,157 @@
+//===- instrument/Histogram.h - Log2-bucket latency histograms ---*- C++ -*-===//
+///
+/// \file
+/// Fixed-boundary latency histograms for the serving tier (and any other
+/// consumer that needs cheap percentiles over a hot path). Two types:
+///
+///  - Histogram: a plain value type over 65 log2 buckets — bucket 0 holds
+///    the value 0, bucket b >= 1 holds [2^(b-1), 2^b). record/merge are
+///    O(1); merge is commutative and associative bucket-by-bucket, so
+///    per-thread histograms can be combined in any order. Percentiles are
+///    extracted by exact rank: percentile(q) walks the cumulative counts to
+///    the bucket holding the ceil(q*N)-th smallest sample and returns that
+///    bucket's upper bound clamped into [min, max], so the true sample
+///    value is always within the returned bucket's bounds (and a
+///    one-sample histogram reports the sample exactly).
+///  - ConcurrentHistogram: the same buckets as relaxed atomics, for
+///    lock-free recording from many connection threads; snapshot() produces
+///    a Histogram for merging/percentiles/serialization.
+///
+/// The JSON form ({"count","sum","min","max","p50","p90","p99",
+/// "buckets":[[upper_bound,count],...]}) round-trips through JSONReader;
+/// the p* members are derived conveniences and ignored on read. Bucket
+/// boundaries are part of the schema contract (docs/observability.md), so
+/// histograms serialized by one daemon merge correctly in any reader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_INSTRUMENT_HISTOGRAM_H
+#define EPRE_INSTRUMENT_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace epre {
+
+class JSONWriter;
+struct JSONValue;
+
+/// Plain log2-bucket histogram snapshot (see file comment for the bucket
+/// scheme). Values are unsigned 64-bit; the serving tier records
+/// nanoseconds.
+class Histogram {
+public:
+  /// Bucket 0 = {0}; bucket b in [1,64] = [2^(b-1), 2^b - 1].
+  static constexpr unsigned NumBuckets = 65;
+
+  /// The bucket holding \p V: 0 for 0, else bit_width(V).
+  static unsigned bucketIndex(uint64_t V) {
+    unsigned B = 0;
+    while (V) {
+      ++B;
+      V >>= 1;
+    }
+    return B;
+  }
+  /// Smallest value in bucket \p B (0 for bucket 0).
+  static uint64_t bucketLowerBound(unsigned B) {
+    return B == 0 ? 0 : uint64_t(1) << (B - 1);
+  }
+  /// Largest value in bucket \p B (inclusive).
+  static uint64_t bucketUpperBound(unsigned B) {
+    if (B == 0)
+      return 0;
+    if (B >= 64)
+      return ~uint64_t(0);
+    return (uint64_t(1) << B) - 1;
+  }
+
+  void record(uint64_t V) {
+    ++Buckets[bucketIndex(V)];
+    ++N;
+    Total += V;
+    if (V < MinV)
+      MinV = V;
+    if (V > MaxV)
+      MaxV = V;
+  }
+
+  /// Bucket-wise sum; commutative and associative.
+  void merge(const Histogram &O);
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Total; }
+  /// 0 when empty.
+  uint64_t min() const { return N ? MinV : 0; }
+  uint64_t max() const { return MaxV; }
+  uint64_t bucketCount(unsigned B) const { return Buckets[B]; }
+
+  /// Exact-rank percentile: the representative value (bucket upper bound
+  /// clamped into [min, max]) of the bucket holding the ceil(q*count)-th
+  /// smallest sample. 0 when empty. \p Q is clamped into (0, 1].
+  uint64_t percentile(double Q) const;
+
+  /// The inclusive bounds of the bucket percentile(Q) comes from, for
+  /// callers that want the bracketing interval rather than one value.
+  /// Both 0 when empty.
+  void percentileBounds(double Q, uint64_t &Lo, uint64_t &Hi) const;
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..,
+  ///  "buckets":[[upper_bound,count],...]} — empty buckets omitted.
+  void writeJSON(JSONWriter &W) const;
+  std::string toJSON() const;
+
+  /// Parses the writeJSON form back. Returns false (with \p Err set when
+  /// non-null) on schema violations.
+  static bool fromJSONValue(const JSONValue &V, Histogram &Out,
+                            std::string *Err = nullptr);
+
+  bool operator==(const Histogram &O) const;
+
+private:
+  friend class ConcurrentHistogram;
+
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t N = 0;
+  uint64_t Total = 0;
+  uint64_t MinV = ~uint64_t(0);
+  uint64_t MaxV = 0;
+};
+
+/// Shared-recording variant: relaxed atomics per bucket so many connection
+/// threads record without locks. Reads (snapshot) are racy against
+/// concurrent records — each field is individually consistent and counters
+/// are monotone, which is all a live metrics scrape needs.
+class ConcurrentHistogram {
+public:
+  void record(uint64_t V) {
+    Buckets[Histogram::bucketIndex(V)].fetch_add(1, std::memory_order_relaxed);
+    N.fetch_add(1, std::memory_order_relaxed);
+    Total.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Cur = MinV.load(std::memory_order_relaxed);
+    while (V < Cur &&
+           !MinV.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+    Cur = MaxV.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !MaxV.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+
+  /// A plain Histogram copy for percentiles/merging/serialization.
+  Histogram snapshot() const;
+
+private:
+  std::atomic<uint64_t> Buckets[Histogram::NumBuckets] = {};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> Total{0};
+  std::atomic<uint64_t> MinV{~uint64_t(0)};
+  std::atomic<uint64_t> MaxV{0};
+};
+
+} // namespace epre
+
+#endif // EPRE_INSTRUMENT_HISTOGRAM_H

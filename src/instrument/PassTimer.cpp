@@ -150,3 +150,17 @@ void TimerTree::merge(const TimerTree &O) {
     Slices.push_back(std::move(Copy));
   }
 }
+
+void TimerTree::mergeUnder(const TimerTree &O, int Parent) {
+  assert(!O.hasOpenSlice() && "mergeUnder with open child slices");
+  assert(Parent >= 0 && size_t(Parent) < Slices.size() &&
+         "mergeUnder parent out of range");
+  int Offset = int(Slices.size());
+  uint32_t Lane = Slices[size_t(Parent)].Tid;
+  for (const Slice &S : O.Slices) {
+    Slice Copy = S;
+    Copy.Parent = Copy.Parent < 0 ? Parent : Copy.Parent + Offset;
+    Copy.Tid = Lane;
+    Slices.push_back(std::move(Copy));
+  }
+}

@@ -50,6 +50,13 @@ public:
   bool empty() const { return Slices.empty(); }
   const std::vector<Slice> &slices() const { return Slices; }
 
+  /// Index of the innermost open slice, -1 when none is open. Callers that
+  /// will later mergeUnder() a child tree capture this while the slice is
+  /// open.
+  int openIndex() const {
+    return OpenStack.empty() ? -1 : int(OpenStack.back());
+  }
+
   /// Sets the logical trace lane recorded on subsequently opened slices
   /// (the parallel driver tags each worker's tree before merging).
   void setLane(uint32_t Lane) { Tid = Lane; }
@@ -68,6 +75,13 @@ public:
   /// module order for a deterministic report; timestamps keep their
   /// original epoch so the trace stays a single coherent timeline.
   void merge(const TimerTree &O);
+
+  /// Appends \p O's slices re-rooted *under* this tree's slice at index
+  /// \p Parent (which may still be open), adopting that slice's lane. The
+  /// serve layer uses this to nest per-function pass timers inside a
+  /// request's "compile" span so the exported trace shows request spans
+  /// enclosing the pass slices they paid for.
+  void mergeUnder(const TimerTree &O, int Parent);
 
   /// Nanoseconds since the process-wide timer epoch (monotonic).
   static uint64_t nowNs();

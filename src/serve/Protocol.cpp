@@ -132,6 +132,8 @@ bool epre::parseServeRequest(const std::string &JSON, ServeRequest &Out,
     Out.Cmd = ServeRequest::Command::Compile;
   else if (Cmd == "stats")
     Out.Cmd = ServeRequest::Command::Stats;
+  else if (Cmd == "metrics")
+    Out.Cmd = ServeRequest::Command::Metrics;
   else if (Cmd == "ping")
     Out.Cmd = ServeRequest::Command::Ping;
   else if (Cmd == "shutdown")

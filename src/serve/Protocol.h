@@ -18,7 +18,8 @@
 ///    "requests":[{"id":"r0","lang":"iloc","source":"func @f() ..."},
 ///                {"id":"r1","lang":"fortran","source":"function g(x)..."}]}
 /// \endcode
-/// cmd is one of "compile", "stats", "ping", "shutdown"; "options" and its
+/// cmd is one of "compile", "stats", "metrics", "ping", "shutdown";
+/// "options" and its
 /// members are optional and default to PipelineOptions defaults at the
 /// Distribution level. "profile" embeds a dynamic profile document as the
 /// pipeline's profile-guided input (required by "strategy":"speculative");
@@ -68,7 +69,13 @@ struct CompileRequest {
 
 /// One parsed request document.
 struct ServeRequest {
-  enum class Command { Compile, Stats, Ping, Shutdown } Cmd = Command::Ping;
+  enum class Command {
+    Compile,
+    Stats,
+    Metrics,
+    Ping,
+    Shutdown
+  } Cmd = Command::Ping;
   /// Validated pipeline options for Compile (server-side Verify is always
   /// off: input is verified up front instead, so bad input cannot abort
   /// the daemon).

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sys/socket.h>
@@ -62,6 +64,26 @@ bool ServeDaemon::start(std::string *Err) {
 }
 
 bool ServeDaemon::run() {
+  // Periodic stats flush: the flight recorder stays current even when the
+  // daemon dies to a signal that never reaches the orderly exit path
+  // below. The thread sleeps on a cv so shutdown never waits a full
+  // period.
+  std::thread Flusher;
+  if (!Cfg.StatsOutPath.empty() && Cfg.StatsFlushSeconds > 0) {
+    Flusher = std::thread([this] {
+      std::unique_lock<std::mutex> Lock(FlushMu);
+      while (!FlushStop) {
+        if (FlushCv.wait_for(Lock,
+                             std::chrono::seconds(Cfg.StatsFlushSeconds),
+                             [this] { return FlushStop; }))
+          break;
+        Lock.unlock();
+        flushStats();
+        Lock.lock();
+      }
+    });
+  }
+
   bool Clean = true;
   while (!Stopping.load(std::memory_order_acquire)) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
@@ -78,7 +100,9 @@ bool ServeDaemon::run() {
     {
       std::lock_guard<std::mutex> Lock(ConnMu);
       LiveConns.push_back(Fd);
-      ConnThreads.emplace_back([this, Fd] { serveConnection(Fd); });
+      uint32_t ConnId = ++ConnSeq;
+      ConnThreads.emplace_back(
+          [this, Fd, ConnId] { serveConnection(Fd, ConnId); });
     }
   }
 
@@ -93,15 +117,43 @@ bool ServeDaemon::run() {
       T.join();
   ConnThreads.clear();
 
+  if (Flusher.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(FlushMu);
+      FlushStop = true;
+    }
+    FlushCv.notify_all();
+    Flusher.join();
+  }
+
   closeListen();
   if (!Cfg.SocketPath.empty())
     ::unlink(Cfg.SocketPath.c_str());
-  if (!Cfg.StatsOutPath.empty()) {
-    std::ofstream Out(Cfg.StatsOutPath);
+  flushStats();
+  if (!Cfg.TraceOutPath.empty()) {
+    std::ofstream Out(Cfg.TraceOutPath);
     if (Out)
-      Out << Svc.statsJSON() << "\n";
+      Out << Svc.telemetry().chromeTrace() << "\n";
   }
   return Clean;
+}
+
+void ServeDaemon::flushStats() {
+  if (Cfg.StatsOutPath.empty())
+    return;
+  // Temp file + rename: a reader polling mid-replay (the CI smoke test, an
+  // operator's watch) never sees a half-written document. Serialized so an
+  // exit-path flush cannot interleave with a periodic one.
+  std::lock_guard<std::mutex> Lock(FlushMu);
+  std::string Tmp = Cfg.StatsOutPath + ".tmp";
+  {
+    std::ofstream Out(Tmp);
+    if (!Out)
+      return;
+    Out << Svc.statsJSON() << "\n";
+  }
+  if (std::rename(Tmp.c_str(), Cfg.StatsOutPath.c_str()) != 0)
+    ::unlink(Tmp.c_str());
 }
 
 void ServeDaemon::requestStop() {
@@ -110,13 +162,16 @@ void ServeDaemon::requestStop() {
     ::shutdown(ListenFd, SHUT_RDWR);
 }
 
-void ServeDaemon::serveConnection(int Fd) {
+void ServeDaemon::serveConnection(int Fd, uint32_t ConnId) {
+  RequestInfo Info;
+  Info.Peer = strprintf("unix:conn%u", ConnId);
+  Info.ConnId = ConnId;
   std::string Payload;
   while (true) {
     FrameStatus St = readFrame(Fd, Payload);
     if (St != FrameStatus::Ok)
       break;
-    std::string Response = Svc.handle(Payload);
+    std::string Response = Svc.handle(Payload, Info);
     if (!writeFrame(Fd, Response))
       break;
     if (Svc.shutdownRequested()) {

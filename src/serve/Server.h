@@ -12,8 +12,15 @@
 ///    from a signal handler all converge on the same orderly exit: stop
 ///    accepting, shut down live connections, join their threads, unlink
 ///    the socket path;
-///  - stats-out: on exit the service's cache-counter document is written
-///    to the configured path (the daemon's flight recorder).
+///  - stats-out: the service's metrics document is written to the
+///    configured path periodically (StatsFlushSeconds) and once more on
+///    every exit path — shutdown command, requestStop, signal-initiated
+///    stop — so the daemon's flight recorder survives a SIGTERM with at
+///    most one flush interval of loss. Writes go through a temp file and
+///    rename so readers never see a torn document;
+///  - trace-out: when configured, every request's telemetry span tree
+///    (with the per-function pass timers nested inside) is retained and
+///    exported as one Chrome trace for the whole daemon run on exit.
 ///
 /// The in-process tests drive a ServeDaemon from a background thread and
 /// talk to it over real sockets, which is exactly what epre-served does.
@@ -25,6 +32,7 @@
 
 #include "serve/Service.h"
 
+#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -34,16 +42,22 @@ namespace epre {
 
 struct ServerConfig {
   std::string SocketPath;
-  /// Where to write the service statsJSON() document on shutdown ("" =
-  /// nowhere).
+  /// Where to write the service statsJSON() document ("" = nowhere).
+  /// Written atomically (temp file + rename) every StatsFlushSeconds and
+  /// on every exit path.
   std::string StatsOutPath;
+  /// Period of the background stats flush; 0 flushes only at exit.
+  unsigned StatsFlushSeconds = 5;
+  /// Where to write the daemon-run Chrome trace on exit ("" = nowhere).
+  /// Setting this turns on span collection (Telemetry CollectSpans).
+  std::string TraceOutPath;
   ServiceConfig Service;
 };
 
 class ServeDaemon {
 public:
   explicit ServeDaemon(const ServerConfig &C)
-      : Cfg(C), Svc(C.Service) {}
+      : Cfg(C), Svc(effectiveService(C)) {}
   ~ServeDaemon();
 
   ServeDaemon(const ServeDaemon &) = delete;
@@ -67,8 +81,18 @@ public:
   CompileService &service() { return Svc; }
 
 private:
-  void serveConnection(int Fd);
+  /// A trace-out path implies span collection; everything else passes
+  /// through unchanged.
+  static ServiceConfig effectiveService(const ServerConfig &C) {
+    ServiceConfig S = C.Service;
+    if (!C.TraceOutPath.empty())
+      S.Telemetry.CollectSpans = true;
+    return S;
+  }
+
+  void serveConnection(int Fd, uint32_t ConnId);
   void closeListen();
+  void flushStats();
 
   ServerConfig Cfg;
   CompileService Svc;
@@ -77,6 +101,11 @@ private:
   std::mutex ConnMu;
   std::vector<int> LiveConns;          ///< fds of in-flight connections
   std::vector<std::thread> ConnThreads;
+  uint32_t ConnSeq = 0; ///< under ConnMu; names peers "unix:conn<N>"
+
+  std::mutex FlushMu; ///< guards the cv and serializes stats writes
+  std::condition_variable FlushCv;
+  bool FlushStop = false;
 };
 
 } // namespace epre

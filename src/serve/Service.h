@@ -31,6 +31,7 @@
 
 #include "serve/Protocol.h"
 #include "serve/ResultCache.h"
+#include "serve/Telemetry.h"
 
 #include <atomic>
 #include <string>
@@ -45,36 +46,58 @@ struct ServiceConfig {
   unsigned Workers = 0;
   /// Cache shard count; 0 = the ResultCache default.
   unsigned CacheShards = 0;
+  /// Request-level telemetry (spans, histograms, access log; Telemetry.h).
+  TelemetryConfig Telemetry;
 };
 
 class CompileService {
 public:
   explicit CompileService(const ServiceConfig &C)
-      : Cfg(C), Cache(C.CacheBytes, C.CacheShards) {}
+      : Cfg(C), Cache(C.CacheBytes, C.CacheShards), Tel(C.Telemetry) {}
 
   /// Full dispatch: parses \p RequestJSON, runs the command, returns the
   /// response document. Never throws; protocol misuse yields an
   /// {"ok":false,...} response. A shutdown command flips
-  /// shutdownRequested() after building its acknowledgement.
-  std::string handle(const std::string &RequestJSON);
+  /// shutdownRequested() after building its acknowledgement. \p Info
+  /// attributes the request (peer, connection) in spans and the access
+  /// log; every request is recorded in the telemetry sink before the
+  /// response is returned, so a metrics scrape issued after a response
+  /// already sees that request counted.
+  std::string handle(const std::string &RequestJSON,
+                     const RequestInfo &Info = {});
 
   /// The compile path, for callers that already hold a parsed request.
+  /// Bypasses per-request telemetry (no span, no histogram sample).
   std::string compileBatch(const ServeRequest &R);
 
   ResultCache &cache() { return Cache; }
+  ServeTelemetry &telemetry() { return Tel; }
   const ServiceConfig &config() const { return Cfg; }
 
-  /// {"v":1,"counters":{"cache.hits":N,...}} — the -stats-out document,
-  /// built from the ResultCache counters exported into a StatsRegistry.
-  std::string statsJSON() const;
+  /// {"v":1,"uptime_ns":...,"inflight":...,"counters":{...},
+  ///  "histograms":{...}} — the live `metrics` snapshot: cache.* and
+  /// serve.* counters in one flat object plus the latency histograms
+  /// (Telemetry.h). Also the -stats-out document.
+  std::string metricsJSON() const;
+
+  /// Alias of metricsJSON(): the periodic/-stats-out dump uses the same
+  /// schema as the live verb, so offline tooling reads one format. Keeps
+  /// the flat "counters" object (incl. "cache.hits") of earlier versions.
+  std::string statsJSON() const { return metricsJSON(); }
 
   bool shutdownRequested() const {
     return Shutdown.load(std::memory_order_acquire);
   }
 
 private:
+  std::string dispatch(const ServeRequest &R, RequestTrack &T);
+  std::string compileBatchImpl(const ServeRequest &R, RequestTrack &T);
+  /// uptime_ns / inflight / counters / histograms keys into an open object.
+  void writeMetricsBody(JSONWriter &W) const;
+
   ServiceConfig Cfg;
   ResultCache Cache;
+  ServeTelemetry Tel;
   std::atomic<bool> Shutdown{false};
 };
 
