@@ -9,6 +9,7 @@
 ///   epre-fuzz -seeds 1000                     # default campaign
 ///   epre-fuzz -seeds 200 -shapes loopy,phiweb -quick
 ///   epre-fuzz -seed-start 4242 -seeds 1 -inject   # planted PRE fault
+///   epre-fuzz -seeds 10 -inject-gvn               # planted simple-gvn fault
 ///   epre-fuzz -replay repro.iloc                  # re-run one reproducer
 ///
 //===----------------------------------------------------------------------===//
@@ -18,6 +19,7 @@
 #include "fuzz/ModuleOps.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Reduce.h"
+#include "gvn/SimpleGVN.h"
 #include "pre/PRE.h"
 
 #include <cstdio>
@@ -39,6 +41,7 @@ struct Options {
   std::vector<std::string> Shapes;
   bool Quick = false;
   bool Inject = false;
+  bool InjectGVN = false;
   std::string Replay;
   std::string OutDir = ".";
   uint64_t MaxOps = 0; ///< 0: keep the oracle default
@@ -52,6 +55,7 @@ void usage() {
                "  -shapes a,b,c   shape presets (default: all)\n"
                "  -quick          CI config subset instead of the full matrix\n"
                "  -inject         plant the PRE availability-meet fault\n"
+               "  -inject-gvn     plant the simple-gvn first-input-phi fault\n"
                "  -replay FILE    run the oracle over one .iloc reproducer\n"
                "  -out DIR        directory for reproducer artifacts\n"
                "  -max-ops N      reference interpreter fuel\n");
@@ -86,6 +90,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Quick = true;
     } else if (A == "-inject") {
       O.Inject = true;
+    } else if (A == "-inject-gvn") {
+      O.InjectGVN = true;
     } else if (A == "-replay") {
       const char *V = Next();
       if (!V)
@@ -190,13 +196,17 @@ std::string investigate(const FuzzProgram &P, const OracleResult &OR,
         << "guilty:  " << (B.Bisected ? B.GuiltyPass : "<unbisected>") << "\n"
         << "seed:    " << P.Seed << " (shape " << P.Shape << ")\n"
         << "replay:  epre-fuzz -replay " << IlocPath
-        << (Opt.Inject ? " -inject" : "") << (Opt.Quick ? " -quick" : "")
+        << (Opt.Inject ? " -inject" : "")
+        << (Opt.InjectGVN ? " -inject-gvn" : "")
+        << (Opt.Quick ? " -quick" : "")
         << "\n\n--- original ---\n"
         << P.Text;
   }
   std::printf("  reproducer: %s\n", IlocPath.c_str());
-  std::printf("  replay:     epre-fuzz -replay %s%s%s\n", IlocPath.c_str(),
-              Opt.Inject ? " -inject" : "", Opt.Quick ? " -quick" : "");
+  std::printf("  replay:     epre-fuzz -replay %s%s%s%s\n", IlocPath.c_str(),
+              Opt.Inject ? " -inject" : "",
+              Opt.InjectGVN ? " -inject-gvn" : "",
+              Opt.Quick ? " -quick" : "");
   return IlocPath;
 }
 
@@ -219,6 +229,8 @@ int main(int Argc, char **Argv) {
 
   if (Opt.Inject)
     epre::fault::setPREDropAvailabilityMeet(true);
+  if (Opt.InjectGVN)
+    epre::fault::setSimpleGVNFirstInputPhi(true);
 
   OracleOptions OO;
   if (Opt.MaxOps)
@@ -283,7 +295,9 @@ int main(int Argc, char **Argv) {
               "%zu configs%s\n",
               (unsigned long long)Ran, Shapes.size(),
               (unsigned long long)Opt.Seeds, Configs.size(),
-              Opt.Inject ? ", PRE fault injected" : "");
+              Opt.Inject      ? ", PRE fault injected"
+              : Opt.InjectGVN ? ", simple-gvn fault injected"
+                              : "");
   std::printf("  mismatches:    %llu\n", (unsigned long long)Mismatches);
   std::printf("  inconclusive:  %llu\n", (unsigned long long)Inconclusive);
   std::printf("  weak warnings: %llu\n", (unsigned long long)WeakWarnings);

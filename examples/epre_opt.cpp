@@ -9,8 +9,8 @@
 ///   epre_opt [FILE] -O=distribution [-strategy=lcm] [-gvn=awz] [-j N]
 ///
 /// Passes: ssa destroyssa fwdprop negnorm reassoc distribute osr gvn dvnt
-///         pre pre-mr pre-spec cse constprop peephole dce coalesce
-///         simplifycfg verify
+///         simple-gvn pre pre-mr pre-spec cse constprop peephole dce
+///         coalesce simplifycfg verify
 ///
 /// Observability (both modes):
 ///   -time-passes        hierarchical wall-clock report on stderr
@@ -43,6 +43,7 @@
 
 #include "analysis/CFG.h"
 #include "gvn/DVNT.h"
+#include "gvn/SimpleGVN.h"
 #include "instrument/Profile.h"
 #include "interp/Interpreter.h"
 #include "gvn/ValueNumbering.h"
@@ -166,6 +167,17 @@ struct PassDriver {
                    S.Registers, S.Classes, S.MergedDefs);
       return true;
     }
+    if (Name == "simple-gvn") {
+      SimpleGVNPass P;
+      P.run(F, AM, Ctx);
+      const SimpleGVNStats &S = P.lastStats();
+      std::fprintf(stderr,
+                   "simple-gvn: %u regs in %u classes, %u merged "
+                   "(%u phi-simplified, %u phi-carried, %u detected)\n",
+                   S.Registers, S.Classes, S.MergedDefs, S.PhiSimplified,
+                   S.PhiCarried, S.PhiCarriedDetected);
+      return true;
+    }
     if (Name == "pre" || Name == "pre-mr" || Name == "pre-spec" ||
         Name == "cse") {
       PREStrategy Strat = Name == "pre"      ? PREStrategy::LazyCodeMotion
@@ -281,8 +293,8 @@ int main(int argc, char **argv) {
       }
     } else if (A.rfind("-gvn=", 0) == 0) {
       if (!parseGVNEngine(A.substr(5), PO.Engine)) {
-        std::fprintf(stderr, "error: unknown GVN engine '%s'\n",
-                     A.substr(5).c_str());
+        std::fprintf(stderr, "error: unknown GVN engine '%s' (valid: %s)\n",
+                     A.substr(5).c_str(), gvnEngineNames().c_str());
         return 2;
       }
     } else if (A.rfind("-naming=", 0) == 0) {
@@ -335,7 +347,8 @@ int main(int argc, char **argv) {
           stderr,
           "usage: %s [FILE] -passes=p1,p2,... | -O=LEVEL\n"
           "  [-strategy=lcm|morel-renvoise|gcse|speculative]\n"
-          "  [-gvn=awz|dvnt] [-naming=hashed|naive] [-j N] [-time-passes]\n"
+          "  [-gvn=awz|dvnt|simple-gvn] [-naming=hashed|naive] [-j N]\n"
+          "  [-time-passes]\n"
           "  [-trace-out=FILE] [-remarks[=p1,p2]] [-remarks-json]\n"
           "  [-stats] [-print-changed] [-profile-out=FILE]\n"
           "  [-profile-in=FILE] [-hot-remarks[=BASELINE.json]]\n"

@@ -150,6 +150,50 @@ int main(int argc, char **argv) {
   }
   Doc += "}";
 
+  // The three-engine comparison: the same suite at the reassociation level
+  // under each GVN engine, with the engine-uniform redundancies_found
+  // counter per routine (docs/gvn-engines.md) next to the dynamic
+  // operation totals the engine's name space led PRE to.
+  Doc += ",\"gvn_engines\":{";
+  bool FirstEngine = true;
+  for (GVNEngine E : AllGVNEngines) {
+    PipelineOptions Overrides;
+    Overrides.Engine = E;
+    if (HaveProfileIn)
+      Overrides.ProfileIn = &ProfileIn;
+    uint64_t Total = 0, DynOps = 0, EngineFailures = 0;
+    std::string Routines;
+    for (const Routine &R : Suite) {
+      Measurement M = measureRoutine(R, OptLevel::Reassociation, &Overrides,
+                                     /*CollectProfile=*/false);
+      if (!M.ok()) {
+        std::fprintf(stderr, "%s @ reassociation/%s: %s\n", R.Name.c_str(),
+                     gvnEngineName(E),
+                     M.CompileOk ? M.TrapReason.c_str()
+                                 : M.CompileError.c_str());
+        ++EngineFailures;
+        continue;
+      }
+      uint64_t Found = M.Stats.gvnRedundanciesFound();
+      Total += Found;
+      DynOps += M.DynOps;
+      if (!Routines.empty())
+        Routines += ",";
+      Routines += "\"" + R.Name + "\":" + std::to_string(Found);
+    }
+    if (!FirstEngine)
+      Doc += ",";
+    FirstEngine = false;
+    Doc += std::string("\"") + gvnEngineName(E) +
+           "\":{\"redundancies_found_total\":" + std::to_string(Total) +
+           ",\"dynamic_ops_total\":" + std::to_string(DynOps) +
+           ",\"failures\":" + std::to_string(EngineFailures) +
+           ",\"redundancies_found\":{" + Routines + "}}";
+    if (EngineFailures)
+      return 1;
+  }
+  Doc += "}";
+
   // The §4.2 evidence: routines where more optimization executed more
   // operations, with the per-routine profile summaries they came from.
   std::vector<Degradation> Degradations = detectDegradations(SuiteDoc);

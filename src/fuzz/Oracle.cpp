@@ -79,6 +79,9 @@ std::vector<OracleConfig> fuzz::oracleConfigs(bool Quick) {
   // FP-loose configs: F64 compared within tolerance.
   Configs.push_back(Mk("reassoc/dvnt", L::Reassociation, S::LazyCodeMotion,
                        E::DVNT, true, false, WL, true));
+  Configs.push_back(Mk("reassoc/simple-gvn", L::Reassociation,
+                       S::LazyCodeMotion, E::SaleenaPaleri, true, false, WL,
+                       true));
   Configs.push_back(Mk("dist/awz", L::Distribution, S::LazyCodeMotion, E::AWZ,
                        true, false, WL, true));
   if (Quick)
@@ -94,14 +97,22 @@ std::vector<OracleConfig> fuzz::oracleConfigs(bool Quick) {
                        E::AWZ, true, true, WL, false));
   Configs.push_back(Mk("reassoc/strict/dvnt", L::Reassociation,
                        S::LazyCodeMotion, E::DVNT, false, false, WL, false));
+  Configs.push_back(Mk("reassoc/strict/simple-gvn", L::Reassociation,
+                       S::LazyCodeMotion, E::SaleenaPaleri, false, false, WL,
+                       false));
   Configs.push_back(Mk("reassoc/awz", L::Reassociation, S::LazyCodeMotion,
                        E::AWZ, true, false, WL, true));
   Configs.push_back(Mk("reassoc/awz/mr", L::Reassociation, S::MorelRenvoise,
                        E::AWZ, true, false, WL, true));
   Configs.push_back(Mk("reassoc/dvnt/gcse", L::Reassociation, S::GlobalCSE,
                        E::DVNT, true, false, WL, true));
+  Configs.push_back(Mk("reassoc/simple-gvn/gcse", L::Reassociation,
+                       S::GlobalCSE, E::SaleenaPaleri, true, false, WL,
+                       true));
   Configs.push_back(Mk("dist/dvnt/sr", L::Distribution, S::LazyCodeMotion,
                        E::DVNT, true, true, WL, true));
+  Configs.push_back(Mk("dist/simple-gvn", L::Distribution, S::LazyCodeMotion,
+                       E::SaleenaPaleri, true, false, WL, true));
   // Profile-guided speculative placement, driven by a synthetic
   // uniform-weight profile built per program (see OracleConfig).
   OracleConfig Spec = Mk("partial/speculative", L::Partial, S::Speculative,

@@ -179,6 +179,8 @@ PreservedAnalyses epre::DVNTPass::run(Function &F, FunctionAnalysisManager &AM,
   Ctx.addStat("redundant", Last.Redundant);
   Ctx.addStat("meaningless_phis", Last.MeaninglessPhis);
   Ctx.addStat("redundant_phis", Last.RedundantPhis);
+  Ctx.addStat("redundancies_found",
+              Last.Redundant + Last.MeaninglessPhis + Last.RedundantPhis);
   // The SSA sandwich always rewrites the function; AM was settled by the
   // sub-passes.
   return PreservedAnalyses::none();

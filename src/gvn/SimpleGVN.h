@@ -1,0 +1,102 @@
+//===- gvn/SimpleGVN.h - Saleena–Paleri value-expression GVN -----*- C++ -*-===//
+///
+/// \file
+/// The Saleena–Paleri "simple" global value numbering engine: value
+/// expressions built over value numbers (not lexical names), with phi
+/// nodes numbered by per-edge value-expression equivalence, iterated to a
+/// fixpoint on SSA form.
+///
+/// The implementation starts from the refined AWZ partition
+/// (gvn/ValueNumbering.h) and then only *coarsens* it, applying the two
+/// rules partition refinement provably cannot express:
+///
+///   - phi(v, ..., v) == v: a phi whose inputs all carry one value is that
+///     value (AWZ keeps it separate because a phi's base key never equals
+///     a non-phi's).
+///   - value-phi composition: for x = a op b in the scope of phis
+///     a = phi_B(a_1..a_n), b = phi_B(b_1..b_n), the value of x is
+///     phi_B(v(a_1 op b_1) .. v(a_n op b_n)); when such a phi exists, x is
+///     congruent to it. This is how phi-carried and back-edge-carried
+///     redundancies get the same value number.
+///
+/// After each union, upward congruence closure re-runs (operands now
+/// congruent make their users congruent) until nothing changes. Because
+/// classes only ever merge, simple-gvn renames at least as many
+/// definitions as AWZ on every function — the invariant the three-way
+/// differential harness asserts.
+///
+/// Renaming reuses the shared AWZ rename step, so PRE consumes the result
+/// exactly as it does for the other engines.
+///
+/// References:
+///   Saleena & Paleri, "Global Value Numbering for Redundancy Detection:
+///   A Simple and Efficient Algorithm" (arXiv:1303.1880).
+///   Saleena & Paleri, "A Note on 'A polynomial-time algorithm for global
+///   value numbering'" (arXiv:1302.6325).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EPRE_GVN_SIMPLEGVN_H
+#define EPRE_GVN_SIMPLEGVN_H
+
+#include "analysis/AnalysisManager.h"
+#include "gvn/ValueNumbering.h"
+#include "instrument/PassInstrumentation.h"
+#include "ir/Function.h"
+
+namespace epre {
+
+struct SimpleGVNStats {
+  unsigned Registers = 0;      ///< registers participating
+  unsigned Classes = 0;        ///< congruence classes after coarsening
+  unsigned MergedDefs = 0;     ///< definitions renamed to another name
+  unsigned PhiSimplified = 0;  ///< phi(v,...,v) == v unions
+  unsigned PhiCarried = 0;     ///< value-phi composition unions
+  unsigned PhiCarriedDetected = 0; ///< compositions proven redundant but
+                                   ///< with no existing phi to merge into
+  /// The engine-uniform redundancy count reported by suite_report: every
+  /// renamed definition plus every phi-carried redundancy that was
+  /// detected without a merge target.
+  unsigned redundanciesFound() const {
+    return MergedDefs + PhiCarriedDetected;
+  }
+};
+
+/// The complete §3.2 phase behind the unified pass-entry API, on non-SSA
+/// code: the same SSA sandwich as GVNPass but with the Saleena–Paleri
+/// value-expression fixpoint in the middle.
+///
+/// Counters: simple-gvn.registers, .classes, .merged_defs,
+/// .phi_simplified, .phi_carried, .phi_carried_detected,
+/// .redundancies_found.
+/// Remarks: Merge per definition renamed to its congruence class rep.
+class SimpleGVNPass {
+public:
+  static constexpr const char *name() { return "simple-gvn"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM,
+                        PassContext &Ctx);
+
+  /// Stats of the most recent run.
+  const SimpleGVNStats &lastStats() const { return Last; }
+
+private:
+  SimpleGVNStats Last;
+};
+
+/// The fixpoint+rename core, for code already in SSA form. Exposed for
+/// unit tests; same contract as valueNumberSSA (leaves the function in
+/// SSA-with-shared-names form).
+SimpleGVNStats simpleGVNValueNumberSSA(Function &F,
+                                       PassContext *Ctx = nullptr);
+
+namespace fault {
+/// Test-only planted bug for the differential-fuzzing harness
+/// (epre-fuzz -inject-gvn): degrades the phi(v,...,v) check to consider
+/// only the first input, merging every phi with its first input's class.
+void setSimpleGVNFirstInputPhi(bool Enabled);
+bool simpleGVNFirstInputPhi();
+} // namespace fault
+
+} // namespace epre
+
+#endif // EPRE_GVN_SIMPLEGVN_H

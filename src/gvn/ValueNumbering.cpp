@@ -21,203 +21,191 @@ using namespace epre;
 
 namespace {
 
-/// The fixed part of a register's congruence signature: everything except
-/// the operand classes.
-struct BaseKey {
-  // Encoded as a string for easy hashing/comparison; built once.
-  std::string S;
-  bool operator==(const BaseKey &O) const { return S == O.S; }
-  bool operator<(const BaseKey &O) const { return S < O.S; }
-};
-
-class AWZ {
-public:
-  explicit AWZ(Function &F) : F(F) {}
-
-  /// Optional remark emitter (instrumented runs only).
-  PassContext *Ctx = nullptr;
-
-  GVNStats run() {
-    collect();
-    refine();
-    return rename();
-  }
-
-private:
-  /// Builds base keys and the operand lists used for refinement.
-  void collect() {
-    F.forEachBlock([&](const BasicBlock &B) {
-      for (const Instruction &I : B.Insts) {
-        if (!I.hasDst())
-          continue;
-        assert(!Defs.count(I.Dst) && "valueNumberSSA requires SSA form");
-        Defs[I.Dst] = &I;
-        BaseKey K;
-        std::vector<Reg> Ops;
-        switch (I.Op) {
-        case Opcode::LoadI:
-          K.S = strprintf("ci:%lld", (long long)I.IImm);
-          break;
-        case Opcode::LoadF: {
-          uint64_t Bits;
-          std::memcpy(&Bits, &I.FImm, sizeof(double));
-          K.S = strprintf("cf:%llu", (unsigned long long)Bits);
-          break;
-        }
-        case Opcode::Load:
-          // Memory values are never congruent to anything (no alias info).
-          K.S = strprintf("load:%u", I.Dst);
-          Ops.assign(I.Operands.begin(), I.Operands.end());
-          break;
-        case Opcode::Phi: {
-          // Phis are congruent only within one block; operands compared in
-          // predecessor order so positional refinement is meaningful.
-          K.S = strprintf("phi:%u:%u", B.id(), unsigned(I.Ty));
-          std::vector<std::pair<BlockId, Reg>> Inputs;
-          for (unsigned J = 0; J < I.Operands.size(); ++J)
-            Inputs.push_back({I.PhiBlocks[J], I.Operands[J]});
-          std::sort(Inputs.begin(), Inputs.end());
-          for (auto &[P, R] : Inputs)
-            Ops.push_back(R);
-          break;
-        }
-        case Opcode::Copy:
-          // SSA construction folds copies; a remaining one is equivalent to
-          // its source, which refinement discovers if we class it with the
-          // identity operator.
-          K.S = "copy";
-          Ops.assign(I.Operands.begin(), I.Operands.end());
-          break;
-        case Opcode::Call:
-          K.S = strprintf("call:%u:%u", unsigned(I.Intr), unsigned(I.Ty));
-          Ops.assign(I.Operands.begin(), I.Operands.end());
-          break;
-        default:
-          K.S = strprintf("op:%u:%u", unsigned(I.Op), unsigned(I.Ty));
-          Ops.assign(I.Operands.begin(), I.Operands.end());
-          break;
-        }
-        Keys[I.Dst] = std::move(K);
-        Operands[I.Dst] = std::move(Ops);
+/// Builds base keys and the operand lists used for refinement.
+void collect(Function &F, CongruencePartition &P) {
+#ifndef NDEBUG
+  std::map<Reg, bool> Defined;
+#endif
+  F.forEachBlock([&](const BasicBlock &B) {
+    for (const Instruction &I : B.Insts) {
+      if (!I.hasDst())
+        continue;
+#ifndef NDEBUG
+      assert(!Defined.count(I.Dst) && "valueNumberSSA requires SSA form");
+      Defined[I.Dst] = true;
+#endif
+      std::string K;
+      std::vector<Reg> Ops;
+      switch (I.Op) {
+      case Opcode::LoadI:
+        K = strprintf("ci:%lld", (long long)I.IImm);
+        break;
+      case Opcode::LoadF: {
+        uint64_t Bits;
+        std::memcpy(&Bits, &I.FImm, sizeof(double));
+        K = strprintf("cf:%llu", (unsigned long long)Bits);
+        break;
       }
-    });
-    for (Reg P : F.params()) {
-      Keys[P].S = strprintf("param:%u", P);
-      Operands[P] = {};
-      Defs[P] = nullptr;
-    }
-
-    // Initial (optimistic) partition: by base key alone.
-    std::map<BaseKey, unsigned> ClassByKey;
-    for (auto &[R, K] : Keys) {
-      auto It = ClassByKey.find(K);
-      if (It == ClassByKey.end())
-        It = ClassByKey.emplace(K, unsigned(ClassByKey.size())).first;
-      ClassOf[R] = It->second;
-    }
-  }
-
-  /// Iteratively re-partitions by (base key, operand classes) until stable.
-  void refine() {
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      std::map<std::string, unsigned> NewClassBySig;
-      std::map<Reg, unsigned> NewClassOf;
-      for (auto &[R, K] : Keys) {
-        std::string Sig = K.S;
-        for (Reg Op : Operands[R]) {
-          auto It = ClassOf.find(Op);
-          // Operands must be defined (SSA); tolerate stray registers by
-          // giving them a unique class.
-          unsigned C = It != ClassOf.end() ? It->second : ~Op;
-          Sig += strprintf("|%u", C);
-        }
-        auto It = NewClassBySig.find(Sig);
-        if (It == NewClassBySig.end())
-          It = NewClassBySig.emplace(Sig, unsigned(NewClassBySig.size()))
-                   .first;
-        NewClassOf[R] = It->second;
+      case Opcode::Load:
+        // Memory values are never congruent to anything (no alias info).
+        K = strprintf("load:%u", I.Dst);
+        Ops.assign(I.Operands.begin(), I.Operands.end());
+        break;
+      case Opcode::Phi: {
+        // Phis are congruent only within one block; operands compared in
+        // predecessor order so positional refinement is meaningful.
+        K = strprintf("phi:%u:%u", B.id(), unsigned(I.Ty));
+        std::vector<std::pair<BlockId, Reg>> Inputs;
+        for (unsigned J = 0; J < I.Operands.size(); ++J)
+          Inputs.push_back({I.PhiBlocks[J], I.Operands[J]});
+        std::sort(Inputs.begin(), Inputs.end());
+        for (auto &[Pred, R] : Inputs)
+          Ops.push_back(R);
+        break;
       }
-      // Stable iff the new partition has the same number of classes (the
-      // signature map can only refine the previous round's partition).
-      if (countClasses(ClassOf) != countClasses(NewClassOf))
-        Changed = true;
-      ClassOf = std::move(NewClassOf);
-    }
-  }
-
-  static unsigned countClasses(const std::map<Reg, unsigned> &M) {
-    std::map<unsigned, unsigned> Seen;
-    for (auto &[R, C] : M)
-      Seen[C] = 1;
-    return unsigned(Seen.size());
-  }
-
-  GVNStats rename() {
-    GVNStats Stats;
-    Stats.Registers = unsigned(Keys.size());
-
-    // Representative per class: the smallest register, except parameters
-    // always represent their class (their name is part of the signature
-    // anyway, so a class holds at most one parameter).
-    std::map<unsigned, Reg> Rep;
-    for (auto &[R, C] : ClassOf) {
-      auto It = Rep.find(C);
-      if (It == Rep.end() || R < It->second)
-        Rep[C] = R;
-    }
-    for (Reg P : F.params())
-      Rep[ClassOf[P]] = P;
-    Stats.Classes = unsigned(Rep.size());
-
-    auto repOf = [&](Reg R) {
-      auto It = ClassOf.find(R);
-      return It == ClassOf.end() ? R : Rep[It->second];
-    };
-
-    F.forEachBlock([&](BasicBlock &B) {
-      std::vector<Instruction> Out;
-      Out.reserve(B.Insts.size());
-      std::vector<Reg> PhiSeen;
-      for (Instruction &I : B.Insts) {
-        if (I.hasDst()) {
-          Reg NewDst = repOf(I.Dst);
-          if (NewDst != I.Dst) {
-            ++Stats.MergedDefs;
-            if (Ctx && Ctx->remarksEnabled())
-              Ctx->remark(RemarkKind::Merge, F, B.label(), opcodeName(I.Op),
-                          strprintf("r%u renamed to congruent r%u", I.Dst,
-                                    NewDst));
-          }
-          I.Dst = NewDst;
-        }
-        for (Reg &Op : I.Operands)
-          Op = repOf(Op);
-        // Congruent phis in one block collapse to a single phi.
-        if (I.isPhi()) {
-          if (std::find(PhiSeen.begin(), PhiSeen.end(), I.Dst) !=
-              PhiSeen.end())
-            continue;
-          PhiSeen.push_back(I.Dst);
-        }
-        Out.push_back(std::move(I));
+      case Opcode::Copy:
+        // SSA construction folds copies; a remaining one is equivalent to
+        // its source, which refinement discovers if we class it with the
+        // identity operator.
+        K = "copy";
+        Ops.assign(I.Operands.begin(), I.Operands.end());
+        break;
+      case Opcode::Call:
+        K = strprintf("call:%u:%u", unsigned(I.Intr), unsigned(I.Ty));
+        Ops.assign(I.Operands.begin(), I.Operands.end());
+        break;
+      default:
+        K = strprintf("op:%u:%u", unsigned(I.Op), unsigned(I.Ty));
+        Ops.assign(I.Operands.begin(), I.Operands.end());
+        break;
       }
-      B.Insts = std::move(Out);
-    });
-    return Stats;
+      P.Keys[I.Dst] = std::move(K);
+      P.Operands[I.Dst] = std::move(Ops);
+    }
+  });
+  for (Reg Param : F.params()) {
+    P.Keys[Param] = strprintf("param:%u", Param);
+    P.Operands[Param] = {};
   }
 
-  Function &F;
-  std::map<Reg, const Instruction *> Defs;
-  std::map<Reg, BaseKey> Keys;
-  std::map<Reg, std::vector<Reg>> Operands;
-  std::map<Reg, unsigned> ClassOf;
-};
+  // Initial (optimistic) partition: by base key alone.
+  std::map<std::string, unsigned> ClassByKey;
+  for (auto &[R, K] : P.Keys) {
+    auto It = ClassByKey.find(K);
+    if (It == ClassByKey.end())
+      It = ClassByKey.emplace(K, unsigned(ClassByKey.size())).first;
+    P.ClassOf[R] = It->second;
+  }
+}
+
+unsigned countClasses(const std::map<Reg, unsigned> &M) {
+  std::map<unsigned, unsigned> Seen;
+  for (auto &[R, C] : M)
+    Seen[C] = 1;
+  return unsigned(Seen.size());
+}
+
+/// Iteratively re-partitions by (base key, operand classes) until stable.
+void refine(CongruencePartition &P) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::map<std::string, unsigned> NewClassBySig;
+    std::map<Reg, unsigned> NewClassOf;
+    for (auto &[R, K] : P.Keys) {
+      std::string Sig = K;
+      for (Reg Op : P.Operands[R]) {
+        auto It = P.ClassOf.find(Op);
+        // Operands must be defined (SSA); tolerate stray registers by
+        // giving them a unique class.
+        unsigned C = It != P.ClassOf.end() ? It->second : ~Op;
+        Sig += strprintf("|%u", C);
+      }
+      auto It = NewClassBySig.find(Sig);
+      if (It == NewClassBySig.end())
+        It = NewClassBySig.emplace(Sig, unsigned(NewClassBySig.size())).first;
+      NewClassOf[R] = It->second;
+    }
+    // Stable iff the new partition has the same number of classes (the
+    // signature map can only refine the previous round's partition).
+    if (countClasses(P.ClassOf) != countClasses(NewClassOf))
+      Changed = true;
+    P.ClassOf = std::move(NewClassOf);
+  }
+}
 
 } // namespace
 
-GVNStats epre::valueNumberSSA(Function &F) { return AWZ(F).run(); }
+CongruencePartition epre::computeCongruencePartition(Function &F) {
+  CongruencePartition P;
+  collect(F, P);
+  refine(P);
+  return P;
+}
+
+GVNStats epre::renameToClassReps(Function &F,
+                                 const std::map<Reg, unsigned> &ClassOf,
+                                 PassContext *Ctx) {
+  GVNStats Stats;
+  Stats.Registers = unsigned(ClassOf.size());
+
+  // Representative per class: the smallest register, except parameters
+  // always represent their class (their name is part of the signature
+  // anyway, so a class holds at most one parameter).
+  std::map<unsigned, Reg> Rep;
+  for (auto &[R, C] : ClassOf) {
+    auto It = Rep.find(C);
+    if (It == Rep.end() || R < It->second)
+      Rep[C] = R;
+  }
+  for (Reg P : F.params()) {
+    auto It = ClassOf.find(P);
+    if (It != ClassOf.end())
+      Rep[It->second] = P;
+  }
+  Stats.Classes = unsigned(Rep.size());
+
+  auto repOf = [&](Reg R) {
+    auto It = ClassOf.find(R);
+    return It == ClassOf.end() ? R : Rep[It->second];
+  };
+
+  F.forEachBlock([&](BasicBlock &B) {
+    std::vector<Instruction> Out;
+    Out.reserve(B.Insts.size());
+    std::vector<Reg> PhiSeen;
+    for (Instruction &I : B.Insts) {
+      if (I.hasDst()) {
+        Reg NewDst = repOf(I.Dst);
+        if (NewDst != I.Dst) {
+          ++Stats.MergedDefs;
+          if (Ctx && Ctx->remarksEnabled())
+            Ctx->remark(RemarkKind::Merge, F, B.label(), opcodeName(I.Op),
+                        strprintf("r%u renamed to congruent r%u", I.Dst,
+                                  NewDst));
+        }
+        I.Dst = NewDst;
+      }
+      for (Reg &Op : I.Operands)
+        Op = repOf(Op);
+      // Congruent phis in one block collapse to a single phi.
+      if (I.isPhi()) {
+        if (std::find(PhiSeen.begin(), PhiSeen.end(), I.Dst) !=
+            PhiSeen.end())
+          continue;
+        PhiSeen.push_back(I.Dst);
+      }
+      Out.push_back(std::move(I));
+    }
+    B.Insts = std::move(Out);
+  });
+  return Stats;
+}
+
+GVNStats epre::valueNumberSSA(Function &F) {
+  CongruencePartition P = computeCongruencePartition(F);
+  return renameToClassReps(F, P.ClassOf, nullptr);
+}
 
 PreservedAnalyses epre::GVNPass::run(Function &F, FunctionAnalysisManager &AM,
                                      PassContext &Ctx) {
@@ -230,9 +218,8 @@ PreservedAnalyses epre::GVNPass::run(Function &F, FunctionAnalysisManager &AM,
   Opts.Pruned = true;
   Opts.FoldCopies = false;
   SSABuildPass(Opts).run(F, AM, Ctx);
-  AWZ A(F);
-  A.Ctx = &Ctx;
-  Last = A.run();
+  CongruencePartition P = computeCongruencePartition(F);
+  Last = renameToClassReps(F, P.ClassOf, &Ctx);
   // AWZ rewrites uses to class representatives; instructions changed but
   // the graph did not.
   F.bumpVersion();
@@ -241,8 +228,8 @@ PreservedAnalyses epre::GVNPass::run(Function &F, FunctionAnalysisManager &AM,
   Ctx.addStat("registers", Last.Registers);
   Ctx.addStat("classes", Last.Classes);
   Ctx.addStat("merged_defs", Last.MergedDefs);
+  Ctx.addStat("redundancies_found", Last.MergedDefs);
   // The SSA sandwich always rewrites the function; AM was settled by the
   // sub-passes.
   return PreservedAnalyses::none();
 }
-

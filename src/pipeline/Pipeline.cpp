@@ -13,6 +13,7 @@
 #include "opt/SimplifyCFG.h"
 #include "opt/StrengthReduction.h"
 #include "gvn/DVNT.h"
+#include "gvn/SimpleGVN.h"
 #include "gvn/ValueNumbering.h"
 #include "pre/LocalizeNames.h"
 #include "reassoc/ForwardProp.h"
@@ -48,8 +49,20 @@ const char *epre::gvnEngineName(GVNEngine E) {
     return "awz";
   case GVNEngine::DVNT:
     return "dvnt";
+  case GVNEngine::SaleenaPaleri:
+    return "simple-gvn";
   }
   return "?";
+}
+
+std::string epre::gvnEngineNames() {
+  std::string Names;
+  for (GVNEngine C : AllGVNEngines) {
+    if (!Names.empty())
+      Names += ", ";
+    Names += gvnEngineName(C);
+  }
+  return Names;
 }
 
 const char *epre::preStrategyName(PREStrategy S) {
@@ -107,7 +120,7 @@ bool epre::parsePREStrategy(std::string_view Name, PREStrategy &S) {
 }
 
 bool epre::parseGVNEngine(std::string_view Name, GVNEngine &E) {
-  for (GVNEngine C : {GVNEngine::AWZ, GVNEngine::DVNT})
+  for (GVNEngine C : AllGVNEngines)
     if (Name == gvnEngineName(C)) {
       E = C;
       return true;
@@ -271,6 +284,11 @@ void runReassociationPhase(Function &F, FunctionAnalysisManager &AM,
   if (Opts.Engine == GVNEngine::AWZ) {
     if (Gate.admit("gvn")) {
       GVNPass().run(F, AM, Ctx);
+      verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
+    }
+  } else if (Opts.Engine == GVNEngine::SaleenaPaleri) {
+    if (Gate.admit("simple-gvn")) {
+      SimpleGVNPass().run(F, AM, Ctx);
       verifyStage(F, Opts, SSAMode::NoSSA, "global value numbering");
     }
   } else if (Gate.admit("dvnt")) {

@@ -53,9 +53,19 @@ const char *optLevelName(OptLevel L);
 enum class GVNEngine {
   AWZ,  ///< Alpern-Wegman-Zadeck optimistic partitioning (the paper's)
   DVNT, ///< dominator-tree hash-based numbering (the paper's "missing pass")
+  SaleenaPaleri, ///< "simple-gvn": value-expression fixpoint over value
+                 ///< numbers (Saleena & Paleri), finds phi-carried
+                 ///< equivalences AWZ provably misses
 };
 
+/// Every engine, in the order option surfaces enumerate them.
+inline constexpr GVNEngine AllGVNEngines[] = {
+    GVNEngine::AWZ, GVNEngine::DVNT, GVNEngine::SaleenaPaleri};
+
 const char *gvnEngineName(GVNEngine E);
+/// Comma-separated list of the valid engine spellings ("awz, dvnt,
+/// simple-gvn"), for error messages on the option surfaces.
+std::string gvnEngineNames();
 const char *preStrategyName(PREStrategy S);
 
 /// How the front end named expressions in the input handed to the
@@ -153,11 +163,25 @@ struct PipelineStats {
   uint64_t preAvailIterations() const { return get("pre", "avail_iterations"); }
   uint64_t preAntIterations() const { return get("pre", "ant_iterations"); }
 
-  uint64_t gvnRegisters() const { return get("gvn", "registers"); }
-  uint64_t gvnClasses() const { return get("gvn", "classes"); }
+  uint64_t gvnRegisters() const {
+    return get("gvn", "registers") + get("simple-gvn", "registers");
+  }
+  uint64_t gvnClasses() const {
+    return get("gvn", "classes") + get("simple-gvn", "classes");
+  }
   /// Definitions folded into another name, whichever engine ran.
   uint64_t gvnMergedDefs() const {
-    return get("gvn", "merged_defs") + get("dvnt", "redundant");
+    return get("gvn", "merged_defs") + get("dvnt", "redundant") +
+           get("simple-gvn", "merged_defs");
+  }
+  /// The engine-uniform redundancy count (docs/gvn-engines.md): every
+  /// definition the engine folded into another name, plus (simple-gvn
+  /// only) phi-carried redundancies detected without a merge target.
+  /// Whichever engine ran, exactly one of these counters is non-zero.
+  uint64_t gvnRedundanciesFound() const {
+    return get("gvn", "redundancies_found") +
+           get("dvnt", "redundancies_found") +
+           get("simple-gvn", "redundancies_found");
   }
 
   uint64_t fwdOpsBefore() const { return get("fwdprop", "ops_before"); }

@@ -167,7 +167,8 @@ bool epre::parseServeRequest(const std::string &JSON, ServeRequest &Out,
     }
     if (!(V = O->getString("gvn")).empty() &&
         !parseGVNEngine(V, Out.Options.Engine)) {
-      setErr(Err, "unknown GVN engine '" + V + "'");
+      setErr(Err, "unknown GVN engine '" + V + "' (valid: " +
+                      gvnEngineNames() + ")");
       return false;
     }
     if (!(V = O->getString("naming")).empty() &&

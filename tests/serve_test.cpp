@@ -157,6 +157,15 @@ TEST(OptionsFingerprint, CoversOutputAffectingFields) {
   O = Base;
   O.Strategy = PREStrategy::MorelRenvoise;
   EXPECT_NE(optionsFingerprint(O), FP);
+  // Every GVN engine gets its own cache key: engines produce different
+  // name spaces, so a hit under the wrong engine would be a miscompile.
+  for (GVNEngine E : AllGVNEngines) {
+    if (E == Base.Engine)
+      continue;
+    O = Base;
+    O.Engine = E;
+    EXPECT_NE(optionsFingerprint(O), FP) << gvnEngineName(E);
+  }
   O = Base;
   O.AllowFPReassoc = !O.AllowFPReassoc;
   EXPECT_NE(optionsFingerprint(O), FP);
@@ -394,6 +403,26 @@ TEST(Protocol, ParsesCompileRequestWithOptions) {
   // The server never runs the in-pipeline verifier (it aborts the process);
   // input is verified up front instead.
   EXPECT_FALSE(R.Options.Verify);
+}
+
+TEST(Protocol, ParsesEveryGVNEngineAndListsNamesOnRejection) {
+  for (GVNEngine E : AllGVNEngines) {
+    ServeRequest R;
+    std::string Err;
+    ASSERT_TRUE(parseServeRequest(
+        compileDoc({SourceA}, std::string("{\"gvn\":\"") + gvnEngineName(E) +
+                                  "\"}"),
+        R, &Err))
+        << Err;
+    EXPECT_EQ(R.Options.Engine, E) << gvnEngineName(E);
+  }
+  ServeRequest R;
+  std::string Err;
+  EXPECT_FALSE(parseServeRequest(
+      compileDoc({SourceA}, "{\"gvn\":\"bogus\"}"), R, &Err));
+  // The rejection names every valid engine so clients can self-correct.
+  for (GVNEngine E : AllGVNEngines)
+    EXPECT_NE(Err.find(gvnEngineName(E)), std::string::npos) << Err;
 }
 
 TEST(Protocol, RejectsMalformedDocuments) {
